@@ -1,0 +1,125 @@
+// Command d2xdbg is the interactive debugger front end: it compiles a
+// GraphIt program with D2X enabled, loads it under the stock debugger with
+// the D2X helper macros installed, and starts a GDB-style command loop.
+//
+// Usage:
+//
+//	d2xdbg [-schedule FILE] [-x SCRIPT] input.gt
+//
+// All of GDB's usual commands work (break, run, continue, step, next, bt,
+// frame, print, info, call, eval, ...) plus the D2X commands: xbt, xlist,
+// xframe, xvars, xbreak, xdel. With -x, commands come from a script file
+// and the session is non-interactive.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"d2x/internal/debugger"
+	"d2x/internal/graphit"
+)
+
+func main() {
+	schedule := flag.String("schedule", "", "schedule file")
+	script := flag.String("x", "", "execute commands from this file and exit")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: d2xdbg [flags] input.gt")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	gtFile := flag.Arg(0)
+	gtSrc, err := os.ReadFile(gtFile)
+	if err != nil {
+		fatal(err)
+	}
+	schedSrc := ""
+	if *schedule != "" {
+		b, err := os.ReadFile(*schedule)
+		if err != nil {
+			fatal(err)
+		}
+		schedSrc = string(b)
+	}
+
+	art, err := graphit.CompileToC(gtFile, string(gtSrc), *schedule, schedSrc,
+		graphit.CompileOptions{D2X: true})
+	if err != nil {
+		fatal(err)
+	}
+	build, err := art.Link()
+	if err != nil {
+		fatal(err)
+	}
+	d, err := build.NewSession(os.Stdout)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *script != "" {
+		b, err := os.ReadFile(*script)
+		if err != nil {
+			fatal(err)
+		}
+		if err := d.ExecuteScript(string(b)); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("d2xdbg: debugging %s (generated code: %d lines)\n",
+		gtFile, len(strings.Split(build.Source, "\n")))
+	fmt.Println(`Type "help" for commands, "quit" to exit.`)
+	repl(d)
+}
+
+func repl(d *debugger.Debugger) {
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("(d2xdbg) ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch line {
+		case "quit", "q", "exit":
+			return
+		case "help":
+			printHelp()
+			continue
+		case "":
+			continue
+		}
+		if err := d.Execute(line); err != nil {
+			fmt.Println(err)
+		}
+	}
+}
+
+func printHelp() {
+	fmt.Print(`Standard commands:
+  break LOC | delete [N] | clear LOC    breakpoints (LOC: file:line or func)
+  run | continue | step | next | finish execution
+  bt | frame [N] | up | down            stack navigation
+  list [N] | print EXPR | set X = Y     inspection
+  info breakpoints|locals|args|threads|registers|functions
+  thread N | call F(ARGS) | eval "FMT", ARGS
+D2X commands (DSL-level):
+  xbt            extended (DSL) stack for the current frame
+  xlist          DSL source around the selected extended frame
+  xframe [N]     select/display an extended frame
+  xvars [NAME]   extended variables; NAME evaluates one (rtv_handlers run)
+  xbreak [LOC]   DSL-level breakpoint (file:line in the DSL input)
+  xdel ID        delete a DSL-level breakpoint
+`)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "d2xdbg:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,244 @@
+// Command d2xdemo replays the paper's figures as live debugger sessions on
+// this reproduction. Each subcommand compiles the relevant case study,
+// attaches the debugger, runs a scripted session, and prints the
+// transcript — the qualitative evaluation of the paper in executable form.
+//
+// Usage:
+//
+//	d2xdemo [fig2|fig6|fig9|fig11|all]
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"d2x/internal/buildit"
+	"d2x/internal/d2x"
+	"d2x/internal/debugger"
+	"d2x/internal/einsum"
+	"d2x/internal/graphit"
+	"d2x/internal/minic"
+)
+
+func main() {
+	which := "all"
+	if len(os.Args) > 1 {
+		which = os.Args[1]
+	}
+	demos := map[string]func() error{
+		"fig2": fig2, "fig6": fig6, "fig9": fig9, "fig11": fig11,
+	}
+	order := []string{"fig2", "fig6", "fig9", "fig11"}
+	if which != "all" {
+		fn, ok := demos[which]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "d2xdemo: unknown demo %q (want fig2, fig6, fig9, fig11, all)\n", which)
+			os.Exit(2)
+		}
+		if err := fn(); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	for _, name := range order {
+		banner(name)
+		if err := demos[name](); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func banner(name string) {
+	fmt.Printf("\n======== %s ========\n", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "d2xdemo:", err)
+	os.Exit(1)
+}
+
+// script runs debugger commands, echoing them GDB-style.
+func script(d *debugger.Debugger, cmds ...string) error {
+	for _, c := range cmds {
+		fmt.Printf("(gdb) %s\n", c)
+		if err := d.Execute(c); err != nil {
+			return fmt.Errorf("command %q: %w", c, err)
+		}
+	}
+	return nil
+}
+
+// fig2 shows per-call-site UDF specialisation: the same updateEdge
+// compiled once with atomics (push) and once without (pull).
+func fig2() error {
+	fmt.Println("Figure 1/2: one UDF, two schedules, two generated versions")
+	art, err := graphit.CompileToC("twoapply.gt", graphit.TwoApplySrc,
+		"twoapply.sched", graphit.TwoApplySchedule, graphit.CompileOptions{})
+	if err != nil {
+		return err
+	}
+	for _, l := range strings.Split(art.Source, "\n") {
+		if strings.Contains(l, "updateEdge_") || strings.Contains(l, "nrank[d]") {
+			fmt.Println(strings.TrimRight(l, " \t"))
+		}
+	}
+	return nil
+}
+
+// fig6 is the PageRankDelta session: extended stack, UDF calling context,
+// and the vertexset rtv_handler.
+func fig6() error {
+	fmt.Println("Figure 6: debugging PageRankDelta (GraphIt) with D2X")
+	art, err := graphit.CompileToC("pagerankdelta.gt", graphit.PageRankDeltaSrc,
+		"pagerankdelta.sched", graphit.PageRankDeltaSchedule, graphit.CompileOptions{D2X: true})
+	if err != nil {
+		return err
+	}
+	build, err := art.Link()
+	if err != nil {
+		return err
+	}
+	d, err := build.NewSession(os.Stdout)
+	if err != nil {
+		return err
+	}
+	udfLine := lineOf(build.Source, "atomic_add(&new_rank[dst]")
+	printLine := lineOf(build.Source, "__frontier_size(frontier)")
+	return script(d,
+		fmt.Sprintf("break pagerankdelta.c:%d", udfLine),
+		"run",
+		"xbt",
+		"xlist",
+		"xframe 1",
+		"xvars schedule",
+		"delete",
+		fmt.Sprintf("break pagerankdelta.c:%d", printLine),
+		"continue",
+		"xvars",
+		"xvars frontier",
+		"print frontier",
+		"delete",
+		"continue",
+	)
+}
+
+// fig9 is the BuildIt power-function session: second-stage commands (bt,
+// print) against first-stage commands (xbt, xlist, xvars, xbreak).
+func fig9() error {
+	fmt.Println("Figure 8/9: debugging staged power_15 (BuildIt) with D2X")
+	b := buildit.NewBuilder()
+	buildit.EnableD2X(b)
+	stagePowerDemo(b, 15)
+	m := b.Func("main", nil, minic.IntType)
+	r := m.Decl("r", m.Call("power_15", minic.IntType, m.IntLit(3)))
+	m.Printf("%d\n", r)
+	m.Return(m.IntLit(0))
+	build, err := b.Link("power_gen.c", d2x.LinkOptions{})
+	if err != nil {
+		return err
+	}
+	d, err := build.NewSession(os.Stdout)
+	if err != nil {
+		return err
+	}
+	line := lineOf(build.Source, "x_2 = x_2 * x_2;")
+	return script(d,
+		fmt.Sprintf("break power_gen.c:%d", line),
+		"run",
+		"bt",
+		"frame",
+		"xbt",
+		"xlist",
+		"xvars",
+		"xvars exponent",
+		"print res_1",
+		"delete",
+		"continue",
+	)
+}
+
+// stagePowerDemo is the first-stage source Figure 9's xlist displays.
+func stagePowerDemo(b *buildit.Builder, exponent int) {
+	f := b.Func("power_15", []buildit.Param{{Name: "arg0", Type: minic.IntType}}, minic.IntType)
+	exp := buildit.NewStatic(f, "exponent", exponent)
+	res := f.Decl("res", f.IntLit(1))
+	x := f.Decl("x", f.Arg(0))
+	for exp.Get() > 0 {
+		if exp.Get()%2 == 1 {
+			f.Assign(res, f.Mul(res, x))
+		}
+		exp.Set(exp.Get() / 2)
+		if exp.Get() > 0 {
+			f.Assign(x, f.Mul(x, x))
+		}
+	}
+	f.Return(res)
+}
+
+// fig11 is the einsum session: xbt into the DSL implementation, xvars
+// showing the constant-propagation result.
+func fig11() error {
+	fmt.Println("Figure 10/11: debugging the einsum DSL (on BuildIt) with D2X")
+	const M, N = 16, 8
+	b := buildit.NewBuilder()
+	buildit.EnableD2X(b)
+	f := b.Func("m_v_mul", []buildit.Param{
+		{Name: "output", Type: einsum.IntArrayType},
+		{Name: "matrix", Type: einsum.IntArrayType},
+		{Name: "input", Type: einsum.IntArrayType},
+	}, minic.VoidType)
+	env := einsum.New(f)
+	c := env.Tensor("c", f.Arg(0), M)
+	a := env.Tensor("a", f.Arg(1), M, N)
+	bt := env.Tensor("b", f.Arg(2), N)
+	i, j := einsum.NewIndex("i"), einsum.NewIndex("j")
+	if err := bt.Assign(einsum.Const(1), j); err != nil {
+		return err
+	}
+	if err := c.Assign(einsum.Mul(einsum.Const(2), a.At(i, j), bt.At(j)), i); err != nil {
+		return err
+	}
+	f.Return(buildit.Expr{})
+
+	m := b.Func("main", nil, minic.IntType)
+	out := m.DeclArr("output", minic.IntType, m.IntLit(M))
+	mat := m.DeclArr("matrix", minic.IntType, m.IntLit(M*N))
+	in := m.DeclArr("input", minic.IntType, m.IntLit(N))
+	m.For("k", m.IntLit(0), m.IntLit(M*N), func(k buildit.Expr) {
+		m.Assign(m.Index(mat, k), m.Mod(k, m.IntLit(7)))
+	})
+	m.Do(m.Call("m_v_mul", minic.VoidType, out, mat, in))
+	m.Printf("c[0]=%d\n", m.Index(out, m.IntLit(0)))
+	m.Return(m.IntLit(0))
+
+	build, err := b.Link("einsum_gen.c", d2x.LinkOptions{})
+	if err != nil {
+		return err
+	}
+	d, err := build.NewSession(os.Stdout)
+	if err != nil {
+		return err
+	}
+	line := lineOf(build.Source, "output[")
+	return script(d,
+		fmt.Sprintf("break einsum_gen.c:%d", line),
+		"run",
+		"bt",
+		"xbt",
+		"xframe 1",
+		"xvars",
+		"xvars b.constant_val",
+		"delete",
+		"continue",
+	)
+}
+
+func lineOf(src, needle string) int {
+	for i, l := range strings.Split(src, "\n") {
+		if strings.Contains(l, needle) {
+			return i + 1
+		}
+	}
+	return 1
+}

@@ -1,0 +1,92 @@
+// Command graphitc is the GraphIt compiler driver: it compiles a .gt
+// algorithm file (plus an optional schedule file) to mini-C, optionally
+// with D2X debug information, and can run the result directly.
+//
+// Usage:
+//
+//	graphitc [-schedule FILE] [-o FILE] [-g] [-run] [-workers N] input.gt
+//
+// -g enables D2X debug information (the tables are generated into the
+// output program itself). -run compiles and executes instead of writing
+// the generated source.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"d2x/internal/graphit"
+	"d2x/internal/minic"
+)
+
+func main() {
+	schedule := flag.String("schedule", "", "schedule file (GraphIt scheduling language)")
+	output := flag.String("o", "", "write generated mini-C to this file (default stdout)")
+	debug := flag.Bool("g", false, "generate D2X debug information")
+	run := flag.Bool("run", false, "compile and run instead of emitting source")
+	optimize := flag.Bool("O", false, "run the mini-C constant folder over the generated code")
+	workers := flag.Int("workers", 4, "logical threads for parallel_for when running")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: graphitc [flags] input.gt")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	gtFile := flag.Arg(0)
+	gtSrc, err := os.ReadFile(gtFile)
+	if err != nil {
+		fatal(err)
+	}
+	schedSrc := ""
+	if *schedule != "" {
+		b, err := os.ReadFile(*schedule)
+		if err != nil {
+			fatal(err)
+		}
+		schedSrc = string(b)
+	}
+
+	art, err := graphit.CompileToC(gtFile, string(gtSrc), *schedule, schedSrc,
+		graphit.CompileOptions{D2X: *debug})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *run {
+		build, err := art.LinkOptimizing(*optimize)
+		if err != nil {
+			fatal(err)
+		}
+		vm := minic.NewVM(build.Program, os.Stdout)
+		vm.NumWorkers = *workers
+		if err := vm.Run(); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	src := art.Source
+	if *debug && art.Ctx != nil {
+		// Emit the full linked source (code + tables) so the output is a
+		// self-contained debuggable program.
+		build, err := art.LinkOptimizing(*optimize)
+		if err != nil {
+			fatal(err)
+		}
+		src = build.Source
+	}
+	if *output == "" {
+		fmt.Print(src)
+		return
+	}
+	if err := os.WriteFile(*output, []byte(src), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "graphitc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,38 @@
+// Command locstats regenerates the paper's Table 3 and Table 4 for this
+// repository: component sizes and the D2X integration deltas.
+//
+// Usage: locstats [-root DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"d2x/internal/loc"
+)
+
+func main() {
+	root := flag.String("root", "", "repository root (default: auto-detect)")
+	flag.Parse()
+	dir := *root
+	if dir == "" {
+		var err error
+		if dir, err = loc.RepoRoot(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	t3, err := loc.Table3(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	t4, err := loc.Table4(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(t3)
+	fmt.Println(t4)
+}

@@ -1,0 +1,118 @@
+// Einsum: the paper's Figure 10/11 scenario — a tensor DSL prototyped on
+// the BuildIt framework in a few hundred lines, debuggable through D2X
+// without a single debugging-related line in the DSL itself.
+//
+// The program initialises b[j] = 1 and computes c[i] = 2 * a[i][j] * b[j]
+// (matrix-vector multiply). The DSL's constant-propagation analysis runs
+// through static state, so the generated kernel multiplies by the literal
+// 1 — and the debugger can show that analysis result (b.constant_val = 1)
+// at the paused line.
+//
+// Run with: go run ./examples/einsum [M N]
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"d2x/internal/buildit"
+	"d2x/internal/d2x"
+	"d2x/internal/einsum"
+	"d2x/internal/minic"
+)
+
+func main() {
+	M, N := 16, 8
+	if len(os.Args) == 3 {
+		var err1, err2 error
+		M, err1 = strconv.Atoi(os.Args[1])
+		N, err2 = strconv.Atoi(os.Args[2])
+		if err1 != nil || err2 != nil || M < 1 || N < 1 {
+			fail(fmt.Errorf("bad dimensions %v", os.Args[1:]))
+		}
+	}
+
+	b := buildit.NewBuilder()
+	buildit.EnableD2X(b)
+
+	// ---- The DSL input (Figure 10), written against the einsum API. ----
+	f := b.Func("m_v_mul", []buildit.Param{
+		{Name: "output", Type: einsum.IntArrayType},
+		{Name: "matrix", Type: einsum.IntArrayType},
+		{Name: "input", Type: einsum.IntArrayType},
+	}, minic.VoidType)
+	env := einsum.New(f)
+	c := env.Tensor("c", f.Arg(0), M)
+	a := env.Tensor("a", f.Arg(1), M, N)
+	bt := env.Tensor("b", f.Arg(2), N)
+	i, j := einsum.NewIndex("i"), einsum.NewIndex("j")
+	must(bt.Assign(einsum.Const(1), j))                                  // b[j] = 1
+	must(c.Assign(einsum.Mul(einsum.Const(2), a.At(i, j), bt.At(j)), i)) // c[i] = 2*a[i][j]*b[j]
+	f.Return(buildit.Expr{})
+
+	// ---- A harness main. ----
+	m := b.Func("main", nil, minic.IntType)
+	out := m.DeclArr("output", minic.IntType, m.IntLit(int64(M)))
+	mat := m.DeclArr("matrix", minic.IntType, m.IntLit(int64(M*N)))
+	in := m.DeclArr("input", minic.IntType, m.IntLit(int64(N)))
+	m.For("k", m.IntLit(0), m.IntLit(int64(M*N)), func(k buildit.Expr) {
+		m.Assign(m.Index(mat, k), m.Mod(k, m.IntLit(7)))
+	})
+	m.Do(m.Call("m_v_mul", minic.VoidType, out, mat, in))
+	m.Printf("c[0]=%d c[last]=%d\n", m.Index(out, m.IntLit(0)), m.Index(out, m.IntLit(int64(M-1))))
+	m.Return(m.IntLit(0))
+
+	build, err := b.Link("einsum_gen.c", d2x.LinkOptions{})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("---- generated kernel (note: input[] is never read; the constant 1 was propagated) ----")
+	kernel := build.Source[strings.Index(build.Source, "func void m_v_mul"):]
+	fmt.Print(kernel[:strings.Index(kernel, "func int main")])
+	fmt.Println()
+
+	d, err := build.NewSession(os.Stdout)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("---- debugger session (Figure 11) ----")
+	accLine := lineOf(build.Source, "acc_")
+	for _, cmd := range []string{
+		fmt.Sprintf("break einsum_gen.c:%d", accLine),
+		"run",
+		"bt",  // the generated frame
+		"xbt", // walks through the einsum DSL implementation into this file
+		"xvars",
+		"xvars b.constant_val", // the analysis result: 1
+		"xvars a.constant_val", // unknown — never constant-assigned
+		"delete",
+		"continue",
+	} {
+		fmt.Printf("(gdb) %s\n", cmd)
+		if err := d.Execute(cmd); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func lineOf(src, needle string) int {
+	for i, l := range strings.Split(src, "\n") {
+		if strings.Contains(l, needle) {
+			return i + 1
+		}
+	}
+	return 1
+}
+
+func must(err error) {
+	if err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "einsum:", err)
+	os.Exit(1)
+}

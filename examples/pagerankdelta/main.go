@@ -1,0 +1,85 @@
+// PageRankDelta: the paper's Figure 6 scenario end-to-end.
+//
+// The GraphIt compiler turns a 28-line algorithm into a few hundred lines
+// of specialised parallel code. This example shows how a user debugs it
+// anyway: break inside the generated UDF, walk the extended stack back to
+// the .gt input, inspect the schedule the compiler chose, and decode the
+// multi-representation frontier with the rtv_handler — all through a stock
+// debugger.
+//
+// Run with: go run ./examples/pagerankdelta
+// Pass a graph spec to change the input, e.g.:
+//
+//	go run ./examples/pagerankdelta "uniform:n=256,m=2048,seed=42"
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"d2x/internal/graphit"
+)
+
+func main() {
+	src := graphit.PageRankDeltaSrc
+	if len(os.Args) > 1 {
+		src = strings.Replace(src, `load("powerlaw:n=64,m=512,seed=5")`,
+			fmt.Sprintf("load(%q)", os.Args[1]), 1)
+	}
+	art, err := graphit.CompileToC("pagerankdelta.gt", src,
+		"pagerankdelta.sched", graphit.PageRankDeltaSchedule,
+		graphit.CompileOptions{D2X: true})
+	if err != nil {
+		fail(err)
+	}
+	build, err := art.Link()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("compiled %d .gt lines into %d generated lines\n\n",
+		len(strings.Split(src, "\n")), len(strings.Split(build.Source, "\n")))
+
+	d, err := build.NewSession(os.Stdout)
+	if err != nil {
+		fail(err)
+	}
+	udfLine := lineOf(build.Source, "atomic_add(&new_rank[dst]")
+	printLine := lineOf(build.Source, "__frontier_size(frontier)")
+	for _, cmd := range []string{
+		fmt.Sprintf("break pagerankdelta.c:%d", udfLine),
+		"run",
+		"bt",    // second-stage stack: generated frames
+		"xbt",   // first-stage stack: UDF line + specialising operator
+		"xlist", // the .gt source around the UDF line
+		"xframe 1",
+		"xlist", // the operator call site in main
+		"xvars schedule",
+		"xvars specialized_udf",
+		"delete",
+		fmt.Sprintf("break pagerankdelta.c:%d", printLine),
+		"continue",
+		"xvars frontier", // rtv_handler decodes the representation
+		"delete",
+		"continue",
+	} {
+		fmt.Printf("(gdb) %s\n", cmd)
+		if err := d.Execute(cmd); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func lineOf(src, needle string) int {
+	for i, l := range strings.Split(src, "\n") {
+		if strings.Contains(l, needle) {
+			return i + 1
+		}
+	}
+	return 1
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "pagerankdelta:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,130 @@
+// Power: the paper's Figure 8/9 scenario — multi-stage programming with
+// BuildIt, where the first stage (this Go file) fully evaluates the
+// exponent and the generated code is the unrolled repeated-squaring
+// sequence. The debugger shows both worlds side by side: bt/print for the
+// second stage, xbt/xlist/xvars for the first, and xbreak turns one
+// first-stage line into breakpoints at every generated copy.
+//
+// Run with: go run ./examples/power [exponent]
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"d2x/internal/buildit"
+	"d2x/internal/d2x"
+	"d2x/internal/minic"
+)
+
+// stagePower is the first-stage program. Every staged statement below
+// records this file and line as its static tag — that is what xbt and
+// xbreak operate on.
+func stagePower(b *buildit.Builder, exponent int) string {
+	f := b.Func("power_f", []buildit.Param{{Name: "arg0", Type: minic.IntType}}, minic.IntType)
+	exp := buildit.NewStatic(f, "exponent", exponent)
+	res := f.Decl("res", f.IntLit(1))
+	x := f.Decl("x", f.Arg(0))
+	for exp.Get() > 0 {
+		if exp.Get()%2 == 1 {
+			f.Assign(res, f.Mul(res, x))
+		}
+		exp.Set(exp.Get() / 2)
+		if exp.Get() > 0 {
+			f.Assign(x, f.Mul(x, x))
+		}
+	}
+	f.Return(res)
+	return f.Name()
+}
+
+func main() {
+	exponent := 15
+	if len(os.Args) > 1 {
+		v, err := strconv.Atoi(os.Args[1])
+		if err != nil || v < 0 {
+			fail(fmt.Errorf("bad exponent %q", os.Args[1]))
+		}
+		exponent = v
+	}
+
+	b := buildit.NewBuilder()
+	buildit.EnableD2X(b)
+	kernel := stagePower(b, exponent)
+	m := b.Func("main", nil, minic.IntType)
+	r := m.Decl("r", m.Call(kernel, minic.IntType, m.IntLit(3)))
+	m.Printf("%d\n", r)
+	m.Return(m.IntLit(0))
+
+	build, err := b.Link("power_gen.c", d2x.LinkOptions{})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("---- generated code (exponent erased, loop unrolled) ----")
+	fmt.Print(build.Source[:strings.Index(build.Source, "func int main()")])
+	fmt.Println()
+
+	d, err := build.NewSession(os.Stdout)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("---- debugger session ----")
+	cmds := []string{}
+	if line := lineOf(build.Source, "x_2 = x_2 * x_2;"); line > 1 {
+		cmds = append(cmds,
+			fmt.Sprintf("break power_gen.c:%d", line),
+			"run", "bt", "xbt", "xlist", "xvars exponent", "print res_1",
+		)
+		// xbreak on the first-stage multiply line: one DSL breakpoint,
+		// many generated sites.
+		if mulLine := firstStageMulLine(build); mulLine > 0 {
+			cmds = append(cmds, fmt.Sprintf("xbreak %d", mulLine), "xbreak")
+		}
+		cmds = append(cmds, "delete", "continue")
+	} else {
+		cmds = append(cmds, "run")
+	}
+	for _, cmd := range cmds {
+		fmt.Printf("(gdb) %s\n", cmd)
+		if err := d.Execute(cmd); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// firstStageMulLine finds this file's `f.Assign(res, f.Mul(res, x))` line
+// number so xbreak can target it without hard-coding.
+func firstStageMulLine(build *d2x.Build) int {
+	self, err := os.ReadFile(selfPath())
+	if err != nil {
+		return 0
+	}
+	for i, l := range strings.Split(string(self), "\n") {
+		if strings.Contains(l, "f.Assign(res, f.Mul(res, x))") {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+func selfPath() string {
+	// The staged tags carry this file's absolute path; examples run from
+	// the repo, so the relative path also resolves.
+	return "examples/power/main.go"
+}
+
+func lineOf(src, needle string) int {
+	for i, l := range strings.Split(src, "\n") {
+		if strings.Contains(l, needle) {
+			return i + 1
+		}
+	}
+	return 1
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "power:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,86 @@
+// Quickstart: the smallest end-to-end D2X workflow.
+//
+//  1. Stage a function with the buildit framework (D2X enabled) — this is
+//     the "DSL compiler" role; the first-stage program is THIS file.
+//  2. Link: the generated mini-C gets the D2X tables inside it, standard
+//     debug info is produced, and the D2X runtime is linked in.
+//  3. Attach the stock debugger and use the D2X commands: the extended
+//     stack points back at the staging lines below, and the erased static
+//     variable is visible with the value it had at generation time.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"d2x/internal/buildit"
+	"d2x/internal/d2x"
+	"d2x/internal/minic"
+)
+
+func main() {
+	// ---- Stage 1: write the program that writes the program. ----
+	b := buildit.NewBuilder()
+	buildit.EnableD2X(b) // one line opts the whole DSL into D2X
+
+	f := b.Func("sum_squares", []buildit.Param{{Name: "n", Type: minic.IntType}}, minic.IntType)
+	unroll := buildit.NewStatic(f, "unroll", 4) // erased from generated code
+	total := f.Decl("total", f.IntLit(0))
+	// First-stage loop: unrolls into `unroll` copies of the body. The
+	// countdown value is snapshotted onto each generated line, so the
+	// debugger can show how many copies remained when a line was made.
+	for unroll.Get() > 0 {
+		f.AddAssign(total, f.Mul(f.Arg(0), f.Arg(0)))
+		unroll.Set(unroll.Get() - 1)
+	}
+	f.Return(total)
+
+	m := b.Func("main", nil, minic.IntType)
+	m.Printf("%d\n", m.Call("sum_squares", minic.IntType, m.IntLit(5)))
+	m.Return(m.IntLit(0))
+
+	// ---- Link: code + D2X tables + debug info + runtime. ----
+	build, err := b.Link("quickstart_gen.c", d2x.LinkOptions{})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("---- generated code ----")
+	fmt.Print(build.Source[:strings.Index(build.Source, "// ---- D2X debug tables")])
+
+	// ---- Debug: stock debugger + D2X macros. ----
+	d, err := build.NewSession(os.Stdout)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("---- debugger session ----")
+	line := 0
+	for i, l := range strings.Split(build.Source, "\n") {
+		if strings.Contains(l, "total_1 += n * n;") {
+			line = i + 1
+			break
+		}
+	}
+	for _, cmd := range []string{
+		fmt.Sprintf("break quickstart_gen.c:%d", line),
+		"run",
+		"xbt",           // extended stack -> the f.AddAssign line above
+		"xvars",         // extended variables at this line
+		"xvars unroll",  // the erased static's value when this line was generated
+		"print total_1", // ordinary second-stage print still works
+		"delete",
+		"continue",
+	} {
+		fmt.Printf("(gdb) %s\n", cmd)
+		if err := d.Execute(cmd); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "quickstart:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module d2x
+
+go 1.24

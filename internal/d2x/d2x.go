@@ -1,0 +1,143 @@
+// Package d2x ties the D2X components into the workflow of Figure 3:
+//
+//	DSL compiler ──(d2xc)──► generated code + D2X tables
+//	          │
+//	          ▼
+//	     Link: compile generated code, register the D2X runtime
+//	     (d2xr) as linked natives, build standard debug info
+//	          │
+//	          ▼
+//	     Debug: attach the stock debugger, install the helper
+//	     macros, and use xbt/xlist/xframe/xvars/xbreak/xdel
+//
+// DSL compilers use d2xc directly; end-user tooling uses Link and
+// NewSession.
+package d2x
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"d2x/internal/d2x/d2xc"
+	"d2x/internal/d2x/d2xenc"
+	"d2x/internal/d2x/d2xr"
+	"d2x/internal/d2x/macros"
+	"d2x/internal/debugger"
+	"d2x/internal/dwarfish"
+	"d2x/internal/minic"
+)
+
+// Build is a linked, debuggable artifact: the compiled generated program
+// with D2X tables inside it, its standard debug info, and the attached
+// D2X runtime.
+type Build struct {
+	Program   *minic.Program
+	DebugBlob []byte
+	Runtime   *d2xr.Runtime
+	Source    string // full generated source including the D2X tables
+
+	// ExtraMacros holds DSL-specific debugger macros (paper §4.3): a DSL
+	// may define its own commands over functions it generated into the
+	// program, extending the debugger without touching it or D2X-R.
+	ExtraMacros string
+}
+
+// LinkOptions tune the link step.
+type LinkOptions struct {
+	// Natives registers additional host-linked functions (a DSL's own
+	// runtime library) before compilation.
+	Natives func(*minic.Natives)
+	// FileResolver overrides how the D2X runtime reads DSL sources for
+	// xlist (defaults to the filesystem).
+	FileResolver d2xr.FileResolver
+	// WithoutD2X skips table emission and runtime registration, producing
+	// the exact same program a D2X-less compiler would — the baseline of
+	// the overhead experiment.
+	WithoutD2X bool
+	// Optimize runs the mini-C constant folder over the generated code
+	// before compiling it. D2X survives: folding rewrites expressions
+	// within statements and prunes dead branches, but surviving
+	// statements keep their lines — the key the D2X tables map on.
+	Optimize bool
+}
+
+// Link assembles a debuggable build from generated source and the D2X
+// compile-time context that produced it.
+func Link(filename, genSource string, ctx *d2xc.Context, opts LinkOptions) (*Build, error) {
+	full := genSource
+	if !opts.WithoutD2X && ctx != nil {
+		var tb strings.Builder
+		if err := d2xenc.EmitTables(ctx, &tb); err != nil {
+			return nil, fmt.Errorf("d2x: emitting tables: %w", err)
+		}
+		if !strings.HasSuffix(full, "\n") && full != "" {
+			full += "\n"
+		}
+		full += tb.String()
+	}
+
+	nats := minic.NewNatives()
+	var rt *d2xr.Runtime
+	if !opts.WithoutD2X {
+		rt = d2xr.New()
+		rt.Register(nats)
+		if opts.FileResolver != nil {
+			rt.SetFileResolver(opts.FileResolver)
+		}
+	}
+	if opts.Natives != nil {
+		opts.Natives(nats)
+	}
+
+	var prog *minic.Program
+	var err error
+	if opts.Optimize {
+		prog, _, err = minic.CompileOptimized(filename, full, nats)
+	} else {
+		prog, err = minic.Compile(filename, full, nats)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("d2x: compiling generated code: %w", err)
+	}
+	blob := dwarfish.Build(prog).Encode()
+	if rt != nil {
+		if err := rt.AttachDebugInfo(blob); err != nil {
+			return nil, err
+		}
+	}
+	return &Build{Program: prog, DebugBlob: blob, Runtime: rt, Source: full}, nil
+}
+
+// NewSession attaches a fresh debugger to the build, with the D2X helper
+// macros installed. Program output and the debugger transcript both go to
+// out, interleaved as in a terminal.
+func (b *Build) NewSession(out io.Writer) (*debugger.Debugger, error) {
+	proc, err := debugger.NewProcess(b.Program, b.DebugBlob, out)
+	if err != nil {
+		return nil, err
+	}
+	d := debugger.New(proc, out)
+	if b.Runtime != nil {
+		if err := macros.Install(d); err != nil {
+			return nil, err
+		}
+	}
+	if b.ExtraMacros != "" {
+		if err := d.LoadMacros(b.ExtraMacros); err != nil {
+			return nil, fmt.Errorf("d2x: DSL-specific macros: %w", err)
+		}
+	}
+	return d, nil
+}
+
+// Run executes the build to completion without a debugger (the normal,
+// non-debug execution path) and returns the program's output. The D2X
+// tables ride along but no D2X code runs — the zero-overhead property of
+// paper §3.2.
+func (b *Build) Run() (string, int64, error) {
+	var out strings.Builder
+	vm := minic.NewVM(b.Program, &out)
+	err := vm.Run()
+	return out.String(), vm.Steps, err
+}

@@ -1,0 +1,254 @@
+package d2xc
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"d2x/internal/srcloc"
+)
+
+// TestTable1APIConformance exercises every entry point of the paper's
+// Table 1 against its documented behaviour.
+func TestTable1APIConformance(t *testing.T) {
+	c := NewContext() // d2x_context::d2x_context
+	if err := c.BeginSectionAt(10); err != nil {
+		t.Fatal(err) // begin_section
+	}
+	c.PushSourceLoc("in.dsl", 1, "f")                  // push_source_loc with function
+	c.PushSourceLoc("in.dsl", 9)                       // push_source_loc without
+	c.SetVar("analysis", "reaching-defs")              // set_var(string, string)
+	c.SetVarHandler("live", RTVHandler{FuncName: "h"}) // set_var(string, rtv_handler)
+	c.Nextl()                                          // nextl
+	c.CreateVar("scoped")                              // create_var
+	c.PushScope()                                      // push_scope
+	c.CreateVar("inner")
+	if err := c.UpdateVar("inner", "5"); err != nil { // update_var(string, string)
+		t.Fatal(err)
+	}
+	if err := c.UpdateVarHandler("scoped", RTVHandler{FuncName: "g"}); err != nil { // update_var(string, rtv_handler)
+		t.Fatal(err)
+	}
+	c.Nextl()
+	if err := c.PopScope(); err != nil { // pop_scope
+		t.Fatal(err)
+	}
+	c.Nextl()
+	if err := c.DeleteVar("scoped"); err != nil { // delete_var (via Delete)
+		t.Fatal(err)
+	}
+	c.Nextl()
+	if err := c.EndSection(); err != nil { // end_section
+		t.Fatal(err)
+	}
+
+	recs := c.Records()
+	if len(recs) != 3 {
+		t.Fatalf("records = %d, want 3 (lines without info are omitted)", len(recs))
+	}
+	// Line 10: stack of two locations (innermost first) and two vars.
+	r0 := recs[0]
+	if r0.GenLine != 10 {
+		t.Errorf("first record line = %d, want 10", r0.GenLine)
+	}
+	if len(r0.Stack) != 2 || r0.Stack[0].Function != "f" || r0.Stack[1].Line != 9 {
+		t.Errorf("stack = %+v", r0.Stack)
+	}
+	if len(r0.Vars) != 2 || r0.Vars[0].Key != "analysis" || r0.Vars[1].Kind != VarHandler {
+		t.Errorf("vars = %+v", r0.Vars)
+	}
+	// Line 11: live vars scoped + inner, with updates applied.
+	r1 := recs[1]
+	if r1.GenLine != 11 || len(r1.Vars) != 2 {
+		t.Fatalf("second record = %+v", r1)
+	}
+	byKey := map[string]VarEntry{}
+	for _, v := range r1.Vars {
+		byKey[v.Key] = v
+	}
+	if byKey["inner"].Val != "5" || byKey["scoped"].Kind != VarHandler {
+		t.Errorf("live vars = %+v", byKey)
+	}
+	// Line 12: inner's scope was popped; only scoped remains.
+	r2 := recs[2]
+	if len(r2.Vars) != 1 || r2.Vars[0].Key != "scoped" {
+		t.Errorf("third record vars = %+v", r2.Vars)
+	}
+}
+
+func TestSectionErrors(t *testing.T) {
+	c := NewContext()
+	if err := c.EndSection(); err == nil {
+		t.Error("EndSection without BeginSection accepted")
+	}
+	if err := c.BeginSectionAt(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.BeginSectionAt(2); err == nil {
+		t.Error("nested BeginSection accepted")
+	}
+	if err := c.PopScope(); err == nil {
+		t.Error("PopScope with no open scope accepted")
+	}
+	if err := c.UpdateVar("ghost", "1"); err == nil {
+		t.Error("UpdateVar of unknown variable accepted")
+	}
+	if err := c.UpdateVarHandler("ghost", RTVHandler{FuncName: "h"}); err == nil {
+		t.Error("UpdateVarHandler of unknown variable accepted")
+	}
+	if err := c.DeleteVar("ghost"); err == nil {
+		t.Error("DeleteVar of unknown variable accepted")
+	}
+}
+
+func TestNextlOutsideSectionIsNoop(t *testing.T) {
+	c := NewContext()
+	c.Nextl()
+	c.Nextl()
+	if err := c.BeginSectionAt(5); err != nil {
+		t.Fatal(err)
+	}
+	c.PushSourceLoc("a.dsl", 1)
+	c.Nextl()
+	if err := c.EndSection(); err != nil {
+		t.Fatal(err)
+	}
+	recs := c.Records()
+	if len(recs) != 1 || recs[0].GenLine != 5 {
+		t.Errorf("records = %+v", recs)
+	}
+}
+
+func TestDeletedLiveVarStopsAppearing(t *testing.T) {
+	c := NewContext()
+	if err := c.BeginSectionAt(1); err != nil {
+		t.Fatal(err)
+	}
+	c.CreateVar("v")
+	c.Nextl() // line 1 has v
+	if err := c.DeleteVar("v"); err != nil {
+		t.Fatal(err)
+	}
+	c.PushSourceLoc("a.dsl", 2)
+	c.Nextl() // line 2 has only the loc
+	if err := c.EndSection(); err != nil {
+		t.Fatal(err)
+	}
+	recs := c.Records()
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if len(recs[1].Vars) != 0 {
+		t.Errorf("deleted var still emitted: %+v", recs[1].Vars)
+	}
+}
+
+func TestNewlyCreatedVarIsUninitialized(t *testing.T) {
+	c := NewContext()
+	if err := c.BeginSectionAt(1); err != nil {
+		t.Fatal(err)
+	}
+	c.CreateVar("v")
+	c.Nextl()
+	if err := c.EndSection(); err != nil {
+		t.Fatal(err)
+	}
+	v := c.Records()[0].Vars[0]
+	if v.Val != "<uninitialized>" || v.Kind != VarConst {
+		t.Errorf("fresh var = %+v", v)
+	}
+}
+
+func TestShadowingPerLineVarWins(t *testing.T) {
+	c := NewContext()
+	if err := c.BeginSectionAt(1); err != nil {
+		t.Fatal(err)
+	}
+	c.CreateVar("x")
+	if err := c.UpdateVar("x", "live"); err != nil {
+		t.Fatal(err)
+	}
+	c.SetVar("x", "per-line")
+	c.Nextl()
+	if err := c.EndSection(); err != nil {
+		t.Fatal(err)
+	}
+	vars := c.Records()[0].Vars
+	// Both are present; the per-line one comes later, so consumers that
+	// scan in order see it shadow the live one.
+	if len(vars) != 2 || vars[1].Val != "per-line" {
+		t.Errorf("vars = %+v", vars)
+	}
+}
+
+func TestSelfSourceLoc(t *testing.T) {
+	pc, _, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	loc := SelfSourceLoc(pc)
+	if !strings.HasSuffix(loc.File, "d2xc_test.go") {
+		t.Errorf("file = %q", loc.File)
+	}
+	if loc.Line == 0 {
+		t.Error("no line")
+	}
+	if !strings.Contains(loc.Function, "TestSelfSourceLoc") {
+		t.Errorf("function = %q", loc.Function)
+	}
+	if got := SelfSourceLoc(0); !got.IsZero() {
+		t.Errorf("SelfSourceLoc(0) = %+v, want zero", got)
+	}
+}
+
+func TestCallerStack(t *testing.T) {
+	var stack srcloc.Stack
+	func() {
+		stack = CallerStack(0)
+	}()
+	if len(stack) < 2 {
+		t.Fatalf("stack too short: %+v", stack)
+	}
+	if !strings.HasSuffix(stack[0].File, "d2xc_test.go") {
+		t.Errorf("innermost frame = %+v", stack[0])
+	}
+	if !strings.Contains(stack[0].Function, "TestCallerStack") {
+		t.Errorf("innermost function = %q", stack[0].Function)
+	}
+}
+
+func TestEmitterAlignment(t *testing.T) {
+	c := NewContext()
+	e := NewEmitter(c)
+	e.Emitln("// header")
+	if err := e.BeginSection(); err != nil {
+		t.Fatal(err)
+	}
+	c.PushSourceLoc("x.dsl", 3)
+	e.Indent()
+	e.Emitln("stmt one;")
+	c.PushSourceLoc("x.dsl", 4)
+	e.Emitln("stmt two;")
+	e.Dedent()
+	if err := e.EndSection(); err != nil {
+		t.Fatal(err)
+	}
+	recs := c.Records()
+	if len(recs) != 2 || recs[0].GenLine != 2 || recs[1].GenLine != 3 {
+		t.Fatalf("alignment broken: %+v", recs)
+	}
+	lines := strings.Split(e.String(), "\n")
+	if lines[1] != "\tstmt one;" {
+		t.Errorf("indentation: %q", lines[1])
+	}
+}
+
+func TestEmitterRejectsEmbeddedNewline(t *testing.T) {
+	e := NewEmitter(nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("Emitln with newline did not panic")
+		}
+	}()
+	e.Emitln("two\nlines")
+}

@@ -1,0 +1,79 @@
+package d2xc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Emitter couples a code-generation buffer with a Context so that the
+// generated text and the D2X debug tables can never fall out of
+// alignment — the hazard the paper warns about ("the developer has to be
+// very careful when emitting newlines"). Every Emitln call writes exactly
+// one line and advances the context via Nextl.
+type Emitter struct {
+	b      strings.Builder
+	line   int // 1-based line currently being written
+	indent int
+	ctx    *Context
+}
+
+// NewEmitter returns an emitter feeding the given context (which may be
+// nil for plain code generation without D2X).
+func NewEmitter(ctx *Context) *Emitter {
+	return &Emitter{line: 1, ctx: ctx}
+}
+
+// Context returns the attached D2X context (possibly nil).
+func (e *Emitter) Context() *Context { return e.ctx }
+
+// Line returns the 1-based number of the line about to be written.
+func (e *Emitter) Line() int { return e.line }
+
+// Indent increases the indentation of subsequent lines.
+func (e *Emitter) Indent() { e.indent++ }
+
+// Dedent decreases the indentation of subsequent lines.
+func (e *Emitter) Dedent() {
+	if e.indent > 0 {
+		e.indent--
+	}
+}
+
+// Emitln writes one full line of generated code and advances both the
+// line counter and the D2X context. The format string must not contain
+// newlines; embedding one would desynchronise the debug tables, so it
+// panics (a code-generator bug, not an input error).
+func (e *Emitter) Emitln(format string, args ...any) {
+	s := fmt.Sprintf(format, args...)
+	if strings.Contains(s, "\n") {
+		panic("d2xc: Emitln line contains a newline; debug tables would desynchronise")
+	}
+	if s != "" {
+		e.b.WriteString(strings.Repeat("\t", e.indent))
+	}
+	e.b.WriteString(s)
+	e.b.WriteByte('\n')
+	e.line++
+	if e.ctx != nil {
+		e.ctx.Nextl()
+	}
+}
+
+// BeginSection opens a D2X section at the current line.
+func (e *Emitter) BeginSection() error {
+	if e.ctx == nil {
+		return nil
+	}
+	return e.ctx.BeginSectionAt(e.line)
+}
+
+// EndSection closes the open D2X section.
+func (e *Emitter) EndSection() error {
+	if e.ctx == nil {
+		return nil
+	}
+	return e.ctx.EndSection()
+}
+
+// String returns the generated source.
+func (e *Emitter) String() string { return e.b.String() }

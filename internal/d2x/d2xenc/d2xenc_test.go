@@ -1,0 +1,253 @@
+package d2xenc
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"d2x/internal/d2x/d2xc"
+	"d2x/internal/minic"
+)
+
+// roundTrip emits tables, compiles them with a stub main, runs the init
+// functions, and decodes the tables back.
+func roundTrip(t testing.TB, ctx *d2xc.Context) *Tables {
+	t.Helper()
+	var b strings.Builder
+	if err := EmitTables(ctx, &b); err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString("func int main() { return 0; }\n")
+	prog, err := minic.Compile("tables.c", b.String(), nil)
+	if err != nil {
+		t.Fatalf("emitted tables do not compile: %v\n%s", err, b.String())
+	}
+	vm := minic.NewVM(prog, nil)
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tables, err := Decode(vm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tables
+}
+
+func TestEmitDecodeRoundTrip(t *testing.T) {
+	ctx := d2xc.NewContext()
+	if err := ctx.BeginSectionAt(5); err != nil {
+		t.Fatal(err)
+	}
+	ctx.PushSourceLoc("a.dsl", 1, "f")
+	ctx.PushSourceLoc("a.dsl", 9, "main")
+	ctx.SetVar("sched", "push")
+	ctx.Nextl() // line 5
+	ctx.Nextl() // line 6, empty
+	ctx.PushSourceLoc("a.dsl", 2, "f")
+	ctx.SetVarHandler("fr", d2xc.RTVHandler{FuncName: "__h"})
+	ctx.Nextl() // line 7
+	if err := ctx.EndSection(); err != nil {
+		t.Fatal(err)
+	}
+
+	tables := roundTrip(t, ctx)
+	if len(tables.Records) != 2 {
+		t.Fatalf("records = %d, want 2", len(tables.Records))
+	}
+	r5 := tables.RecordForLine(5)
+	if r5 == nil || len(r5.Stack) != 2 || r5.Stack[0].Function != "f" || r5.Stack[1].Line != 9 {
+		t.Errorf("record 5 = %+v", r5)
+	}
+	if len(r5.Vars) != 1 || r5.Vars[0].Val != "push" {
+		t.Errorf("record 5 vars = %+v", r5.Vars)
+	}
+	r7 := tables.RecordForLine(7)
+	if r7 == nil || r7.Vars[0].Kind != d2xc.VarHandler || r7.Vars[0].Val != "__h" {
+		t.Errorf("record 7 = %+v", r7)
+	}
+	if tables.RecordForLine(6) != nil {
+		t.Error("empty line has a record")
+	}
+	if got := tables.GenLinesForDSL("a.dsl", 2); len(got) != 1 || got[0] != 7 {
+		t.Errorf("GenLinesForDSL = %v", got)
+	}
+	if files := tables.DSLFiles(); len(files) != 1 || files[0] != "a.dsl" {
+		t.Errorf("DSLFiles = %v", files)
+	}
+}
+
+// TestRoundTripProperty: random record sets survive the emit -> compile ->
+// run -> decode pipeline exactly.
+func TestRoundTripProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(12) + 1
+		ctx := d2xc.NewContext()
+		if err := ctx.BeginSectionAt(1); err != nil {
+			t.Fatal(err)
+		}
+		type lineSpec struct {
+			locs int
+			vars int
+		}
+		var specs []lineSpec
+		for i := 0; i < n; i++ {
+			sp := lineSpec{locs: r.Intn(4), vars: r.Intn(3)}
+			specs = append(specs, sp)
+			for j := 0; j < sp.locs; j++ {
+				ctx.PushSourceLoc(fmt.Sprintf("f%d.dsl", r.Intn(3)), r.Intn(100)+1, fmt.Sprintf("fn%d", r.Intn(4)))
+			}
+			for j := 0; j < sp.vars; j++ {
+				// Include awkward characters to stress string quoting.
+				ctx.SetVar(fmt.Sprintf("k%d", j), fmt.Sprintf("v\"%d\n\t%d\\", r.Intn(10), r.Intn(10)))
+			}
+			ctx.Nextl()
+		}
+		if err := ctx.EndSection(); err != nil {
+			t.Fatal(err)
+		}
+		want := ctx.Records()
+		tables := roundTrip(t, ctx)
+		if len(tables.Records) != len(want) {
+			t.Logf("seed %d: record counts differ: %d vs %d", seed, len(tables.Records), len(want))
+			return false
+		}
+		for i := range want {
+			a, b := want[i], tables.Records[i]
+			if a.GenLine != b.GenLine || len(a.Stack) != len(b.Stack) || len(a.Vars) != len(b.Vars) {
+				t.Logf("seed %d: record %d shape differs", seed, i)
+				return false
+			}
+			for j := range a.Stack {
+				if a.Stack[j] != b.Stack[j] {
+					t.Logf("seed %d: stack entry %d/%d differs: %+v vs %+v", seed, i, j, a.Stack[j], b.Stack[j])
+					return false
+				}
+			}
+			for j := range a.Vars {
+				if a.Vars[j] != b.Vars[j] {
+					t.Logf("seed %d: var %d/%d differs: %+v vs %+v", seed, i, j, a.Vars[j], b.Vars[j])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeWithoutTables(t *testing.T) {
+	prog, err := minic.Compile("p.c", "func int main() { return 0; }", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := minic.NewVM(prog, nil)
+	if _, err := Decode(vm); err == nil || !strings.Contains(err.Error(), "no D2X tables") {
+		t.Errorf("decode of table-less program: %v", err)
+	}
+}
+
+func TestDecodeCorruptTables(t *testing.T) {
+	// A program that declares the table globals but fills them with
+	// inconsistent data: the decoder must error, not panic.
+	src := `
+global string[] __d2x_strtab;
+global int[] __d2x_rec_line;
+global int[] __d2x_rec_src_off;
+global int[] __d2x_rec_src_cnt;
+global int[] __d2x_rec_var_off;
+global int[] __d2x_rec_var_cnt;
+global int[] __d2x_src_file;
+global int[] __d2x_src_line;
+global int[] __d2x_src_func;
+global int[] __d2x_var_key;
+global int[] __d2x_var_kind;
+global int[] __d2x_var_val;
+global int __d2x_rec_count = 1;
+func void __init_d2x_0() {
+	__d2x_strtab = new string[1];
+	__d2x_rec_line = new int[1];
+	__d2x_rec_src_off = new int[1];
+	__d2x_rec_src_cnt = new int[1];
+	__d2x_rec_src_cnt[0] = 99;
+	__d2x_rec_var_off = new int[1];
+	__d2x_rec_var_cnt = new int[1];
+	__d2x_src_file = new int[0];
+	__d2x_src_line = new int[0];
+	__d2x_src_func = new int[0];
+	__d2x_var_key = new int[0];
+	__d2x_var_kind = new int[0];
+	__d2x_var_val = new int[0];
+}
+func int main() { return 0; }
+`
+	prog, err := minic.Compile("corrupt.c", src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := minic.NewVM(prog, nil)
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(vm); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Errorf("decode of corrupt tables: %v", err)
+	}
+}
+
+func TestFileMatching(t *testing.T) {
+	cases := []struct {
+		full, query string
+		want        bool
+	}{
+		{"a/b/c.dsl", "c.dsl", true},
+		{"a/b/c.dsl", "b/c.dsl", true},
+		{"a/b/c.dsl", "a/b/c.dsl", true},
+		{"a/b/xc.dsl", "c.dsl", false},
+		{"c.dsl", "c.dsl", true},
+		{"c.dsl", "d.dsl", false},
+	}
+	for _, tc := range cases {
+		if got := fileMatches(tc.full, tc.query); got != tc.want {
+			t.Errorf("fileMatches(%q, %q) = %v, want %v", tc.full, tc.query, got, tc.want)
+		}
+	}
+}
+
+func TestEmptyContextEmits(t *testing.T) {
+	ctx := d2xc.NewContext()
+	tables := roundTrip(t, ctx)
+	if len(tables.Records) != 0 {
+		t.Errorf("records = %d, want 0", len(tables.Records))
+	}
+}
+
+func TestChunkedInitFunctions(t *testing.T) {
+	// Enough records to force multiple __init_d2x_* chunks.
+	ctx := d2xc.NewContext()
+	if err := ctx.BeginSectionAt(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 700; i++ {
+		ctx.PushSourceLoc(fmt.Sprintf("file%d.dsl", i%5), i+1, "fn")
+		ctx.SetVar("k", fmt.Sprintf("v%d", i))
+		ctx.Nextl()
+	}
+	if err := ctx.EndSection(); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := EmitTables(ctx, &b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(b.String(), "func void __init_d2x_") < 2 {
+		t.Errorf("expected multiple init chunks")
+	}
+	tables := roundTrip(t, ctx)
+	if len(tables.Records) != 700 {
+		t.Errorf("records = %d, want 700", len(tables.Records))
+	}
+}

@@ -1,0 +1,499 @@
+// Package d2xr is the D2X runtime library (D2X-R): the half of D2X linked
+// into the generated executable (paper §3.2, §4.2, Table 2). It exposes a
+// set of functions with a well-defined interface that the user invokes
+// *from an unmodified debugger* via its `call` and `eval` commands:
+//
+//	(gdb) call d2x_runtime::command_xbt($rip, $rsp)
+//	(gdb) eval "%s", d2x_runtime::command_xbreak($rip, "15")
+//
+// Each command uses the passed instruction pointer to locate the current
+// generated source line through the *standard* debug info (stage 1), then
+// maps that line to the DSL context through the D2X tables the program
+// carries (stage 2) — the two-stage mapping of Figure 4. Breakpoint
+// commands return debugger-command strings that the debugger's eval
+// executes, letting the debuggee drive the debugger without any plugin.
+package d2xr
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"d2x/internal/d2x/d2xc"
+	"d2x/internal/d2x/d2xenc"
+	"d2x/internal/dwarfish"
+	"d2x/internal/minic"
+	"d2x/internal/srcloc"
+)
+
+// FileResolver reads DSL source files for xlist. The default reads from
+// the filesystem, as GDB does for source display; tests inject in-memory
+// sources.
+type FileResolver func(path string) (string, error)
+
+// XBreakpoint is one DSL-level breakpoint: a DSL location expanded to the
+// generated lines it corresponds to.
+type XBreakpoint struct {
+	ID       int
+	File     string
+	Line     int
+	GenLines []int
+}
+
+// Runtime is the per-program D2X runtime state — the data a real D2X build
+// links into the executable. Register its entry points into the native
+// registry before compiling the generated code (the "link" step), then
+// attach the debug info produced alongside the binary.
+type Runtime struct {
+	info   *dwarfish.Info
+	files  FileResolver
+	tables map[*minic.VM]*d2xenc.Tables
+
+	// Ambient command state. A debug session is single-threaded: commands
+	// run one at a time from the paused debugger, so plain fields suffice.
+	curVM  *minic.VM
+	curRSP int64
+
+	selXFrame int
+	lastRIP   int64
+	haveRIP   bool
+
+	xbps   []*XBreakpoint
+	nextID int
+
+	fileCache map[string][]string
+}
+
+// New returns an empty runtime. Call Register before compiling generated
+// code and AttachDebugInfo once the binary's debug blob exists.
+func New() *Runtime {
+	return &Runtime{
+		files: func(path string) (string, error) {
+			b, err := os.ReadFile(path)
+			return string(b), err
+		},
+		tables:    map[*minic.VM]*d2xenc.Tables{},
+		nextID:    1,
+		fileCache: map[string][]string{},
+	}
+}
+
+// SetFileResolver replaces the DSL source reader.
+func (r *Runtime) SetFileResolver(fr FileResolver) {
+	r.files = fr
+	r.fileCache = map[string][]string{}
+}
+
+// AttachDebugInfo gives the runtime the program's standard debug info —
+// the same blob the debugger loads. D2X-R decodes it itself, exactly as
+// the paper's runtime decodes DWARF to find stack variables.
+func (r *Runtime) AttachDebugInfo(blob []byte) error {
+	info, err := dwarfish.Decode(blob)
+	if err != nil {
+		return fmt.Errorf("d2xr: %w", err)
+	}
+	r.info = info
+	return nil
+}
+
+// Breakpoints returns the live DSL-level breakpoints.
+func (r *Runtime) Breakpoints() []*XBreakpoint { return r.xbps }
+
+// Register installs the D2X-R entry points as host-linked natives, the
+// analogue of linking libd2x-r.a into the generated executable.
+func (r *Runtime) Register(nats *minic.Natives) {
+	intT, strT, voidT := minic.IntType, minic.StringType, minic.VoidType
+	nats.Register(&minic.Native{
+		Name: "d2x_runtime_command_xbt",
+		Sig:  minic.Signature{Params: []*minic.Type{intT, intT}, Result: voidT},
+		Handler: r.command(func(call *minic.NativeCall) (minic.Value, error) {
+			return minic.NullVal(), r.xbt(call.VM, call.Args[0].I)
+		}),
+	})
+	nats.Register(&minic.Native{
+		Name: "d2x_runtime_command_xframe",
+		Sig:  minic.Signature{Params: []*minic.Type{intT, intT, strT}, Result: voidT},
+		Handler: r.command(func(call *minic.NativeCall) (minic.Value, error) {
+			return minic.NullVal(), r.xframe(call.VM, call.Args[0].I, call.Args[2].S)
+		}),
+	})
+	nats.Register(&minic.Native{
+		Name: "d2x_runtime_command_xlist",
+		Sig:  minic.Signature{Params: []*minic.Type{intT, intT}, Result: voidT},
+		Handler: r.command(func(call *minic.NativeCall) (minic.Value, error) {
+			return minic.NullVal(), r.xlist(call.VM, call.Args[0].I)
+		}),
+	})
+	nats.Register(&minic.Native{
+		Name: "d2x_runtime_command_xvars",
+		Sig:  minic.Signature{Params: []*minic.Type{intT, intT, strT}, Result: voidT},
+		Handler: r.command(func(call *minic.NativeCall) (minic.Value, error) {
+			return minic.NullVal(), r.xvars(call.VM, call.Args[0].I, call.Args[2].S)
+		}),
+	})
+	nats.Register(&minic.Native{
+		Name: "d2x_runtime_command_xbreak",
+		Sig:  minic.Signature{Params: []*minic.Type{intT, strT}, Result: strT},
+		Handler: r.command(func(call *minic.NativeCall) (minic.Value, error) {
+			s, err := r.xbreak(call.VM, call.Args[0].I, call.Args[1].S)
+			return minic.StrVal(s), err
+		}),
+	})
+	nats.Register(&minic.Native{
+		Name: "d2x_runtime_command_xdel",
+		Sig:  minic.Signature{Params: []*minic.Type{strT}, Result: strT},
+		Handler: func(call *minic.NativeCall) (minic.Value, error) {
+			s, err := r.xdel(call.VM, call.Args[0].S)
+			return minic.StrVal(s), err
+		},
+	})
+	nats.Register(&minic.Native{
+		Name:      "d2x_find_stack_var",
+		Sig:       minic.Signature{Params: []*minic.Type{strT}, Result: minic.AnyType},
+		AnyResult: true,
+		Handler: func(call *minic.NativeCall) (minic.Value, error) {
+			return r.findStackVar(call.VM, call.Args[0].S)
+		},
+	})
+}
+
+// command wraps an entry point with the ambient-state bookkeeping every
+// D2X command shares: remembering the VM and frame for nested handler
+// calls, and resetting the selected extended frame when execution moved.
+func (r *Runtime) command(h minic.NativeHandler) minic.NativeHandler {
+	return func(call *minic.NativeCall) (minic.Value, error) {
+		r.curVM = call.VM
+		if len(call.Args) >= 2 {
+			r.curRSP = call.Args[1].I
+		}
+		if len(call.Args) >= 1 {
+			rip := call.Args[0].I
+			if !r.haveRIP || rip != r.lastRIP {
+				r.selXFrame = 0
+			}
+			r.lastRIP = rip
+			r.haveRIP = true
+		}
+		return h(call)
+	}
+}
+
+// tablesFor decodes (and caches) the D2X tables of a program instance.
+func (r *Runtime) tablesFor(vm *minic.VM) (*d2xenc.Tables, error) {
+	if t, ok := r.tables[vm]; ok {
+		return t, nil
+	}
+	t, err := d2xenc.Decode(vm)
+	if err != nil {
+		return nil, err
+	}
+	r.tables[vm] = t
+	return t, nil
+}
+
+// recordAt performs the two-stage mapping for an encoded rip: standard
+// debug info to the generated line, then D2X tables to the DSL record.
+func (r *Runtime) recordAt(vm *minic.VM, rip int64) (*d2xc.Record, int, error) {
+	if r.info == nil {
+		return nil, 0, fmt.Errorf("d2x: no debug info attached")
+	}
+	_, genLine, ok := r.info.LineFor(dwarfish.DecodeAddr(rip))
+	if !ok {
+		return nil, 0, fmt.Errorf("d2x: no line info for rip %#x", rip)
+	}
+	tables, err := r.tablesFor(vm)
+	if err != nil {
+		return nil, genLine, err
+	}
+	return tables.RecordForLine(genLine), genLine, nil
+}
+
+func out(vm *minic.VM, format string, args ...any) {
+	fmt.Fprintf(vm.Output, format, args...)
+}
+
+// xbt prints the extended stack for the current execution frame.
+func (r *Runtime) xbt(vm *minic.VM, rip int64) error {
+	rec, genLine, err := r.recordAt(vm, rip)
+	if err != nil {
+		return err
+	}
+	if rec == nil || len(rec.Stack) == 0 {
+		out(vm, "No D2X context for generated line %d\n", genLine)
+		return nil
+	}
+	for i, loc := range rec.Stack {
+		out(vm, "%s\n", formatXFrame(i, loc))
+	}
+	return nil
+}
+
+// xframe displays or changes the selected extended frame.
+func (r *Runtime) xframe(vm *minic.VM, rip int64, arg string) error {
+	rec, genLine, err := r.recordAt(vm, rip)
+	if err != nil {
+		return err
+	}
+	if rec == nil || len(rec.Stack) == 0 {
+		out(vm, "No D2X context for generated line %d\n", genLine)
+		return nil
+	}
+	if arg = strings.TrimSpace(arg); arg != "" {
+		n, err := strconv.Atoi(arg)
+		if err != nil {
+			return fmt.Errorf("d2x: bad extended frame id %q", arg)
+		}
+		if n < 0 || n >= len(rec.Stack) {
+			return fmt.Errorf("d2x: no extended frame %d (stack has %d frames)", n, len(rec.Stack))
+		}
+		r.selXFrame = n
+	}
+	if r.selXFrame >= len(rec.Stack) {
+		r.selXFrame = 0
+	}
+	loc := rec.Stack[r.selXFrame]
+	out(vm, "%s\n", formatXFrame(r.selXFrame, loc))
+	if text, ok := r.sourceLine(loc.File, loc.Line); ok {
+		out(vm, "%d\t%s\n", loc.Line, text)
+	}
+	return nil
+}
+
+// xlist lists DSL source around the selected extended frame.
+func (r *Runtime) xlist(vm *minic.VM, rip int64) error {
+	rec, genLine, err := r.recordAt(vm, rip)
+	if err != nil {
+		return err
+	}
+	if rec == nil || len(rec.Stack) == 0 {
+		out(vm, "No D2X context for generated line %d\n", genLine)
+		return nil
+	}
+	if r.selXFrame >= len(rec.Stack) {
+		r.selXFrame = 0
+	}
+	loc := rec.Stack[r.selXFrame]
+	lines, err := r.sourceFile(loc.File)
+	if err != nil {
+		return fmt.Errorf("d2x: cannot list %s: %w", loc.File, err)
+	}
+	lo := max(1, loc.Line-2)
+	hi := min(len(lines), loc.Line+2)
+	for n := lo; n <= hi; n++ {
+		marker := " "
+		if n == loc.Line {
+			marker = ">"
+		}
+		out(vm, "%s%-4d %s\n", marker, n, strings.TrimRight(lines[n-1], " \t"))
+	}
+	return nil
+}
+
+// xvars lists the extended variables at the current line, or evaluates one.
+func (r *Runtime) xvars(vm *minic.VM, rip int64, name string) error {
+	rec, genLine, err := r.recordAt(vm, rip)
+	if err != nil {
+		return err
+	}
+	if rec == nil || len(rec.Vars) == 0 {
+		out(vm, "No D2X variables for generated line %d\n", genLine)
+		return nil
+	}
+	name = strings.TrimSpace(name)
+	if name == "" {
+		for i, v := range rec.Vars {
+			out(vm, "%d. %s\n", i+1, v.Key)
+		}
+		return nil
+	}
+	for _, v := range rec.Vars {
+		if v.Key != name {
+			continue
+		}
+		val, err := r.evalVar(vm, v)
+		if err != nil {
+			return err
+		}
+		out(vm, "%s = %s\n", v.Key, val)
+		return nil
+	}
+	return fmt.Errorf("d2x: no extended variable %q at this line", name)
+}
+
+// evalVar resolves a variable entry to its display string, invoking the
+// generated rtv_handler for handler-valued variables.
+func (r *Runtime) evalVar(vm *minic.VM, v d2xc.VarEntry) (string, error) {
+	switch v.Kind {
+	case d2xc.VarConst:
+		return v.Val, nil
+	case d2xc.VarHandler:
+		res, err := vm.CallFunction(v.Val, []minic.Value{minic.StrVal(v.Key)})
+		if err != nil {
+			return "", fmt.Errorf("d2x: rtv_handler %s failed: %w", v.Val, err)
+		}
+		if res.Kind != minic.VStr {
+			return minic.ToStr(res), nil
+		}
+		return res.S, nil
+	}
+	return "", fmt.Errorf("d2x: unknown variable kind %d", v.Kind)
+}
+
+// xbreak installs a DSL-level breakpoint: it expands the DSL location to
+// all matching generated lines and returns the debugger commands that
+// install the low-level breakpoints (executed by the debugger's eval).
+// An empty spec lists the current DSL breakpoints and returns no commands.
+func (r *Runtime) xbreak(vm *minic.VM, rip int64, spec string) (string, error) {
+	tables, err := r.tablesFor(vm)
+	if err != nil {
+		return "", err
+	}
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		if len(r.xbps) == 0 {
+			out(vm, "No DSL breakpoints.\n")
+			return "", nil
+		}
+		for _, bp := range r.xbps {
+			out(vm, "#%d  %s:%d  (%d generated locations)\n", bp.ID, bp.File, bp.Line, len(bp.GenLines))
+		}
+		return "", nil
+	}
+
+	file, lineStr := "", spec
+	if i := strings.LastIndex(spec, ":"); i >= 0 {
+		file, lineStr = spec[:i], spec[i+1:]
+	}
+	line, err := strconv.Atoi(lineStr)
+	if err != nil {
+		return "", fmt.Errorf("d2x: bad source location %q", spec)
+	}
+	if file == "" {
+		// Default to the DSL file of the current context, then to the
+		// program's only DSL file.
+		if rec, _, err := r.recordAt(vm, rip); err == nil && rec != nil {
+			if top, ok := rec.Stack.Top(); ok {
+				file = top.File
+			}
+		}
+		if file == "" {
+			files := tables.DSLFiles()
+			if len(files) == 0 {
+				return "", fmt.Errorf("d2x: program has no DSL source information")
+			}
+			file = files[0]
+		}
+	}
+
+	genLines := tables.GenLinesForDSL(file, line)
+	// Keep only lines a breakpoint can bind to (brace-only or merged
+	// lines have D2X records but no statement site).
+	breakable := genLines[:0]
+	for _, gl := range genLines {
+		if len(r.info.SitesForLine(gl)) > 0 {
+			breakable = append(breakable, gl)
+		}
+	}
+	genLines = breakable
+	if len(genLines) == 0 {
+		out(vm, "No generated code for %s:%d\n", file, line)
+		return "", nil
+	}
+	bp := &XBreakpoint{ID: r.nextID, File: file, Line: line, GenLines: genLines}
+	r.nextID++
+	r.xbps = append(r.xbps, bp)
+	out(vm, "Inserting %d breakpoints with ID: #%d\n", len(genLines), bp.ID)
+	var cmds []string
+	for _, gl := range genLines {
+		cmds = append(cmds, fmt.Sprintf("break %s:%d", r.genFileName(), gl))
+	}
+	return strings.Join(cmds, "\n"), nil
+}
+
+// xdel removes a DSL-level breakpoint by ID and returns the debugger
+// commands that clear the generated-code breakpoints.
+func (r *Runtime) xdel(vm *minic.VM, spec string) (string, error) {
+	spec = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(spec), "#"))
+	id, err := strconv.Atoi(spec)
+	if err != nil {
+		return "", fmt.Errorf("d2x: bad breakpoint id %q", spec)
+	}
+	for i, bp := range r.xbps {
+		if bp.ID != id {
+			continue
+		}
+		r.xbps = append(r.xbps[:i], r.xbps[i+1:]...)
+		out(vm, "Deleted DSL breakpoint #%d (%d generated locations)\n", id, len(bp.GenLines))
+		var cmds []string
+		for _, gl := range bp.GenLines {
+			cmds = append(cmds, fmt.Sprintf("clear %s:%d", r.genFileName(), gl))
+		}
+		return strings.Join(cmds, "\n"), nil
+	}
+	return "", fmt.Errorf("d2x: no DSL breakpoint #%d", id)
+}
+
+// findStackVar is the D2X runtime API available to rtv_handlers: given a
+// variable name, locate its storage in the frame the current command was
+// invoked on, by decoding the standard debug info (paper §4.1). It
+// returns a pointer to the variable (so handlers can both read and write).
+func (r *Runtime) findStackVar(vm *minic.VM, name string) (minic.Value, error) {
+	if r.info == nil {
+		return minic.NullVal(), fmt.Errorf("d2x: no debug info attached")
+	}
+	if r.curVM != vm || r.curRSP == 0 {
+		return minic.NullVal(), fmt.Errorf("d2x: find_stack_var called outside a D2X command")
+	}
+	frame := vm.FrameByID(int(r.curRSP))
+	if frame == nil {
+		return minic.NullVal(), fmt.Errorf("d2x: frame %d is no longer live", r.curRSP)
+	}
+	fi := r.info.FuncByIndex(frame.FuncIndex)
+	if fi == nil {
+		return minic.NullVal(), fmt.Errorf("d2x: no debug info for function index %d", frame.FuncIndex)
+	}
+	v, ok := fi.VarByName(name)
+	if !ok || v.Slot >= len(frame.Slots) {
+		return minic.NullVal(), fmt.Errorf("d2x: no variable %q in %s", name, fi.Name)
+	}
+	return minic.PtrVal(frame.Slots[v.Slot]), nil
+}
+
+func (r *Runtime) genFileName() string {
+	if r.info != nil {
+		return r.info.File
+	}
+	return ""
+}
+
+func (r *Runtime) sourceFile(path string) ([]string, error) {
+	if lines, ok := r.fileCache[path]; ok {
+		return lines, nil
+	}
+	text, err := r.files(path)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(text, "\n")
+	r.fileCache[path] = lines
+	return lines, nil
+}
+
+func (r *Runtime) sourceLine(path string, n int) (string, bool) {
+	lines, err := r.sourceFile(path)
+	if err != nil || n < 1 || n > len(lines) {
+		return "", false
+	}
+	return strings.TrimRight(lines[n-1], " \t"), true
+}
+
+func formatXFrame(i int, loc srcloc.Loc) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%d ", i)
+	if loc.Function != "" {
+		fmt.Fprintf(&b, "in %s ", loc.Function)
+	}
+	fmt.Fprintf(&b, "at %s:%d", loc.File, loc.Line)
+	return b.String()
+}

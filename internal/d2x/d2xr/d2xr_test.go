@@ -1,0 +1,317 @@
+package d2xr
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"d2x/internal/d2x/d2xc"
+	"d2x/internal/d2x/d2xenc"
+	"d2x/internal/dwarfish"
+	"d2x/internal/minic"
+)
+
+// fixture builds a tiny "generated program" with D2X tables by hand and
+// returns the runtime, the VM (paused conceptually at main's first line),
+// and the rip/rsp values for that point — testing D2X-R below the
+// debugger, at its raw function interface (paper Figure 5).
+type fixture struct {
+	rt   *Runtime
+	vm   *minic.VM
+	out  *strings.Builder
+	rip  int64
+	rsp  int64
+	prog *minic.Program
+}
+
+const fixtureGen = `func string __h(string key) {
+	int* p = d2x_find_stack_var("v");
+	return key + "=" + to_str(*p);
+}
+func int main() {
+	int v = 41;
+	v = v + 1;
+	printf("%d\n", v);
+	return v;
+}
+`
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	ctx := d2xc.NewContext()
+	// Generated lines 5..8 are main's body (1-based in fixtureGen).
+	if err := ctx.BeginSectionAt(6); err != nil {
+		t.Fatal(err)
+	}
+	ctx.PushSourceLoc("prog.dsl", 2, "main")
+	ctx.SetVar("note", "decl")
+	ctx.SetVarHandler("vh", d2xc.RTVHandler{FuncName: "__h"})
+	ctx.Nextl() // line 6: int v = 41;
+	ctx.PushSourceLoc("prog.dsl", 3, "main")
+	ctx.SetVar("note", "decl")
+	ctx.SetVarHandler("vh", d2xc.RTVHandler{FuncName: "__h"})
+	ctx.Nextl() // line 7: v = v + 1;
+	if err := ctx.EndSection(); err != nil {
+		t.Fatal(err)
+	}
+
+	var src strings.Builder
+	src.WriteString(fixtureGen)
+	if err := d2xenc.EmitTables(ctx, &src); err != nil {
+		t.Fatal(err)
+	}
+
+	nats := minic.NewNatives()
+	rt := New()
+	rt.Register(nats)
+	rt.SetFileResolver(func(path string) (string, error) {
+		if path == "prog.dsl" {
+			return "line one\nv := 41\nv += 1\nprint v\n", nil
+		}
+		return "", fmt.Errorf("no file %q", path)
+	})
+	prog, err := minic.Compile("gen.c", src.String(), nats)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, src.String())
+	}
+	blob := dwarfish.Build(prog).Encode()
+	if err := rt.AttachDebugInfo(blob); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	vm := minic.NewVM(prog, &out)
+	if err := vm.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Step until main's second statement (line 7) is about to execute, so
+	// v is live with value 41.
+	for {
+		th := vm.NextThread()
+		if th == nil {
+			t.Fatal("program finished before reaching line 7")
+		}
+		top := th.Top()
+		in := top.Code.Instrs[top.PC]
+		if in.StmtStart && in.Line == 7 {
+			f := &fixture{rt: rt, vm: vm, out: &out, prog: prog}
+			f.rip = dwarfish.EncodeAddr(dwarfish.Addr{FuncIndex: top.FuncIndex, PC: top.PC})
+			f.rsp = int64(top.ID)
+			return f
+		}
+		vm.StepInstr()
+	}
+}
+
+// callCmd invokes a registered D2X-R native the way the debugger's call
+// command would.
+func (f *fixture) callCmd(t *testing.T, name string, args ...minic.Value) minic.Value {
+	t.Helper()
+	nat, _, ok := f.prog.Natives.Lookup(name)
+	if !ok {
+		t.Fatalf("native %s not registered", name)
+	}
+	v, err := nat.Handler(&minic.NativeCall{VM: f.vm, Thread: f.vm.Threads()[0], Args: args})
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return v
+}
+
+func TestTable2CommandSet(t *testing.T) {
+	f := newFixture(t)
+	// All six Table 2 entry points exist under their documented names.
+	for _, name := range []string{
+		"d2x_runtime_command_xbt", "d2x_runtime_command_xframe",
+		"d2x_runtime_command_xlist", "d2x_runtime_command_xvars",
+		"d2x_runtime_command_xbreak", "d2x_runtime_command_xdel",
+	} {
+		if _, _, ok := f.prog.Natives.Lookup(name); !ok {
+			t.Errorf("missing Table 2 command %s", name)
+		}
+	}
+}
+
+func TestXBTRaw(t *testing.T) {
+	f := newFixture(t)
+	f.callCmd(t, "d2x_runtime_command_xbt", minic.IntVal(f.rip), minic.IntVal(f.rsp))
+	if !strings.Contains(f.out.String(), "#0 in main at prog.dsl:3") {
+		t.Errorf("xbt output:\n%s", f.out.String())
+	}
+}
+
+func TestXListRaw(t *testing.T) {
+	f := newFixture(t)
+	f.callCmd(t, "d2x_runtime_command_xlist", minic.IntVal(f.rip), minic.IntVal(f.rsp))
+	if !strings.Contains(f.out.String(), ">3    v += 1") {
+		t.Errorf("xlist output:\n%s", f.out.String())
+	}
+}
+
+func TestXVarsAndHandler(t *testing.T) {
+	f := newFixture(t)
+	f.callCmd(t, "d2x_runtime_command_xvars", minic.IntVal(f.rip), minic.IntVal(f.rsp), minic.StrVal(""))
+	tr := f.out.String()
+	if !strings.Contains(tr, "1. note") || !strings.Contains(tr, "2. vh") {
+		t.Fatalf("xvars listing:\n%s", tr)
+	}
+	f.out.Reset()
+	f.callCmd(t, "d2x_runtime_command_xvars", minic.IntVal(f.rip), minic.IntVal(f.rsp), minic.StrVal("note"))
+	if !strings.Contains(f.out.String(), "note = decl") {
+		t.Errorf("constant var:\n%s", f.out.String())
+	}
+	f.out.Reset()
+	// The handler reads v from the frame rsp identifies: 41.
+	f.callCmd(t, "d2x_runtime_command_xvars", minic.IntVal(f.rip), minic.IntVal(f.rsp), minic.StrVal("vh"))
+	if !strings.Contains(f.out.String(), "vh = vh=41") {
+		t.Errorf("handler var:\n%s", f.out.String())
+	}
+}
+
+func TestXBreakReturnsCommands(t *testing.T) {
+	f := newFixture(t)
+	v := f.callCmd(t, "d2x_runtime_command_xbreak", minic.IntVal(f.rip), minic.StrVal("prog.dsl:2"))
+	if !strings.Contains(f.out.String(), "Inserting 1 breakpoints with ID: #1") {
+		t.Fatalf("xbreak banner:\n%s", f.out.String())
+	}
+	if v.S != "break gen.c:6" {
+		t.Errorf("returned commands = %q", v.S)
+	}
+	// Deleting returns matching clear commands.
+	f.out.Reset()
+	v = f.callCmd(t, "d2x_runtime_command_xdel", minic.StrVal("#1"))
+	if v.S != "clear gen.c:6" {
+		t.Errorf("xdel commands = %q", v.S)
+	}
+	if !strings.Contains(f.out.String(), "Deleted DSL breakpoint #1") {
+		t.Errorf("xdel banner:\n%s", f.out.String())
+	}
+}
+
+func TestXBreakListingAndMisses(t *testing.T) {
+	f := newFixture(t)
+	v := f.callCmd(t, "d2x_runtime_command_xbreak", minic.IntVal(f.rip), minic.StrVal(""))
+	if v.S != "" || !strings.Contains(f.out.String(), "No DSL breakpoints.") {
+		t.Errorf("empty listing: %q / %s", v.S, f.out.String())
+	}
+	f.out.Reset()
+	v = f.callCmd(t, "d2x_runtime_command_xbreak", minic.IntVal(f.rip), minic.StrVal("prog.dsl:999"))
+	if v.S != "" || !strings.Contains(f.out.String(), "No generated code for prog.dsl:999") {
+		t.Errorf("miss: %q / %s", v.S, f.out.String())
+	}
+}
+
+func TestFindStackVarOutsideCommand(t *testing.T) {
+	f := newFixture(t)
+	nat, _, _ := f.prog.Natives.Lookup("d2x_find_stack_var")
+	_, err := nat.Handler(&minic.NativeCall{VM: f.vm, Thread: f.vm.Threads()[0],
+		Args: []minic.Value{minic.StrVal("v")}})
+	if err == nil || !strings.Contains(err.Error(), "outside a D2X command") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCommandErrors(t *testing.T) {
+	f := newFixture(t)
+	call := func(name string, args ...minic.Value) error {
+		nat, _, _ := f.prog.Natives.Lookup(name)
+		_, err := nat.Handler(&minic.NativeCall{VM: f.vm, Thread: f.vm.Threads()[0], Args: args})
+		return err
+	}
+	if err := call("d2x_runtime_command_xvars", minic.IntVal(f.rip), minic.IntVal(f.rsp), minic.StrVal("ghost")); err == nil {
+		t.Error("xvars of unknown key accepted")
+	}
+	if err := call("d2x_runtime_command_xframe", minic.IntVal(f.rip), minic.IntVal(f.rsp), minic.StrVal("7")); err == nil {
+		t.Error("xframe out of range accepted")
+	}
+	if err := call("d2x_runtime_command_xframe", minic.IntVal(f.rip), minic.IntVal(f.rsp), minic.StrVal("abc")); err == nil {
+		t.Error("xframe with junk arg accepted")
+	}
+	if err := call("d2x_runtime_command_xbreak", minic.IntVal(f.rip), minic.StrVal("what")); err == nil {
+		t.Error("xbreak with junk location accepted")
+	}
+	if err := call("d2x_runtime_command_xdel", minic.StrVal("zzz")); err == nil {
+		t.Error("xdel with junk id accepted")
+	}
+	if err := call("d2x_runtime_command_xdel", minic.StrVal("42")); err == nil {
+		t.Error("xdel of unknown id accepted")
+	}
+}
+
+func TestNoDebugInfoAttached(t *testing.T) {
+	rt := New()
+	nats := minic.NewNatives()
+	rt.Register(nats)
+	prog, err := minic.Compile("p.c", "func int main() { return 0; }", nats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := minic.NewVM(prog, nil)
+	nat, _, _ := nats.Lookup("d2x_runtime_command_xbt")
+	if _, err := nat.Handler(&minic.NativeCall{VM: vm, Args: []minic.Value{minic.IntVal(0), minic.IntVal(0)}}); err == nil {
+		t.Error("xbt without debug info accepted")
+	}
+	if err := rt.AttachDebugInfo([]byte("junk")); err == nil {
+		t.Error("junk debug blob accepted")
+	}
+}
+
+func TestStaleFrameRejected(t *testing.T) {
+	f := newFixture(t)
+	// A frame ID that never existed.
+	f.rt.curVM = f.vm
+	f.rt.curRSP = 999999
+	if _, err := f.rt.findStackVar(f.vm, "v"); err == nil || !strings.Contains(err.Error(), "no longer live") {
+		t.Errorf("stale frame: %v", err)
+	}
+}
+
+func TestHandlerFaultSurfacesAsError(t *testing.T) {
+	// A buggy rtv_handler (null deref) must produce a clean error from
+	// xvars, not a crash.
+	ctx := d2xc.NewContext()
+	if err := ctx.BeginSectionAt(6); err != nil {
+		t.Fatal(err)
+	}
+	ctx.SetVarHandler("bad", d2xc.RTVHandler{FuncName: "__boom"})
+	ctx.PushSourceLoc("p.dsl", 1)
+	ctx.Nextl()
+	if err := ctx.EndSection(); err != nil {
+		t.Fatal(err)
+	}
+	var src strings.Builder
+	src.WriteString(`func string __boom(string key) {
+	int* p = null;
+	return to_str(*p);
+}
+func int main() {
+	int v = 0;
+	return v;
+}
+`)
+	if err := d2xenc.EmitTables(ctx, &src); err != nil {
+		t.Fatal(err)
+	}
+	nats := minic.NewNatives()
+	rt := New()
+	rt.Register(nats)
+	prog, err := minic.Compile("gen.c", src.String(), nats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.AttachDebugInfo(dwarfish.Build(prog).Encode()); err != nil {
+		t.Fatal(err)
+	}
+	vm := minic.NewVM(prog, nil)
+	if err := vm.Start(); err != nil {
+		t.Fatal(err)
+	}
+	top := vm.Threads()[0].Top()
+	rip := dwarfish.EncodeAddr(dwarfish.Addr{FuncIndex: top.FuncIndex, PC: top.PC})
+	nat, _, _ := nats.Lookup("d2x_runtime_command_xvars")
+	_, err = nat.Handler(&minic.NativeCall{VM: vm, Thread: vm.Threads()[0],
+		Args: []minic.Value{minic.IntVal(rip), minic.IntVal(int64(top.ID)), minic.StrVal("bad")}})
+	if err == nil || !strings.Contains(err.Error(), "rtv_handler __boom failed") {
+		t.Errorf("handler fault: %v", err)
+	}
+}

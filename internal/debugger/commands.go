@@ -1,0 +1,639 @@
+package debugger
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"d2x/internal/dwarfish"
+	"d2x/internal/minic"
+)
+
+// Execute runs one debugger command line, writing its transcript output to
+// the debugger's writer. Unknown commands fall through to user-defined
+// macros. Errors are returned (the interactive driver prints them; scripts
+// may choose to stop).
+func (d *Debugger) Execute(line string) error {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return nil
+	}
+	cmd, rest := splitCommand(line)
+
+	switch cmd {
+	case "break", "b":
+		return d.cmdBreak(rest)
+	case "delete", "d":
+		return d.cmdDelete(rest)
+	case "clear":
+		return d.cmdClear(rest)
+	case "watch":
+		return d.cmdWatch(rest)
+	case "unwatch":
+		return d.cmdUnwatch(rest)
+	case "display":
+		return d.cmdDisplay(rest)
+	case "undisplay":
+		return d.cmdUndisplay(rest)
+	case "disas", "disassemble":
+		return d.cmdDisas(rest)
+	case "run", "r":
+		stop, err := d.Run()
+		if err != nil {
+			return err
+		}
+		d.reportStop(stop)
+		return nil
+	case "continue", "c":
+		stop, err := d.Continue()
+		if err != nil {
+			return err
+		}
+		d.reportStop(stop)
+		return nil
+	case "step", "s":
+		stop, err := d.StepInto()
+		if err != nil {
+			return err
+		}
+		d.reportStop(stop)
+		return nil
+	case "next", "n":
+		stop, err := d.StepOver()
+		if err != nil {
+			return err
+		}
+		d.reportStop(stop)
+		return nil
+	case "finish":
+		stop, err := d.StepOut()
+		if err != nil {
+			return err
+		}
+		d.reportStop(stop)
+		return nil
+	case "backtrace", "bt":
+		return d.cmdBacktrace()
+	case "frame", "f":
+		return d.cmdFrame(rest)
+	case "up":
+		return d.cmdUpDown(rest, +1)
+	case "down":
+		return d.cmdUpDown(rest, -1)
+	case "list", "l":
+		return d.cmdList(rest)
+	case "print", "p":
+		return d.cmdPrint(rest)
+	case "call":
+		return d.cmdCall(rest)
+	case "set":
+		return d.cmdSet(rest)
+	case "eval":
+		return d.cmdEval(rest)
+	case "thread", "t":
+		return d.cmdThread(rest)
+	case "info":
+		return d.cmdInfo(rest)
+	case "echo":
+		d.printf("%s\n", rest)
+		return nil
+	}
+
+	if m, ok := d.macros[cmd]; ok {
+		return d.runMacro(m, splitArgs(rest))
+	}
+	return fmt.Errorf("undefined command: %q", cmd)
+}
+
+// ExecuteScript runs commands one per line, stopping at the first error.
+func (d *Debugger) ExecuteScript(script string) error {
+	for _, line := range strings.Split(script, "\n") {
+		if err := d.Execute(line); err != nil {
+			return fmt.Errorf("command %q: %w", strings.TrimSpace(line), err)
+		}
+	}
+	return nil
+}
+
+func splitCommand(line string) (string, string) {
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		return line[:i], strings.TrimSpace(line[i+1:])
+	}
+	return line, ""
+}
+
+// splitArgs splits macro arguments on whitespace, honouring quotes.
+func splitArgs(s string) []string {
+	var args []string
+	i := 0
+	for i < len(s) {
+		for i < len(s) && (s[i] == ' ' || s[i] == '\t') {
+			i++
+		}
+		if i >= len(s) {
+			break
+		}
+		if s[i] == '"' {
+			j := i + 1
+			for j < len(s) && s[j] != '"' {
+				j++
+			}
+			args = append(args, s[i+1:min(j, len(s))])
+			i = j + 1
+			continue
+		}
+		j := i
+		for j < len(s) && s[j] != ' ' && s[j] != '\t' {
+			j++
+		}
+		args = append(args, s[i:j])
+		i = j
+	}
+	return args
+}
+
+func (d *Debugger) cmdBreak(spec string) error {
+	bp, err := d.SetBreakpoint(spec)
+	if err != nil {
+		return err
+	}
+	s := bp.Sites[0]
+	d.printf("Breakpoint %d at %s:%d (in %s)", bp.ID, d.proc.Info.File, s.Line, s.Func)
+	if len(bp.Sites) > 1 {
+		d.printf(" [%d locations]", len(bp.Sites))
+	}
+	d.printf("\n")
+	return nil
+}
+
+func (d *Debugger) cmdDelete(rest string) error {
+	if rest == "" {
+		d.bps = nil
+		d.printf("Deleted all breakpoints.\n")
+		return nil
+	}
+	id, err := strconv.Atoi(rest)
+	if err != nil {
+		return fmt.Errorf("bad breakpoint number %q", rest)
+	}
+	if err := d.DeleteBreakpoint(id); err != nil {
+		return err
+	}
+	d.printf("Deleted breakpoint %d.\n", id)
+	return nil
+}
+
+// cmdClear implements GDB's clear: delete breakpoints by source location
+// rather than by number. D2X's xdel relies on it, since the debuggee
+// cannot know which breakpoint numbers the debugger assigned.
+func (d *Debugger) cmdClear(spec string) error {
+	sites, err := d.resolveSpec(spec)
+	if err != nil {
+		return err
+	}
+	at := map[dwarfish.Addr]bool{}
+	for _, s := range sites {
+		at[s.Addr] = true
+	}
+	var kept []*Breakpoint
+	var deleted []int
+	for _, bp := range d.bps {
+		hit := false
+		for _, s := range bp.Sites {
+			if at[s.Addr] {
+				hit = true
+				break
+			}
+		}
+		if hit {
+			deleted = append(deleted, bp.ID)
+		} else {
+			kept = append(kept, bp)
+		}
+	}
+	if len(deleted) == 0 {
+		return fmt.Errorf("no breakpoint at %s", spec)
+	}
+	d.bps = kept
+	for _, id := range deleted {
+		d.printf("Deleted breakpoint %d\n", id)
+	}
+	return nil
+}
+
+func (d *Debugger) cmdBacktrace() error {
+	fs := d.frames()
+	if len(fs) == 0 {
+		return fmt.Errorf("no stack")
+	}
+	for i := range fs {
+		d.printf("%s\n", d.describeFrame(i))
+	}
+	return nil
+}
+
+func (d *Debugger) cmdFrame(rest string) error {
+	if rest != "" {
+		n, err := strconv.Atoi(rest)
+		if err != nil {
+			return fmt.Errorf("bad frame number %q", rest)
+		}
+		if err := d.SelectFrame(n); err != nil {
+			return err
+		}
+	}
+	d.printf("%s\n", d.describeFrame(d.selFrame))
+	d.printSourceLineAt(d.selFrame)
+	return nil
+}
+
+func (d *Debugger) cmdUpDown(rest string, dir int) error {
+	n := 1
+	if rest != "" {
+		var err error
+		if n, err = strconv.Atoi(rest); err != nil {
+			return fmt.Errorf("bad count %q", rest)
+		}
+	}
+	if err := d.SelectFrame(d.selFrame + dir*n); err != nil {
+		return err
+	}
+	d.printf("%s\n", d.describeFrame(d.selFrame))
+	d.printSourceLineAt(d.selFrame)
+	return nil
+}
+
+func (d *Debugger) cmdList(rest string) error {
+	center := 0
+	if rest != "" {
+		n, err := strconv.Atoi(rest)
+		if err != nil {
+			return fmt.Errorf("bad line number %q", rest)
+		}
+		center = n
+	} else {
+		_, line, ok := d.lineAt(d.selFrame)
+		if !ok {
+			return fmt.Errorf("no source location")
+		}
+		center = line
+	}
+	lines := d.proc.VM.Prog.SourceLines()
+	lo := max(1, center-4)
+	hi := min(len(lines), center+5)
+	for n := lo; n <= hi; n++ {
+		marker := " "
+		if n == center {
+			marker = ">"
+		}
+		d.printf("%s%-5d %s\n", marker, n, lines[n-1])
+	}
+	return nil
+}
+
+func (d *Debugger) cmdPrint(rest string) error {
+	if rest == "" {
+		return fmt.Errorf("print requires an expression")
+	}
+	v, err := d.EvalExpr(rest)
+	if err != nil {
+		return err
+	}
+	d.valueCounter++
+	d.printf("$%d = %s\n", d.valueCounter, minic.FormatValue(v))
+	return nil
+}
+
+func (d *Debugger) cmdCall(rest string) error {
+	if rest == "" {
+		return fmt.Errorf("call requires an expression")
+	}
+	v, err := d.EvalExpr(rest)
+	if err != nil {
+		return err
+	}
+	// GDB's call prints non-void results only.
+	if v.Kind != minic.VNull {
+		d.valueCounter++
+		d.printf("$%d = %s\n", d.valueCounter, minic.FormatValue(v))
+	}
+	return nil
+}
+
+func (d *Debugger) cmdSet(rest string) error {
+	rest = strings.TrimPrefix(rest, "var ")
+	eq := strings.Index(rest, "=")
+	if eq < 0 {
+		return fmt.Errorf("set requires an assignment")
+	}
+	return d.SetVariable(strings.TrimSpace(rest[:eq]), strings.TrimSpace(rest[eq+1:]))
+}
+
+// cmdEval implements GDB's eval: format the string (arguments may call
+// into the debuggee), then execute the result as commands. D2X's xbreak
+// depends on this to let the debuggee drive breakpoint insertion.
+func (d *Debugger) cmdEval(rest string) error {
+	format, args, err := parseFormatArgs(rest)
+	if err != nil {
+		return err
+	}
+	vals := make([]minic.Value, len(args))
+	for i, a := range args {
+		v, err := d.EvalExpr(a)
+		if err != nil {
+			return err
+		}
+		vals[i] = v
+	}
+	expanded, err := minic.FormatPrintf(format, vals)
+	if err != nil {
+		return err
+	}
+	for _, line := range strings.Split(expanded, "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if err := d.Execute(line); err != nil {
+			return fmt.Errorf("eval-generated command %q: %w", line, err)
+		}
+	}
+	return nil
+}
+
+// parseFormatArgs splits `"fmt", arg1, arg2` respecting quotes and nested
+// parentheses inside arguments.
+func parseFormatArgs(s string) (string, []string, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "\"") {
+		return "", nil, fmt.Errorf("eval requires a quoted format string")
+	}
+	i := 1
+	var fb strings.Builder
+	for i < len(s) && s[i] != '"' {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case 'n':
+				fb.WriteByte('\n')
+			case 't':
+				fb.WriteByte('\t')
+			default:
+				fb.WriteByte(s[i])
+			}
+		} else {
+			fb.WriteByte(s[i])
+		}
+		i++
+	}
+	if i >= len(s) {
+		return "", nil, fmt.Errorf("unterminated format string")
+	}
+	i++ // closing quote
+	rest := strings.TrimSpace(s[i:])
+	if rest == "" {
+		return fb.String(), nil, nil
+	}
+	if !strings.HasPrefix(rest, ",") {
+		return "", nil, fmt.Errorf("expected ',' after format string")
+	}
+	rest = rest[1:]
+	var args []string
+	depth := 0
+	start := 0
+	inStr := false
+	for j := 0; j <= len(rest); j++ {
+		if j == len(rest) {
+			if a := strings.TrimSpace(rest[start:]); a != "" {
+				args = append(args, a)
+			}
+			break
+		}
+		switch rest[j] {
+		case '"':
+			inStr = !inStr
+		case '(', '[':
+			if !inStr {
+				depth++
+			}
+		case ')', ']':
+			if !inStr {
+				depth--
+			}
+		case ',':
+			if !inStr && depth == 0 {
+				args = append(args, strings.TrimSpace(rest[start:j]))
+				start = j + 1
+			}
+		}
+	}
+	return fb.String(), args, nil
+}
+
+func (d *Debugger) cmdThread(rest string) error {
+	if rest == "" {
+		t := d.SelectedThread()
+		if t == nil {
+			return fmt.Errorf("no threads")
+		}
+		d.printf("[Current thread is %d]\n", t.ID)
+		return nil
+	}
+	id, err := strconv.Atoi(rest)
+	if err != nil {
+		return fmt.Errorf("bad thread id %q", rest)
+	}
+	if err := d.SelectThread(id); err != nil {
+		return err
+	}
+	d.printf("[Switching to thread %d]\n", id)
+	if len(d.frames()) > 0 {
+		d.printf("%s\n", d.describeFrame(0))
+	}
+	return nil
+}
+
+func (d *Debugger) cmdInfo(rest string) error {
+	what, _ := splitCommand(rest)
+	switch what {
+	case "breakpoints", "break", "b":
+		if len(d.bps) == 0 {
+			d.printf("No breakpoints.\n")
+			return nil
+		}
+		d.printf("Num  Enb  Hits  Where\n")
+		for _, bp := range d.bps {
+			enb := "y"
+			if !bp.Enabled {
+				enb = "n"
+			}
+			locs := make([]string, 0, len(bp.Sites))
+			for _, s := range bp.Sites {
+				locs = append(locs, fmt.Sprintf("%s at %s:%d", s.Func, d.proc.Info.File, s.Line))
+			}
+			d.printf("%-4d %-4s %-5d %s\n", bp.ID, enb, bp.Hits, strings.Join(locs, "; "))
+		}
+		return nil
+
+	case "watchpoints":
+		if len(d.watchpoints) == 0 {
+			d.printf("No watchpoints.\n")
+			return nil
+		}
+		for _, w := range d.watchpoints {
+			d.printf("%-4d watch %s\n", w.ID, w.Expr)
+		}
+		return nil
+
+	case "display":
+		d.showDisplays()
+		return nil
+
+	case "locals":
+		return d.infoVars(false)
+	case "args":
+		return d.infoVars(true)
+
+	case "threads":
+		for _, t := range d.proc.VM.Threads() {
+			cur := " "
+			if t.ID == d.selThreadID {
+				cur = "*"
+			}
+			loc := ""
+			if top := t.Top(); top != nil {
+				addr := dwarfish.Addr{FuncIndex: top.FuncIndex, PC: top.PC}
+				if _, line, ok := d.proc.Info.LineFor(addr); ok {
+					loc = fmt.Sprintf(" in %s at %s:%d", top.Fn.Name, d.proc.Info.File, line)
+				}
+			}
+			d.printf("%s %-3d %-8s%s\n", cur, t.ID, t.State, loc)
+		}
+		return nil
+
+	case "registers":
+		rip, ok1 := d.RegisterRIP()
+		rsp, ok2 := d.RegisterRSP()
+		if !ok1 || !ok2 {
+			return fmt.Errorf("no frame selected")
+		}
+		d.printf("rip  0x%012x\n", uint64(rip))
+		d.printf("rsp  0x%012x\n", uint64(rsp))
+		return nil
+
+	case "functions":
+		names := make([]string, 0, len(d.proc.Info.Funcs))
+		for _, f := range d.proc.Info.Funcs {
+			names = append(names, f.Name)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			d.printf("%s\n", n)
+		}
+		return nil
+	}
+	return fmt.Errorf("undefined info command: %q", what)
+}
+
+func (d *Debugger) infoVars(params bool) error {
+	f := d.SelectedFrame()
+	if f == nil {
+		return fmt.Errorf("no frame selected")
+	}
+	fi := d.proc.Info.FuncByIndex(f.FuncIndex)
+	if fi == nil {
+		return fmt.Errorf("no debug info for current function")
+	}
+	printed := 0
+	for _, v := range fi.Vars {
+		if v.Param != params || v.Slot >= len(f.Slots) {
+			continue
+		}
+		d.printf("%s = %s\n", v.Name, minic.FormatValue(f.Slots[v.Slot].V))
+		printed++
+	}
+	if printed == 0 {
+		if params {
+			d.printf("No arguments.\n")
+		} else {
+			d.printf("No locals.\n")
+		}
+	}
+	return nil
+}
+
+// describeFrame renders one backtrace row in GDB's format:
+//
+//	#0  power_15 (arg0=3) at power_test.c:11
+//	#1  0x000100000019 in main () at power_test.c:25
+func (d *Debugger) describeFrame(n int) string {
+	fs := d.frames()
+	if n < 0 || n >= len(fs) {
+		return fmt.Sprintf("#%d  <no frame>", n)
+	}
+	f := fs[n]
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%d  ", n)
+	if n > 0 {
+		if a, ok := d.FrameAddr(n); ok {
+			fmt.Fprintf(&b, "0x%012x in ", uint64(uint32(a.PC))|uint64(a.FuncIndex)<<32)
+		}
+	}
+	fmt.Fprintf(&b, "%s (%s)", f.Fn.Name, d.frameArgs(f))
+	if file, line, ok := d.lineAt(n); ok {
+		fmt.Fprintf(&b, " at %s:%d", file, line)
+	}
+	return b.String()
+}
+
+func (d *Debugger) frameArgs(f *minic.Frame) string {
+	fi := d.proc.Info.FuncByIndex(f.FuncIndex)
+	if fi == nil {
+		return ""
+	}
+	var parts []string
+	for _, v := range fi.Vars {
+		if v.Param && v.Slot < len(f.Slots) {
+			parts = append(parts, fmt.Sprintf("%s=%s", v.Name, minic.FormatValue(f.Slots[v.Slot].V)))
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (d *Debugger) printSourceLineAt(frameNo int) {
+	_, line, ok := d.lineAt(frameNo)
+	if !ok {
+		return
+	}
+	text := d.proc.VM.Prog.SourceLine(line)
+	d.printf("%d\t%s\n", line, strings.TrimRight(text, " \t"))
+}
+
+// reportStop prints the GDB-style banner for a stop.
+func (d *Debugger) reportStop(stop Stop) {
+	switch stop.Reason {
+	case StopBreakpoint:
+		d.printf("Breakpoint %d, %s\n", stop.Breakpoint.ID, strings.TrimPrefix(d.describeFrame(0), "#0  "))
+		d.printSourceLineAt(0)
+		d.showDisplays()
+	case StopWatchpoint:
+		d.printf("Watchpoint %d: %s\n", stop.Watch.ID, stop.Watch.Expr)
+		d.printf("Old value = %s\n", minic.FormatValue(stop.WatchOld))
+		d.printf("New value = %s\n", minic.FormatValue(stop.WatchNew))
+		d.printf("%s\n", strings.TrimPrefix(d.describeFrame(0), "#0  "))
+		d.printSourceLineAt(0)
+		d.showDisplays()
+	case StopStep:
+		d.printf("%s\n", strings.TrimPrefix(d.describeFrame(0), "#0  "))
+		d.printSourceLineAt(0)
+		d.showDisplays()
+	case StopFault:
+		d.printf("Program received fault: %v\n", stop.Fault)
+		if len(d.frames()) > 0 {
+			d.printf("%s\n", d.describeFrame(0))
+			d.printSourceLineAt(0)
+		}
+	case StopExited:
+		d.printf("[Program exited]\n")
+	}
+}

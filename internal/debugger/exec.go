@@ -1,0 +1,228 @@
+package debugger
+
+import (
+	"fmt"
+
+	"d2x/internal/dwarfish"
+	"d2x/internal/minic"
+)
+
+// resumeMode selects how far a resume runs.
+type resumeMode int
+
+const (
+	modeContinue resumeMode = iota
+	modeStepInto
+	modeStepOver
+	modeStepOut
+)
+
+const defaultMaxSteps = 500_000_000
+
+// Run starts the program and continues to the first stop. It mirrors GDB's
+// `run`: module initialisers (__init*) execute before the first possible
+// stop, like ELF constructors.
+func (d *Debugger) Run() (Stop, error) {
+	if d.started {
+		return Stop{}, fmt.Errorf("the program is already running")
+	}
+	if err := d.proc.VM.Start(); err != nil {
+		return Stop{}, err
+	}
+	d.started = true
+	if ts := d.proc.VM.Threads(); len(ts) > 0 {
+		d.selThreadID = ts[0].ID
+	}
+	return d.resume(modeContinue)
+}
+
+// Continue resumes until the next stop.
+func (d *Debugger) Continue() (Stop, error) {
+	if err := d.checkRunning(); err != nil {
+		return Stop{}, err
+	}
+	return d.resume(modeContinue)
+}
+
+// StepInto advances the selected thread by one source line, entering
+// calls (GDB `step`).
+func (d *Debugger) StepInto() (Stop, error) {
+	if err := d.checkRunning(); err != nil {
+		return Stop{}, err
+	}
+	return d.resume(modeStepInto)
+}
+
+// StepOver advances the selected thread by one source line without
+// entering calls (GDB `next`).
+func (d *Debugger) StepOver() (Stop, error) {
+	if err := d.checkRunning(); err != nil {
+		return Stop{}, err
+	}
+	return d.resume(modeStepOver)
+}
+
+// StepOut runs until the selected frame returns (GDB `finish`).
+func (d *Debugger) StepOut() (Stop, error) {
+	if err := d.checkRunning(); err != nil {
+		return Stop{}, err
+	}
+	return d.resume(modeStepOut)
+}
+
+func (d *Debugger) checkRunning() error {
+	if !d.started {
+		return fmt.Errorf("the program is not being run")
+	}
+	if d.lastStop.Reason == StopExited {
+		return fmt.Errorf("the program has exited")
+	}
+	return nil
+}
+
+// resume is the scheduler loop. All threads advance in the VM's
+// deterministic round-robin; stop conditions are evaluated before each
+// statement-start instruction, the same granularity a line-table-driven
+// native debugger achieves.
+func (d *Debugger) resume(mode resumeMode) (Stop, error) {
+	vm := d.proc.VM
+
+	stepThread := d.SelectedThread()
+	var startDepth, startLine int
+	if stepThread != nil && stepThread.Top() != nil {
+		startDepth = len(stepThread.Frames)
+		_, startLine, _ = d.lineAt(0)
+	}
+
+	limit := d.maxSteps
+	if limit <= 0 {
+		limit = defaultMaxSteps
+	}
+
+	for steps := int64(0); ; steps++ {
+		if steps > limit {
+			return Stop{}, fmt.Errorf("debugger: resume exceeded %d instructions", limit)
+		}
+		if ft := vm.Faulted(); ft != nil {
+			d.selThreadID = ft.ID
+			d.selFrame = 0
+			d.skipValid = false
+			d.lastStop = Stop{Reason: StopFault, Thread: ft, Fault: ft.Fault}
+			return d.lastStop, nil
+		}
+		if vm.Done() {
+			d.skipValid = false
+			d.lastStop = Stop{Reason: StopExited}
+			return d.lastStop, nil
+		}
+		t := vm.NextThread()
+		if t == nil {
+			return Stop{}, fmt.Errorf("debugger: deadlock: no runnable threads")
+		}
+		top := t.Top()
+		if top == nil {
+			vm.StepInstr()
+			continue
+		}
+		addr := dwarfish.Addr{FuncIndex: top.FuncIndex, PC: top.PC}
+		in := top.Code.Instrs[top.PC]
+
+		// Skip exactly one re-check at the address we stopped at.
+		if d.skipValid && t.ID == d.skipThread && addr == d.skipAddr {
+			d.skipValid = false
+			vm.StepInstr()
+			continue
+		}
+
+		if in.StmtStart {
+			if bp := d.breakpointAt(addr); bp != nil {
+				if bp.Cond != "" && !d.condTrue(t, bp.Cond) {
+					// Condition false: execute past the site silently.
+					d.skipThread = t.ID
+					d.skipAddr = addr
+					d.skipValid = true
+					continue
+				}
+				bp.Hits++
+				d.stopAt(t, StopBreakpoint, bp, addr)
+				return d.lastStop, nil
+			}
+			if len(d.watchpoints) > 0 {
+				if w, old, now := d.watchInContext(t); w != nil {
+					d.stopAt(t, StopWatchpoint, nil, addr)
+					d.lastStop.Watch = w
+					d.lastStop.WatchOld = old
+					d.lastStop.WatchNew = now
+					return d.lastStop, nil
+				}
+			}
+			if mode != modeContinue && t == stepThread {
+				depth := len(t.Frames)
+				_, line, _ := d.proc.Info.LineFor(addr)
+				stopped := false
+				switch mode {
+				case modeStepInto:
+					stopped = depth != startDepth || line != startLine
+				case modeStepOver:
+					stopped = (depth == startDepth && line != startLine) || depth < startDepth
+				case modeStepOut:
+					stopped = depth < startDepth
+				}
+				if stopped {
+					d.stopAt(t, StopStep, nil, addr)
+					return d.lastStop, nil
+				}
+			}
+		}
+		vm.StepInstr()
+	}
+}
+
+// condTrue evaluates a breakpoint condition in the context of the thread
+// that hit the site.
+func (d *Debugger) condTrue(t *minic.Thread, cond string) bool {
+	savedT, savedF := d.selThreadID, d.selFrame
+	d.selThreadID, d.selFrame = t.ID, 0
+	v, err := d.EvalExpr(cond)
+	d.selThreadID, d.selFrame = savedT, savedF
+	if err != nil {
+		// An unevaluable condition stops, with the error surfaced, rather
+		// than silently never firing — GDB behaves the same way.
+		d.printf("Error in breakpoint condition: %v\n", err)
+		return true
+	}
+	return v.Bool()
+}
+
+// watchInContext checks watchpoints in the context of the running thread.
+func (d *Debugger) watchInContext(t *minic.Thread) (*Watchpoint, minic.Value, minic.Value) {
+	savedT, savedF := d.selThreadID, d.selFrame
+	d.selThreadID, d.selFrame = t.ID, 0
+	w, old, now := d.checkWatchpoints()
+	d.selThreadID, d.selFrame = savedT, savedF
+	return w, old, now
+}
+
+func (d *Debugger) stopAt(t *minic.Thread, reason StopReason, bp *Breakpoint, addr dwarfish.Addr) {
+	d.selThreadID = t.ID
+	d.selFrame = 0
+	d.skipThread = t.ID
+	d.skipAddr = addr
+	d.skipValid = true
+	d.lastStop = Stop{Reason: reason, Breakpoint: bp, Thread: t}
+}
+
+// CallValue invokes a function in the debuggee while it is paused and
+// returns its result — the debugger feature (GDB `call`) that D2X's whole
+// runtime design exploits. Program functions and host-linked natives are
+// both callable, as both are "functions linked into the executable".
+func (d *Debugger) CallValue(name string, args []minic.Value) (minic.Value, error) {
+	vm := d.proc.VM
+	if vm.Prog.FuncIndex(name) >= 0 {
+		return vm.CallFunction(name, args)
+	}
+	if nat, _, ok := vm.Prog.Natives.Lookup(name); ok {
+		return nat.Handler(&minic.NativeCall{VM: vm, Thread: d.SelectedThread(), Args: args})
+	}
+	return minic.NullVal(), fmt.Errorf("no symbol %q in current context", name)
+}

@@ -1,0 +1,146 @@
+package debugger
+
+import (
+	"strings"
+	"testing"
+
+	"d2x/internal/minic"
+)
+
+func exprFixture(t *testing.T) *Debugger {
+	t.Helper()
+	d, _ := attach(t, `global int g = 10;
+global float gf = 2.5;
+struct box { int v; }
+func int main() {
+	int a = 6;
+	int b = 7;
+	bool flag = true;
+	string s = "hi";
+	box* p = new box;
+	p->v = 3;
+	int[] arr = new int[4];
+	arr[1] = 9;
+	printf("done\n");
+	return 0;
+}
+`)
+	mustExec(t, d, "break gen.c:13", "run")
+	return d
+}
+
+func TestBinaryExpressions(t *testing.T) {
+	d := exprFixture(t)
+	cases := []struct {
+		expr string
+		want string
+	}{
+		{"a + b", "13"},
+		{"a * b", "42"},
+		{"b - a", "1"},
+		{"b / a", "1"},
+		{"b % a", "1"},
+		{"a < b", "true"},
+		{"a >= b", "false"},
+		{"a == 6", "true"},
+		{"a != 6", "false"},
+		{"a + b * 2", "20"},       // precedence
+		{"(a + b) * 2", "26"},     // grouping
+		{"flag && a < b", "true"}, // logical
+		{"flag || a > b", "true"},
+		{"g + a", "16"},         // global + local
+		{"gf * 2", "5"},         // float math
+		{"p->v + arr[1]", "12"}, // postfix mixes
+		{"-a + b", "1"},         // unary in binary
+		{"s + s", `"hihi"`},     // string concat
+	}
+	for _, tc := range cases {
+		v, err := d.EvalExpr(tc.expr)
+		if err != nil {
+			t.Errorf("%q: %v", tc.expr, err)
+			continue
+		}
+		if got := minic.FormatValue(v); got != tc.want {
+			t.Errorf("%q = %s, want %s", tc.expr, got, tc.want)
+		}
+	}
+}
+
+func TestBinaryExpressionErrors(t *testing.T) {
+	d := exprFixture(t)
+	for _, expr := range []string{
+		"a / 0", // trap semantics preserved
+		"a % 0",
+		"a +",   // incomplete
+		"* a *", // malformed
+		"a ==",  // incomplete comparison
+	} {
+		if _, err := d.EvalExpr(expr); err == nil {
+			t.Errorf("%q accepted", expr)
+		}
+	}
+}
+
+func TestCallInsideBinaryExpr(t *testing.T) {
+	d, _ := attach(t, `func int twice(int x) {
+	return x * 2;
+}
+func int main() {
+	int a = 5;
+	printf("done\n");
+	return 0;
+}
+`)
+	mustExec(t, d, "break gen.c:6", "run")
+	v, err := d.EvalExpr("twice(a) + 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 11 {
+		t.Errorf("twice(a) + 1 = %d, want 11", v.I)
+	}
+	// str_len is a native; natives participate in expressions too.
+	v, err = d.EvalExpr(`str_len("abcd") * 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 40 {
+		t.Errorf("native in expression = %d, want 40", v.I)
+	}
+}
+
+func TestSetWithComputedRHS(t *testing.T) {
+	d := exprFixture(t)
+	mustExec(t, d, "set var a = b * 2 + 1")
+	if v, _ := d.EvalExpr("a"); v.I != 15 {
+		t.Errorf("a = %d, want 15", v.I)
+	}
+	mustExec(t, d, "set var arr[0] = a + 1")
+	if v, _ := d.EvalExpr("arr[0]"); v.I != 16 {
+		t.Errorf("arr[0] = %d, want 16", v.I)
+	}
+}
+
+func TestConditionUsingComplexExpr(t *testing.T) {
+	d, out := attach(t, `global int hits = 0;
+func int main() {
+	for (int i = 0; i < 20; i++) {
+		hits += 1;
+	}
+	printf("%d\n", hits);
+	return 0;
+}
+`)
+	mustExec(t, d, "break gen.c:4 if i % 7 == 3 && i > 5", "run")
+	if v, _ := d.EvalExpr("i"); v.I != 10 {
+		t.Errorf("first stop i = %d, want 10", v.I)
+	}
+	mustExec(t, d, "continue")
+	if v, _ := d.EvalExpr("i"); v.I != 17 {
+		t.Errorf("second stop i = %d, want 17", v.I)
+	}
+	mustExec(t, d, "continue")
+	if !strings.Contains(out.String(), "20\n") {
+		t.Errorf("program did not finish:\n%s", out.String())
+	}
+}

@@ -1,0 +1,83 @@
+package debugger
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Macro is a user-defined command: a named sequence of command lines with
+// $arg0..$arg9 placeholders, GDB's `define`. The D2X helper macros
+// (paper §3.3, Table 3's 40-line component) are written in this form once
+// per debugger and are entirely DSL-independent.
+type Macro struct {
+	Name string
+	Body []string
+}
+
+// DefineMacro installs (or replaces) a macro.
+func (d *Debugger) DefineMacro(m *Macro) {
+	d.macros[m.Name] = m
+}
+
+// Macros returns the installed macro table.
+func (d *Debugger) Macros() map[string]*Macro { return d.macros }
+
+// LoadMacros parses a macro file in GDB's define/end syntax:
+//
+//	define xbt
+//	  call d2x_runtime::command_xbt($rip, $rsp)
+//	end
+//
+// Lines outside define/end blocks must be blank or comments (#).
+func (d *Debugger) LoadMacros(text string) error {
+	var cur *Macro
+	for i, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		switch {
+		case line == "" || strings.HasPrefix(line, "#"):
+			continue
+		case strings.HasPrefix(line, "define "):
+			if cur != nil {
+				return fmt.Errorf("macro file line %d: nested define", i+1)
+			}
+			name := strings.TrimSpace(strings.TrimPrefix(line, "define "))
+			if name == "" {
+				return fmt.Errorf("macro file line %d: define requires a name", i+1)
+			}
+			cur = &Macro{Name: name}
+		case line == "end":
+			if cur == nil {
+				return fmt.Errorf("macro file line %d: end without define", i+1)
+			}
+			d.DefineMacro(cur)
+			cur = nil
+		default:
+			if cur == nil {
+				return fmt.Errorf("macro file line %d: command outside define block", i+1)
+			}
+			cur.Body = append(cur.Body, line)
+		}
+	}
+	if cur != nil {
+		return fmt.Errorf("macro file: unterminated define %q", cur.Name)
+	}
+	return nil
+}
+
+// runMacro substitutes arguments into the body and executes it.
+func (d *Debugger) runMacro(m *Macro, args []string) error {
+	for _, tmpl := range m.Body {
+		line := tmpl
+		for i := 9; i >= 0; i-- {
+			val := ""
+			if i < len(args) {
+				val = args[i]
+			}
+			line = strings.ReplaceAll(line, fmt.Sprintf("$arg%d", i), val)
+		}
+		if err := d.Execute(line); err != nil {
+			return fmt.Errorf("in macro %s: %w", m.Name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package debugger
+
+import (
+	"strings"
+	"testing"
+)
+
+const loopSrc = `global int total = 0;
+func int main() {
+	for (int i = 0; i < 10; i++) {
+		total += i;
+	}
+	printf("%d\n", total);
+	return 0;
+}
+`
+
+func TestConditionalBreakpoint(t *testing.T) {
+	d, _ := attach(t, loopSrc)
+	mustExec(t, d, "break gen.c:4 if i == 7", "run")
+	if d.LastStop().Reason != StopBreakpoint {
+		t.Fatalf("stop = %v", d.LastStop().Reason)
+	}
+	if v, err := d.EvalExpr("i"); err != nil || v.I != 7 {
+		t.Errorf("i = %v err=%v, want 7", v, err)
+	}
+	// total has accumulated 0..6 = 21.
+	if v, _ := d.EvalExpr("total"); v.I != 21 {
+		t.Errorf("total = %d, want 21", v.I)
+	}
+	mustExec(t, d, "continue")
+	if d.LastStop().Reason != StopExited {
+		t.Errorf("stop after continue = %v, want exited (condition never true again)", d.LastStop().Reason)
+	}
+}
+
+func TestConditionalBreakpointBadExpr(t *testing.T) {
+	d, out := attach(t, loopSrc)
+	mustExec(t, d, "break gen.c:4 if nosuchvar == 1", "run")
+	// Unevaluable condition: stop anyway with a warning (GDB behaviour).
+	if d.LastStop().Reason != StopBreakpoint {
+		t.Fatalf("stop = %v", d.LastStop().Reason)
+	}
+	if !strings.Contains(out.String(), "Error in breakpoint condition") {
+		t.Errorf("missing condition warning:\n%s", out.String())
+	}
+}
+
+func TestWatchpointOnGlobal(t *testing.T) {
+	d, out := attach(t, loopSrc)
+	mustExec(t, d, "watch total", "run")
+	stop := d.LastStop()
+	if stop.Reason != StopWatchpoint {
+		t.Fatalf("stop = %v, want watchpoint", stop.Reason)
+	}
+	// total first changes 0 -> 1 (i=0 adds nothing).
+	if stop.WatchOld.I != 0 || stop.WatchNew.I != 1 {
+		t.Errorf("old/new = %d/%d, want 0/1", stop.WatchOld.I, stop.WatchNew.I)
+	}
+	if !strings.Contains(out.String(), "Old value = 0") || !strings.Contains(out.String(), "New value = 1") {
+		t.Errorf("watchpoint banner:\n%s", out.String())
+	}
+	// Next change: 1 -> 3.
+	mustExec(t, d, "continue")
+	if got := d.LastStop().WatchNew.I; got != 3 {
+		t.Errorf("second stop new value = %d, want 3", got)
+	}
+	mustExec(t, d, "unwatch 1", "continue")
+	if d.LastStop().Reason != StopExited {
+		t.Errorf("after unwatch, stop = %v", d.LastStop().Reason)
+	}
+}
+
+func TestWatchpointInfoAndErrors(t *testing.T) {
+	d, out := attach(t, loopSrc)
+	mustExec(t, d, "watch total", "info watchpoints")
+	if !strings.Contains(out.String(), "watch total") {
+		t.Errorf("info watchpoints:\n%s", out.String())
+	}
+	if err := d.Execute("unwatch 99"); err == nil {
+		t.Error("unwatch of unknown id accepted")
+	}
+	if err := d.Execute("watch"); err == nil {
+		t.Error("bare watch accepted")
+	}
+}
+
+func TestDisplay(t *testing.T) {
+	d, out := attach(t, loopSrc)
+	mustExec(t, d, "break gen.c:4", "display total", "display i", "run")
+	tr := out.String()
+	if !strings.Contains(tr, "1: total = 0") {
+		t.Errorf("display at first stop:\n%s", tr)
+	}
+	out.Reset()
+	mustExec(t, d, "continue")
+	if !strings.Contains(out.String(), "1: total = 0") || !strings.Contains(out.String(), "2: i = 1") {
+		t.Errorf("display at second stop:\n%s", out.String())
+	}
+	mustExec(t, d, "undisplay 1")
+	out.Reset()
+	mustExec(t, d, "continue")
+	if strings.Contains(out.String(), "total =") {
+		t.Errorf("undisplayed expression still shown:\n%s", out.String())
+	}
+	if err := d.Execute("undisplay 42"); err == nil {
+		t.Error("undisplay of unknown id accepted")
+	}
+}
+
+func TestDisasCommand(t *testing.T) {
+	d, out := attach(t, powerSrc)
+	mustExec(t, d, "disas power_15")
+	tr := out.String()
+	if !strings.Contains(tr, "power_15:") || !strings.Contains(tr, "storel") {
+		t.Errorf("disas output:\n%s", tr)
+	}
+	// Bare disas uses the selected frame once running.
+	mustExec(t, d, "break power_15", "run")
+	out.Reset()
+	mustExec(t, d, "disas")
+	if !strings.Contains(out.String(), "power_15:") {
+		t.Errorf("bare disas:\n%s", out.String())
+	}
+	if err := d.Execute("disas nosuch"); err == nil {
+		t.Error("disas of unknown function accepted")
+	}
+}
+
+func TestWatchpointLocalScopeSkips(t *testing.T) {
+	// Watching a local that leaves scope must not wedge the session: the
+	// evaluation errors are skipped and execution completes.
+	src := `func int helper() {
+	int local = 3;
+	local += 1;
+	return local;
+}
+func int main() {
+	int r = helper();
+	printf("%d\n", r);
+	return 0;
+}
+`
+	d, out := attach(t, src)
+	mustExec(t, d, "break helper", "run", "watch local")
+	// Two changes fire (0 -> 3 at the declaration, 3 -> 4 at the update);
+	// after helper returns the watch is unevaluable and silently skipped.
+	for want := 0; want < 2; want++ {
+		mustExec(t, d, "continue")
+		if d.LastStop().Reason != StopWatchpoint {
+			t.Fatalf("stop %d = %v, want watchpoint", want, d.LastStop().Reason)
+		}
+	}
+	mustExec(t, d, "continue")
+	if d.LastStop().Reason != StopExited {
+		t.Errorf("stop = %v, want exited", d.LastStop().Reason)
+	}
+	if !strings.Contains(out.String(), "4\n") {
+		t.Errorf("program output missing:\n%s", out.String())
+	}
+}

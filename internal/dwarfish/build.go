@@ -1,0 +1,39 @@
+package dwarfish
+
+import "d2x/internal/minic"
+
+// Build extracts debug information from a compiled program — the moment
+// the paper's workflow invokes with `-g`. The result is self-contained:
+// after Encode/Decode it carries everything a debugger needs for the
+// stage-1 (binary state → generated source) mapping.
+func Build(prog *minic.Program) *Info {
+	info := &Info{File: prog.SourceName}
+	for idx, fd := range prog.Funcs {
+		fc := prog.Code[idx]
+		fi := FuncInfo{
+			Name:      fd.Name,
+			FuncIndex: idx,
+			DeclLine:  fd.Line,
+			File:      prog.SourceName,
+		}
+		for slot, name := range fd.SlotNames {
+			fi.Vars = append(fi.Vars, VarLoc{
+				Name:  name,
+				Slot:  slot,
+				Type:  fd.SlotTypes[slot].String(),
+				Param: slot < len(fd.Params),
+			})
+		}
+		prevLine := -1
+		for pc, in := range fc.Instrs {
+			// Record an entry at every statement start and at every line
+			// change, mirroring how compilers emit DWARF line rows.
+			if in.StmtStart || in.Line != prevLine {
+				fi.Lines = append(fi.Lines, LineEntry{PC: pc, Line: in.Line, Stmt: in.StmtStart})
+				prevLine = in.Line
+			}
+		}
+		info.Funcs = append(info.Funcs, fi)
+	}
+	return info
+}

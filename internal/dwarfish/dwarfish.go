@@ -1,0 +1,398 @@
+// Package dwarfish is the mini-C ecosystem's standard debugging
+// information format — the role DWARF plays for native code in the paper.
+// The compiler produces it when building "with -g"; the debugger consumes
+// only this serialised form (never the compiler's in-memory structures) to
+// map execution state (function index + program counter, the VM's $rip) to
+// source lines, and variable names to frame slots.
+//
+// D2X deliberately does NOT extend this format. The paper's core argument
+// is that debug-info formats are rigid and hard to extend (the DWARF 5
+// standard runs 459 pages), so DSL context should ride in the program
+// itself instead. dwarfish therefore stays strictly at the generated-code
+// level; everything DSL-specific lives in the D2X tables.
+package dwarfish
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Magic identifies serialised dwarfish blobs; Version is bumped on any
+// incompatible change.
+const (
+	Magic   = "DWFx"
+	Version = 1
+)
+
+// VarLoc locates one named variable in a function frame.
+type VarLoc struct {
+	Name string
+	Slot int
+	Type string // surface type syntax, for `info locals` display
+	// Param marks function parameters (slots [0, NumParams)).
+	Param bool
+}
+
+// LineEntry maps one program counter to a source line.
+type LineEntry struct {
+	PC   int
+	Line int
+	Stmt bool // true when PC begins a source statement (breakpoint target)
+}
+
+// FuncInfo is the debug record of one function.
+type FuncInfo struct {
+	Name      string
+	FuncIndex int
+	DeclLine  int
+	File      string
+	Vars      []VarLoc
+	Lines     []LineEntry
+}
+
+// VarByName returns the variable record with the given name. When a name
+// is shadowed (multiple slots share it), the highest slot — the innermost
+// declaration — wins, matching debugger convention.
+func (f *FuncInfo) VarByName(name string) (VarLoc, bool) {
+	found := VarLoc{Slot: -1}
+	for _, v := range f.Vars {
+		if v.Name == name && v.Slot > found.Slot {
+			found = v
+		}
+	}
+	return found, found.Slot >= 0
+}
+
+// LineOf returns the source line for a program counter, using the last
+// line entry at or before pc, like DWARF line programs do.
+func (f *FuncInfo) LineOf(pc int) int {
+	line := 0
+	for _, e := range f.Lines {
+		if e.PC > pc {
+			break
+		}
+		line = e.Line
+	}
+	return line
+}
+
+// StmtPCs returns the statement-start PCs on the given line.
+func (f *FuncInfo) StmtPCs(line int) []int {
+	var pcs []int
+	for _, e := range f.Lines {
+		if e.Stmt && e.Line == line {
+			pcs = append(pcs, e.PC)
+		}
+	}
+	return pcs
+}
+
+// Info is the complete debug information of one compiled program.
+type Info struct {
+	File  string // generated source file name
+	Funcs []FuncInfo
+
+	byName map[string]int
+}
+
+// FuncByName returns the record of the named function, or nil.
+func (in *Info) FuncByName(name string) *FuncInfo {
+	in.ensureIndex()
+	if i, ok := in.byName[name]; ok {
+		return &in.Funcs[i]
+	}
+	return nil
+}
+
+// FuncByIndex returns the record of the function with the given compiler
+// index, or nil.
+func (in *Info) FuncByIndex(idx int) *FuncInfo {
+	for i := range in.Funcs {
+		if in.Funcs[i].FuncIndex == idx {
+			return &in.Funcs[i]
+		}
+	}
+	return nil
+}
+
+func (in *Info) ensureIndex() {
+	if in.byName != nil {
+		return
+	}
+	in.byName = make(map[string]int, len(in.Funcs))
+	for i, f := range in.Funcs {
+		in.byName[f.Name] = i
+	}
+}
+
+// Addr identifies one executable location: a function and a program
+// counter within it. It is the structured form of the VM's $rip.
+type Addr struct {
+	FuncIndex int
+	PC        int
+}
+
+// EncodeAddr packs an Addr into a single int64 in the way the debugger's
+// $rip meta-variable exposes it to called functions. The paper passes the
+// raw x86 %rip the same way.
+func EncodeAddr(a Addr) int64 {
+	return int64(a.FuncIndex)<<32 | int64(uint32(a.PC))
+}
+
+// DecodeAddr unpacks an int64-encoded address.
+func DecodeAddr(v int64) Addr {
+	return Addr{FuncIndex: int(v >> 32), PC: int(uint32(v))}
+}
+
+// LineFor maps an address to (file, line), the debugger's stage-1 mapping.
+func (in *Info) LineFor(a Addr) (string, int, bool) {
+	f := in.FuncByIndex(a.FuncIndex)
+	if f == nil {
+		return "", 0, false
+	}
+	line := f.LineOf(a.PC)
+	if line == 0 {
+		return "", 0, false
+	}
+	return in.File, line, true
+}
+
+// BreakpointSite is one concrete machine location a source breakpoint
+// expands to.
+type BreakpointSite struct {
+	Func string
+	Addr Addr
+	Line int
+}
+
+// SitesForLine returns every statement-start location on the given source
+// line across all functions, sorted by function then PC. A single source
+// line can map to several sites (e.g. a UDF inlined per call site), which
+// is exactly the situation D2X's xbreak deals with one level up.
+func (in *Info) SitesForLine(line int) []BreakpointSite {
+	var sites []BreakpointSite
+	for i := range in.Funcs {
+		f := &in.Funcs[i]
+		for _, pc := range f.StmtPCs(line) {
+			sites = append(sites, BreakpointSite{
+				Func: f.Name,
+				Addr: Addr{FuncIndex: f.FuncIndex, PC: pc},
+				Line: line,
+			})
+		}
+	}
+	sort.Slice(sites, func(a, b int) bool {
+		if sites[a].Addr.FuncIndex != sites[b].Addr.FuncIndex {
+			return sites[a].Addr.FuncIndex < sites[b].Addr.FuncIndex
+		}
+		return sites[a].Addr.PC < sites[b].Addr.PC
+	})
+	return sites
+}
+
+// SitesForFunc returns the entry breakpoint site of the named function:
+// its first statement-start PC.
+func (in *Info) SitesForFunc(name string) []BreakpointSite {
+	f := in.FuncByName(name)
+	if f == nil {
+		return nil
+	}
+	for _, e := range f.Lines {
+		if e.Stmt {
+			return []BreakpointSite{{
+				Func: f.Name,
+				Addr: Addr{FuncIndex: f.FuncIndex, PC: e.PC},
+				Line: e.Line,
+			}}
+		}
+	}
+	return nil
+}
+
+// ---- Serialisation ----
+
+// Encode serialises the debug info to its binary wire format.
+func (in *Info) Encode() []byte {
+	var b bytes.Buffer
+	b.WriteString(Magic)
+	writeUvarint(&b, Version)
+	writeString(&b, in.File)
+	writeUvarint(&b, uint64(len(in.Funcs)))
+	for _, f := range in.Funcs {
+		writeString(&b, f.Name)
+		writeUvarint(&b, uint64(f.FuncIndex))
+		writeUvarint(&b, uint64(f.DeclLine))
+		writeString(&b, f.File)
+		writeUvarint(&b, uint64(len(f.Vars)))
+		for _, v := range f.Vars {
+			writeString(&b, v.Name)
+			writeUvarint(&b, uint64(v.Slot))
+			writeString(&b, v.Type)
+			writeBool(&b, v.Param)
+		}
+		writeUvarint(&b, uint64(len(f.Lines)))
+		// Delta-encode the line table, the same trick DWARF line programs
+		// use to stay compact.
+		prevPC, prevLine := 0, 0
+		for _, e := range f.Lines {
+			writeUvarint(&b, uint64(e.PC-prevPC))
+			writeVarint(&b, int64(e.Line-prevLine))
+			writeBool(&b, e.Stmt)
+			prevPC, prevLine = e.PC, e.Line
+		}
+	}
+	return b.Bytes()
+}
+
+// Decode parses a binary debug-info blob.
+func Decode(data []byte) (*Info, error) {
+	r := bytes.NewReader(data)
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != Magic {
+		return nil, fmt.Errorf("dwarfish: bad magic")
+	}
+	ver, err := readUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if ver != Version {
+		return nil, fmt.Errorf("dwarfish: unsupported version %d", ver)
+	}
+	in := &Info{}
+	if in.File, err = readString(r); err != nil {
+		return nil, err
+	}
+	nf, err := readUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if nf > 1<<20 {
+		return nil, fmt.Errorf("dwarfish: corrupt function count %d", nf)
+	}
+	in.Funcs = make([]FuncInfo, nf)
+	for i := range in.Funcs {
+		f := &in.Funcs[i]
+		if f.Name, err = readString(r); err != nil {
+			return nil, err
+		}
+		fi, err := readUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		f.FuncIndex = int(fi)
+		dl, err := readUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		f.DeclLine = int(dl)
+		if f.File, err = readString(r); err != nil {
+			return nil, err
+		}
+		nv, err := readUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		if nv > 1<<20 {
+			return nil, fmt.Errorf("dwarfish: corrupt var count %d", nv)
+		}
+		f.Vars = make([]VarLoc, nv)
+		for j := range f.Vars {
+			v := &f.Vars[j]
+			if v.Name, err = readString(r); err != nil {
+				return nil, err
+			}
+			slot, err := readUvarint(r)
+			if err != nil {
+				return nil, err
+			}
+			v.Slot = int(slot)
+			if v.Type, err = readString(r); err != nil {
+				return nil, err
+			}
+			if v.Param, err = readBool(r); err != nil {
+				return nil, err
+			}
+		}
+		nl, err := readUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		if nl > 1<<26 {
+			return nil, fmt.Errorf("dwarfish: corrupt line count %d", nl)
+		}
+		f.Lines = make([]LineEntry, nl)
+		prevPC, prevLine := 0, 0
+		for j := range f.Lines {
+			dpc, err := readUvarint(r)
+			if err != nil {
+				return nil, err
+			}
+			dline, err := readVarint(r)
+			if err != nil {
+				return nil, err
+			}
+			stmt, err := readBool(r)
+			if err != nil {
+				return nil, err
+			}
+			prevPC += int(dpc)
+			prevLine += int(dline)
+			f.Lines[j] = LineEntry{PC: prevPC, Line: prevLine, Stmt: stmt}
+		}
+	}
+	return in, nil
+}
+
+func writeUvarint(b *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	b.Write(tmp[:n])
+}
+
+func writeVarint(b *bytes.Buffer, v int64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], v)
+	b.Write(tmp[:n])
+}
+
+func writeString(b *bytes.Buffer, s string) {
+	writeUvarint(b, uint64(len(s)))
+	b.WriteString(s)
+}
+
+func writeBool(b *bytes.Buffer, v bool) {
+	if v {
+		b.WriteByte(1)
+	} else {
+		b.WriteByte(0)
+	}
+}
+
+func readUvarint(r *bytes.Reader) (uint64, error) { return binary.ReadUvarint(r) }
+func readVarint(r *bytes.Reader) (int64, error)   { return binary.ReadVarint(r) }
+
+func readString(r *bytes.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(r.Len()) {
+		return "", fmt.Errorf("dwarfish: corrupt string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func readBool(r *bytes.Reader) (bool, error) {
+	c, err := r.ReadByte()
+	if err != nil {
+		return false, err
+	}
+	return c != 0, nil
+}

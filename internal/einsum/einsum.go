@@ -1,0 +1,368 @@
+// Package einsum is a small tensor-expression DSL built on the buildit
+// staging framework — the paper's second §5.2 case study. The original is
+// "a mere 330 lines of code" on BuildIt's website; this implementation is
+// the same shape: tensors with static dimensions wrap dynamic buffers,
+// assignments in Einstein notation (c[i] = 2 * a[i][j] * b[j]) generate
+// loop nests with contraction over indices that appear only on the right,
+// and a constant-propagation analysis runs through *static* state.
+//
+// Crucially, this package contains NO debugging code whatsoever. Because
+// BuildIt carries the D2X integration, every einsum program is fully
+// debuggable — xbt walks into the DSL implementation below, and xvars
+// shows the constant-propagation lattice (Figure 11) — "without a single
+// line of change in the DSL implementation" (paper §5.2).
+package einsum
+
+import (
+	"fmt"
+
+	"d2x/internal/buildit"
+	"d2x/internal/minic"
+)
+
+// Index is a symbolic einsum index (i, j, ...).
+type Index struct{ name string }
+
+// NewIndex creates a named index.
+func NewIndex(name string) Index { return Index{name: name} }
+
+// Env stages einsum programs into one buildit function.
+type Env struct {
+	f *buildit.FuncBuilder
+}
+
+// New returns an einsum environment over the staged function f.
+func New(f *buildit.FuncBuilder) *Env { return &Env{f: f} }
+
+// Tensor is a statically-dimensioned view over a dynamic buffer, stored
+// row-major. ConstVal is the constant-propagation lattice value: nil means
+// "unknown"; a non-nil pointer means every element is known to equal that
+// value at this point in the staged program. The lattice value is a
+// buildit Static, so it is erased from generated code but visible to the
+// debugger through D2X.
+type Tensor struct {
+	env  *Env
+	name string
+	data buildit.Expr
+	dims []int
+
+	constVal *int
+	lattice  *buildit.Static[string]
+}
+
+// Tensor declares a tensor view named name over buffer data with the
+// given static dimensions.
+func (e *Env) Tensor(name string, data buildit.Expr, dims ...int) *Tensor {
+	t := &Tensor{env: e, name: name, data: data, dims: dims}
+	t.lattice = buildit.NewStatic(e.f, name+".constant_val", "unknown")
+	return t
+}
+
+// Dims returns the static shape.
+func (t *Tensor) Dims() []int { return append([]int(nil), t.dims...) }
+
+// setConst updates the constant-propagation lattice.
+func (t *Tensor) setConst(v *int) {
+	t.constVal = v
+	if v == nil {
+		t.lattice.Set("unknown")
+	} else {
+		t.lattice.Set(fmt.Sprint(*v))
+	}
+}
+
+// ---- Expressions ----
+
+// Ex is an einsum right-hand-side expression.
+type Ex interface {
+	// indices reports the symbolic indices the expression uses.
+	indices(into map[string]bool)
+	// stage lowers the expression under bound index variables, folding
+	// tensors whose lattice value is a known constant.
+	stage(f *buildit.FuncBuilder, bound map[string]buildit.Expr) (buildit.Expr, error)
+	// isConst reports the expression's own constant value, if total.
+	isConst() (int, bool)
+}
+
+// Const is an integer literal term.
+func Const(v int) Ex { return constEx{v: v} }
+
+type constEx struct{ v int }
+
+func (c constEx) indices(map[string]bool) {}
+func (c constEx) isConst() (int, bool)    { return c.v, true }
+func (c constEx) stage(f *buildit.FuncBuilder, _ map[string]buildit.Expr) (buildit.Expr, error) {
+	return f.IntLit(int64(c.v)), nil
+}
+
+// At builds an access term t[idx...].
+func (t *Tensor) At(idx ...Index) Ex { return accessEx{t: t, idx: idx} }
+
+type accessEx struct {
+	t   *Tensor
+	idx []Index
+}
+
+func (a accessEx) indices(into map[string]bool) {
+	for _, ix := range a.idx {
+		into[ix.name] = true
+	}
+}
+
+func (a accessEx) isConst() (int, bool) {
+	if a.t.constVal != nil {
+		return *a.t.constVal, true
+	}
+	return 0, false
+}
+
+func (a accessEx) stage(f *buildit.FuncBuilder, bound map[string]buildit.Expr) (buildit.Expr, error) {
+	// Constant propagation: a tensor whose every element is a known
+	// constant is replaced by the literal — the specialisation Figure 10
+	// demonstrates (the generated code multiplies by 1, not by
+	// input_3[j]).
+	if a.t.constVal != nil {
+		return f.IntLit(int64(*a.t.constVal)), nil
+	}
+	if len(a.idx) != len(a.t.dims) {
+		return buildit.Expr{}, fmt.Errorf("einsum: tensor %s has rank %d, accessed with %d indices",
+			a.t.name, len(a.t.dims), len(a.idx))
+	}
+	flat, err := a.flatIndex(f, bound)
+	if err != nil {
+		return buildit.Expr{}, err
+	}
+	return f.Index(a.t.data, flat), nil
+}
+
+// flatIndex lowers the row-major flattened index.
+func (a accessEx) flatIndex(f *buildit.FuncBuilder, bound map[string]buildit.Expr) (buildit.Expr, error) {
+	var flat buildit.Expr
+	for d, ix := range a.idx {
+		iv, ok := bound[ix.name]
+		if !ok {
+			return buildit.Expr{}, fmt.Errorf("einsum: unbound index %q on tensor %s", ix.name, a.t.name)
+		}
+		if d == 0 {
+			flat = iv
+			continue
+		}
+		flat = f.Add(f.Mul(flat, f.IntLit(int64(a.t.dims[d]))), iv)
+	}
+	return flat, nil
+}
+
+// Mul multiplies terms.
+func Mul(terms ...Ex) Ex { return opEx{op: "*", terms: terms} }
+
+// Add sums terms.
+func Add(terms ...Ex) Ex { return opEx{op: "+", terms: terms} }
+
+type opEx struct {
+	op    string
+	terms []Ex
+}
+
+func (o opEx) indices(into map[string]bool) {
+	for _, t := range o.terms {
+		t.indices(into)
+	}
+}
+
+func (o opEx) isConst() (int, bool) {
+	acc, start := 0, true
+	for _, t := range o.terms {
+		v, ok := t.isConst()
+		if !ok {
+			return 0, false
+		}
+		if start {
+			acc = v
+			start = false
+			continue
+		}
+		if o.op == "*" {
+			acc *= v
+		} else {
+			acc += v
+		}
+	}
+	return acc, !start
+}
+
+func (o opEx) stage(f *buildit.FuncBuilder, bound map[string]buildit.Expr) (buildit.Expr, error) {
+	if len(o.terms) == 0 {
+		return buildit.Expr{}, fmt.Errorf("einsum: empty %s expression", o.op)
+	}
+	acc, err := o.terms[0].stage(f, bound)
+	if err != nil {
+		return buildit.Expr{}, err
+	}
+	for _, t := range o.terms[1:] {
+		x, err := t.stage(f, bound)
+		if err != nil {
+			return buildit.Expr{}, err
+		}
+		if o.op == "*" {
+			acc = f.Mul(acc, x)
+		} else {
+			acc = f.Add(acc, x)
+		}
+	}
+	return acc, nil
+}
+
+// ---- Assignment (the einsum operator) ----
+
+// Assign stages `t[lhsIdx...] = rhs`, looping over the left-hand indices
+// and summing over indices that appear only on the right (Einstein
+// convention). It also advances the constant-propagation lattice: a total
+// constant assignment with no contraction makes the tensor constant; any
+// other assignment invalidates it.
+func (t *Tensor) Assign(rhs Ex, lhsIdx ...Index) error {
+	f := t.env.f
+	if len(lhsIdx) != len(t.dims) {
+		return fmt.Errorf("einsum: tensor %s has rank %d, assigned with %d indices",
+			t.name, len(t.dims), len(lhsIdx))
+	}
+	lhsSet := map[string]bool{}
+	for _, ix := range lhsIdx {
+		if lhsSet[ix.name] {
+			return fmt.Errorf("einsum: repeated index %q on the left of an assignment", ix.name)
+		}
+		lhsSet[ix.name] = true
+	}
+	rhsIdx := map[string]bool{}
+	rhs.indices(rhsIdx)
+	var contracted []string
+	for name := range rhsIdx {
+		if !lhsSet[name] {
+			contracted = append(contracted, name)
+		}
+	}
+	// Deterministic loop order for contraction indices.
+	sortStrings(contracted)
+
+	// Contraction dimensions come from any tensor term using the index.
+	dimOf, err := contractionDims(rhs, contracted)
+	if err != nil {
+		return err
+	}
+
+	bound := map[string]buildit.Expr{}
+	var build func(depth int) error
+	build = func(depth int) error {
+		if depth < len(lhsIdx) {
+			var ferr error
+			f.For(lhsIdx[depth].name, f.IntLit(0), f.IntLit(int64(t.dims[depth])), func(iv buildit.Expr) {
+				bound[lhsIdx[depth].name] = iv
+				ferr = build(depth + 1)
+			})
+			return ferr
+		}
+		// All free indices bound: compute the (possibly contracted) value.
+		flat, err := accessEx{t: t, idx: lhsIdx}.flatIndex(f, bound)
+		if err != nil {
+			return err
+		}
+		if len(contracted) == 0 {
+			val, err := rhs.stage(f, bound)
+			if err != nil {
+				return err
+			}
+			f.Assign(f.Index(t.data, flat), val)
+			return nil
+		}
+		acc := f.Decl("acc", f.IntLit(0))
+		var inner func(ci int) error
+		inner = func(ci int) error {
+			if ci < len(contracted) {
+				name := contracted[ci]
+				var ferr error
+				f.For(name, f.IntLit(0), f.IntLit(int64(dimOf[name])), func(iv buildit.Expr) {
+					bound[name] = iv
+					ferr = inner(ci + 1)
+				})
+				return ferr
+			}
+			val, err := rhs.stage(f, bound)
+			if err != nil {
+				return err
+			}
+			f.AddAssign(acc, val)
+			return nil
+		}
+		if err := inner(0); err != nil {
+			return err
+		}
+		f.Assign(f.Index(t.data, flat), acc)
+		return nil
+	}
+	if err := build(0); err != nil {
+		return err
+	}
+
+	// Constant-propagation transfer function.
+	if v, ok := rhs.isConst(); ok && len(contracted) == 0 {
+		t.setConst(&v)
+	} else {
+		t.setConst(nil)
+	}
+	return nil
+}
+
+// contractionDims finds the static extent of each contracted index by
+// scanning tensor access terms.
+func contractionDims(e Ex, contracted []string) (map[string]int, error) {
+	want := map[string]bool{}
+	for _, n := range contracted {
+		want[n] = true
+	}
+	dims := map[string]int{}
+	var scan func(Ex) error
+	scan = func(e Ex) error {
+		switch x := e.(type) {
+		case accessEx:
+			for d, ix := range x.idx {
+				if !want[ix.name] {
+					continue
+				}
+				if d >= len(x.t.dims) {
+					return fmt.Errorf("einsum: rank mismatch on tensor %s", x.t.name)
+				}
+				extent := x.t.dims[d]
+				if prev, ok := dims[ix.name]; ok && prev != extent {
+					return fmt.Errorf("einsum: index %q ranges over %d and %d", ix.name, prev, extent)
+				}
+				dims[ix.name] = extent
+			}
+		case opEx:
+			for _, t := range x.terms {
+				if err := scan(t); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := scan(e); err != nil {
+		return nil, err
+	}
+	for _, n := range contracted {
+		if _, ok := dims[n]; !ok {
+			return nil, fmt.Errorf("einsum: contracted index %q appears on no tensor", n)
+		}
+	}
+	return dims, nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// IntArrayType is the buffer type einsum functions take as parameters.
+var IntArrayType = minic.ArrayOf(minic.IntType)

@@ -1,0 +1,266 @@
+package einsum
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"d2x/internal/buildit"
+	"d2x/internal/d2x"
+	"d2x/internal/debugger"
+	"d2x/internal/minic"
+)
+
+// stageMVMul stages Figure 10's program: b[j] = 1 (constant-propagated),
+// c[i] = 2 * a[i][j] * b[j] (matrix-vector multiply with the constant
+// folded in). M rows, N columns. Returns the staged function's name.
+func stageMVMul(b *buildit.Builder, m, n int) string {
+	f := b.Func(fmt.Sprintf("m_v_mul_%d_%d", m, n), []buildit.Param{
+		{Name: "output", Type: IntArrayType},
+		{Name: "matrix", Type: IntArrayType},
+		{Name: "input", Type: IntArrayType},
+	}, minic.VoidType)
+	env := New(f)
+	c := env.Tensor("c", f.Arg(0), m)
+	a := env.Tensor("a", f.Arg(1), m, n)
+	bt := env.Tensor("b", f.Arg(2), n)
+	i, j := NewIndex("i"), NewIndex("j")
+	if err := bt.Assign(Const(1), j); err != nil {
+		panic(err)
+	}
+	if err := c.Assign(Mul(Const(2), a.At(i, j), bt.At(j)), i); err != nil {
+		panic(err)
+	}
+	f.Return(buildit.Expr{})
+	return f.Name()
+}
+
+// stageHarness wraps the staged kernel with a main that allocates buffers,
+// fills the matrix deterministically, runs the kernel, and prints a
+// checksum of the output.
+func stageHarness(b *buildit.Builder, kernel string, m, n int) {
+	mn := b.Func("main", nil, minic.IntType)
+	out := mn.DeclArr("output", minic.IntType, mn.IntLit(int64(m)))
+	mat := mn.DeclArr("matrix", minic.IntType, mn.IntLit(int64(m*n)))
+	in := mn.DeclArr("input", minic.IntType, mn.IntLit(int64(n)))
+	mn.For("k", mn.IntLit(0), mn.IntLit(int64(m*n)), func(k buildit.Expr) {
+		mn.Assign(mn.Index(mat, k), mn.Mod(k, mn.IntLit(7)))
+	})
+	mn.Do(mn.Call(kernel, minic.VoidType, out, mat, in))
+	sum := mn.Decl("sum", mn.IntLit(0))
+	mn.For("k", mn.IntLit(0), mn.IntLit(int64(m)), func(k buildit.Expr) {
+		mn.AddAssign(sum, mn.Index(out, k))
+	})
+	mn.Printf("%d\n", sum)
+	mn.Return(mn.IntLit(0))
+}
+
+// oracle computes the expected checksum in Go.
+func oracle(m, n int) int {
+	sum := 0
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			sum += 2 * ((i*n + j) % 7) * 1
+		}
+	}
+	return sum
+}
+
+func buildMVMul(t *testing.T, m, n int, withD2X bool) *d2x.Build {
+	t.Helper()
+	b := buildit.NewBuilder()
+	if withD2X {
+		buildit.EnableD2X(b)
+	}
+	kernel := stageMVMul(b, m, n)
+	stageHarness(b, kernel, m, n)
+	build, err := b.Link("einsum_gen.c", d2x.LinkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return build
+}
+
+func TestMVMulComputesCorrectly(t *testing.T) {
+	for _, dims := range [][2]int{{16, 8}, {1, 1}, {3, 5}, {8, 8}} {
+		m, n := dims[0], dims[1]
+		build := buildMVMul(t, m, n, false)
+		out, _, err := build.Run()
+		if err != nil {
+			t.Fatalf("%dx%d: %v", m, n, err)
+		}
+		want := fmt.Sprintf("%d\n", oracle(m, n))
+		if out != want {
+			t.Errorf("%dx%d: output %q, want %q", m, n, out, want)
+		}
+	}
+}
+
+func TestConstantPropagationSpecializesCode(t *testing.T) {
+	build := buildMVMul(t, 16, 8, false)
+	// b was assigned the constant 1, so the generated kernel must not
+	// read the input buffer at all: the access was folded to the literal.
+	kernel := build.Source[strings.Index(build.Source, "m_v_mul"):]
+	kernel = kernel[:strings.Index(kernel, "func int main")]
+	// input[] appears exactly once: the initialising write. The multiply
+	// loop reads the folded literal instead of the buffer.
+	if got := strings.Count(kernel, "input["); got != 1 {
+		t.Errorf("input[] referenced %d times, want 1 (the init write):\n%s", got, kernel)
+	}
+	if !strings.Contains(kernel, "input[j_1] = 1;") {
+		t.Errorf("missing initialising write:\n%s", kernel)
+	}
+	if !strings.Contains(kernel, "* 1") {
+		t.Errorf("expected folded literal 1 in the multiply loop:\n%s", kernel)
+	}
+}
+
+func TestNonConstantTensorIsNotFolded(t *testing.T) {
+	b := buildit.NewBuilder()
+	f := b.Func("kernel", []buildit.Param{
+		{Name: "output", Type: IntArrayType},
+		{Name: "input", Type: IntArrayType},
+	}, minic.VoidType)
+	env := New(f)
+	c := env.Tensor("c", f.Arg(0), 4)
+	v := env.Tensor("v", f.Arg(1), 4)
+	i := NewIndex("i")
+	// No constant assignment: v stays unknown and must be read.
+	if err := c.Assign(Mul(Const(3), v.At(i)), i); err != nil {
+		t.Fatal(err)
+	}
+	f.Return(buildit.Expr{})
+	src, _, err := b.Generate("k.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "input[") {
+		t.Errorf("unknown tensor folded away:\n%s", src)
+	}
+}
+
+func TestConstantInvalidation(t *testing.T) {
+	b := buildit.NewBuilder()
+	f := b.Func("kernel", []buildit.Param{
+		{Name: "buf", Type: IntArrayType},
+		{Name: "other", Type: IntArrayType},
+	}, minic.VoidType)
+	env := New(f)
+	tns := env.Tensor("t", f.Arg(0), 4)
+	oth := env.Tensor("o", f.Arg(1), 4)
+	i := NewIndex("i")
+	if err := tns.Assign(Const(5), i); err != nil {
+		t.Fatal(err)
+	}
+	if tns.constVal == nil || *tns.constVal != 5 {
+		t.Fatalf("constVal = %v, want 5", tns.constVal)
+	}
+	// Assigning from an unknown tensor invalidates the lattice value.
+	if err := tns.Assign(oth.At(i), i); err != nil {
+		t.Fatal(err)
+	}
+	if tns.constVal != nil {
+		t.Errorf("constVal not invalidated: %v", *tns.constVal)
+	}
+}
+
+func TestAssignmentErrors(t *testing.T) {
+	b := buildit.NewBuilder()
+	f := b.Func("kernel", []buildit.Param{{Name: "buf", Type: IntArrayType}}, minic.VoidType)
+	env := New(f)
+	tns := env.Tensor("t", f.Arg(0), 4, 4)
+	i, j := NewIndex("i"), NewIndex("j")
+	if err := tns.Assign(Const(1), i); err == nil {
+		t.Error("rank mismatch accepted")
+	}
+	if err := tns.Assign(Const(1), i, i); err == nil {
+		t.Error("repeated LHS index accepted")
+	}
+	if err := tns.Assign(Mul(), i, j); err == nil {
+		t.Error("empty Mul accepted")
+	}
+	v := env.Tensor("v", f.Arg(0), 4)
+	if err := v.Assign(tns.At(i), i); err == nil {
+		t.Error("rank mismatch on access accepted")
+	}
+}
+
+func TestContractionDimsMismatch(t *testing.T) {
+	b := buildit.NewBuilder()
+	f := b.Func("kernel", []buildit.Param{
+		{Name: "o", Type: IntArrayType},
+		{Name: "p", Type: IntArrayType},
+		{Name: "q", Type: IntArrayType},
+	}, minic.VoidType)
+	env := New(f)
+	out := env.Tensor("out", f.Arg(0), 2)
+	p := env.Tensor("p", f.Arg(1), 2, 3)
+	q := env.Tensor("q", f.Arg(2), 4)
+	i, j := NewIndex("i"), NewIndex("j")
+	if err := out.Assign(Mul(p.At(i, j), q.At(j)), i); err == nil {
+		t.Error("contraction extent mismatch accepted (3 vs 4)")
+	}
+}
+
+// ---- Figure 11: debugging the einsum DSL with zero DSL changes ----
+
+func TestFig11DebuggerSession(t *testing.T) {
+	build := buildMVMul(t, 16, 8, true)
+	var out strings.Builder
+	d, err := build.NewSession(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Break on the kernel's accumulation line.
+	var accLine int
+	for idx, l := range strings.Split(build.Source, "\n") {
+		if strings.Contains(l, "acc_") && strings.Contains(l, "+=") {
+			accLine = idx + 1
+			break
+		}
+	}
+	if accLine == 0 {
+		t.Fatalf("no accumulation line in generated code:\n%s", build.Source)
+	}
+	exec := func(lines ...string) {
+		t.Helper()
+		for _, l := range lines {
+			if err := d.Execute(l); err != nil {
+				t.Fatalf("command %q: %v", l, err)
+			}
+		}
+	}
+	exec(fmt.Sprintf("break einsum_gen.c:%d", accLine), "run")
+	if d.LastStop().Reason != debugger.StopBreakpoint {
+		t.Fatalf("stop = %v", d.LastStop().Reason)
+	}
+	// xbt walks into the DSL implementation (einsum.go) and up to the
+	// user's staging code — Figure 11's frames #0..#7.
+	out.Reset()
+	exec("xbt")
+	tr := out.String()
+	if !strings.Contains(tr, "einsum.go") {
+		t.Errorf("xbt missing DSL-implementation frames:\n%s", tr)
+	}
+	if !strings.Contains(tr, "einsum_test.go") {
+		t.Errorf("xbt missing user staging frame:\n%s", tr)
+	}
+	// xvars shows the constant-propagation lattice: b.constant_val = 1.
+	out.Reset()
+	exec("xvars b.constant_val")
+	if !strings.Contains(out.String(), "b.constant_val = 1") {
+		t.Errorf("xvars b.constant_val:\n%s", out.String())
+	}
+	// The other tensors are unknown at this point.
+	out.Reset()
+	exec("xvars a.constant_val")
+	if !strings.Contains(out.String(), "a.constant_val = unknown") {
+		t.Errorf("xvars a.constant_val:\n%s", out.String())
+	}
+	// Continue to completion; the program still computes correctly.
+	out.Reset()
+	exec("delete", "continue")
+	if !strings.Contains(out.String(), fmt.Sprint(oracle(16, 8))) {
+		t.Errorf("final output:\n%s", out.String())
+	}
+}

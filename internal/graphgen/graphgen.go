@@ -1,0 +1,335 @@
+// Package graphgen generates deterministic synthetic graphs. The paper's
+// evaluation debugs GraphIt programs on real-world matrix-market inputs
+// (graph.mtx); behaviourally the debugger and D2X only need *a* CSR graph,
+// so reproducible synthetic generators stand in for the proprietary
+// datasets (see DESIGN.md, substitution table).
+//
+// Graphs are described by spec strings so they can travel through
+// generated code as plain data:
+//
+//	uniform:n=64,m=256,seed=1   random directed multigraph-free edges
+//	powerlaw:n=64,m=256,seed=1  preferential-attachment-style skew
+//	chain:n=16                  0->1->2->...->n-1
+//	star:n=16                   0->k for all k
+//	grid:w=4,h=3                4-neighbour mesh, edges in both directions
+//	cycle:n=8                   chain plus the closing edge
+package graphgen
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Graph is an edge list over vertices [0, N).
+type Graph struct {
+	N     int
+	Edges [][2]int32
+}
+
+// NumEdges returns the number of directed edges.
+func (g *Graph) NumEdges() int { return len(g.Edges) }
+
+// rng is a deterministic xorshift64* generator, independent of the
+// standard library so specs produce identical graphs forever.
+type rng struct{ s uint64 }
+
+func newRng(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Parse builds the graph a spec string describes.
+func Parse(spec string) (*Graph, error) {
+	kind, rest, _ := strings.Cut(spec, ":")
+	params := map[string]int{}
+	if rest != "" {
+		for _, kv := range strings.Split(rest, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("graphgen: bad parameter %q in %q", kv, spec)
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("graphgen: bad value %q in %q", v, spec)
+			}
+			params[strings.TrimSpace(k)] = n
+		}
+	}
+	get := func(key, alt string, dflt int) int {
+		if v, ok := params[key]; ok {
+			return v
+		}
+		if alt != "" {
+			if v, ok := params[alt]; ok {
+				return v
+			}
+		}
+		return dflt
+	}
+	allowed := map[string][]string{
+		"uniform": {"n", "m", "seed"}, "powerlaw": {"n", "m", "seed"},
+		"chain": {"n"}, "cycle": {"n"}, "star": {"n"}, "grid": {"w", "h"},
+	}
+	if keys, ok := allowed[kind]; ok {
+		valid := map[string]bool{}
+		for _, k := range keys {
+			valid[k] = true
+		}
+		for k := range params {
+			if !valid[k] {
+				return nil, fmt.Errorf("graphgen: unknown parameter %q for %q graphs", k, kind)
+			}
+		}
+	}
+
+	switch kind {
+	case "uniform":
+		n := get("n", "", 16)
+		m := get("m", "", 4*n)
+		seed := get("seed", "", 1)
+		return Uniform(n, m, uint64(seed)), nil
+	case "powerlaw":
+		n := get("n", "", 16)
+		m := get("m", "", 4*n)
+		seed := get("seed", "", 1)
+		return PowerLaw(n, m, uint64(seed)), nil
+	case "chain":
+		return Chain(get("n", "", 16)), nil
+	case "cycle":
+		return Cycle(get("n", "", 16)), nil
+	case "star":
+		return Star(get("n", "", 16)), nil
+	case "grid":
+		return Grid(get("w", "", 4), get("h", "", 4)), nil
+	}
+	return nil, fmt.Errorf("graphgen: unknown graph kind %q", kind)
+}
+
+// Uniform samples m distinct directed edges uniformly (no self loops).
+func Uniform(n, m int, seed uint64) *Graph {
+	if n < 2 {
+		n = 2
+	}
+	maxEdges := n * (n - 1)
+	if m > maxEdges {
+		m = maxEdges
+	}
+	r := newRng(seed)
+	seen := make(map[[2]int32]bool, m)
+	g := &Graph{N: n}
+	for len(g.Edges) < m {
+		s := int32(r.intn(n))
+		d := int32(r.intn(n))
+		if s == d {
+			continue
+		}
+		e := [2]int32{s, d}
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		g.Edges = append(g.Edges, e)
+	}
+	sortEdges(g)
+	return g
+}
+
+// PowerLaw samples edges with destination probability proportional to a
+// growing degree bias, producing the skewed degree distributions that make
+// GraphIt's hybrid schedules interesting.
+func PowerLaw(n, m int, seed uint64) *Graph {
+	if n < 2 {
+		n = 2
+	}
+	r := newRng(seed)
+	weight := make([]int, n)
+	for i := range weight {
+		weight[i] = 1
+	}
+	total := n
+	seen := make(map[[2]int32]bool, m)
+	g := &Graph{N: n}
+	attempts := 0
+	for len(g.Edges) < m && attempts < 50*m {
+		attempts++
+		s := int32(r.intn(n))
+		// Weighted pick for the destination.
+		pick := r.intn(total)
+		d := int32(0)
+		for acc := 0; int(d) < n; d++ {
+			acc += weight[d]
+			if pick < acc {
+				break
+			}
+		}
+		if d >= int32(n) {
+			d = int32(n - 1)
+		}
+		if s == d {
+			continue
+		}
+		e := [2]int32{s, d}
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		g.Edges = append(g.Edges, e)
+		weight[d] += 2
+		total += 2
+	}
+	sortEdges(g)
+	return g
+}
+
+// Chain builds 0->1->...->n-1.
+func Chain(n int) *Graph {
+	if n < 1 {
+		n = 1
+	}
+	g := &Graph{N: n}
+	for i := 0; i < n-1; i++ {
+		g.Edges = append(g.Edges, [2]int32{int32(i), int32(i + 1)})
+	}
+	return g
+}
+
+// Cycle builds a chain plus the closing edge.
+func Cycle(n int) *Graph {
+	g := Chain(n)
+	if n > 1 {
+		g.Edges = append(g.Edges, [2]int32{int32(n - 1), 0})
+	}
+	return g
+}
+
+// Star builds edges 0->k for every k.
+func Star(n int) *Graph {
+	if n < 1 {
+		n = 1
+	}
+	g := &Graph{N: n}
+	for i := 1; i < n; i++ {
+		g.Edges = append(g.Edges, [2]int32{0, int32(i)})
+	}
+	return g
+}
+
+// Grid builds a w x h mesh with bidirectional 4-neighbour edges.
+func Grid(w, h int) *Graph {
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	g := &Graph{N: w * h}
+	id := func(x, y int) int32 { return int32(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				g.Edges = append(g.Edges, [2]int32{id(x, y), id(x+1, y)}, [2]int32{id(x+1, y), id(x, y)})
+			}
+			if y+1 < h {
+				g.Edges = append(g.Edges, [2]int32{id(x, y), id(x, y+1)}, [2]int32{id(x, y+1), id(x, y)})
+			}
+		}
+	}
+	sortEdges(g)
+	return g
+}
+
+func sortEdges(g *Graph) {
+	sort.Slice(g.Edges, func(i, j int) bool {
+		if g.Edges[i][0] != g.Edges[j][0] {
+			return g.Edges[i][0] < g.Edges[j][0]
+		}
+		return g.Edges[i][1] < g.Edges[j][1]
+	})
+}
+
+// OutDegrees computes per-vertex out-degrees.
+func (g *Graph) OutDegrees() []int {
+	deg := make([]int, g.N)
+	for _, e := range g.Edges {
+		deg[e[0]]++
+	}
+	return deg
+}
+
+// Weight returns the deterministic weight of edge i: a function of its
+// endpoints, so every consumer (host oracle and generated code) agrees
+// without storing anything.
+func (g *Graph) Weight(i int) int {
+	e := g.Edges[i]
+	return 1 + int((e[0]*31+e[1]*17)%9)
+}
+
+// ShortestPaths computes single-source shortest paths over the weighted
+// edges (Bellman-Ford) — the oracle for the GraphIt SSSP tests. Distances
+// of unreachable vertices are -1.
+func (g *Graph) ShortestPaths(src int) []int {
+	const inf = int(1) << 40
+	dist := make([]int, g.N)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[src] = 0
+	for round := 0; round < g.N; round++ {
+		changed := false
+		for i, e := range g.Edges {
+			if dist[e[0]] == inf {
+				continue
+			}
+			if nd := dist[e[0]] + g.Weight(i); nd < dist[e[1]] {
+				dist[e[1]] = nd
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for i := range dist {
+		if dist[i] == inf {
+			dist[i] = -1
+		}
+	}
+	return dist
+}
+
+// Reachable returns the set of vertices reachable from src (BFS), the
+// reference oracle the GraphIt BFS tests compare against.
+func (g *Graph) Reachable(src int) []bool {
+	adj := make([][]int32, g.N)
+	for _, e := range g.Edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+	}
+	seen := make([]bool, g.N)
+	queue := []int32{int32(src)}
+	seen[src] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, d := range adj[v] {
+			if !seen[d] {
+				seen[d] = true
+				queue = append(queue, d)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,192 @@
+package graphgen
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseSpecs(t *testing.T) {
+	cases := []struct {
+		spec      string
+		wantN     int
+		wantEdges int
+	}{
+		{"chain:n=5", 5, 4},
+		{"cycle:n=5", 5, 5},
+		{"star:n=6", 6, 5},
+		{"grid:w=3,h=2", 6, 14}, // 3 horizontal pairs*2? (2 per row-gap) -> (w-1)*h*2 + (h-1)*w*2 = 2*2*2+1*3*2 = 8+6
+		{"uniform:n=10,m=20,seed=1", 10, 20},
+		{"powerlaw:n=10,m=20,seed=1", 10, 20},
+	}
+	for _, tc := range cases {
+		g, err := Parse(tc.spec)
+		if err != nil {
+			t.Errorf("%s: %v", tc.spec, err)
+			continue
+		}
+		if g.N != tc.wantN {
+			t.Errorf("%s: N = %d, want %d", tc.spec, g.N, tc.wantN)
+		}
+		if g.NumEdges() != tc.wantEdges {
+			t.Errorf("%s: edges = %d, want %d", tc.spec, g.NumEdges(), tc.wantEdges)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"mystery:n=4", "uniform:n", "uniform:n=abc", "uniform:nope=3"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, spec := range []string{"uniform:n=32,m=100,seed=7", "powerlaw:n=32,m=100,seed=7"} {
+		a, err := Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Edges) != len(b.Edges) {
+			t.Fatalf("%s: nondeterministic edge count", spec)
+		}
+		for i := range a.Edges {
+			if a.Edges[i] != b.Edges[i] {
+				t.Fatalf("%s: edge %d differs", spec, i)
+			}
+		}
+	}
+	// Different seeds differ.
+	a, _ := Parse("uniform:n=32,m=100,seed=1")
+	b, _ := Parse("uniform:n=32,m=100,seed=2")
+	same := true
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+// TestGraphInvariants is the generator property test: all edges in range,
+// no self loops (for random generators), no duplicate edges.
+func TestGraphInvariants(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(50) + 2
+		m := r.Intn(4*n) + 1
+		kind := []string{"uniform", "powerlaw"}[r.Intn(2)]
+		g, err := Parse(fmt.Sprintf("%s:n=%d,m=%d,seed=%d", kind, n, m, r.Intn(1000)+1))
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		seen := map[[2]int32]bool{}
+		for _, e := range g.Edges {
+			if e[0] < 0 || e[0] >= int32(g.N) || e[1] < 0 || e[1] >= int32(g.N) {
+				t.Logf("edge out of range: %v (n=%d)", e, g.N)
+				return false
+			}
+			if e[0] == e[1] {
+				t.Logf("self loop: %v", e)
+				return false
+			}
+			if seen[e] {
+				t.Logf("duplicate edge: %v", e)
+				return false
+			}
+			seen[e] = true
+		}
+		// Degrees sum to edge count.
+		total := 0
+		for _, d := range g.OutDegrees() {
+			total += d
+		}
+		return total == g.NumEdges()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReachableOracle(t *testing.T) {
+	g, _ := Parse("chain:n=5")
+	reach := g.Reachable(0)
+	for i, r := range reach {
+		if !r {
+			t.Errorf("chain vertex %d unreachable", i)
+		}
+	}
+	reach2 := g.Reachable(2)
+	if reach2[0] || reach2[1] || !reach2[2] || !reach2[4] {
+		t.Errorf("chain reachability from 2 wrong: %v", reach2)
+	}
+	star, _ := Parse("star:n=4")
+	r := star.Reachable(1)
+	if r[0] || r[2] || !r[1] {
+		t.Errorf("star leaf reachability wrong: %v", r)
+	}
+}
+
+func TestGridConnected(t *testing.T) {
+	g, _ := Parse("grid:w=5,h=3")
+	for i, r := range g.Reachable(0) {
+		if !r {
+			t.Errorf("grid vertex %d unreachable", i)
+		}
+	}
+}
+
+func TestPowerLawSkew(t *testing.T) {
+	g := PowerLaw(100, 800, 3)
+	inDeg := make([]int, g.N)
+	for _, e := range g.Edges {
+		inDeg[e[1]]++
+	}
+	maxDeg, minDeg := 0, 1<<30
+	for _, d := range inDeg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+		if d < minDeg {
+			minDeg = d
+		}
+	}
+	// Preferential attachment concentrates edges: the hottest vertex must
+	// be far above a uniform share (8 per vertex here).
+	if maxDeg < 16 {
+		t.Errorf("max in-degree %d suggests no skew", maxDeg)
+	}
+}
+
+func TestDegenerateSizes(t *testing.T) {
+	for _, spec := range []string{"chain:n=1", "star:n=1", "grid:w=1,h=1", "cycle:n=1", "uniform:n=2,m=100,seed=1"} {
+		g, err := Parse(spec)
+		if err != nil {
+			t.Errorf("%s: %v", spec, err)
+			continue
+		}
+		if g.N < 1 {
+			t.Errorf("%s: N = %d", spec, g.N)
+		}
+		for _, e := range g.Edges {
+			if e[0] >= int32(g.N) || e[1] >= int32(g.N) {
+				t.Errorf("%s: edge %v out of range", spec, e)
+			}
+		}
+	}
+	// uniform with m > max possible clamps.
+	g, _ := Parse("uniform:n=3,m=100,seed=1")
+	if g.NumEdges() > 6 {
+		t.Errorf("uniform overproduced edges: %d", g.NumEdges())
+	}
+}

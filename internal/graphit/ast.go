@@ -1,0 +1,291 @@
+package graphit
+
+// GraphIt algorithm-language AST. Line numbers are retained on every node:
+// the frontend "already records the line and column number for each
+// operator it parses for printing error messages" (paper §5.1), and the
+// D2X integration propagates exactly these through the mid-end to codegen.
+
+// TypeKind enumerates GraphIt types.
+type TypeKind int
+
+const (
+	GTInt TypeKind = iota
+	GTFloat
+	GTBool
+	GTVertex
+	GTVector    // vector{Vertex}(Elem)
+	GTVertexSet // vertexset{Vertex}
+	GTEdgeSet   // edgeset{Edge}(Vertex, Vertex)
+	GTVoid
+)
+
+// GType is a GraphIt type.
+type GType struct {
+	Kind TypeKind
+	Elem *GType // element type for GTVector
+	// Weighted marks edgesets declared with a third int component
+	// (edgeset{Edge}(Vertex, Vertex, int)); their UDFs receive the edge
+	// weight as a third parameter.
+	Weighted bool
+}
+
+func (t *GType) String() string {
+	switch t.Kind {
+	case GTInt:
+		return "int"
+	case GTFloat:
+		return "float"
+	case GTBool:
+		return "bool"
+	case GTVertex:
+		return "Vertex"
+	case GTVector:
+		return "vector{Vertex}(" + t.Elem.String() + ")"
+	case GTVertexSet:
+		return "vertexset{Vertex}"
+	case GTEdgeSet:
+		if t.Weighted {
+			return "edgeset{Edge}(Vertex,Vertex,int)"
+		}
+		return "edgeset{Edge}(Vertex,Vertex)"
+	case GTVoid:
+		return "void"
+	}
+	return "?"
+}
+
+// Equal reports structural equality.
+func (t *GType) Equal(o *GType) bool {
+	if t == nil || o == nil {
+		return t == o
+	}
+	if t.Kind != o.Kind {
+		return false
+	}
+	if t.Kind == GTVector {
+		return t.Elem.Equal(o.Elem)
+	}
+	if t.Kind == GTEdgeSet {
+		return t.Weighted == o.Weighted
+	}
+	return true
+}
+
+// IsNumeric reports int/float (Vertex indexes like an int but is not
+// arithmetic in this dialect, except comparisons).
+func (t *GType) IsNumeric() bool { return t.Kind == GTInt || t.Kind == GTFloat }
+
+var (
+	gtInt       = &GType{Kind: GTInt}
+	gtFloat     = &GType{Kind: GTFloat}
+	gtBool      = &GType{Kind: GTBool}
+	gtVertex    = &GType{Kind: GTVertex}
+	gtVertexSet = &GType{Kind: GTVertexSet}
+	gtEdgeSet   = &GType{Kind: GTEdgeSet}
+	gtVoid      = &GType{Kind: GTVoid}
+)
+
+// Program is one parsed .gt file.
+type Program struct {
+	File     string
+	Elements []string
+	Consts   []*ConstDecl
+	Funcs    []*FuncDef
+}
+
+// FuncByName returns the function definition, or nil.
+func (p *Program) FuncByName(name string) *FuncDef {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// ConstDecl is a top-level `const name : type [= init]`.
+type ConstDecl struct {
+	Name string
+	Type *GType
+	Line int
+	// Init forms: for edgesets, LoadSpec holds the load("...") argument;
+	// for scalars/vectors, ScalarInit holds the fill value expression.
+	LoadSpec   GExpr // nil unless edgeset
+	ScalarInit GExpr // nil when absent
+}
+
+// FuncDef is a function definition, either a UDF applied by operators or
+// main.
+type FuncDef struct {
+	Name    string
+	Params  []GParam
+	RetName string // named return variable ("" for void)
+	RetType *GType
+	Body    []GStmt
+	Line    int
+}
+
+// GParam is a parameter of a GraphIt function.
+type GParam struct {
+	Name string
+	Type *GType
+}
+
+// ---- Statements ----
+
+// GStmt is a GraphIt statement.
+type GStmt interface {
+	gline() int
+}
+
+type gstmtBase struct{ Line int }
+
+func (s gstmtBase) gline() int { return s.Line }
+
+// VarDecl is `var name : type = init`.
+type VarDecl struct {
+	gstmtBase
+	Name string
+	Type *GType
+	Init GExpr
+}
+
+// AssignStmt is `lhs = rhs`, `lhs += rhs`, `lhs -= rhs`.
+type AssignStmt struct {
+	gstmtBase
+	Op  string // "=", "+=", "-="
+	LHS GExpr
+	RHS GExpr
+}
+
+// ExprStmt is an expression evaluated for effect, optionally labelled for
+// scheduling (#s1# edges.apply(...)).
+type ExprStmt struct {
+	gstmtBase
+	Label string
+	X     GExpr
+}
+
+// IfStmt is if/elif/else/end (elif chains become nested IfStmts).
+type IfStmt struct {
+	gstmtBase
+	Cond GExpr
+	Then []GStmt
+	Else []GStmt
+}
+
+// WhileStmt is while/end.
+type WhileStmt struct {
+	gstmtBase
+	Cond GExpr
+	Body []GStmt
+}
+
+// ForStmt is `for i in lo:hi` (hi exclusive).
+type ForStmt struct {
+	gstmtBase
+	Var    string
+	Lo, Hi GExpr
+	Body   []GStmt
+}
+
+// PrintStmt is `print expr`.
+type PrintStmt struct {
+	gstmtBase
+	X GExpr
+}
+
+// BreakStmt is `break`.
+type BreakStmt struct{ gstmtBase }
+
+// ---- Expressions ----
+
+// GExpr is a GraphIt expression. Types are filled in by the checker.
+type GExpr interface {
+	gline() int
+	GType() *GType
+	setType(*GType)
+}
+
+type gexprBase struct {
+	Line int
+	typ  *GType
+}
+
+func (e *gexprBase) gline() int       { return e.Line }
+func (e *gexprBase) GType() *GType    { return e.typ }
+func (e *gexprBase) setType(t *GType) { e.typ = t }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	gexprBase
+	Val int64
+}
+
+// FloatLit is a float literal.
+type FloatLit struct {
+	gexprBase
+	Val float64
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	gexprBase
+	Val bool
+}
+
+// StringLit is a string literal (graph load specs).
+type StringLit struct {
+	gexprBase
+	Val string
+}
+
+// NameRef references a const, local, parameter, or intrinsic.
+type NameRef struct {
+	gexprBase
+	Name string
+}
+
+// BinExpr is a binary operation; Op is the surface operator.
+type BinExpr struct {
+	gexprBase
+	Op   string
+	X, Y GExpr
+}
+
+// UnExpr is `-x` or `not x`.
+type UnExpr struct {
+	gexprBase
+	Op string
+	X  GExpr
+}
+
+// IndexExpr is `vec[v]`.
+type IndexExpr struct {
+	gexprBase
+	X     GExpr
+	Index GExpr
+}
+
+// CallExpr is `f(args)` for free functions/intrinsics.
+type CallExpr struct {
+	gexprBase
+	Name string
+	Args []GExpr
+}
+
+// MethodExpr is `recv.method(args)` — the operator surface syntax:
+// edges.apply(f), edges.from(fr).apply(f), vertices.filter(f), vs.size().
+type MethodExpr struct {
+	gexprBase
+	Recv   GExpr
+	Method string
+	Args   []GExpr
+}
+
+// NewVertexSetExpr is `new vertexset{Vertex}(count)`: 0 means empty,
+// anything else fills [0, count).
+type NewVertexSetExpr struct {
+	gexprBase
+	Count GExpr
+}

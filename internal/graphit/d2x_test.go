@@ -1,0 +1,271 @@
+package graphit
+
+import (
+	"strings"
+	"testing"
+
+	"d2x/internal/d2x"
+	"d2x/internal/debugger"
+)
+
+// fig6Build compiles PageRankDelta with D2X, the paper's Figure 6 setup.
+func fig6Build(t *testing.T) (*Artifact, *d2x.Build) {
+	t.Helper()
+	art := compile(t, "pagerankdelta.gt", PageRankDeltaSrc, PageRankDeltaSchedule, true)
+	build, err := art.Link()
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	return art, build
+}
+
+func fig6Session(t *testing.T) (*Artifact, *debugger.Debugger, *strings.Builder) {
+	t.Helper()
+	art, build := fig6Build(t)
+	var out strings.Builder
+	d, err := build.NewSession(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return art, d, &out
+}
+
+func run(t *testing.T, d *debugger.Debugger, lines ...string) {
+	t.Helper()
+	for _, l := range lines {
+		if err := d.Execute(l); err != nil {
+			t.Fatalf("command %q: %v", l, err)
+		}
+	}
+}
+
+// genLineOf finds the first generated line containing the needle.
+func genLineOf(t *testing.T, art *Artifact, needle string) int {
+	t.Helper()
+	for i, l := range strings.Split(art.Source, "\n") {
+		if strings.Contains(l, needle) {
+			return i + 1
+		}
+	}
+	t.Fatalf("no generated line contains %q", needle)
+	return 0
+}
+
+// gtLineOf finds the first .gt line containing the needle.
+func gtLineOf(t *testing.T, art *Artifact, needle string) int {
+	t.Helper()
+	for i, l := range strings.Split(art.GTSource, "\n") {
+		if strings.Contains(l, needle) {
+			return i + 1
+		}
+	}
+	t.Fatalf("no .gt line contains %q", needle)
+	return 0
+}
+
+// TestFig6ExtendedStackInUDF: stopped inside the specialised UDF, xbt
+// shows the UDF's .gt line as the innermost extended frame and the apply
+// operator's call site as the caller — the red box of Figure 6.
+func TestFig6ExtendedStackInUDF(t *testing.T) {
+	art, d, out := fig6Session(t)
+	udfLine := genLineOf(t, art, "atomic_add(&new_rank[dst]")
+	run(t, d, "break pagerankdelta.c:"+itoa(udfLine), "run")
+	out.Reset()
+	run(t, d, "xbt")
+	tr := out.String()
+	gtUDF := gtLineOf(t, art, "new_rank[dst] += delta[src]")
+	gtOp := gtLineOf(t, art, "#s1#")
+	if !strings.Contains(tr, "#0 in updateEdge at pagerankdelta.gt:"+itoa(gtUDF)) {
+		t.Errorf("xbt missing UDF frame (want .gt line %d):\n%s", gtUDF, tr)
+	}
+	if !strings.Contains(tr, "#1 in main at pagerankdelta.gt:"+itoa(gtOp)) {
+		t.Errorf("xbt missing specialising call site (want .gt line %d):\n%s", gtOp, tr)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	digits := []byte{}
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}
+
+// TestFig6XListShowsGTSource: xlist renders the .gt input around the
+// extended frame, served from the compiler's in-memory copy.
+func TestFig6XListShowsGTSource(t *testing.T) {
+	art, d, out := fig6Session(t)
+	udfLine := genLineOf(t, art, "atomic_add(&new_rank[dst]")
+	run(t, d, "break pagerankdelta.c:"+itoa(udfLine), "run")
+	out.Reset()
+	run(t, d, "xlist")
+	if !strings.Contains(out.String(), "new_rank[dst] += delta[src] / out_degree[src]") {
+		t.Errorf("xlist should show the UDF source:\n%s", out.String())
+	}
+	// The blue box: xframe 1 moves to the operator call site.
+	out.Reset()
+	run(t, d, "xframe 1", "xlist")
+	if !strings.Contains(out.String(), "edges.from(frontier).apply(updateEdge)") {
+		t.Errorf("xlist at frame 1 should show the operator:\n%s", out.String())
+	}
+}
+
+// TestFig6ScheduleVisible: the schedule applied to the operator is
+// compiler-internal state; D2X exposes it as extended variables.
+func TestFig6ScheduleVisible(t *testing.T) {
+	art, d, out := fig6Session(t)
+	udfLine := genLineOf(t, art, "atomic_add(&new_rank[dst]")
+	run(t, d, "break pagerankdelta.c:"+itoa(udfLine), "run")
+	out.Reset()
+	run(t, d, "xvars schedule", "xvars apply_op", "xvars specialized_udf")
+	tr := out.String()
+	if !strings.Contains(tr, "schedule = direction=push parallel=true frontier=auto") {
+		t.Errorf("schedule var:\n%s", tr)
+	}
+	if !strings.Contains(tr, "apply_op = s1") {
+		t.Errorf("apply_op var:\n%s", tr)
+	}
+	if !strings.Contains(tr, "specialized_udf = updateEdge_1") {
+		t.Errorf("specialized_udf var:\n%s", tr)
+	}
+}
+
+// TestFig6FrontierHandler: the green box — xvars frontier runs the
+// generated rtv_handler, which decodes whichever representation the
+// vertexset currently uses.
+func TestFig6FrontierHandler(t *testing.T) {
+	art, d, out := fig6Session(t)
+	// Stop in main right after the filter assigns the new frontier: the
+	// print statement's generated line.
+	printLine := genLineOf(t, art, "__frontier_size(frontier)")
+	run(t, d, "break pagerankdelta.c:"+itoa(printLine), "run")
+	out.Reset()
+	run(t, d, "xvars")
+	if !strings.Contains(out.String(), "frontier") {
+		t.Fatalf("frontier not listed in xvars:\n%s", out.String())
+	}
+	out.Reset()
+	run(t, d, "xvars frontier")
+	tr := out.String()
+	if !strings.Contains(tr, "frontier = is_dense(") {
+		t.Fatalf("frontier handler output:\n%s", tr)
+	}
+	if !strings.Contains(tr, "[") || !strings.Contains(tr, "]") {
+		t.Errorf("handler did not serialise elements:\n%s", tr)
+	}
+	// Contrast with the plain print command (Figure 6's point): print
+	// shows the raw struct, the handler shows decoded contents.
+	out.Reset()
+	run(t, d, "print frontier")
+	if !strings.Contains(out.String(), "is_dense = ") {
+		t.Errorf("raw struct print:\n%s", out.String())
+	}
+}
+
+// TestFrontierHandlerBothRepresentations drives the handler over both a
+// sparse and a dense frontier (Figure 7's two branches).
+func TestFrontierHandlerBothRepresentations(t *testing.T) {
+	art := compile(t, "bfs.gt", BFSSrc, BFSSchedule, true)
+	build, err := art.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	d, err := build.NewSession(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whileLine := genLineOf(t, &Artifact{Source: build.Source}, "while ((__frontier_size(frontier) > 0))")
+	run(t, d, "break bfs.c:"+itoa(whileLine), "run")
+	out.Reset()
+	run(t, d, "xvars frontier")
+	first := out.String()
+	if !strings.Contains(first, "is_dense(false) [0,]") {
+		t.Errorf("initial sparse frontier: %q", first)
+	}
+	// After one round the frontier holds vertex 0's neighbours.
+	run(t, d, "continue")
+	out.Reset()
+	run(t, d, "xvars frontier")
+	second := out.String()
+	if !strings.Contains(second, "is_dense(") || strings.Contains(second, "[0,]") {
+		t.Errorf("round-2 frontier unexpectedly unchanged: %q", second)
+	}
+}
+
+// TestXBreakOnGTLine: a DSL-level breakpoint on the UDF's .gt line lands
+// on every generated specialisation line.
+func TestXBreakOnGTLine(t *testing.T) {
+	art, d, out := fig6Session(t)
+	run(t, d, "break main", "run")
+	gtUDF := gtLineOf(t, art, "new_rank[dst] += delta[src]")
+	out.Reset()
+	run(t, d, "xbreak pagerankdelta.gt:"+itoa(gtUDF))
+	if !strings.Contains(out.String(), "Inserting 1 breakpoints with ID: #1") {
+		t.Fatalf("xbreak:\n%s", out.String())
+	}
+	run(t, d, "continue")
+	if d.LastStop().Reason != debugger.StopBreakpoint {
+		t.Fatalf("stop = %v", d.LastStop().Reason)
+	}
+	// We are inside the specialised UDF.
+	if f := d.SelectedFrame(); f == nil || f.Fn.Name != "updateEdge_1" {
+		t.Errorf("stopped in %v, want updateEdge_1", d.SelectedFrame().Fn.Name)
+	}
+	// And xbreak on the operator line hits the driver.
+	gtOp := gtLineOf(t, art, "#s1#")
+	out.Reset()
+	run(t, d, "xbreak pagerankdelta.gt:"+itoa(gtOp))
+	if !strings.Contains(out.String(), "breakpoints with ID: #2") {
+		t.Errorf("second xbreak:\n%s", out.String())
+	}
+}
+
+// TestWorkerThreadContext: with the parallel schedule, breakpoints inside
+// the UDF hit on worker threads; D2X commands still resolve the context
+// there (the paper's multi-threading claim, §4.2).
+func TestWorkerThreadContext(t *testing.T) {
+	art, d, out := fig6Session(t)
+	udfLine := genLineOf(t, art, "atomic_add(&new_rank[dst]")
+	run(t, d, "break pagerankdelta.c:"+itoa(udfLine), "run")
+	stop := d.LastStop()
+	if stop.Thread == nil || stop.Thread.ID == 0 {
+		t.Fatalf("expected a worker-thread stop, got %+v", stop.Thread)
+	}
+	out.Reset()
+	run(t, d, "xbt", "xvars schedule")
+	tr := out.String()
+	if !strings.Contains(tr, "updateEdge") || !strings.Contains(tr, "direction=push") {
+		t.Errorf("worker-thread D2X context:\n%s", tr)
+	}
+}
+
+// TestXGraphExtension reproduces §4.3: the DSL defines its own debugger
+// command as generated code plus a DSL-supplied macro. The debugger and
+// the D2X runtime library are untouched.
+func TestXGraphExtension(t *testing.T) {
+	_, d, out := fig6Session(t)
+	run(t, d, "break main", "run")
+	out.Reset()
+	run(t, d, "xgraph")
+	if !strings.Contains(out.String(), "graph not loaded yet") {
+		t.Fatalf("xgraph before load:\n%s", out.String())
+	}
+	// After the graph loads, the command reports real statistics.
+	run(t, d, "next", "next") // __graphit_load + __graphit_init
+	out.Reset()
+	run(t, d, "xgraph")
+	if !strings.Contains(out.String(), "graph: 64 vertices, 512 edges, max out-degree") {
+		t.Errorf("xgraph after load:\n%s", out.String())
+	}
+	// The raw call form works too (it is just a generated function).
+	out.Reset()
+	run(t, d, "call __d2x_ext_graph_info()")
+	if !strings.Contains(out.String(), "64 vertices") {
+		t.Errorf("raw call:\n%s", out.String())
+	}
+}

@@ -1,0 +1,213 @@
+package graphit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CompileError is a positioned error in GraphIt input (algorithm or
+// schedule).
+type CompileError struct {
+	File string
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *CompileError) Error() string {
+	return fmt.Sprintf("%s:%d:%d: %s", e.File, e.Line, e.Col, e.Msg)
+}
+
+func gtErrf(file string, line, col int, format string, args ...any) *CompileError {
+	return &CompileError{File: file, Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// gtLex tokenises a .gt source file. Newlines are significant (statement
+// terminators); consecutive newlines collapse into one token. Comments run
+// from '%' to end of line, per GraphIt convention.
+func gtLex(file, src string) ([]gtToken, error) {
+	var toks []gtToken
+	line, col := 1, 1
+	i := 0
+	emit := func(kind tokKind, text string, c int) {
+		toks = append(toks, gtToken{kind: kind, text: text, line: line, col: c})
+	}
+	lastSignificant := func() tokKind {
+		if len(toks) == 0 {
+			return tNewline
+		}
+		return toks[len(toks)-1].kind
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			if lastSignificant() != tNewline {
+				emit(tNewline, "", col)
+			}
+			i++
+			line++
+			col = 1
+			continue
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+			col++
+			continue
+		case c == '%':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+			continue
+		}
+
+		startCol := col
+		two := func(k tokKind) {
+			emit(k, "", startCol)
+			i += 2
+			col += 2
+		}
+		one := func(k tokKind) {
+			emit(k, "", startCol)
+			i++
+			col++
+		}
+
+		switch {
+		case isGtIdentStart(c):
+			j := i
+			for j < len(src) && isGtIdentCont(src[j]) {
+				j++
+			}
+			word := src[i:j]
+			col += j - i
+			i = j
+			if kw, ok := gtKeywords[word]; ok {
+				emit(kw, word, startCol)
+			} else {
+				emit(tIdent, word, startCol)
+			}
+		case c >= '0' && c <= '9':
+			j := i
+			isFloat := false
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9') {
+				j++
+			}
+			if j < len(src) && src[j] == '.' && j+1 < len(src) && src[j+1] >= '0' && src[j+1] <= '9' {
+				isFloat = true
+				j++
+				for j < len(src) && (src[j] >= '0' && src[j] <= '9') {
+					j++
+				}
+			}
+			text := src[i:j]
+			col += j - i
+			i = j
+			if isFloat {
+				emit(tFloat, text, startCol)
+			} else {
+				emit(tInt, text, startCol)
+			}
+		case c == '"':
+			j := i + 1
+			var b strings.Builder
+			for j < len(src) && src[j] != '"' && src[j] != '\n' {
+				b.WriteByte(src[j])
+				j++
+			}
+			if j >= len(src) || src[j] != '"' {
+				return nil, gtErrf(file, line, startCol, "unterminated string literal")
+			}
+			emit(tString, b.String(), startCol)
+			col += j - i + 1
+			i = j + 1
+		case c == '#':
+			// Schedule label: #s1#
+			j := i + 1
+			for j < len(src) && isGtIdentCont(src[j]) {
+				j++
+			}
+			if j >= len(src) || src[j] != '#' || j == i+1 {
+				return nil, gtErrf(file, line, startCol, "malformed schedule label (expected #name#)")
+			}
+			emit(tLabel, src[i+1:j], startCol)
+			col += j - i + 1
+			i = j + 1
+		case c == '+':
+			if i+1 < len(src) && src[i+1] == '=' {
+				two(tPlusAssign)
+			} else {
+				one(tPlus)
+			}
+		case c == '-':
+			switch {
+			case i+1 < len(src) && src[i+1] == '=':
+				two(tMinusAssign)
+			case i+1 < len(src) && src[i+1] == '>':
+				two(tArrow)
+			default:
+				one(tMinus)
+			}
+		case c == '=':
+			if i+1 < len(src) && src[i+1] == '=' {
+				two(tEq)
+			} else {
+				one(tAssign)
+			}
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				two(tNeq)
+			} else {
+				return nil, gtErrf(file, line, startCol, "unexpected '!'")
+			}
+		case c == '<':
+			if i+1 < len(src) && src[i+1] == '=' {
+				two(tLe)
+			} else {
+				one(tLt)
+			}
+		case c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				two(tGe)
+			} else {
+				one(tGt)
+			}
+		case c == ':':
+			one(tColon)
+		case c == ',':
+			one(tComma)
+		case c == '(':
+			one(tLParen)
+		case c == ')':
+			one(tRParen)
+		case c == '{':
+			one(tLBrace)
+		case c == '}':
+			one(tRBrace)
+		case c == '[':
+			one(tLBracket)
+		case c == ']':
+			one(tRBracket)
+		case c == '*':
+			one(tStar)
+		case c == '/':
+			one(tSlash)
+		case c == '.':
+			one(tDot)
+		default:
+			return nil, gtErrf(file, line, startCol, "unexpected character %q", string(rune(c)))
+		}
+	}
+	if lastSignificant() != tNewline {
+		emit(tNewline, "", col)
+	}
+	toks = append(toks, gtToken{kind: tEOF, line: line, col: col})
+	return toks, nil
+}
+
+func isGtIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isGtIdentCont(c byte) bool {
+	return isGtIdentStart(c) || (c >= '0' && c <= '9')
+}

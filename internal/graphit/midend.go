@@ -1,0 +1,53 @@
+package graphit
+
+import "fmt"
+
+// ApplyMidend attaches a schedule to every operator site and plans the
+// per-call-site UDF specialisations. This is the decision point the paper
+// describes in §2.1: the same UDF used by two operators compiles into two
+// different functions (Figure 1 -> Figure 2), each named udf_N for call
+// site N, and each driver gets its own generated function.
+func ApplyMidend(info *Info, sched *Schedule) error {
+	if sched == nil {
+		sched = EmptySchedule()
+	}
+	// Labels in the schedule must exist in the program — catching typos in
+	// schedule files is part of the compiler's job.
+	known := map[string]bool{}
+	for _, site := range info.Sites {
+		if site.Label != "" {
+			known[site.Label] = true
+		}
+	}
+	for _, l := range sched.Labels() {
+		if !known[l] {
+			return fmt.Errorf("graphit: schedule names label %q, but no operator carries it", l)
+		}
+	}
+
+	specCount := map[string]int{}
+	for _, site := range info.Sites {
+		site.Schedule = sched.For(site.Label)
+		if site.Kind == SiteVertexApply || site.Kind == SiteVertexFilter {
+			// Vertex operators have no direction; normalise so the debug
+			// info doesn't report a meaningless push/pull.
+			site.Schedule.Direction = "vertex"
+		}
+		specCount[site.UDF.Name]++
+		site.SpecializedName = fmt.Sprintf("%s_%d", site.UDF.Name, specCount[site.UDF.Name])
+		label := site.Label
+		if label == "" {
+			label = fmt.Sprintf("op%d", site.Index+1)
+		}
+		site.DriverName = fmt.Sprintf("__apply_%s", label)
+	}
+	// Driver names must be unique even when labels repeat.
+	seen := map[string]int{}
+	for _, site := range info.Sites {
+		seen[site.DriverName]++
+		if seen[site.DriverName] > 1 {
+			site.DriverName = fmt.Sprintf("%s_%d", site.DriverName, seen[site.DriverName])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,719 @@
+package graphit
+
+import "strconv"
+
+// gtParser parses the token stream of one .gt file.
+type gtParser struct {
+	file string
+	toks []gtToken
+	pos  int
+}
+
+// ParseProgram parses GraphIt algorithm-language source.
+func ParseProgram(file, src string) (*Program, error) {
+	toks, err := gtLex(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &gtParser{file: file, toks: toks}
+	return p.program()
+}
+
+func (p *gtParser) cur() gtToken      { return p.toks[p.pos] }
+func (p *gtParser) at(k tokKind) bool { return p.cur().kind == k }
+
+func (p *gtParser) advance() gtToken {
+	t := p.toks[p.pos]
+	if t.kind != tEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *gtParser) expect(k tokKind) (gtToken, error) {
+	if !p.at(k) {
+		t := p.cur()
+		return t, gtErrf(p.file, t.line, t.col, "expected %s, found %s", k, t)
+	}
+	return p.advance(), nil
+}
+
+func (p *gtParser) errHere(format string, args ...any) error {
+	t := p.cur()
+	return gtErrf(p.file, t.line, t.col, format, args...)
+}
+
+func (p *gtParser) skipNewlines() {
+	for p.at(tNewline) {
+		p.advance()
+	}
+}
+
+func (p *gtParser) term() error {
+	if p.at(tEOF) {
+		return nil
+	}
+	if _, err := p.expect(tNewline); err != nil {
+		return err
+	}
+	p.skipNewlines()
+	return nil
+}
+
+func (p *gtParser) program() (*Program, error) {
+	prog := &Program{File: p.file}
+	p.skipNewlines()
+	for !p.at(tEOF) {
+		switch p.cur().kind {
+		case tKwElement:
+			p.advance()
+			// Element names may collide with type keywords (Vertex).
+			name := p.cur()
+			if name.kind != tIdent && name.kind != tKwVertex {
+				return nil, p.errHere("expected element name, found %s", name)
+			}
+			p.advance()
+			if name.text == "" {
+				name.text = "Vertex"
+			}
+			p.skipNewlines()
+			if _, err := p.expect(tKwEnd); err != nil {
+				return nil, err
+			}
+			if err := p.term(); err != nil {
+				return nil, err
+			}
+			prog.Elements = append(prog.Elements, name.text)
+		case tKwConst:
+			cd, err := p.constDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Consts = append(prog.Consts, cd)
+		case tKwFunc:
+			fd, err := p.funcDef()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, fd)
+		default:
+			return nil, p.errHere("expected element, const, or func declaration, found %s", p.cur())
+		}
+	}
+	return prog, nil
+}
+
+func (p *gtParser) constDecl() (*ConstDecl, error) {
+	kw := p.advance() // const
+	name, err := p.expect(tIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tColon); err != nil {
+		return nil, err
+	}
+	typ, err := p.typeSpec()
+	if err != nil {
+		return nil, err
+	}
+	cd := &ConstDecl{Name: name.text, Type: typ, Line: kw.line}
+	if p.at(tAssign) {
+		p.advance()
+		if p.at(tKwLoad) {
+			p.advance()
+			if _, err := p.expect(tLParen); err != nil {
+				return nil, err
+			}
+			spec, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tRParen); err != nil {
+				return nil, err
+			}
+			cd.LoadSpec = spec
+		} else {
+			init, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			cd.ScalarInit = init
+		}
+	}
+	return cd, p.term()
+}
+
+func (p *gtParser) typeSpec() (*GType, error) {
+	t := p.cur()
+	switch t.kind {
+	case tKwInt:
+		p.advance()
+		return gtInt, nil
+	case tKwFloat:
+		p.advance()
+		return gtFloat, nil
+	case tKwBool:
+		p.advance()
+		return gtBool, nil
+	case tKwVertex:
+		p.advance()
+		return gtVertex, nil
+	case tKwVector:
+		p.advance()
+		if _, err := p.expect(tLBrace); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tKwVertex); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRBrace); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tLParen); err != nil {
+			return nil, err
+		}
+		elem, err := p.typeSpec()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen); err != nil {
+			return nil, err
+		}
+		return &GType{Kind: GTVector, Elem: elem}, nil
+	case tKwVertexset:
+		p.advance()
+		if _, err := p.expect(tLBrace); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tKwVertex); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRBrace); err != nil {
+			return nil, err
+		}
+		return gtVertexSet, nil
+	case tKwEdgeset:
+		p.advance()
+		if _, err := p.expect(tLBrace); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tIdent); err != nil { // Edge
+			return nil, err
+		}
+		if _, err := p.expect(tRBrace); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tLParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tKwVertex); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tComma); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tKwVertex); err != nil {
+			return nil, err
+		}
+		weighted := false
+		if p.at(tComma) {
+			p.advance()
+			if _, err := p.expect(tKwInt); err != nil {
+				return nil, err
+			}
+			weighted = true
+		}
+		if _, err := p.expect(tRParen); err != nil {
+			return nil, err
+		}
+		if weighted {
+			return &GType{Kind: GTEdgeSet, Weighted: true}, nil
+		}
+		return gtEdgeSet, nil
+	}
+	return nil, p.errHere("expected type, found %s", t)
+}
+
+func (p *gtParser) funcDef() (*FuncDef, error) {
+	kw := p.advance() // func
+	name, err := p.expect(tIdent)
+	if err != nil {
+		return nil, err
+	}
+	fd := &FuncDef{Name: name.text, Line: kw.line, RetType: gtVoid}
+	if _, err := p.expect(tLParen); err != nil {
+		return nil, err
+	}
+	for !p.at(tRParen) {
+		pn, err := p.expect(tIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tColon); err != nil {
+			return nil, err
+		}
+		pt, err := p.typeSpec()
+		if err != nil {
+			return nil, err
+		}
+		fd.Params = append(fd.Params, GParam{Name: pn.text, Type: pt})
+		if p.at(tComma) {
+			p.advance()
+		} else {
+			break
+		}
+	}
+	if _, err := p.expect(tRParen); err != nil {
+		return nil, err
+	}
+	if p.at(tArrow) {
+		p.advance()
+		rn, err := p.expect(tIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tColon); err != nil {
+			return nil, err
+		}
+		rt, err := p.typeSpec()
+		if err != nil {
+			return nil, err
+		}
+		fd.RetName = rn.text
+		fd.RetType = rt
+	}
+	if err := p.term(); err != nil {
+		return nil, err
+	}
+	body, err := p.stmtsUntil(tKwEnd)
+	if err != nil {
+		return nil, err
+	}
+	fd.Body = body
+	p.advance() // end
+	return fd, p.term()
+}
+
+// stmtsUntil parses statements until one of the given terminators is the
+// current token (not consumed).
+func (p *gtParser) stmtsUntil(terms ...tokKind) ([]GStmt, error) {
+	var stmts []GStmt
+	p.skipNewlines()
+	for {
+		for _, k := range terms {
+			if p.at(k) {
+				return stmts, nil
+			}
+		}
+		if p.at(tEOF) {
+			return nil, p.errHere("unexpected end of file (missing 'end'?)")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+		p.skipNewlines()
+	}
+}
+
+func (p *gtParser) stmt() (GStmt, error) {
+	t := p.cur()
+	switch t.kind {
+	case tKwVar:
+		p.advance()
+		name, err := p.expect(tIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tColon); err != nil {
+			return nil, err
+		}
+		typ, err := p.typeSpec()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tAssign); err != nil {
+			return nil, err
+		}
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &VarDecl{gstmtBase: gstmtBase{Line: t.line}, Name: name.text, Type: typ, Init: init}, p.term()
+
+	case tKwIf:
+		return p.ifStmt()
+
+	case tKwWhile:
+		p.advance()
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.term(); err != nil {
+			return nil, err
+		}
+		body, err := p.stmtsUntil(tKwEnd)
+		if err != nil {
+			return nil, err
+		}
+		p.advance()
+		return &WhileStmt{gstmtBase: gstmtBase{Line: t.line}, Cond: cond, Body: body}, p.term()
+
+	case tKwFor:
+		p.advance()
+		name, err := p.expect(tIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tKwIn); err != nil {
+			return nil, err
+		}
+		lo, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tColon); err != nil {
+			return nil, err
+		}
+		hi, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.term(); err != nil {
+			return nil, err
+		}
+		body, err := p.stmtsUntil(tKwEnd)
+		if err != nil {
+			return nil, err
+		}
+		p.advance()
+		return &ForStmt{gstmtBase: gstmtBase{Line: t.line}, Var: name.text, Lo: lo, Hi: hi, Body: body}, p.term()
+
+	case tKwPrint:
+		p.advance()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &PrintStmt{gstmtBase: gstmtBase{Line: t.line}, X: x}, p.term()
+
+	case tKwBreak:
+		p.advance()
+		return &BreakStmt{gstmtBase{Line: t.line}}, p.term()
+	}
+
+	// Labelled or plain expression/assignment statement.
+	label := ""
+	if p.at(tLabel) {
+		label = p.advance().text
+	}
+	lhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	// `lhs min= rhs` — GraphIt's minimum-reduction assignment, used by
+	// SSSP-style relaxations. Lexically it is the identifier `min`
+	// followed by `=`.
+	if p.at(tIdent) && p.cur().text == "min" && p.toks[p.pos+1].kind == tAssign {
+		p.advance() // min
+		p.advance() // =
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if label != "" {
+			if err := p.term(); err != nil {
+				return nil, err
+			}
+			return &AssignStmt{gstmtBase: gstmtBase{Line: t.line}, Op: "min=",
+				LHS: lhs, RHS: &labelledExpr{inner: rhs, label: label}}, nil
+		}
+		return &AssignStmt{gstmtBase: gstmtBase{Line: t.line}, Op: "min=", LHS: lhs, RHS: rhs}, p.term()
+	}
+	switch p.cur().kind {
+	case tAssign, tPlusAssign, tMinusAssign:
+		opTok := p.advance()
+		op := "="
+		if opTok.kind == tPlusAssign {
+			op = "+="
+		} else if opTok.kind == tMinusAssign {
+			op = "-="
+		}
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if label != "" {
+			// A labelled assignment labels its RHS operator expression.
+			if err := p.term(); err != nil {
+				return nil, err
+			}
+			return &AssignStmt{gstmtBase: gstmtBase{Line: t.line}, Op: op,
+				LHS: lhs, RHS: &labelledExpr{inner: rhs, label: label}}, nil
+		}
+		return &AssignStmt{gstmtBase: gstmtBase{Line: t.line}, Op: op, LHS: lhs, RHS: rhs}, p.term()
+	}
+	return &ExprStmt{gstmtBase: gstmtBase{Line: t.line}, Label: label, X: lhs}, p.term()
+}
+
+// labelledExpr wraps an operator expression with its schedule label when
+// the operator appears on the right of an assignment
+// (frontier = edges.from(f).applyModified(...)).
+type labelledExpr struct {
+	inner GExpr
+	label string
+}
+
+func (e *labelledExpr) gline() int       { return e.inner.gline() }
+func (e *labelledExpr) GType() *GType    { return e.inner.GType() }
+func (e *labelledExpr) setType(t *GType) { e.inner.setType(t) }
+
+func (p *gtParser) ifStmt() (GStmt, error) {
+	t := p.advance() // if or elif
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.term(); err != nil {
+		return nil, err
+	}
+	then, err := p.stmtsUntil(tKwEnd, tKwElse, tKwElif)
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{gstmtBase: gstmtBase{Line: t.line}, Cond: cond, Then: then}
+	switch p.cur().kind {
+	case tKwElif:
+		els, err := p.ifStmt() // consumes through its own end
+		if err != nil {
+			return nil, err
+		}
+		s.Else = []GStmt{els}
+		return s, nil
+	case tKwElse:
+		p.advance()
+		if err := p.term(); err != nil {
+			return nil, err
+		}
+		els, err := p.stmtsUntil(tKwEnd)
+		if err != nil {
+			return nil, err
+		}
+		s.Else = els
+		p.advance() // end
+		return s, p.term()
+	default: // end
+		p.advance()
+		return s, p.term()
+	}
+}
+
+// ---- Expressions ----
+
+func gtBinPrec(k tokKind) (string, int) {
+	switch k {
+	case tKwOr:
+		return "or", 1
+	case tKwAnd:
+		return "and", 2
+	case tEq:
+		return "==", 3
+	case tNeq:
+		return "!=", 3
+	case tLt:
+		return "<", 4
+	case tLe:
+		return "<=", 4
+	case tGt:
+		return ">", 4
+	case tGe:
+		return ">=", 4
+	case tPlus:
+		return "+", 5
+	case tMinus:
+		return "-", 5
+	case tStar:
+		return "*", 6
+	case tSlash:
+		return "/", 6
+	}
+	return "", 0
+}
+
+func (p *gtParser) expr() (GExpr, error) { return p.binExpr(1) }
+
+func (p *gtParser) binExpr(minPrec int) (GExpr, error) {
+	lhs, err := p.unExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op, prec := gtBinPrec(p.cur().kind)
+		if prec == 0 || prec < minPrec {
+			return lhs, nil
+		}
+		opTok := p.advance()
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinExpr{gexprBase: gexprBase{Line: opTok.line}, Op: op, X: lhs, Y: rhs}
+	}
+}
+
+func (p *gtParser) unExpr() (GExpr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tMinus:
+		p.advance()
+		x, err := p.unExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{gexprBase: gexprBase{Line: t.line}, Op: "-", X: x}, nil
+	case tKwNot:
+		p.advance()
+		x, err := p.unExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{gexprBase: gexprBase{Line: t.line}, Op: "not", X: x}, nil
+	}
+	return p.postfixExpr()
+}
+
+func (p *gtParser) postfixExpr() (GExpr, error) {
+	x, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().kind {
+		case tLBracket:
+			lb := p.advance()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tRBracket); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{gexprBase: gexprBase{Line: lb.line}, X: x, Index: idx}
+		case tDot:
+			dot := p.advance()
+			name, err := p.expect(tIdent)
+			if err != nil {
+				return nil, err
+			}
+			m := &MethodExpr{gexprBase: gexprBase{Line: dot.line}, Recv: x, Method: name.text}
+			if _, err := p.expect(tLParen); err != nil {
+				return nil, err
+			}
+			for !p.at(tRParen) {
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				m.Args = append(m.Args, a)
+				if p.at(tComma) {
+					p.advance()
+				} else {
+					break
+				}
+			}
+			if _, err := p.expect(tRParen); err != nil {
+				return nil, err
+			}
+			x = m
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *gtParser) primaryExpr() (GExpr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tInt:
+		p.advance()
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, gtErrf(p.file, t.line, t.col, "bad integer %q", t.text)
+		}
+		return &IntLit{gexprBase: gexprBase{Line: t.line}, Val: v}, nil
+	case tFloat:
+		p.advance()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, gtErrf(p.file, t.line, t.col, "bad float %q", t.text)
+		}
+		return &FloatLit{gexprBase: gexprBase{Line: t.line}, Val: v}, nil
+	case tString:
+		p.advance()
+		return &StringLit{gexprBase: gexprBase{Line: t.line}, Val: t.text}, nil
+	case tKwTrue, tKwFalse:
+		p.advance()
+		return &BoolLit{gexprBase: gexprBase{Line: t.line}, Val: t.kind == tKwTrue}, nil
+	case tLParen:
+		p.advance()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case tKwNew:
+		p.advance()
+		if _, err := p.expect(tKwVertexset); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tLBrace); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tKwVertex); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRBrace); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tLParen); err != nil {
+			return nil, err
+		}
+		cnt, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen); err != nil {
+			return nil, err
+		}
+		return &NewVertexSetExpr{gexprBase: gexprBase{Line: t.line}, Count: cnt}, nil
+	case tIdent:
+		p.advance()
+		if p.at(tLParen) {
+			p.advance()
+			c := &CallExpr{gexprBase: gexprBase{Line: t.line}, Name: t.text}
+			for !p.at(tRParen) {
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				c.Args = append(c.Args, a)
+				if p.at(tComma) {
+					p.advance()
+				} else {
+					break
+				}
+			}
+			if _, err := p.expect(tRParen); err != nil {
+				return nil, err
+			}
+			return c, nil
+		}
+		return &NameRef{gexprBase: gexprBase{Line: t.line}, Name: t.text}, nil
+	}
+	return nil, p.errHere("expected expression, found %s", t)
+}

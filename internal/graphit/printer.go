@@ -1,0 +1,224 @@
+package graphit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PrintProgram renders a parsed .gt program back to algorithm-language
+// source. Printing a parse of the output yields an identical tree (a
+// property the tests check); tools use it for formatting and for dumping
+// frontend output.
+func PrintProgram(p *Program) string {
+	pr := &gtPrinter{}
+	for _, el := range p.Elements {
+		pr.line("element %s end", el)
+	}
+	for _, cd := range p.Consts {
+		pr.printConst(cd)
+	}
+	for _, fd := range p.Funcs {
+		pr.nl()
+		pr.printFunc(fd)
+	}
+	return pr.b.String()
+}
+
+type gtPrinter struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *gtPrinter) nl() { p.b.WriteByte('\n') }
+
+func (p *gtPrinter) line(format string, args ...any) {
+	p.b.WriteString(strings.Repeat("\t", p.indent))
+	fmt.Fprintf(&p.b, format, args...)
+	p.nl()
+}
+
+func (p *gtPrinter) printConst(cd *ConstDecl) {
+	switch {
+	case cd.LoadSpec != nil:
+		p.line("const %s : %s = load(%s)", cd.Name, gtTypeString(cd.Type), gtExprString(cd.LoadSpec))
+	case cd.ScalarInit != nil:
+		p.line("const %s : %s = %s", cd.Name, gtTypeString(cd.Type), gtExprString(cd.ScalarInit))
+	default:
+		p.line("const %s : %s", cd.Name, gtTypeString(cd.Type))
+	}
+}
+
+// gtTypeString renders a type in surface syntax (GType.String uses the
+// compact diagnostic form; this one round-trips through the parser).
+func gtTypeString(t *GType) string {
+	switch t.Kind {
+	case GTVector:
+		return fmt.Sprintf("vector{Vertex}(%s)", gtTypeString(t.Elem))
+	case GTVertexSet:
+		return "vertexset{Vertex}"
+	case GTEdgeSet:
+		if t.Weighted {
+			return "edgeset{Edge}(Vertex, Vertex, int)"
+		}
+		return "edgeset{Edge}(Vertex, Vertex)"
+	default:
+		return t.String()
+	}
+}
+
+func (p *gtPrinter) printFunc(fd *FuncDef) {
+	params := make([]string, len(fd.Params))
+	for i, pr := range fd.Params {
+		params[i] = fmt.Sprintf("%s: %s", pr.Name, gtTypeString(pr.Type))
+	}
+	sig := fmt.Sprintf("func %s(%s)", fd.Name, strings.Join(params, ", "))
+	if fd.RetName != "" {
+		sig += fmt.Sprintf(" -> %s: %s", fd.RetName, gtTypeString(fd.RetType))
+	}
+	p.line("%s", sig)
+	p.indent++
+	p.printStmts(fd.Body)
+	p.indent--
+	p.line("end")
+}
+
+func (p *gtPrinter) printStmts(stmts []GStmt) {
+	for _, s := range stmts {
+		p.printStmt(s)
+	}
+}
+
+func (p *gtPrinter) printStmt(s GStmt) {
+	switch st := s.(type) {
+	case *VarDecl:
+		p.line("var %s : %s = %s", st.Name, gtTypeString(st.Type), gtExprString(st.Init))
+	case *AssignStmt:
+		rhs := st.RHS
+		label := ""
+		if le, ok := rhs.(*labelledExpr); ok {
+			label = "#" + le.label + "# "
+			rhs = le.inner
+		}
+		p.line("%s%s %s %s", label, gtExprString(st.LHS), st.Op, gtExprString(rhs))
+	case *ExprStmt:
+		label := ""
+		if st.Label != "" {
+			label = "#" + st.Label + "# "
+		}
+		p.line("%s%s", label, gtExprString(st.X))
+	case *IfStmt:
+		p.printIf(st, "if")
+		p.line("end")
+	case *WhileStmt:
+		p.line("while %s", gtExprString(st.Cond))
+		p.indent++
+		p.printStmts(st.Body)
+		p.indent--
+		p.line("end")
+	case *ForStmt:
+		p.line("for %s in %s:%s", st.Var, gtExprString(st.Lo), gtExprString(st.Hi))
+		p.indent++
+		p.printStmts(st.Body)
+		p.indent--
+		p.line("end")
+	case *PrintStmt:
+		p.line("print %s", gtExprString(st.X))
+	case *BreakStmt:
+		p.line("break")
+	}
+}
+
+// printIf renders an if/elif chain without closing it (the caller prints
+// the final end). A single nested IfStmt in the else slot renders as elif.
+func (p *gtPrinter) printIf(st *IfStmt, keyword string) {
+	p.line("%s %s", keyword, gtExprString(st.Cond))
+	p.indent++
+	p.printStmts(st.Then)
+	p.indent--
+	if len(st.Else) == 0 {
+		return
+	}
+	if inner, ok := st.Else[0].(*IfStmt); ok && len(st.Else) == 1 {
+		p.printIf(inner, "elif")
+		return
+	}
+	p.line("else")
+	p.indent++
+	p.printStmts(st.Else)
+	p.indent--
+}
+
+// gtExprString renders an expression with precedence-correct parentheses.
+func gtExprString(e GExpr) string { return gtExprPrec(e, 0) }
+
+func gtOpPrec(op string) int {
+	switch op {
+	case "or":
+		return 1
+	case "and":
+		return 2
+	case "==", "!=":
+		return 3
+	case "<", "<=", ">", ">=":
+		return 4
+	case "+", "-":
+		return 5
+	case "*", "/":
+		return 6
+	}
+	return 0
+}
+
+func gtExprPrec(e GExpr, min int) string {
+	s, prec := gtExprRaw(e)
+	if prec < min {
+		return "(" + s + ")"
+	}
+	return s
+}
+
+func gtExprRaw(e GExpr) (string, int) {
+	switch x := e.(type) {
+	case *labelledExpr:
+		return gtExprRaw(x.inner)
+	case *IntLit:
+		return fmt.Sprint(x.Val), 8
+	case *FloatLit:
+		s := fmt.Sprintf("%g", x.Val)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s, 8
+	case *BoolLit:
+		return fmt.Sprint(x.Val), 8
+	case *StringLit:
+		return fmt.Sprintf("%q", x.Val), 8
+	case *NameRef:
+		return x.Name, 8
+	case *BinExpr:
+		prec := gtOpPrec(x.Op)
+		return fmt.Sprintf("%s %s %s", gtExprPrec(x.X, prec), x.Op, gtExprPrec(x.Y, prec+1)), prec
+	case *UnExpr:
+		if x.Op == "not" {
+			return "not " + gtExprPrec(x.X, 7), 7
+		}
+		return "-" + gtExprPrec(x.X, 7), 7
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", gtExprPrec(x.X, 8), gtExprString(x.Index)), 8
+	case *CallExpr:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = gtExprString(a)
+		}
+		return fmt.Sprintf("%s(%s)", x.Name, strings.Join(args, ", ")), 8
+	case *MethodExpr:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = gtExprString(a)
+		}
+		return fmt.Sprintf("%s.%s(%s)", gtExprPrec(x.Recv, 8), x.Method, strings.Join(args, ", ")), 8
+	case *NewVertexSetExpr:
+		return fmt.Sprintf("new vertexset{Vertex}(%s)", gtExprString(x.Count)), 8
+	}
+	return "<?>", 8
+}

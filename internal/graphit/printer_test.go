@@ -1,0 +1,119 @@
+package graphit
+
+import "testing"
+
+// TestPrintRoundTrip: for every canonical program, printing the parse and
+// reparsing the output reaches a fixed point, and the reprinted program
+// still compiles and runs to the same result.
+func TestPrintRoundTrip(t *testing.T) {
+	programs := map[string]string{
+		"twoapply":      TwoApplySrc,
+		"pagerank":      PageRankSrc,
+		"pagerankdelta": PageRankDeltaSrc,
+		"bfs":           BFSSrc,
+		"cc":            CCSrc,
+		"sssp":          SSSPSrc,
+	}
+	for name, src := range programs {
+		t.Run(name, func(t *testing.T) {
+			p1, err := ParseProgram(name+".gt", src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out1 := PrintProgram(p1)
+			p2, err := ParseProgram(name+".gt", out1)
+			if err != nil {
+				t.Fatalf("reparse failed: %v\n%s", err, out1)
+			}
+			out2 := PrintProgram(p2)
+			if out1 != out2 {
+				t.Errorf("print is not a fixed point:\n--- first ---\n%s\n--- second ---\n%s", out1, out2)
+			}
+		})
+	}
+}
+
+// TestReprintedProgramBehaves: the pretty-printed source is a working
+// program with identical output, including labels and schedules.
+func TestReprintedProgramBehaves(t *testing.T) {
+	cases := []struct{ name, src, sched string }{
+		{"pagerankdelta", PageRankDeltaSrc, PageRankDeltaSchedule},
+		{"bfs", BFSSrc, BFSSchedule},
+		{"sssp", SSSPSrc, SSSPSchedule},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			orig, _ := runGT(t, tc.name+".gt", tc.src, tc.sched, false)
+			p, err := ParseProgram(tc.name+".gt", tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reprinted, _ := runGT(t, tc.name+".gt", PrintProgram(p), tc.sched, false)
+			if orig != reprinted {
+				t.Errorf("reprinted program diverges: %q vs %q", reprinted, orig)
+			}
+		})
+	}
+}
+
+func TestPrinterPreservesConstructs(t *testing.T) {
+	src := `element Vertex end
+const edges : edgeset{Edge}(Vertex, Vertex, int) = load("chain:n=4")
+const v : vector{Vertex}(float) = 1.0 / num_vertices
+
+func f(a: Vertex, b: Vertex, w: int)
+	v[b] min= v[a] + w
+end
+
+func g(x: Vertex) -> out: bool
+	if v[x] > 1.0 and not (v[x] == 2.0)
+		out = true
+	elif v[x] < 0.5
+		out = false
+	else
+		out = v[x] != 1.0
+	end
+end
+
+func main()
+	var s : vertexset{Vertex} = new vertexset{Vertex}(0)
+	#lbl# s = edges.from(s).applyModified(f, v)
+	print s.size()
+end
+`
+	p, err := ParseProgram("t.gt", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := PrintProgram(p)
+	for _, want := range []string{
+		"edgeset{Edge}(Vertex, Vertex, int)",
+		"min=",
+		"-> out: bool",
+		"elif",
+		"not ",
+		"#lbl# s = edges.from(s).applyModified(f, v)",
+		"new vertexset{Vertex}(0)",
+	} {
+		if !contains(out, want) {
+			t.Errorf("printed output missing %q:\n%s", want, out)
+		}
+	}
+	// And the output reparses.
+	if _, err := ParseProgram("t.gt", out); err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && indexOf(s, sub) >= 0
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,193 @@
+package graphit
+
+// Canonical GraphIt programs used by the examples, tests, and the
+// benchmark harness. TwoApplySrc is the paper's Figure 1 verbatim shape;
+// PageRankDeltaSrc is the Figure 6 application.
+
+// TwoApplySrc reproduces Figure 1: the same UDF applied by two operators
+// that the schedule compiles in two different ways (push with atomics,
+// pull without — Figure 2).
+const TwoApplySrc = `element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex, Vertex) = load("uniform:n=32,m=128,seed=3")
+const orank : vector{Vertex}(float) = 1.0
+const nrank : vector{Vertex}(float) = 0.0
+
+func updateEdge(s: Vertex, d: Vertex)
+	nrank[d] += orank[s]
+end
+
+func main()
+	#s1# edges.apply(updateEdge) % PUSH Schedule
+	#s2# edges.apply(updateEdge) % PULL Schedule
+	print nrank[0]
+end
+`
+
+// TwoApplySchedule applies PUSH to s1 and PULL to s2, both parallel.
+const TwoApplySchedule = `s1: direction=push, parallel=true
+s2: direction=pull, parallel=true
+`
+
+// PageRankSrc is textbook PageRank over all edges.
+const PageRankSrc = `element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex, Vertex) = load("powerlaw:n=64,m=512,seed=11")
+const old_rank : vector{Vertex}(float) = 1.0 / num_vertices
+const new_rank : vector{Vertex}(float) = 0.0
+const damp : float = 0.85
+const base_score : float = 0.15 / num_vertices
+
+func updateEdge(src: Vertex, dst: Vertex)
+	new_rank[dst] += old_rank[src] / out_degree[src]
+end
+
+func updateVertex(v: Vertex)
+	old_rank[v] = base_score + damp * new_rank[v]
+	new_rank[v] = 0.0
+end
+
+func main()
+	for i in 0:20
+		#s1# edges.apply(updateEdge)
+		vertices.apply(updateVertex)
+	end
+	print old_rank[0]
+end
+`
+
+// PageRankDeltaSrc is the paper's Figure 6 application: only vertices
+// whose rank changed materially stay in the frontier, which shrinks and
+// switches representation as the computation converges.
+const PageRankDeltaSrc = `element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex, Vertex) = load("powerlaw:n=64,m=512,seed=5")
+const old_rank : vector{Vertex}(float) = 0.0
+const new_rank : vector{Vertex}(float) = 0.0
+const delta : vector{Vertex}(float) = 1.0 / num_vertices
+const damp : float = 0.85
+const epsilon : float = 0.001
+
+func updateEdge(src: Vertex, dst: Vertex)
+	new_rank[dst] += delta[src] / out_degree[src]
+end
+
+func updateVertex(v: Vertex) -> output: bool
+	delta[v] = damp * new_rank[v]
+	old_rank[v] = old_rank[v] + delta[v]
+	new_rank[v] = 0.0
+	output = delta[v] > epsilon
+end
+
+func main()
+	var frontier : vertexset{Vertex} = new vertexset{Vertex}(num_vertices)
+	for i in 0:10
+		#s1# edges.from(frontier).apply(updateEdge)
+		frontier = vertices.filter(updateVertex)
+		print frontier.size()
+	end
+end
+`
+
+// PageRankDeltaSchedule uses the hybrid parallel push configuration.
+const PageRankDeltaSchedule = `s1: direction=push, parallel=true, frontier=auto
+`
+
+// BFSSrc is frontier-based BFS from vertex 0 using applyModified to build
+// the next frontier from parent updates.
+const BFSSrc = `element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex, Vertex) = load("uniform:n=64,m=256,seed=9")
+const parent : vector{Vertex}(int) = -1
+
+func updateEdge(src: Vertex, dst: Vertex)
+	if parent[dst] == -1
+		parent[dst] = src
+	end
+end
+
+func reached(v: Vertex) -> output: bool
+	output = parent[v] != -1
+end
+
+func main()
+	var frontier : vertexset{Vertex} = new vertexset{Vertex}(0)
+	frontier.addVertex(0)
+	parent[0] = 0
+	while frontier.size() > 0
+		#s1# frontier = edges.from(frontier).applyModified(updateEdge, parent)
+	end
+	var visited : vertexset{Vertex} = vertices.filter(reached)
+	print visited.size()
+end
+`
+
+// BFSSchedule runs BFS with a sparse parallel push, the classic choice.
+const BFSSchedule = `s1: direction=push, parallel=true, frontier=sparse
+`
+
+// CCSrc computes connected-component labels by iterative label
+// propagation and prints the number of components.
+const CCSrc = `element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex, Vertex) = load("grid:w=8,h=4")
+const comp : vector{Vertex}(int) = 0
+
+func initComp(v: Vertex)
+	comp[v] = v
+end
+
+func updateEdge(src: Vertex, dst: Vertex)
+	if comp[src] < comp[dst]
+		comp[dst] = comp[src]
+	end
+end
+
+func isRoot(v: Vertex) -> output: bool
+	output = comp[v] == v
+end
+
+func main()
+	vertices.apply(initComp)
+	for i in 0:40
+		#s1# edges.apply(updateEdge)
+	end
+	var roots : vertexset{Vertex} = vertices.filter(isRoot)
+	print roots.size()
+end
+`
+
+// SSSPSrc computes single-source shortest paths over a weighted edgeset
+// with frontier-based Bellman-Ford relaxation. The `min=` reduction is
+// what the schedule specialises: atomic_min under parallel push, a plain
+// compare-and-store otherwise.
+const SSSPSrc = `element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex, Vertex, int) = load("uniform:n=48,m=480,seed=13")
+const dist : vector{Vertex}(int) = 1073741824
+
+func relaxEdge(src: Vertex, dst: Vertex, w: int)
+	dist[dst] min= dist[src] + w
+end
+
+func settled(v: Vertex) -> output: bool
+	output = dist[v] < 1073741824
+end
+
+func main()
+	var frontier : vertexset{Vertex} = new vertexset{Vertex}(0)
+	frontier.addVertex(0)
+	dist[0] = 0
+	while frontier.size() > 0
+		#s1# frontier = edges.from(frontier).applyModified(relaxEdge, dist)
+	end
+	var reached : vertexset{Vertex} = vertices.filter(settled)
+	print reached.size()
+	print dist[1]
+end
+`
+
+// SSSPSchedule runs the relaxation as a sparse parallel push, where the
+// min= reduction becomes atomic_min.
+const SSSPSchedule = `s1: direction=push, parallel=true, frontier=sparse
+`

@@ -1,0 +1,140 @@
+package graphit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ApplySchedule is the how-to-execute decision for one labelled operator —
+// GraphIt's scheduling language separated from the algorithm (paper §5.1).
+type ApplySchedule struct {
+	Label string
+	// Direction selects the iteration strategy: "push" iterates source
+	// vertices and their out-edges (writes race, so vector updates are
+	// specialised to atomics — Figure 2 line 2); "pull" iterates
+	// destination vertices and their in-edges (each destination is owned
+	// by one thread, so plain updates are safe — Figure 2 line 5).
+	Direction string
+	// Parallel fans the outer loop out across the runtime's logical
+	// threads.
+	Parallel bool
+	// Frontier picks the vertexset representation for the operator's
+	// input frontier: "sparse" (CompressedQueue), "dense"
+	// (Boolmap+Bitmap), or "auto" (switch by density at runtime).
+	Frontier string
+}
+
+// String renders the schedule the way D2X exposes it as an extended
+// variable.
+func (s ApplySchedule) String() string {
+	return fmt.Sprintf("direction=%s parallel=%t frontier=%s", s.Direction, s.Parallel, s.Frontier)
+}
+
+// DefaultSchedule is applied to operators without an entry: serial push
+// over an auto frontier, GraphIt's unscheduled baseline.
+var DefaultSchedule = ApplySchedule{Direction: "push", Parallel: false, Frontier: "auto"}
+
+// Schedule maps operator labels to their apply schedules.
+type Schedule struct {
+	byLabel map[string]ApplySchedule
+}
+
+// EmptySchedule returns a schedule with defaults only.
+func EmptySchedule() *Schedule { return &Schedule{byLabel: map[string]ApplySchedule{}} }
+
+// For returns the schedule of a label, defaulting when absent.
+func (s *Schedule) For(label string) ApplySchedule {
+	if sch, ok := s.byLabel[label]; ok {
+		return sch
+	}
+	d := DefaultSchedule
+	d.Label = label
+	return d
+}
+
+// Labels returns the explicitly scheduled labels.
+func (s *Schedule) Labels() []string {
+	out := make([]string, 0, len(s.byLabel))
+	for l := range s.byLabel {
+		out = append(out, l)
+	}
+	return out
+}
+
+// ParseSchedule reads the scheduling language. One directive per line:
+//
+//	s1: direction=push, parallel=true, frontier=sparse
+//	s2: direction=pull
+//
+// Comments start with '%'. The paper-style combined names DensePush,
+// SparsePush and DensePull are accepted as direction values and imply the
+// frontier representation.
+func ParseSchedule(file, text string) (*Schedule, error) {
+	s := EmptySchedule()
+	for lineno, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		label, rest, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, gtErrf(file, lineno+1, 1, "schedule directive needs 'label: settings'")
+		}
+		label = strings.TrimSpace(label)
+		sch := DefaultSchedule
+		sch.Label = label
+		for _, kv := range strings.Split(rest, ",") {
+			kv = strings.TrimSpace(kv)
+			if kv == "" {
+				continue
+			}
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, gtErrf(file, lineno+1, 1, "bad schedule setting %q", kv)
+			}
+			key = strings.TrimSpace(key)
+			val = strings.TrimSpace(val)
+			switch key {
+			case "direction":
+				switch val {
+				case "push", "pull":
+					sch.Direction = val
+				case "DensePush":
+					sch.Direction = "push"
+					sch.Frontier = "dense"
+				case "SparsePush":
+					sch.Direction = "push"
+					sch.Frontier = "sparse"
+				case "DensePull":
+					sch.Direction = "pull"
+					sch.Frontier = "dense"
+				default:
+					return nil, gtErrf(file, lineno+1, 1, "unknown direction %q", val)
+				}
+			case "parallel":
+				switch val {
+				case "true", "parallel":
+					sch.Parallel = true
+				case "false", "serial":
+					sch.Parallel = false
+				default:
+					return nil, gtErrf(file, lineno+1, 1, "unknown parallel setting %q", val)
+				}
+			case "frontier":
+				switch val {
+				case "sparse", "dense", "auto":
+					sch.Frontier = val
+				default:
+					return nil, gtErrf(file, lineno+1, 1, "unknown frontier representation %q", val)
+				}
+			default:
+				return nil, gtErrf(file, lineno+1, 1, "unknown schedule key %q", key)
+			}
+		}
+		if _, dup := s.byLabel[label]; dup {
+			return nil, gtErrf(file, lineno+1, 1, "duplicate schedule for label %q", label)
+		}
+		s.byLabel[label] = sch
+	}
+	return s, nil
+}

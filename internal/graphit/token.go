@@ -1,0 +1,146 @@
+// Package graphit implements a compiler for a GraphIt-style graph DSL —
+// the paper's first case study (§5.1). The algorithm language (".gt"
+// files) separates *what* is computed; the scheduling language separates
+// *how* (push/pull direction, parallelisation, frontier representation).
+// The compiler lowers high-level operators like edgeset.apply through a
+// mid-end that specialises user-defined functions per call site (Figures
+// 1-2), then generates mini-C, optionally instrumented with D2X debug
+// information (the d2x_*.go files hold that delta, accounted in Table 3).
+package graphit
+
+import "fmt"
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tNewline
+	tIdent
+	tInt
+	tFloat
+	tString
+	tLabel // #s1#
+
+	// Keywords.
+	tKwElement
+	tKwEnd
+	tKwConst
+	tKwFunc
+	tKwVar
+	tKwIf
+	tKwElif
+	tKwElse
+	tKwWhile
+	tKwFor
+	tKwIn
+	tKwPrint
+	tKwBreak
+	tKwTrue
+	tKwFalse
+	tKwNew
+	tKwAnd
+	tKwOr
+	tKwNot
+	tKwInt
+	tKwFloat
+	tKwBool
+	tKwVertex
+	tKwVector
+	tKwVertexset
+	tKwEdgeset
+	tKwLoad
+
+	// Punctuation.
+	tColon
+	tComma
+	tLParen
+	tRParen
+	tLBrace
+	tRBrace
+	tLBracket
+	tRBracket
+	tAssign
+	tPlusAssign
+	tMinusAssign
+	tEq
+	tNeq
+	tLt
+	tLe
+	tGt
+	tGe
+	tPlus
+	tMinus
+	tStar
+	tSlash
+	tPercent
+	tDot
+	tArrow
+)
+
+var gtKeywords = map[string]tokKind{
+	"element":   tKwElement,
+	"end":       tKwEnd,
+	"const":     tKwConst,
+	"func":      tKwFunc,
+	"var":       tKwVar,
+	"if":        tKwIf,
+	"elif":      tKwElif,
+	"else":      tKwElse,
+	"while":     tKwWhile,
+	"for":       tKwFor,
+	"in":        tKwIn,
+	"print":     tKwPrint,
+	"break":     tKwBreak,
+	"true":      tKwTrue,
+	"false":     tKwFalse,
+	"new":       tKwNew,
+	"and":       tKwAnd,
+	"or":        tKwOr,
+	"not":       tKwNot,
+	"int":       tKwInt,
+	"float":     tKwFloat,
+	"bool":      tKwBool,
+	"Vertex":    tKwVertex,
+	"vector":    tKwVector,
+	"vertexset": tKwVertexset,
+	"edgeset":   tKwEdgeset,
+	"load":      tKwLoad,
+}
+
+var gtTokNames = map[tokKind]string{
+	tEOF: "end of file", tNewline: "newline", tIdent: "identifier",
+	tInt: "integer", tFloat: "float literal", tString: "string literal",
+	tLabel: "label", tColon: ":", tComma: ",", tLParen: "(", tRParen: ")",
+	tLBrace: "{", tRBrace: "}", tLBracket: "[", tRBracket: "]",
+	tAssign: "=", tPlusAssign: "+=", tMinusAssign: "-=", tEq: "==",
+	tNeq: "!=", tLt: "<", tLe: "<=", tGt: ">", tGe: ">=", tPlus: "+",
+	tMinus: "-", tStar: "*", tSlash: "/", tPercent: "%", tDot: ".",
+	tArrow: "->",
+}
+
+func (k tokKind) String() string {
+	if s, ok := gtTokNames[k]; ok {
+		return s
+	}
+	for name, kw := range gtKeywords {
+		if kw == k {
+			return fmt.Sprintf("keyword %q", name)
+		}
+	}
+	return fmt.Sprintf("tok(%d)", int(k))
+}
+
+type gtToken struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+func (t gtToken) String() string {
+	switch t.kind {
+	case tIdent, tInt, tFloat, tString, tLabel:
+		return fmt.Sprintf("%s %q", t.kind, t.text)
+	}
+	return t.kind.String()
+}

@@ -1,0 +1,119 @@
+package minic
+
+import "fmt"
+
+// OpCode enumerates the VM's instructions. The VM is a stack machine; each
+// frame has its own operand stack. Instructions carry the source line of
+// the generated program they came from, which is exactly the information a
+// native compiler would put into DWARF line tables.
+type OpCode int
+
+const (
+	OpNop         OpCode = iota
+	OpConst              // push Consts[A]
+	OpLoadLocal          // push slot A
+	OpStoreLocal         // pop -> slot A
+	OpAddrLocal          // push pointer to slot A
+	OpLoadGlobal         // push global A
+	OpStoreGlobal        // pop -> global A
+	OpAddrGlobal         // push pointer to global A
+	OpLoadInd            // pop ptr; push *ptr
+	OpStoreInd           // pop value, pop ptr; *ptr = value
+	OpIndexLoad          // pop idx, pop arr; push arr[idx]
+	OpIndexAddr          // pop idx, pop arr; push &arr[idx]
+	OpFieldLoad          // pop struct; push field A
+	OpFieldAddr          // pop struct; push &field A
+	OpBin                // pop y, x; push x (Kind A) y
+	OpUn                 // pop x; push (Kind A) x
+	OpJmp                // pc = A
+	OpJmpFalse           // pop bool; if false pc = A
+	OpJmpTrue            // pop bool; if true pc = A
+	OpCall               // call Funcs[A] with B args popped from stack
+	OpCallNative         // call Natives[A] with B args
+	OpRet                // return void
+	OpRetVal             // pop result; return it
+	OpPop                // pop and discard
+	OpDup                // duplicate top of stack
+	OpNewArr             // pop count; push new array of Types[A]
+	OpNewStruct          // push new struct StructRefs[A]
+	OpCastInt            // pop; push int conversion
+	OpCastFloat          // pop; push float conversion
+	OpCastBool           // pop; push bool conversion
+	OpParFor             // pop hi, lo; run ParFors[A] across logical threads
+	OpHalt               // stop the thread (used by synthetic drivers)
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpConst: "const", OpLoadLocal: "loadl", OpStoreLocal: "storel",
+	OpAddrLocal: "addrl", OpLoadGlobal: "loadg", OpStoreGlobal: "storeg",
+	OpAddrGlobal: "addrg", OpLoadInd: "loadind", OpStoreInd: "storeind",
+	OpIndexLoad: "index", OpIndexAddr: "indexaddr", OpFieldLoad: "field",
+	OpFieldAddr: "fieldaddr", OpBin: "bin", OpUn: "un", OpJmp: "jmp",
+	OpJmpFalse: "jmpf", OpJmpTrue: "jmpt", OpCall: "call",
+	OpCallNative: "callnat", OpRet: "ret", OpRetVal: "retval", OpPop: "pop",
+	OpDup: "dup", OpNewArr: "newarr", OpNewStruct: "newstruct",
+	OpCastInt: "casti", OpCastFloat: "castf", OpCastBool: "castb",
+	OpParFor: "parfor", OpHalt: "halt",
+}
+
+func (o OpCode) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Instr is one VM instruction.
+type Instr struct {
+	Op        OpCode
+	A, B      int
+	Line      int  // 1-based line in the generated source file
+	StmtStart bool // true when this instruction begins a source statement
+}
+
+func (in Instr) String() string {
+	s := fmt.Sprintf("%-9s %d %d", in.Op, in.A, in.B)
+	if in.StmtStart {
+		s += "  ; stmt"
+	}
+	return fmt.Sprintf("%s @%d", s, in.Line)
+}
+
+// ParForInfo describes one parallel_for site: the helper function compiled
+// from the loop body and which enclosing slots it captures by reference.
+type ParForInfo struct {
+	Helper   int   // Program.Funcs index
+	Captured []int // enclosing frame slots shared with the helper frame
+}
+
+// FuncCode is the compiled body of one function.
+type FuncCode struct {
+	Name       string
+	Instrs     []Instr
+	Consts     []Value
+	Types      []*Type      // referenced by OpNewArr
+	StructRefs []*StructDef // referenced by OpNewStruct
+	ParFors    []ParForInfo
+	NumSlots   int
+	NumParams  int
+}
+
+// LineOf returns the source line of the instruction at pc, or 0.
+func (fc *FuncCode) LineOf(pc int) int {
+	if pc < 0 || pc >= len(fc.Instrs) {
+		return 0
+	}
+	return fc.Instrs[pc].Line
+}
+
+// StmtPCs returns the program counters of every statement-start instruction
+// on the given source line. Breakpoints bind to these.
+func (fc *FuncCode) StmtPCs(line int) []int {
+	var pcs []int
+	for pc, in := range fc.Instrs {
+		if in.StmtStart && in.Line == line {
+			pcs = append(pcs, pc)
+		}
+	}
+	return pcs
+}

@@ -1,0 +1,365 @@
+package minic
+
+import "fmt"
+
+// This file implements the mini-C optimiser: AST-level constant folding
+// and algebraic simplification, plus branch pruning for statically-known
+// conditions. DSL compilers emit very regular code (BuildIt unrolls whole
+// loops into constant expressions), so folding is worthwhile — and it
+// exercises the property the D2X design depends on: optimisation changes
+// *code*, not the line attribution, because folding happens within a
+// statement and pruning keeps surviving statements' lines intact.
+
+// Optimize rewrites the file in place, folding constants and pruning dead
+// branches. It must run after Parse and before Check (it does not maintain
+// resolution annotations). It returns the number of rewrites applied.
+func Optimize(f *File) int {
+	o := &optimizer{}
+	for _, fd := range f.Funcs {
+		fd.Body = o.block(fd.Body)
+	}
+	for _, g := range f.Globals {
+		if g.Init != nil {
+			g.Init = o.expr(g.Init)
+		}
+	}
+	return o.count
+}
+
+type optimizer struct {
+	count int
+}
+
+func (o *optimizer) block(b *BlockStmt) *BlockStmt {
+	var out []Stmt
+	for _, s := range b.Stmts {
+		s = o.stmt(s)
+		if s == nil {
+			continue
+		}
+		out = append(out, s)
+		// Statements after an unconditional return are unreachable.
+		if _, isRet := s.(*ReturnStmt); isRet {
+			if len(out) < len(b.Stmts) {
+				o.count++
+			}
+			break
+		}
+	}
+	b.Stmts = out
+	return b
+}
+
+// stmt rewrites one statement; returning nil drops it.
+func (o *optimizer) stmt(s Stmt) Stmt {
+	switch st := s.(type) {
+	case *BlockStmt:
+		return o.block(st)
+	case *VarDeclStmt:
+		if st.Init != nil {
+			st.Init = o.expr(st.Init)
+		}
+	case *AssignStmt:
+		st.LHS = o.expr(st.LHS)
+		st.RHS = o.expr(st.RHS)
+	case *IncDecStmt:
+		st.LHS = o.expr(st.LHS)
+	case *ExprStmt:
+		st.X = o.expr(st.X)
+	case *IfStmt:
+		st.Cond = o.expr(st.Cond)
+		st.Then = o.block(st.Then)
+		if st.Else != nil {
+			st.Else = o.stmt(st.Else)
+		}
+		if lit, ok := st.Cond.(*BoolLit); ok {
+			o.count++
+			if lit.Value {
+				return st.Then
+			}
+			if st.Else == nil {
+				return nil
+			}
+			return st.Else
+		}
+	case *WhileStmt:
+		st.Cond = o.expr(st.Cond)
+		st.Body = o.block(st.Body)
+		if lit, ok := st.Cond.(*BoolLit); ok && !lit.Value {
+			o.count++
+			return nil
+		}
+	case *ForStmt:
+		if st.Init != nil {
+			st.Init = o.stmt(st.Init)
+		}
+		if st.Cond != nil {
+			st.Cond = o.expr(st.Cond)
+		}
+		if st.Post != nil {
+			st.Post = o.stmt(st.Post)
+		}
+		st.Body = o.block(st.Body)
+	case *ParallelForStmt:
+		st.Lo = o.expr(st.Lo)
+		st.Hi = o.expr(st.Hi)
+		st.Body = o.block(st.Body)
+	case *ReturnStmt:
+		if st.X != nil {
+			st.X = o.expr(st.X)
+		}
+	}
+	return s
+}
+
+func (o *optimizer) expr(e Expr) Expr {
+	switch x := e.(type) {
+	case *BinaryExpr:
+		x.X = o.expr(x.X)
+		x.Y = o.expr(x.Y)
+		if folded := foldBinary(x); folded != nil {
+			o.count++
+			return folded
+		}
+		if simplified := simplifyAlgebraic(x); simplified != nil {
+			o.count++
+			return simplified
+		}
+	case *UnaryExpr:
+		x.X = o.expr(x.X)
+		if folded := foldUnary(x); folded != nil {
+			o.count++
+			return folded
+		}
+	case *IndexExpr:
+		x.X = o.expr(x.X)
+		x.Index = o.expr(x.Index)
+	case *FieldExpr:
+		x.X = o.expr(x.X)
+	case *CallExpr:
+		for i := range x.Args {
+			x.Args[i] = o.expr(x.Args[i])
+		}
+	case *NewExpr:
+		if x.Count != nil {
+			x.Count = o.expr(x.Count)
+		}
+	case *CastExpr:
+		x.X = o.expr(x.X)
+		if folded := foldCast(x); folded != nil {
+			o.count++
+			return folded
+		}
+	}
+	return e
+}
+
+// foldBinary evaluates constant operands at compile time. Division and
+// modulo by a constant zero are left alone: the fault must happen at run
+// time, where the debugger can catch it.
+func foldBinary(x *BinaryExpr) Expr {
+	li, liOK := x.X.(*IntLit)
+	ri, riOK := x.Y.(*IntLit)
+	if liOK && riOK {
+		a, c := li.Value, ri.Value
+		mk := func(v int64) Expr { return &IntLit{exprBase: exprBase{Line: x.Line}, Value: v} }
+		mkb := func(v bool) Expr { return &BoolLit{exprBase: exprBase{Line: x.Line}, Value: v} }
+		switch x.Op {
+		case Plus:
+			return mk(a + c)
+		case Minus:
+			return mk(a - c)
+		case Star:
+			return mk(a * c)
+		case Slash:
+			if c != 0 {
+				return mk(a / c)
+			}
+		case Percent:
+			if c != 0 {
+				return mk(a % c)
+			}
+		case Shl:
+			if c >= 0 && c <= 63 {
+				return mk(a << uint(c))
+			}
+		case Shr:
+			if c >= 0 && c <= 63 {
+				return mk(a >> uint(c))
+			}
+		case Eq:
+			return mkb(a == c)
+		case Neq:
+			return mkb(a != c)
+		case Lt:
+			return mkb(a < c)
+		case Le:
+			return mkb(a <= c)
+		case Gt:
+			return mkb(a > c)
+		case Ge:
+			return mkb(a >= c)
+		}
+		return nil
+	}
+	lf, lfOK := x.X.(*FloatLit)
+	rf, rfOK := x.Y.(*FloatLit)
+	if lfOK && rfOK {
+		a, c := lf.Value, rf.Value
+		mk := func(v float64) Expr { return &FloatLit{exprBase: exprBase{Line: x.Line}, Value: v} }
+		switch x.Op {
+		case Plus:
+			return mk(a + c)
+		case Minus:
+			return mk(a - c)
+		case Star:
+			return mk(a * c)
+		case Slash:
+			if c != 0 {
+				return mk(a / c)
+			}
+		}
+		return nil
+	}
+	lb, lbOK := x.X.(*BoolLit)
+	rb, rbOK := x.Y.(*BoolLit)
+	if lbOK && rbOK {
+		mkb := func(v bool) Expr { return &BoolLit{exprBase: exprBase{Line: x.Line}, Value: v} }
+		switch x.Op {
+		case AndAnd:
+			return mkb(lb.Value && rb.Value)
+		case OrOr:
+			return mkb(lb.Value || rb.Value)
+		case Eq:
+			return mkb(lb.Value == rb.Value)
+		case Neq:
+			return mkb(lb.Value != rb.Value)
+		}
+		return nil
+	}
+	ls, lsOK := x.X.(*StringLit)
+	rs, rsOK := x.Y.(*StringLit)
+	if lsOK && rsOK && x.Op == Plus {
+		return &StringLit{exprBase: exprBase{Line: x.Line}, Value: ls.Value + rs.Value}
+	}
+	// Short-circuit with one constant bool side.
+	if lbOK {
+		if x.Op == AndAnd {
+			if lb.Value {
+				return x.Y
+			}
+			return &BoolLit{exprBase: exprBase{Line: x.Line}, Value: false}
+		}
+		if x.Op == OrOr {
+			if lb.Value {
+				return &BoolLit{exprBase: exprBase{Line: x.Line}, Value: true}
+			}
+			return x.Y
+		}
+	}
+	return nil
+}
+
+// simplifyAlgebraic applies identity rules: x+0, x-0, x*1, x*0, x/1, 0+x,
+// 1*x. Only integer identities; float zero/one have sign and NaN caveats
+// (0*NaN != 0), so floats are left to foldBinary's literal-only cases.
+func simplifyAlgebraic(x *BinaryExpr) Expr {
+	intVal := func(e Expr) (int64, bool) {
+		l, ok := e.(*IntLit)
+		if !ok {
+			return 0, false
+		}
+		return l.Value, true
+	}
+	if v, ok := intVal(x.Y); ok {
+		switch {
+		case x.Op == Plus && v == 0, x.Op == Minus && v == 0, x.Op == Star && v == 1, x.Op == Slash && v == 1:
+			return x.X
+		case x.Op == Star && v == 0 && sideEffectFree(x.X):
+			return &IntLit{exprBase: exprBase{Line: x.Line}, Value: 0}
+		}
+	}
+	if v, ok := intVal(x.X); ok {
+		switch {
+		case x.Op == Plus && v == 0, x.Op == Star && v == 1:
+			return x.Y
+		case x.Op == Star && v == 0 && sideEffectFree(x.Y):
+			return &IntLit{exprBase: exprBase{Line: x.Line}, Value: 0}
+		}
+	}
+	return nil
+}
+
+// sideEffectFree reports whether evaluating e can have no observable
+// effect (no calls, no allocation; index/deref can fault, so they count
+// as effects here).
+func sideEffectFree(e Expr) bool {
+	switch x := e.(type) {
+	case *IntLit, *FloatLit, *BoolLit, *StringLit, *NullLit, *Ident:
+		return true
+	case *BinaryExpr:
+		if x.Op == Slash || x.Op == Percent {
+			return false // can trap
+		}
+		return sideEffectFree(x.X) && sideEffectFree(x.Y)
+	case *UnaryExpr:
+		return x.Op != Star && sideEffectFree(x.X)
+	}
+	return false
+}
+
+func foldUnary(x *UnaryExpr) Expr {
+	switch x.Op {
+	case Minus:
+		if l, ok := x.X.(*IntLit); ok {
+			return &IntLit{exprBase: exprBase{Line: x.Line}, Value: -l.Value}
+		}
+		if l, ok := x.X.(*FloatLit); ok {
+			return &FloatLit{exprBase: exprBase{Line: x.Line}, Value: -l.Value}
+		}
+	case Not:
+		if l, ok := x.X.(*BoolLit); ok {
+			return &BoolLit{exprBase: exprBase{Line: x.Line}, Value: !l.Value}
+		}
+	}
+	return nil
+}
+
+func foldCast(x *CastExpr) Expr {
+	switch x.Target.Kind {
+	case TInt:
+		if l, ok := x.X.(*FloatLit); ok {
+			return &IntLit{exprBase: exprBase{Line: x.Line}, Value: int64(l.Value)}
+		}
+		if l, ok := x.X.(*IntLit); ok {
+			return l
+		}
+	case TFloat:
+		if l, ok := x.X.(*IntLit); ok {
+			return &FloatLit{exprBase: exprBase{Line: x.Line}, Value: float64(l.Value)}
+		}
+	}
+	return nil
+}
+
+// CompileOptimized is Compile with the optimiser inserted between parsing
+// and checking.
+func CompileOptimized(filename, src string, natives *Natives) (*Program, int, error) {
+	if natives == nil {
+		natives = NewNatives()
+	}
+	file, err := Parse(filename, src)
+	if err != nil {
+		return nil, 0, err
+	}
+	n := Optimize(file)
+	prog, err := Check(file, natives)
+	if err != nil {
+		return nil, n, fmt.Errorf("minic: after optimisation: %w", err)
+	}
+	if err := CompileCode(prog); err != nil {
+		return nil, n, err
+	}
+	prog.SourceText = src
+	return prog, n, nil
+}

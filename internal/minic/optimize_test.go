@@ -1,0 +1,221 @@
+package minic
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func optimizeSource(t *testing.T, src string) (string, int) {
+	t.Helper()
+	f, err := Parse("opt.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := Optimize(f)
+	return Print(f), n
+}
+
+func TestConstantFolding(t *testing.T) {
+	out, n := optimizeSource(t, `
+func int main() {
+	int a = 2 + 3 * 4;
+	int b = (10 - 4) / 3;
+	int c = 7 % 4;
+	int d = 1 << 6;
+	float f = 1.5 * 2.0;
+	bool p = 3 < 4 && true;
+	string s = "ab" + "cd";
+	return a;
+}`)
+	if n == 0 {
+		t.Fatal("no folds applied")
+	}
+	for _, want := range []string{"= 14;", "= 2;", "= 3;", "= 64;", "= 3.0;", "= true;", `= "abcd";`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("folded output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAlgebraicSimplification(t *testing.T) {
+	out, _ := optimizeSource(t, `
+func int f(int x) {
+	int a = x + 0;
+	int b = x * 1;
+	int c = 0 + x;
+	int d = x * 0;
+	int e = x / 1;
+	return a + b + c + d + e;
+}`)
+	for _, want := range []string{"int a = x;", "int b = x;", "int c = x;", "int d = 0;", "int e = x;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestMulZeroKeepsSideEffects(t *testing.T) {
+	// x*0 with a call inside must NOT be dropped.
+	out, _ := optimizeSource(t, `
+func int g() {
+	return 1;
+}
+func int main() {
+	int a = g() * 0;
+	return a;
+}`)
+	if !strings.Contains(out, "g() * 0") {
+		t.Errorf("call folded away:\n%s", out)
+	}
+	// Division folding must not hide a trap.
+	out2, _ := optimizeSource(t, `func int main() { int a = 1 / 0; return a; }`)
+	if !strings.Contains(out2, "1 / 0") {
+		t.Errorf("divide-by-zero folded:\n%s", out2)
+	}
+}
+
+func TestBranchPruning(t *testing.T) {
+	out, _ := optimizeSource(t, `
+func int main() {
+	int a = 0;
+	if (true) {
+		a = 1;
+	} else {
+		a = 2;
+	}
+	if (1 > 2) {
+		a = 3;
+	}
+	while (false) {
+		a = 4;
+	}
+	return a;
+}`)
+	if strings.Contains(out, "a = 2;") || strings.Contains(out, "a = 3;") || strings.Contains(out, "a = 4;") {
+		t.Errorf("dead branches survive:\n%s", out)
+	}
+	if !strings.Contains(out, "a = 1;") {
+		t.Errorf("live branch pruned:\n%s", out)
+	}
+}
+
+func TestUnreachableAfterReturn(t *testing.T) {
+	out, _ := optimizeSource(t, `
+func int main() {
+	return 1;
+	return 2;
+}`)
+	if strings.Contains(out, "return 2;") {
+		t.Errorf("unreachable return survives:\n%s", out)
+	}
+}
+
+func TestCompileOptimizedRuns(t *testing.T) {
+	prog, folds, err := CompileOptimized("opt.c", `
+func int main() {
+	int unrolled = 3 * 3 * 3 * 3;
+	if (2 > 1) {
+		unrolled += 0 + 19;
+	}
+	printf("%d\n", unrolled);
+	return 0;
+}`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if folds == 0 {
+		t.Error("no folds recorded")
+	}
+	var sb strings.Builder
+	vm := NewVM(prog, &sb)
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "100\n" {
+		t.Errorf("output = %q, want 100", sb.String())
+	}
+}
+
+// TestOptimizerPreservesSemantics is the optimiser's property test: for
+// random integer expression trees, the optimised program computes the same
+// value as the unoptimised one.
+func TestOptimizerPreservesSemantics(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tree := genExpr(r, 5)
+		src := "func int main() { int result = " + exprString(tree) + "; return result; }"
+
+		run := func(optimize bool) (int64, bool) {
+			var prog *Program
+			var err error
+			if optimize {
+				prog, _, err = CompileOptimized("p.c", src, nil)
+			} else {
+				prog, err = Compile("p.c", src, nil)
+			}
+			if err != nil {
+				return 0, false
+			}
+			vm := NewVM(prog, nil)
+			if err := vm.Run(); err != nil {
+				return 0, false
+			}
+			return vm.Threads()[0].Result.I, true
+		}
+		plain, okPlain := run(false)
+		opt, okOpt := run(true)
+		if okPlain != okOpt {
+			// A run-time trap (div by zero) must be preserved, not folded
+			// away or introduced.
+			t.Logf("seed %d: trap behaviour diverged (plain ok=%v, opt ok=%v)\nsrc: %s",
+				seed, okPlain, okOpt, src)
+			return false
+		}
+		if okPlain && plain != opt {
+			t.Logf("seed %d: plain %d != optimised %d\nsrc: %s", seed, plain, opt, src)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisassembler(t *testing.T) {
+	prog, err := Compile("d.c", `
+global int g = 5;
+struct pt {
+	int x;
+}
+func int helper(int a) {
+	return a + g;
+}
+func int main() {
+	int[] arr = new int[4];
+	pt* p = new pt;
+	parallel_for (int i = 0; i < 4; i++) {
+		atomic_add(&arr[i], i);
+	}
+	return helper(arr[0]) + p->x;
+}`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := NewDisassembler(prog)
+	out := dis.Func("main")
+	for _, want := range []string{"main:", "newarr", "newstruct", " pt", "parfor", "call", "helper", "; line"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+	helperOut := dis.Func("helper")
+	if !strings.Contains(helperOut, "loadg") || !strings.Contains(helperOut, " g") {
+		t.Errorf("helper disassembly:\n%s", helperOut)
+	}
+	if out := dis.Func("nosuch"); !strings.Contains(out, "no function") {
+		t.Errorf("missing-function disassembly: %q", out)
+	}
+}

@@ -1,0 +1,181 @@
+package minic
+
+import "fmt"
+
+// Kind enumerates the lexical token kinds of the mini-C target language.
+type Kind int
+
+// Token kinds. The language is a small C dialect: the output language of
+// the DSL compilers in this repository, standing in for the C++ the paper's
+// DSLs emit.
+const (
+	EOF Kind = iota
+	IDENT
+	INTLIT
+	FLOATLIT
+	STRINGLIT
+
+	// Keywords.
+	KwFunc
+	KwGlobal
+	KwStruct
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwParallelFor
+	KwReturn
+	KwBreak
+	KwContinue
+	KwTrue
+	KwFalse
+	KwNull
+	KwNew
+	KwInt
+	KwFloat
+	KwBool
+	KwString
+	KwVoid
+
+	// Punctuation and operators.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBracket
+	RBracket
+	Comma
+	Semi
+	Dot
+	Arrow // ->
+	Assign
+	PlusAssign
+	MinusAssign
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Amp
+	AndAnd
+	OrOr
+	Not
+	Eq
+	Neq
+	Lt
+	Le
+	Gt
+	Ge
+	Inc // ++
+	Dec // --
+	Shl // <<
+	Shr // >>
+)
+
+var kindNames = map[Kind]string{
+	EOF:           "EOF",
+	IDENT:         "identifier",
+	INTLIT:        "integer literal",
+	FLOATLIT:      "float literal",
+	STRINGLIT:     "string literal",
+	KwFunc:        "func",
+	KwGlobal:      "global",
+	KwStruct:      "struct",
+	KwIf:          "if",
+	KwElse:        "else",
+	KwWhile:       "while",
+	KwFor:         "for",
+	KwParallelFor: "parallel_for",
+	KwReturn:      "return",
+	KwBreak:       "break",
+	KwContinue:    "continue",
+	KwTrue:        "true",
+	KwFalse:       "false",
+	KwNull:        "null",
+	KwNew:         "new",
+	KwInt:         "int",
+	KwFloat:       "float",
+	KwBool:        "bool",
+	KwString:      "string",
+	KwVoid:        "void",
+	LParen:        "(",
+	RParen:        ")",
+	LBrace:        "{",
+	RBrace:        "}",
+	LBracket:      "[",
+	RBracket:      "]",
+	Comma:         ",",
+	Semi:          ";",
+	Dot:           ".",
+	Arrow:         "->",
+	Assign:        "=",
+	PlusAssign:    "+=",
+	MinusAssign:   "-=",
+	Plus:          "+",
+	Minus:         "-",
+	Star:          "*",
+	Slash:         "/",
+	Percent:       "%",
+	Amp:           "&",
+	AndAnd:        "&&",
+	OrOr:          "||",
+	Not:           "!",
+	Eq:            "==",
+	Neq:           "!=",
+	Lt:            "<",
+	Le:            "<=",
+	Gt:            ">",
+	Ge:            ">=",
+	Inc:           "++",
+	Dec:           "--",
+	Shl:           "<<",
+	Shr:           ">>",
+}
+
+// String returns a human-readable name for the token kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"func":         KwFunc,
+	"global":       KwGlobal,
+	"struct":       KwStruct,
+	"if":           KwIf,
+	"else":         KwElse,
+	"while":        KwWhile,
+	"for":          KwFor,
+	"parallel_for": KwParallelFor,
+	"return":       KwReturn,
+	"break":        KwBreak,
+	"continue":     KwContinue,
+	"true":         KwTrue,
+	"false":        KwFalse,
+	"null":         KwNull,
+	"new":          KwNew,
+	"int":          KwInt,
+	"float":        KwFloat,
+	"bool":         KwBool,
+	"string":       KwString,
+	"void":         KwVoid,
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind Kind
+	Text string // raw text for IDENT and literals
+	Line int    // 1-based line in the source file
+	Col  int    // 1-based column
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INTLIT, FLOATLIT, STRINGLIT:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

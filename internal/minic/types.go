@@ -1,0 +1,145 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TypeKind discriminates the mini-C type shapes.
+type TypeKind int
+
+const (
+	TVoid TypeKind = iota
+	TInt
+	TFloat
+	TBool
+	TString
+	TPointer
+	TArray
+	TStruct
+	// TAny is used only in native (host-linked) function signatures: an
+	// any-typed parameter accepts every value, and an any-typed result is
+	// assignable to anything, mirroring how C code converts void* results.
+	TAny
+)
+
+// Type describes a mini-C type. Types are interned per Program by the
+// checker so pointer equality is not meaningful; use Equal.
+type Type struct {
+	Kind TypeKind
+	Elem *Type  // pointee for TPointer, element for TArray
+	Name string // struct name for TStruct
+}
+
+// Predeclared basic types, shared by the whole package.
+var (
+	VoidType   = &Type{Kind: TVoid}
+	IntType    = &Type{Kind: TInt}
+	FloatType  = &Type{Kind: TFloat}
+	BoolType   = &Type{Kind: TBool}
+	StringType = &Type{Kind: TString}
+	AnyType    = &Type{Kind: TAny}
+)
+
+// PointerTo returns the pointer type to elem.
+func PointerTo(elem *Type) *Type { return &Type{Kind: TPointer, Elem: elem} }
+
+// ArrayOf returns the dynamic-array type of elem.
+func ArrayOf(elem *Type) *Type { return &Type{Kind: TArray, Elem: elem} }
+
+// StructType returns a named struct type reference.
+func StructType(name string) *Type { return &Type{Kind: TStruct, Name: name} }
+
+// Equal reports structural type equality.
+func (t *Type) Equal(o *Type) bool {
+	if t == nil || o == nil {
+		return t == o
+	}
+	if t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case TPointer, TArray:
+		return t.Elem.Equal(o.Elem)
+	case TStruct:
+		return t.Name == o.Name
+	default:
+		return true
+	}
+}
+
+// String renders the type in mini-C surface syntax: "int", "float[]",
+// "frontier_t*", "int[]*".
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil-type>"
+	}
+	switch t.Kind {
+	case TVoid:
+		return "void"
+	case TInt:
+		return "int"
+	case TFloat:
+		return "float"
+	case TBool:
+		return "bool"
+	case TString:
+		return "string"
+	case TPointer:
+		return t.Elem.String() + "*"
+	case TArray:
+		return t.Elem.String() + "[]"
+	case TStruct:
+		return t.Name
+	case TAny:
+		return "any"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t.Kind))
+	}
+}
+
+// IsNumeric reports whether arithmetic is defined on t.
+func (t *Type) IsNumeric() bool { return t.Kind == TInt || t.Kind == TFloat }
+
+// IsReference reports whether values of t are heap references for which
+// null is a valid value.
+func (t *Type) IsReference() bool {
+	return t.Kind == TPointer || t.Kind == TArray
+}
+
+// StructDef is the declaration of a named struct.
+type StructDef struct {
+	Name   string
+	Fields []Field
+	Line   int
+}
+
+// Field is one struct field.
+type Field struct {
+	Name string
+	Type *Type
+}
+
+// FieldIndex returns the position of the named field, or -1.
+func (s *StructDef) FieldIndex(name string) int {
+	for i, f := range s.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Signature is a function's type: parameter types and result type.
+type Signature struct {
+	Params []*Type
+	Result *Type
+}
+
+func (s Signature) String() string {
+	parts := make([]string, len(s.Params))
+	for i, p := range s.Params {
+		parts[i] = p.String()
+	}
+	return fmt.Sprintf("(%s) %s", strings.Join(parts, ", "), s.Result)
+}

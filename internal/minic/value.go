@@ -1,0 +1,273 @@
+package minic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValueKind discriminates runtime values.
+type ValueKind int
+
+const (
+	VNull ValueKind = iota
+	VInt
+	VFloat
+	VBool
+	VStr
+	VPtr    // pointer to a Cell
+	VArr    // reference to an ArrayObj
+	VStruct // reference to a StructObj (what struct pointers hold)
+)
+
+func (k ValueKind) String() string {
+	switch k {
+	case VNull:
+		return "null"
+	case VInt:
+		return "int"
+	case VFloat:
+		return "float"
+	case VBool:
+		return "bool"
+	case VStr:
+		return "string"
+	case VPtr:
+		return "pointer"
+	case VArr:
+		return "array"
+	case VStruct:
+		return "struct"
+	}
+	return fmt.Sprintf("ValueKind(%d)", int(k))
+}
+
+// Value is one mini-C runtime value. The VM is dynamically typed
+// underneath; the checker guarantees kind agreement for checked programs.
+type Value struct {
+	Kind   ValueKind
+	I      int64
+	F      float64
+	S      string
+	Ptr    *Cell
+	Arr    *ArrayObj
+	Struct *StructObj
+}
+
+// Convenience constructors.
+func IntVal(v int64) Value         { return Value{Kind: VInt, I: v} }
+func FloatVal(v float64) Value     { return Value{Kind: VFloat, F: v} }
+func BoolVal(v bool) Value         { return Value{Kind: VBool, I: b2i(v)} }
+func StrVal(v string) Value        { return Value{Kind: VStr, S: v} }
+func NullVal() Value               { return Value{Kind: VNull} }
+func PtrVal(c *Cell) Value         { return Value{Kind: VPtr, Ptr: c} }
+func ArrVal(a *ArrayObj) Value     { return Value{Kind: VArr, Arr: a} }
+func StructVal(s *StructObj) Value { return Value{Kind: VStruct, Struct: s} }
+
+func b2i(v bool) int64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// Bool returns the boolean interpretation of a VBool value.
+func (v Value) Bool() bool { return v.I != 0 }
+
+// IsNull reports whether the value is the null reference.
+func (v Value) IsNull() bool { return v.Kind == VNull }
+
+// AsFloat widens ints to float; used by mixed-mode arithmetic.
+func (v Value) AsFloat() float64 {
+	if v.Kind == VInt {
+		return float64(v.I)
+	}
+	return v.F
+}
+
+// Cell is one storage location: a local slot, a global, an array element,
+// or a struct field. Pointers reference cells, so the debugger and D2X's
+// find_stack_var hand out *Cell-backed pointers into live frames.
+type Cell struct {
+	V Value
+}
+
+// ArrayObj is a heap-allocated dynamic array.
+type ArrayObj struct {
+	Elem  *Type
+	Cells []Cell
+}
+
+// NewArray allocates a zero-initialised array of n elements of type elem.
+func NewArray(elem *Type, n int) *ArrayObj {
+	a := &ArrayObj{Elem: elem, Cells: make([]Cell, n)}
+	zero := ZeroValue(elem)
+	for i := range a.Cells {
+		a.Cells[i].V = zero
+	}
+	return a
+}
+
+// Len returns the number of elements.
+func (a *ArrayObj) Len() int { return len(a.Cells) }
+
+// StructObj is a heap-allocated struct instance.
+type StructObj struct {
+	Def    *StructDef
+	Fields []Cell
+}
+
+// NewStruct allocates a zero-initialised instance of def.
+func NewStruct(def *StructDef) *StructObj {
+	s := &StructObj{Def: def, Fields: make([]Cell, len(def.Fields))}
+	for i, f := range def.Fields {
+		s.Fields[i].V = ZeroValue(f.Type)
+	}
+	return s
+}
+
+// ZeroValue returns the zero value of a static type.
+func ZeroValue(t *Type) Value {
+	if t == nil {
+		return NullVal()
+	}
+	switch t.Kind {
+	case TInt:
+		return IntVal(0)
+	case TFloat:
+		return FloatVal(0)
+	case TBool:
+		return BoolVal(false)
+	case TString:
+		return StrVal("")
+	default:
+		return NullVal()
+	}
+}
+
+// FormatValue renders a value the way the debugger's print command would:
+// scalars verbatim, strings quoted, arrays as bracketed element lists
+// (truncated), structs as {field = value, ...}.
+func FormatValue(v Value) string {
+	return formatValue(v, 0)
+}
+
+const maxFormatDepth = 3
+const maxFormatElems = 32
+
+func formatValue(v Value, depth int) string {
+	switch v.Kind {
+	case VNull:
+		return "null"
+	case VInt:
+		return strconv.FormatInt(v.I, 10)
+	case VFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case VBool:
+		if v.Bool() {
+			return "true"
+		}
+		return "false"
+	case VStr:
+		return strconv.Quote(v.S)
+	case VPtr:
+		if v.Ptr == nil {
+			return "null"
+		}
+		if depth >= maxFormatDepth {
+			return "&..."
+		}
+		return "&" + formatValue(v.Ptr.V, depth+1)
+	case VArr:
+		if v.Arr == nil {
+			return "null"
+		}
+		if depth >= maxFormatDepth {
+			return "[...]"
+		}
+		var b strings.Builder
+		b.WriteByte('[')
+		for i := range v.Arr.Cells {
+			if i >= maxFormatElems {
+				fmt.Fprintf(&b, ", ... (%d total)", len(v.Arr.Cells))
+				break
+			}
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(formatValue(v.Arr.Cells[i].V, depth+1))
+		}
+		b.WriteByte(']')
+		return b.String()
+	case VStruct:
+		if v.Struct == nil {
+			return "null"
+		}
+		if depth >= maxFormatDepth {
+			return "{...}"
+		}
+		var b strings.Builder
+		b.WriteByte('{')
+		for i, f := range v.Struct.Def.Fields {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s = %s", f.Name, formatValue(v.Struct.Fields[i].V, depth+1))
+		}
+		b.WriteByte('}')
+		return b.String()
+	}
+	return "<invalid>"
+}
+
+// ToStr converts a value to its unquoted string form, as the to_str
+// builtin and printf's %v verb do.
+func ToStr(v Value) string {
+	if v.Kind == VStr {
+		return v.S
+	}
+	return FormatValue(v)
+}
+
+// ValuesEqual implements == for the subset of comparisons the checker
+// admits.
+func ValuesEqual(a, b Value) bool {
+	switch {
+	case a.Kind == VInt && b.Kind == VInt:
+		return a.I == b.I
+	case a.Kind == VFloat || b.Kind == VFloat:
+		if (a.Kind == VFloat || a.Kind == VInt) && (b.Kind == VFloat || b.Kind == VInt) {
+			return a.AsFloat() == b.AsFloat()
+		}
+	case a.Kind == VBool && b.Kind == VBool:
+		return a.I == b.I
+	case a.Kind == VStr && b.Kind == VStr:
+		return a.S == b.S
+	}
+	if a.IsNull() || b.IsNull() {
+		return refIsNil(a) && refIsNil(b)
+	}
+	switch {
+	case a.Kind == VPtr && b.Kind == VPtr:
+		return a.Ptr == b.Ptr
+	case a.Kind == VArr && b.Kind == VArr:
+		return a.Arr == b.Arr
+	case a.Kind == VStruct && b.Kind == VStruct:
+		return a.Struct == b.Struct
+	}
+	return false
+}
+
+func refIsNil(v Value) bool {
+	switch v.Kind {
+	case VNull:
+		return true
+	case VPtr:
+		return v.Ptr == nil
+	case VArr:
+		return v.Arr == nil
+	case VStruct:
+		return v.Struct == nil
+	}
+	return false
+}

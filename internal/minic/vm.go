@@ -1,0 +1,919 @@
+package minic
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ThreadState is the lifecycle state of one logical VM thread.
+type ThreadState int
+
+const (
+	ThreadReady ThreadState = iota
+	ThreadWaiting
+	ThreadDone
+	ThreadFaulted
+)
+
+func (s ThreadState) String() string {
+	switch s {
+	case ThreadReady:
+		return "ready"
+	case ThreadWaiting:
+		return "waiting"
+	case ThreadDone:
+		return "done"
+	case ThreadFaulted:
+		return "faulted"
+	}
+	return fmt.Sprintf("ThreadState(%d)", int(s))
+}
+
+// Frame is one function activation. Slots are individually heap-allocated
+// cells so that pointers into frames (and parallel_for's by-reference
+// captures) stay valid for the frame's lifetime.
+type Frame struct {
+	ID        int
+	FuncIndex int
+	Fn        *FuncDecl
+	Code      *FuncCode
+	PC        int
+	Slots     []*Cell
+	stack     []Value
+}
+
+// Line returns the source line of the instruction the frame is about to
+// execute (for the top frame) or is executing a call from (inner frames).
+func (f *Frame) Line() int { return f.Code.LineOf(f.PC) }
+
+// SlotByName returns the cell for the named local, or nil. This is a
+// convenience used by tests; the debugger goes through the debug info
+// instead, as a real debugger would.
+func (f *Frame) SlotByName(name string) *Cell {
+	for i, n := range f.Fn.SlotNames {
+		if n == name && i < len(f.Slots) {
+			return f.Slots[i]
+		}
+	}
+	return nil
+}
+
+// parRange drives one logical thread's share of a parallel_for: the thread
+// repeatedly pushes helper frames until the index range is exhausted.
+type parRange struct {
+	next, end int64
+	helper    int
+	captured  []*Cell
+}
+
+// Thread is one logical thread of execution.
+type Thread struct {
+	ID       int
+	Frames   []*Frame
+	State    ThreadState
+	Fault    error
+	Result   Value // set when the root function returns a value
+	parent   *Thread
+	children int
+	par      *parRange
+	synth    bool // synthetic thread (debugger `call`), not scheduled normally
+}
+
+// Top returns the innermost frame, or nil for a finished thread.
+func (t *Thread) Top() *Frame {
+	if len(t.Frames) == 0 {
+		return nil
+	}
+	return t.Frames[len(t.Frames)-1]
+}
+
+// VM executes a compiled Program. It is single-goroutine and cooperatively
+// scheduled: logical threads interleave at instruction granularity in a
+// deterministic round-robin, so data races in generated code are
+// observable and reproducible — the property GraphIt's push schedule
+// (atomicAdd vs plain +=) depends on.
+type VM struct {
+	Prog    *Program
+	Globals []Cell
+	Output  io.Writer
+
+	// NumWorkers is the number of logical threads a parallel_for fans out
+	// to (the analogue of OMP_NUM_THREADS). Default 4.
+	NumWorkers int
+
+	// Steps counts executed instructions; a deterministic clock for the
+	// overhead experiments.
+	Steps int64
+
+	// SynthBudget caps the instructions of one synchronous CallFunction
+	// (debugger `call`), so a buggy rtv_handler cannot hang the debugger.
+	SynthBudget int64
+
+	threads      []*Thread
+	nextThreadID int
+	nextFrameID  int
+	frameByID    map[int]*Frame
+	schedIdx     int
+	started      bool
+}
+
+// NewVM prepares a VM for the program with zero-initialised globals.
+func NewVM(prog *Program, output io.Writer) *VM {
+	if output == nil {
+		output = io.Discard
+	}
+	vm := &VM{
+		Prog:        prog,
+		Output:      output,
+		NumWorkers:  4,
+		SynthBudget: 200_000_000,
+		frameByID:   map[int]*Frame{},
+	}
+	vm.Globals = make([]Cell, len(prog.Globals))
+	for i, g := range prog.Globals {
+		if g.Init != nil {
+			vm.Globals[i].V = constValue(g.Init)
+		} else {
+			vm.Globals[i].V = ZeroValue(g.Type)
+		}
+	}
+	return vm
+}
+
+func constValue(e Expr) Value {
+	switch x := e.(type) {
+	case *IntLit:
+		return IntVal(x.Value)
+	case *FloatLit:
+		return FloatVal(x.Value)
+	case *BoolLit:
+		return BoolVal(x.Value)
+	case *StringLit:
+		return StrVal(x.Value)
+	case *NullLit:
+		return NullVal()
+	case *UnaryExpr:
+		v := constValue(x.X)
+		switch v.Kind {
+		case VInt:
+			return IntVal(-v.I)
+		case VFloat:
+			return FloatVal(-v.F)
+		}
+	}
+	return NullVal()
+}
+
+// GlobalCell returns the storage cell of the named global, or nil. Natives
+// (the D2X runtime among them) use this to read "inferior memory".
+func (vm *VM) GlobalCell(name string) *Cell {
+	if i, ok := vm.Prog.GlobalByName[name]; ok {
+		return &vm.Globals[i]
+	}
+	return nil
+}
+
+// Threads returns the live thread list (program order).
+func (vm *VM) Threads() []*Thread { return vm.threads }
+
+// ThreadByID returns the thread with the given ID, or nil.
+func (vm *VM) ThreadByID(id int) *Thread {
+	for _, t := range vm.threads {
+		if t.ID == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// FrameByID resolves a frame ID (the VM's analogue of a stack pointer
+// value) to the live frame, or nil after the frame has returned.
+func (vm *VM) FrameByID(id int) *Frame { return vm.frameByID[id] }
+
+func (vm *VM) newFrame(funcIndex int, args []Value) (*Frame, error) {
+	fd := vm.Prog.Funcs[funcIndex]
+	fc := vm.Prog.Code[funcIndex]
+	if len(args) != len(fd.Params) {
+		return nil, fmt.Errorf("call to %s with %d args, want %d", fd.Name, len(args), len(fd.Params))
+	}
+	f := &Frame{
+		ID:        vm.nextFrameID,
+		FuncIndex: funcIndex,
+		Fn:        fd,
+		Code:      fc,
+		Slots:     make([]*Cell, fc.NumSlots),
+	}
+	vm.nextFrameID++
+	backing := make([]Cell, fc.NumSlots)
+	for i := range f.Slots {
+		f.Slots[i] = &backing[i]
+		if i < len(fd.SlotTypes) {
+			f.Slots[i].V = ZeroValue(fd.SlotTypes[i])
+		}
+	}
+	for i, a := range args {
+		f.Slots[i].V = a
+	}
+	vm.frameByID[f.ID] = f
+	return f, nil
+}
+
+func (vm *VM) newThread(parent *Thread, synth bool) *Thread {
+	t := &Thread{ID: vm.nextThreadID, parent: parent, synth: synth}
+	vm.nextThreadID++
+	return t
+}
+
+// Start sets up the main thread. Functions whose name begins with "__init"
+// run to completion first (module constructors — the D2X table emitter
+// registers its table-building code this way); they execute synchronously
+// and are not visible to the debugger, like ELF constructors run before
+// the first stop at main.
+func (vm *VM) Start() error {
+	if vm.started {
+		return fmt.Errorf("minic: VM already started")
+	}
+	mainIdx := vm.Prog.FuncIndex("main")
+	if mainIdx < 0 {
+		return fmt.Errorf("minic: program has no main function")
+	}
+	for _, name := range vm.Prog.InitFuncs() {
+		if _, err := vm.CallFunction(name, nil); err != nil {
+			return fmt.Errorf("minic: running %s: %w", name, err)
+		}
+	}
+	frame, err := vm.newFrame(mainIdx, nil)
+	if err != nil {
+		return err
+	}
+	t := vm.newThread(nil, false)
+	t.Frames = []*Frame{frame}
+	vm.threads = append(vm.threads, t)
+	vm.started = true
+	return nil
+}
+
+// Done reports whether every thread has finished.
+func (vm *VM) Done() bool {
+	for _, t := range vm.threads {
+		if t.State == ThreadReady || t.State == ThreadWaiting {
+			return false
+		}
+	}
+	return true
+}
+
+// Faulted returns the first faulted thread, or nil.
+func (vm *VM) Faulted() *Thread {
+	for _, t := range vm.threads {
+		if t.State == ThreadFaulted {
+			return t
+		}
+	}
+	return nil
+}
+
+// NextThread returns the thread the scheduler would run next, or nil when
+// everything is blocked or finished. It does not advance any state: the
+// debugger uses it to inspect the instruction about to execute.
+func (vm *VM) NextThread() *Thread {
+	n := len(vm.threads)
+	for off := 0; off < n; off++ {
+		t := vm.threads[(vm.schedIdx+off)%n]
+		if t.State == ThreadReady {
+			return t
+		}
+	}
+	return nil
+}
+
+// StepInstr executes exactly one instruction on the next runnable thread.
+// It returns the thread that ran (nil when nothing is runnable). Faults
+// mark the thread Faulted rather than returning an error, so a debugger
+// can inspect the fault site; RunToCompletion converts them to errors.
+func (vm *VM) StepInstr() *Thread {
+	n := len(vm.threads)
+	for off := 0; off < n; off++ {
+		idx := (vm.schedIdx + off) % n
+		t := vm.threads[idx]
+		if t.State != ThreadReady {
+			continue
+		}
+		vm.schedIdx = (idx + 1) % len(vm.threads)
+		spawned, err := vm.execInstr(t)
+		vm.Steps++
+		if err != nil {
+			t.State = ThreadFaulted
+			t.Fault = err
+		}
+		vm.threads = append(vm.threads, spawned...)
+		return t
+	}
+	return nil
+}
+
+// RunToCompletion drives the scheduler until the program finishes or
+// faults. maxSteps of 0 means no limit.
+func (vm *VM) RunToCompletion(maxSteps int64) error {
+	var steps int64
+	for {
+		if f := vm.Faulted(); f != nil {
+			return fmt.Errorf("thread %d faulted: %w", f.ID, f.Fault)
+		}
+		if vm.Done() {
+			return nil
+		}
+		if vm.StepInstr() == nil {
+			return fmt.Errorf("minic: deadlock: no runnable threads")
+		}
+		steps++
+		if maxSteps > 0 && steps > maxSteps {
+			return fmt.Errorf("minic: step budget of %d exceeded", maxSteps)
+		}
+	}
+}
+
+// Run compiles the whole lifecycle: Start plus RunToCompletion.
+func (vm *VM) Run() error {
+	if !vm.started {
+		if err := vm.Start(); err != nil {
+			return err
+		}
+	}
+	return vm.RunToCompletion(0)
+}
+
+// CallFunction synchronously executes a function to completion on a
+// synthetic thread while the rest of the VM stays frozen. This implements
+// the debugger's `call` command — the single debugger feature the paper's
+// whole design rests on — and is also used by D2X-R to evaluate
+// rtv_handlers. Reentrant: a native called this way may call back in.
+func (vm *VM) CallFunction(name string, args []Value) (Value, error) {
+	fi := vm.Prog.FuncIndex(name)
+	if fi < 0 {
+		return NullVal(), fmt.Errorf("minic: no function %q in program", name)
+	}
+	return vm.CallFunctionByIndex(fi, args)
+}
+
+// CallFunctionByIndex is CallFunction addressed by function index.
+func (vm *VM) CallFunctionByIndex(fi int, args []Value) (Value, error) {
+	frame, err := vm.newFrame(fi, args)
+	if err != nil {
+		return NullVal(), err
+	}
+	root := vm.newThread(nil, true)
+	root.Frames = []*Frame{frame}
+	pool := []*Thread{root}
+	var budget int64
+	for {
+		progress := false
+		for i := 0; i < len(pool); i++ {
+			t := pool[i]
+			if t.State != ThreadReady {
+				continue
+			}
+			spawned, err := vm.execInstr(t)
+			vm.Steps++
+			budget++
+			if err != nil {
+				return NullVal(), fmt.Errorf("in %s: %w", vm.Prog.Funcs[fi].Name, err)
+			}
+			pool = append(pool, spawned...)
+			progress = true
+			if budget > vm.SynthBudget {
+				return NullVal(), fmt.Errorf("minic: call to %s exceeded instruction budget", vm.Prog.Funcs[fi].Name)
+			}
+		}
+		if root.State == ThreadDone {
+			return root.Result, nil
+		}
+		if root.State == ThreadFaulted {
+			return NullVal(), root.Fault
+		}
+		if !progress {
+			return NullVal(), fmt.Errorf("minic: call to %s deadlocked", vm.Prog.Funcs[fi].Name)
+		}
+	}
+}
+
+// faultf builds a positioned runtime fault.
+func (vm *VM) faultf(f *Frame, format string, args ...any) error {
+	return fmt.Errorf("%s:%d: in %s: %s",
+		vm.Prog.SourceName, f.Line(), f.Fn.Name, fmt.Sprintf(format, args...))
+}
+
+func (f *Frame) push(v Value) { f.stack = append(f.stack, v) }
+
+func (f *Frame) pop() (Value, bool) {
+	if len(f.stack) == 0 {
+		return Value{}, false
+	}
+	v := f.stack[len(f.stack)-1]
+	f.stack = f.stack[:len(f.stack)-1]
+	return v, true
+}
+
+// execInstr executes one instruction on thread t, returning any threads
+// spawned by a parallel_for.
+func (vm *VM) execInstr(t *Thread) ([]*Thread, error) {
+	f := t.Top()
+	if f == nil {
+		t.State = ThreadDone
+		return nil, nil
+	}
+	if f.PC < 0 || f.PC >= len(f.Code.Instrs) {
+		return nil, vm.faultf(f, "program counter out of range (%d)", f.PC)
+	}
+	in := f.Code.Instrs[f.PC]
+	f.PC++
+
+	pop := func() (Value, error) {
+		v, ok := f.pop()
+		if !ok {
+			return Value{}, vm.faultf(f, "operand stack underflow at %s", in.Op)
+		}
+		return v, nil
+	}
+
+	switch in.Op {
+	case OpNop, OpHalt:
+		// OpHalt is a defensive stop for synthetic drivers; treated as nop.
+
+	case OpConst:
+		f.push(f.Code.Consts[in.A])
+
+	case OpLoadLocal:
+		f.push(f.Slots[in.A].V)
+
+	case OpStoreLocal:
+		v, err := pop()
+		if err != nil {
+			return nil, err
+		}
+		f.Slots[in.A].V = v
+
+	case OpAddrLocal:
+		f.push(PtrVal(f.Slots[in.A]))
+
+	case OpLoadGlobal:
+		f.push(vm.Globals[in.A].V)
+
+	case OpStoreGlobal:
+		v, err := pop()
+		if err != nil {
+			return nil, err
+		}
+		vm.Globals[in.A].V = v
+
+	case OpAddrGlobal:
+		f.push(PtrVal(&vm.Globals[in.A]))
+
+	case OpLoadInd:
+		p, err := pop()
+		if err != nil {
+			return nil, err
+		}
+		if p.Kind != VPtr || p.Ptr == nil {
+			return nil, vm.faultf(f, "null pointer dereference")
+		}
+		f.push(p.Ptr.V)
+
+	case OpStoreInd:
+		v, err := pop()
+		if err != nil {
+			return nil, err
+		}
+		p, err := pop()
+		if err != nil {
+			return nil, err
+		}
+		if p.Kind != VPtr || p.Ptr == nil {
+			return nil, vm.faultf(f, "null pointer store")
+		}
+		p.Ptr.V = v
+
+	case OpIndexLoad, OpIndexAddr:
+		idx, err := pop()
+		if err != nil {
+			return nil, err
+		}
+		arr, err := pop()
+		if err != nil {
+			return nil, err
+		}
+		if arr.Kind != VArr || arr.Arr == nil {
+			return nil, vm.faultf(f, "indexing a null array")
+		}
+		if idx.I < 0 || idx.I >= int64(len(arr.Arr.Cells)) {
+			return nil, vm.faultf(f, "array index %d out of range [0, %d)", idx.I, len(arr.Arr.Cells))
+		}
+		if in.Op == OpIndexLoad {
+			f.push(arr.Arr.Cells[idx.I].V)
+		} else {
+			f.push(PtrVal(&arr.Arr.Cells[idx.I]))
+		}
+
+	case OpFieldLoad, OpFieldAddr:
+		sv, err := pop()
+		if err != nil {
+			return nil, err
+		}
+		var obj *StructObj
+		switch sv.Kind {
+		case VStruct:
+			obj = sv.Struct
+		case VPtr:
+			if sv.Ptr != nil && sv.Ptr.V.Kind == VStruct {
+				obj = sv.Ptr.V.Struct
+			}
+		}
+		if obj == nil {
+			return nil, vm.faultf(f, "field access on null struct")
+		}
+		if in.Op == OpFieldLoad {
+			f.push(obj.Fields[in.A].V)
+		} else {
+			f.push(PtrVal(&obj.Fields[in.A]))
+		}
+
+	case OpBin:
+		y, err := pop()
+		if err != nil {
+			return nil, err
+		}
+		x, err := pop()
+		if err != nil {
+			return nil, err
+		}
+		v, err := evalBin(Kind(in.A), x, y)
+		if err != nil {
+			return nil, vm.faultf(f, "%s", err)
+		}
+		f.push(v)
+
+	case OpUn:
+		x, err := pop()
+		if err != nil {
+			return nil, err
+		}
+		switch Kind(in.A) {
+		case Minus:
+			if x.Kind == VFloat {
+				f.push(FloatVal(-x.F))
+			} else {
+				f.push(IntVal(-x.I))
+			}
+		case Not:
+			f.push(BoolVal(!x.Bool()))
+		default:
+			return nil, vm.faultf(f, "bad unary operator %s", Kind(in.A))
+		}
+
+	case OpJmp:
+		f.PC = in.A
+
+	case OpJmpFalse:
+		v, err := pop()
+		if err != nil {
+			return nil, err
+		}
+		if !v.Bool() {
+			f.PC = in.A
+		}
+
+	case OpJmpTrue:
+		v, err := pop()
+		if err != nil {
+			return nil, err
+		}
+		if v.Bool() {
+			f.PC = in.A
+		}
+
+	case OpCall:
+		args := make([]Value, in.B)
+		for i := in.B - 1; i >= 0; i-- {
+			v, err := pop()
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		callee, err := vm.newFrame(in.A, args)
+		if err != nil {
+			return nil, vm.faultf(f, "%s", err)
+		}
+		if len(t.Frames) >= 10000 {
+			return nil, vm.faultf(f, "call stack overflow (10000 frames)")
+		}
+		t.Frames = append(t.Frames, callee)
+
+	case OpCallNative:
+		nat := vm.Prog.Natives.At(in.A)
+		args := make([]Value, in.B)
+		for i := in.B - 1; i >= 0; i-- {
+			v, err := pop()
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		res, err := nat.Handler(&NativeCall{VM: vm, Thread: t, Args: args})
+		if err != nil {
+			return nil, vm.faultf(f, "%s: %s", nat.Name, err)
+		}
+		if nat.Sig.Result != nil && nat.Sig.Result.Kind != TVoid {
+			f.push(res)
+		} else if nat.AnyResult {
+			f.push(res)
+		}
+
+	case OpRet:
+		vm.returnFrame(t, NullVal(), false)
+
+	case OpRetVal:
+		v, err := pop()
+		if err != nil {
+			return nil, err
+		}
+		vm.returnFrame(t, v, true)
+
+	case OpPop:
+		if _, err := pop(); err != nil {
+			return nil, err
+		}
+
+	case OpDup:
+		v, err := pop()
+		if err != nil {
+			return nil, err
+		}
+		f.push(v)
+		f.push(v)
+
+	case OpNewArr:
+		n, err := pop()
+		if err != nil {
+			return nil, err
+		}
+		if n.I < 0 {
+			return nil, vm.faultf(f, "negative array size %d", n.I)
+		}
+		if n.I > 1<<28 {
+			return nil, vm.faultf(f, "array size %d too large", n.I)
+		}
+		f.push(ArrVal(NewArray(f.Code.Types[in.A], int(n.I))))
+
+	case OpNewStruct:
+		f.push(StructVal(NewStruct(f.Code.StructRefs[in.A])))
+
+	case OpCastInt:
+		v, err := pop()
+		if err != nil {
+			return nil, err
+		}
+		switch v.Kind {
+		case VFloat:
+			f.push(IntVal(int64(v.F)))
+		case VBool, VInt:
+			f.push(IntVal(v.I))
+		default:
+			return nil, vm.faultf(f, "cannot convert %s to int", v.Kind)
+		}
+
+	case OpCastFloat:
+		v, err := pop()
+		if err != nil {
+			return nil, err
+		}
+		switch v.Kind {
+		case VInt:
+			f.push(FloatVal(float64(v.I)))
+		case VFloat:
+			f.push(v)
+		default:
+			return nil, vm.faultf(f, "cannot convert %s to float", v.Kind)
+		}
+
+	case OpCastBool:
+		v, err := pop()
+		if err != nil {
+			return nil, err
+		}
+		f.push(BoolVal(v.I != 0))
+
+	case OpParFor:
+		hi, err := pop()
+		if err != nil {
+			return nil, err
+		}
+		lo, err := pop()
+		if err != nil {
+			return nil, err
+		}
+		info := f.Code.ParFors[in.A]
+		return vm.spawnParFor(t, f, info, lo.I, hi.I)
+
+	default:
+		return nil, vm.faultf(f, "unknown opcode %s", in.Op)
+	}
+	return nil, nil
+}
+
+// returnFrame pops the top frame; pushes the result into the caller or
+// finishes the thread (continuing its parallel_for range, if any).
+func (vm *VM) returnFrame(t *Thread, v Value, hasValue bool) {
+	top := t.Top()
+	delete(vm.frameByID, top.ID)
+	t.Frames = t.Frames[:len(t.Frames)-1]
+	if len(t.Frames) > 0 {
+		if hasValue {
+			t.Top().push(v)
+		}
+		return
+	}
+	// Root frame returned.
+	if t.par != nil && t.par.next < t.par.end {
+		frame := vm.parForFrame(t.par)
+		t.Frames = []*Frame{frame}
+		t.par.next++
+		return
+	}
+	if hasValue {
+		t.Result = v
+	}
+	t.State = ThreadDone
+	if t.parent != nil {
+		t.parent.children--
+		if t.parent.children == 0 && t.parent.State == ThreadWaiting {
+			t.parent.State = ThreadReady
+		}
+	}
+}
+
+// parForFrame builds a helper frame for the next index of a parallel range:
+// slot 0 holds the index; the following slots alias the captured cells of
+// the spawning frame.
+func (vm *VM) parForFrame(pr *parRange) *Frame {
+	fd := vm.Prog.Funcs[pr.helper]
+	fc := vm.Prog.Code[pr.helper]
+	f := &Frame{
+		ID:        vm.nextFrameID,
+		FuncIndex: pr.helper,
+		Fn:        fd,
+		Code:      fc,
+		Slots:     make([]*Cell, fc.NumSlots),
+	}
+	vm.nextFrameID++
+	f.Slots[0] = &Cell{V: IntVal(pr.next)}
+	for i, cell := range pr.captured {
+		f.Slots[1+i] = cell
+	}
+	for i := 1 + len(pr.captured); i < fc.NumSlots; i++ {
+		f.Slots[i] = &Cell{}
+		if i < len(fd.SlotTypes) {
+			f.Slots[i].V = ZeroValue(fd.SlotTypes[i])
+		}
+	}
+	vm.frameByID[f.ID] = f
+	return f
+}
+
+// spawnParFor fans the index range [lo, hi) out over up to NumWorkers
+// logical threads and blocks t until they all complete.
+func (vm *VM) spawnParFor(t *Thread, f *Frame, info ParForInfo, lo, hi int64) ([]*Thread, error) {
+	if lo >= hi {
+		return nil, nil
+	}
+	captured := make([]*Cell, len(info.Captured))
+	for i, slot := range info.Captured {
+		captured[i] = f.Slots[slot]
+	}
+	workers := int64(vm.NumWorkers)
+	if workers < 1 {
+		workers = 1
+	}
+	span := hi - lo
+	if workers > span {
+		workers = span
+	}
+	chunk := (span + workers - 1) / workers
+	var spawned []*Thread
+	for w := int64(0); w < workers; w++ {
+		start := lo + w*chunk
+		end := start + chunk
+		if end > hi {
+			end = hi
+		}
+		if start >= end {
+			continue
+		}
+		child := vm.newThread(t, t.synth)
+		child.par = &parRange{next: start, end: end, helper: info.Helper, captured: captured}
+		child.Frames = []*Frame{vm.parForFrame(child.par)}
+		child.par.next++
+		spawned = append(spawned, child)
+	}
+	t.children = len(spawned)
+	t.State = ThreadWaiting
+	return spawned, nil
+}
+
+func evalBin(op Kind, x, y Value) (Value, error) {
+	switch op {
+	case Plus:
+		if x.Kind == VStr && y.Kind == VStr {
+			return StrVal(x.S + y.S), nil
+		}
+		if x.Kind == VFloat || y.Kind == VFloat {
+			return FloatVal(x.AsFloat() + y.AsFloat()), nil
+		}
+		return IntVal(x.I + y.I), nil
+	case Minus:
+		if x.Kind == VFloat || y.Kind == VFloat {
+			return FloatVal(x.AsFloat() - y.AsFloat()), nil
+		}
+		return IntVal(x.I - y.I), nil
+	case Star:
+		if x.Kind == VFloat || y.Kind == VFloat {
+			return FloatVal(x.AsFloat() * y.AsFloat()), nil
+		}
+		return IntVal(x.I * y.I), nil
+	case Slash:
+		if x.Kind == VFloat || y.Kind == VFloat {
+			d := y.AsFloat()
+			if d == 0 {
+				return Value{}, fmt.Errorf("floating point division by zero")
+			}
+			return FloatVal(x.AsFloat() / d), nil
+		}
+		if y.I == 0 {
+			return Value{}, fmt.Errorf("integer division by zero")
+		}
+		return IntVal(x.I / y.I), nil
+	case Percent:
+		if y.I == 0 {
+			return Value{}, fmt.Errorf("integer modulo by zero")
+		}
+		return IntVal(x.I % y.I), nil
+	case Shl:
+		if y.I < 0 || y.I > 63 {
+			return Value{}, fmt.Errorf("shift amount %d out of range", y.I)
+		}
+		return IntVal(x.I << uint(y.I)), nil
+	case Shr:
+		if y.I < 0 || y.I > 63 {
+			return Value{}, fmt.Errorf("shift amount %d out of range", y.I)
+		}
+		return IntVal(x.I >> uint(y.I)), nil
+	case Eq:
+		return BoolVal(ValuesEqual(x, y)), nil
+	case Neq:
+		return BoolVal(!ValuesEqual(x, y)), nil
+	case Lt, Le, Gt, Ge:
+		var cmp int
+		switch {
+		case x.Kind == VStr && y.Kind == VStr:
+			cmp = strings.Compare(x.S, y.S)
+		case x.Kind == VFloat || y.Kind == VFloat:
+			a, b := x.AsFloat(), y.AsFloat()
+			switch {
+			case a < b:
+				cmp = -1
+			case a > b:
+				cmp = 1
+			}
+		default:
+			switch {
+			case x.I < y.I:
+				cmp = -1
+			case x.I > y.I:
+				cmp = 1
+			}
+		}
+		switch op {
+		case Lt:
+			return BoolVal(cmp < 0), nil
+		case Le:
+			return BoolVal(cmp <= 0), nil
+		case Gt:
+			return BoolVal(cmp > 0), nil
+		default:
+			return BoolVal(cmp >= 0), nil
+		}
+	case AndAnd:
+		return BoolVal(x.Bool() && y.Bool()), nil
+	case OrOr:
+		return BoolVal(x.Bool() || y.Bool()), nil
+	}
+	return Value{}, fmt.Errorf("bad binary operator %s", op)
+}
+
+// EvalBinary exposes the VM's binary-operator semantics for tools (the
+// debugger's expression evaluator) that must match program behaviour
+// exactly.
+func EvalBinary(op Kind, x, y Value) (Value, error) {
+	return evalBin(op, x, y)
+}

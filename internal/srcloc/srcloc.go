@@ -1,0 +1,112 @@
+// Package srcloc provides the shared vocabulary for talking about source
+// locations across the D2X stack: positions in DSL inputs, positions in
+// generated code, and stacks of positions (the "extended stack" of the
+// paper, which maps one generated line to the sequence of DSL-level calls
+// that produced it).
+package srcloc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Loc identifies one position in one file. Line and Col are 1-based; a zero
+// Col means "column unknown", which is common for whole-line locations.
+// Function optionally names the enclosing function, mirroring the optional
+// third argument of d2x_context::push_source_loc in the paper's Table 1.
+type Loc struct {
+	File     string
+	Line     int
+	Col      int
+	Function string
+}
+
+// IsZero reports whether l carries no location information at all.
+func (l Loc) IsZero() bool {
+	return l.File == "" && l.Line == 0 && l.Col == 0 && l.Function == ""
+}
+
+// String renders the location in the conventional file:line[:col] form used
+// by compilers and debuggers.
+func (l Loc) String() string {
+	var b strings.Builder
+	if l.File == "" {
+		b.WriteString("<unknown>")
+	} else {
+		b.WriteString(l.File)
+	}
+	fmt.Fprintf(&b, ":%d", l.Line)
+	if l.Col > 0 {
+		fmt.Fprintf(&b, ":%d", l.Col)
+	}
+	return b.String()
+}
+
+// WithFunction returns a copy of l with the function name set.
+func (l Loc) WithFunction(fn string) Loc {
+	l.Function = fn
+	return l
+}
+
+// Stack is a sequence of locations ordered innermost-first, exactly like a
+// debugger backtrace: Stack[0] is the most specific frame (e.g. the line
+// inside a UDF) and the last element is the outermost caller (e.g. the
+// edgeset.apply operator site, or main).
+type Stack []Loc
+
+// Clone returns a copy that shares no storage with s.
+func (s Stack) Clone() Stack {
+	if s == nil {
+		return nil
+	}
+	out := make(Stack, len(s))
+	copy(out, s)
+	return out
+}
+
+// Push returns a new stack with l as the new innermost frame.
+func (s Stack) Push(l Loc) Stack {
+	out := make(Stack, 0, len(s)+1)
+	out = append(out, l)
+	out = append(out, s...)
+	return out
+}
+
+// Top returns the innermost frame and true, or a zero Loc and false when the
+// stack is empty.
+func (s Stack) Top() (Loc, bool) {
+	if len(s) == 0 {
+		return Loc{}, false
+	}
+	return s[0], true
+}
+
+// String renders the stack in backtrace form, one frame per line, with GDB
+// style "#N" prefixes.
+func (s Stack) String() string {
+	var b strings.Builder
+	for i, l := range s {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "#%d ", i)
+		if l.Function != "" {
+			fmt.Fprintf(&b, "in %s ", l.Function)
+		}
+		fmt.Fprintf(&b, "at %s", l.String())
+	}
+	return b.String()
+}
+
+// Equal reports whether two stacks are frame-for-frame identical.
+func (s Stack) Equal(other Stack) bool {
+	if len(s) != len(other) {
+		return false
+	}
+	for i := range s {
+		if s[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,100 @@
+package srcloc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLocString(t *testing.T) {
+	cases := []struct {
+		loc  Loc
+		want string
+	}{
+		{Loc{File: "a.gt", Line: 12}, "a.gt:12"},
+		{Loc{File: "a.gt", Line: 12, Col: 3}, "a.gt:12:3"},
+		{Loc{Line: 5}, "<unknown>:5"},
+	}
+	for _, tc := range cases {
+		if got := tc.loc.String(); got != tc.want {
+			t.Errorf("%+v.String() = %q, want %q", tc.loc, got, tc.want)
+		}
+	}
+}
+
+func TestIsZeroAndWithFunction(t *testing.T) {
+	var z Loc
+	if !z.IsZero() {
+		t.Error("zero Loc not IsZero")
+	}
+	l := Loc{File: "f", Line: 1}
+	if l.IsZero() {
+		t.Error("non-zero Loc IsZero")
+	}
+	if got := l.WithFunction("main"); got.Function != "main" || got.File != "f" {
+		t.Errorf("WithFunction = %+v", got)
+	}
+	if l.Function != "" {
+		t.Error("WithFunction mutated the receiver")
+	}
+}
+
+func TestStackOps(t *testing.T) {
+	var s Stack
+	if _, ok := s.Top(); ok {
+		t.Error("empty stack has a top")
+	}
+	s = s.Push(Loc{File: "outer.gt", Line: 10, Function: "main"})
+	s = s.Push(Loc{File: "inner.gt", Line: 2, Function: "udf"})
+	top, ok := s.Top()
+	if !ok || top.Function != "udf" {
+		t.Errorf("top = %+v", top)
+	}
+	str := s.String()
+	if !strings.Contains(str, "#0 in udf at inner.gt:2") ||
+		!strings.Contains(str, "#1 in main at outer.gt:10") {
+		t.Errorf("stack string:\n%s", str)
+	}
+
+	c := s.Clone()
+	if !c.Equal(s) {
+		t.Error("clone not equal")
+	}
+	c[0].Line = 99
+	if s[0].Line == 99 {
+		t.Error("clone shares storage")
+	}
+	if s.Equal(c) {
+		t.Error("modified clone still equal")
+	}
+	if s.Equal(s[:1]) {
+		t.Error("different lengths equal")
+	}
+	if Stack(nil).Clone() != nil {
+		t.Error("nil clone not nil")
+	}
+}
+
+// TestPushOrderProperty: pushing n frames yields a stack whose Top is the
+// last pushed and whose length is n.
+func TestPushOrderProperty(t *testing.T) {
+	check := func(lines []int) bool {
+		var s Stack
+		for i, l := range lines {
+			s = s.Push(Loc{File: "f", Line: l, Col: i})
+		}
+		if len(s) != len(lines) {
+			return false
+		}
+		for i := range lines {
+			// Innermost-first: s[0] is the last push.
+			if s[i].Line != lines[len(lines)-1-i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,22 @@
+# D2X helper macros for the stock debugger (paper §3.3, Table 2).
+# Written once per debugger; DSL-independent. Load with the debugger's
+# macro loader (the Go API is macros.Install; cmd/d2xdbg loads it
+# automatically). Mirrors internal/d2x/macros/macros.go.
+define xbt
+  call d2x_runtime::command_xbt($rip, $rsp)
+end
+define xframe
+  call d2x_runtime::command_xframe($rip, $rsp, "$arg0")
+end
+define xlist
+  call d2x_runtime::command_xlist($rip, $rsp)
+end
+define xvars
+  call d2x_runtime::command_xvars($rip, $rsp, "$arg0")
+end
+define xbreak
+  eval "%s", d2x_runtime::command_xbreak($rip, "$arg0")
+end
+define xdel
+  eval "%s", d2x_runtime::command_xdel("$arg0")
+end
