@@ -5,10 +5,14 @@
 //
 // Usage:
 //
-//	d2xdemo [fig2|fig6|fig9|fig11|all]
+//	d2xdemo [-lint] [fig2|fig6|fig9|fig11|all]
+//
+// With -lint each figure's build is run through the d2xverify checks
+// instead of a debugger session; any finding exits nonzero.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"strings"
@@ -21,10 +25,15 @@ import (
 	"d2x/internal/minic"
 )
 
+// lintMode replaces each figure's debugger session with a d2xverify run
+// over the same build.
+var lintMode = flag.Bool("lint", false, "verify each figure's debug info instead of running a session")
+
 func main() {
+	flag.Parse()
 	which := "all"
-	if len(os.Args) > 1 {
-		which = os.Args[1]
+	if flag.NArg() > 0 {
+		which = flag.Arg(0)
 	}
 	demos := map[string]func() error{
 		"fig2": fig2, "fig6": fig6, "fig9": fig9, "fig11": fig11,
@@ -58,6 +67,20 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// maybeLint handles -lint: it verifies the build's debug layers and
+// reports true when the figure should skip its debugger session.
+func maybeLint(name string, build *d2x.Build) (bool, error) {
+	if !*lintMode {
+		return false, nil
+	}
+	rep := build.Verify()
+	if len(rep.Diags) > 0 {
+		return true, fmt.Errorf("%s: %d verification finding(s)\n%s", name, len(rep.Diags), rep)
+	}
+	fmt.Printf("%s: debug info verified, no findings\n", name)
+	return true, nil
+}
+
 // script runs debugger commands, echoing them GDB-style.
 func script(d *debugger.Debugger, cmds ...string) error {
 	for _, c := range cmds {
@@ -73,6 +96,10 @@ func script(d *debugger.Debugger, cmds ...string) error {
 // compiled once with atomics (push) and once without (pull).
 func fig2() error {
 	fmt.Println("Figure 1/2: one UDF, two schedules, two generated versions")
+	if *lintMode {
+		fmt.Println("fig2: source-only demo, nothing to verify")
+		return nil
+	}
 	art, err := graphit.CompileToC("twoapply.gt", graphit.TwoApplySrc,
 		"twoapply.sched", graphit.TwoApplySchedule, graphit.CompileOptions{})
 	if err != nil {
@@ -97,6 +124,9 @@ func fig6() error {
 	}
 	build, err := art.Link()
 	if err != nil {
+		return err
+	}
+	if done, err := maybeLint("fig6", build); done {
 		return err
 	}
 	d, err := build.NewSession(os.Stdout)
@@ -136,6 +166,9 @@ func fig9() error {
 	m.Return(m.IntLit(0))
 	build, err := b.Link("power_gen.c", d2x.LinkOptions{})
 	if err != nil {
+		return err
+	}
+	if done, err := maybeLint("fig9", build); done {
 		return err
 	}
 	d, err := build.NewSession(os.Stdout)
@@ -214,6 +247,9 @@ func fig11() error {
 
 	build, err := b.Link("einsum_gen.c", d2x.LinkOptions{})
 	if err != nil {
+		return err
+	}
+	if done, err := maybeLint("fig11", build); done {
 		return err
 	}
 	d, err := build.NewSession(os.Stdout)

@@ -1,0 +1,145 @@
+// Command d2xlint runs the d2xverify checks over the three case-study
+// pipelines (pagerankdelta, power, einsum) and over the repository's
+// architecture invariants. It is the CI face of the verifier: a healthy
+// tree prints one "ok" line per target and exits 0; any cross-layer
+// inconsistency or lint finding is printed with its anchor and fix hint
+// and the exit status is 1.
+//
+// Usage:
+//
+//	d2xlint [-arch=false] [pagerankdelta|power|einsum ...]
+//
+// With no pipeline arguments all three are checked.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"d2x/internal/buildit"
+	"d2x/internal/d2x"
+	"d2x/internal/d2xverify"
+	"d2x/internal/einsum"
+	"d2x/internal/graphit"
+	"d2x/internal/loc"
+	"d2x/internal/minic"
+)
+
+func main() {
+	arch := flag.Bool("arch", true, "also run the repository architecture checks")
+	flag.Parse()
+
+	builders := map[string]func() (*d2x.Build, error){
+		"pagerankdelta": buildPagerankDelta,
+		"power":         buildPower,
+		"einsum":        buildEinsum,
+	}
+	targets := flag.Args()
+	if len(targets) == 0 {
+		targets = []string{"pagerankdelta", "power", "einsum"}
+	}
+
+	failed := false
+	for _, name := range targets {
+		mk, ok := builders[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "d2xlint: unknown pipeline %q (want pagerankdelta, power, einsum)\n", name)
+			os.Exit(2)
+		}
+		build, err := mk()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "d2xlint: building %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		rep := build.Verify()
+		if len(rep.Diags) > 0 {
+			failed = true
+			fmt.Printf("%s: %d finding(s)\n%s", name, len(rep.Diags), rep)
+		} else {
+			fmt.Printf("%s: ok (%d checks)\n", name, len(d2xverify.DefaultRegistry().Checks()))
+		}
+	}
+
+	if *arch {
+		root, err := loc.RepoRoot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "d2xlint:", err)
+			os.Exit(1)
+		}
+		rep := d2xverify.VerifyRepo(root)
+		if len(rep.Diags) > 0 {
+			failed = true
+			fmt.Printf("arch: %d finding(s)\n%s", len(rep.Diags), rep)
+		} else {
+			fmt.Printf("arch: ok (%d checks)\n", len(d2xverify.DefaultRegistry().RepoChecks()))
+		}
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func buildPagerankDelta() (*d2x.Build, error) {
+	art, err := graphit.CompileToC("pagerankdelta.gt", graphit.PageRankDeltaSrc,
+		"pagerankdelta.sched", graphit.PageRankDeltaSchedule, graphit.CompileOptions{D2X: true})
+	if err != nil {
+		return nil, err
+	}
+	return art.Link()
+}
+
+func buildPower() (*d2x.Build, error) {
+	bb := buildit.NewBuilder()
+	buildit.EnableD2X(bb)
+	f := bb.Func("power_15", []buildit.Param{{Name: "base", Type: minic.IntType}}, minic.IntType)
+	exp := buildit.NewStatic(f, "exponent", 15)
+	res := f.Decl("res", f.IntLit(1))
+	x := f.Decl("x", f.Arg(0))
+	for exp.Get() > 0 {
+		if exp.Get()%2 == 1 {
+			f.Assign(res, f.Mul(res, x))
+		}
+		exp.Set(exp.Get() / 2)
+		if exp.Get() > 0 {
+			f.Assign(x, f.Mul(x, x))
+		}
+	}
+	f.Return(res)
+	m := bb.Func("main", nil, minic.IntType)
+	r := m.Decl("r", m.Call("power_15", minic.IntType, m.IntLit(3)))
+	m.Printf("%d\n", r)
+	m.Return(m.IntLit(0))
+	return bb.Link("power_gen.c", d2x.LinkOptions{})
+}
+
+func buildEinsum() (*d2x.Build, error) {
+	const M, N = 16, 8
+	bb := buildit.NewBuilder()
+	buildit.EnableD2X(bb)
+	f := bb.Func("m_v_mul", []buildit.Param{
+		{Name: "output", Type: einsum.IntArrayType},
+		{Name: "matrix", Type: einsum.IntArrayType},
+		{Name: "input", Type: einsum.IntArrayType},
+	}, minic.VoidType)
+	env := einsum.New(f)
+	c := env.Tensor("c", f.Arg(0), M)
+	a := env.Tensor("a", f.Arg(1), M, N)
+	bt := env.Tensor("b", f.Arg(2), N)
+	ii, jj := einsum.NewIndex("i"), einsum.NewIndex("j")
+	if err := bt.Assign(einsum.Const(1), jj); err != nil {
+		return nil, err
+	}
+	if err := c.Assign(einsum.Mul(einsum.Const(2), a.At(ii, jj), bt.At(jj)), ii); err != nil {
+		return nil, err
+	}
+	f.Return(buildit.Expr{})
+	m := bb.Func("main", nil, minic.IntType)
+	out := m.DeclArr("output", minic.IntType, m.IntLit(M))
+	mat := m.DeclArr("matrix", minic.IntType, m.IntLit(M*N))
+	in := m.DeclArr("input", minic.IntType, m.IntLit(N))
+	m.Do(m.Call("m_v_mul", minic.VoidType, out, mat, in))
+	m.Return(m.IntLit(0))
+	return bb.Link("einsum_gen.c", d2x.LinkOptions{})
+}

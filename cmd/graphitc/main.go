@@ -4,11 +4,12 @@
 //
 // Usage:
 //
-//	graphitc [-schedule FILE] [-o FILE] [-g] [-run] [-workers N] input.gt
+//	graphitc [-schedule FILE] [-o FILE] [-g] [-run] [-lint] [-workers N] input.gt
 //
 // -g enables D2X debug information (the tables are generated into the
 // output program itself). -run compiles and executes instead of writing
-// the generated source.
+// the generated source. -lint runs the d2xverify cross-layer checks over
+// the linked build and exits nonzero on any finding.
 package main
 
 import (
@@ -26,6 +27,7 @@ func main() {
 	debug := flag.Bool("g", false, "generate D2X debug information")
 	run := flag.Bool("run", false, "compile and run instead of emitting source")
 	optimize := flag.Bool("O", false, "run the mini-C constant folder over the generated code")
+	lint := flag.Bool("lint", false, "verify debug-info consistency instead of emitting or running")
 	workers := flag.Int("workers", 4, "logical threads for parallel_for when running")
 	flag.Parse()
 
@@ -52,6 +54,21 @@ func main() {
 		graphit.CompileOptions{D2X: *debug})
 	if err != nil {
 		fatal(err)
+	}
+
+	if *lint {
+		build, err := art.LinkOptimizing(*optimize)
+		if err != nil {
+			fatal(err)
+		}
+		rep := build.Verify()
+		if len(rep.Diags) > 0 {
+			fmt.Fprint(os.Stderr, rep)
+			fmt.Fprintf(os.Stderr, "graphitc: %d finding(s)\n", len(rep.Diags))
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "graphitc: %s: debug info verified, no findings\n", gtFile)
+		return
 	}
 
 	if *run {

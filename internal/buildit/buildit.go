@@ -1,0 +1,375 @@
+// Package buildit is a minimal multi-stage programming framework — the
+// reproduction of the BuildIt library the paper's §5 uses as its second
+// case study. A first-stage Go program drives a Builder to stage
+// second-stage mini-C code: dynamic values become generated variables,
+// static values (Static[T]) are evaluated at staging time and erased
+// from the output, and first-stage control flow (plain Go loops and ifs)
+// unrolls into straight-line generated code.
+//
+// The D2X integration lives in d2x_support.go and in the small marked
+// hunks below: one EnableD2X call opts a whole DSL built on this
+// framework into contextual debugging (paper §5.2), with static tags
+// harvested from the Go call stack and static variables snapshotted onto
+// every generated line.
+package buildit
+
+import (
+	"fmt"
+	"strings"
+
+	"d2x/internal/d2x/d2xc"
+	"d2x/internal/minic"
+	"d2x/internal/srcloc"
+)
+
+// Param describes one parameter of a staged function.
+type Param struct {
+	Name string
+	Type *minic.Type
+}
+
+// Operator precedence levels for generated expressions, used to insert
+// the minimum parentheses that preserve evaluation order.
+const (
+	precCmp     = 2
+	precAdd     = 3
+	precMul     = 4
+	precUnary   = 5
+	precPostfix = 6
+	precAtom    = 7
+)
+
+// Expr is a second-stage expression: a fragment of generated mini-C with
+// its type and outermost-operator precedence. The zero Expr means "no
+// expression" — a void return.
+type Expr struct {
+	text string
+	typ  *minic.Type
+	prec int
+}
+
+// Text returns the generated surface syntax of the expression.
+func (e Expr) Text() string { return e.text }
+
+// Type returns the expression's mini-C type (nil for the zero Expr).
+func (e Expr) Type() *minic.Type { return e.typ }
+
+// Dyn is a typed first-class handle on a second-stage value — the
+// dyn_var<T> of the paper. The staged operations in this reproduction are
+// carried by Expr; Dyn tags an Expr with a host-level type parameter for
+// DSLs that want the extra compile-time safety.
+type Dyn[T any] struct{ ex Expr }
+
+// DynOf wraps a staged expression as a Dyn.
+func DynOf[T any](e Expr) Dyn[T] { return Dyn[T]{ex: e} }
+
+// Expr unwraps the staged expression.
+func (d Dyn[T]) Expr() Expr { return d.ex }
+
+// Static is a first-stage variable — the static_var<T> of the paper. It
+// exists only while staging runs and is fully erased from the generated
+// code; first-stage control flow reads it through Get and advances it
+// through Set. With D2X enabled its per-line values are snapshotted into
+// the debug tables, so the debugger can show the erased state that
+// produced each generated line (Figure 9's "xvars exponent").
+type Static[T any] struct {
+	name string
+	val  T
+}
+
+// NewStatic declares a static variable scoped to the staged function f,
+// initialised to v.
+func NewStatic[T any](f *FuncBuilder, name string, v T) *Static[T] {
+	s := &Static[T]{name: name, val: v}
+	f.registerStatic(name, func() string { return fmt.Sprint(s.val) })
+	return s
+}
+
+// Get reads the current first-stage value.
+func (s *Static[T]) Get() T { return s.val }
+
+// Set updates the first-stage value.
+func (s *Static[T]) Set(v T) { s.val = v }
+
+// Name returns the variable's debugger-visible name.
+func (s *Static[T]) Name() string { return s.name }
+
+// Builder stages a whole second-stage program: an ordered collection of
+// staged functions.
+type Builder struct {
+	funcs []*FuncBuilder
+	d2x   bool
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// EnableD2X opts every function staged through b into D2X: static tags
+// are captured from the first-stage call stack and static variables are
+// snapshotted per generated line. This one call is the entire per-DSL
+// integration cost (paper §5.2).
+func EnableD2X(b *Builder) {
+	// D2X:BEGIN enable
+	b.d2x = true
+	// D2X:END enable
+}
+
+// Func starts staging a new function with the given parameters and
+// result type.
+func (b *Builder) Func(name string, params []Param, result *minic.Type) *FuncBuilder {
+	f := &FuncBuilder{b: b, name: name, params: params, result: result}
+	b.funcs = append(b.funcs, f)
+	return f
+}
+
+// staticEntry is one registered static variable: its debugger-visible
+// name and a getter that renders its current first-stage value.
+type staticEntry struct {
+	name string
+	get  func() string
+}
+
+// stmtRec is one recorded generated statement, with everything needed to
+// emit it and its D2X line record later.
+type stmtRec struct {
+	text   string
+	indent int
+	tag    srcloc.Stack // D2X static tag: first-stage stack at staging time
+	snap   []staticKV   // D2X snapshot of static values at staging time
+}
+
+// staticKV is one snapshotted static value.
+type staticKV struct {
+	key string
+	val string
+}
+
+// FuncBuilder stages one function. Statement methods append generated
+// statements in order; expression methods build Exprs without emitting
+// anything.
+type FuncBuilder struct {
+	b       *Builder
+	name    string
+	params  []Param
+	result  *minic.Type
+	stmts   []stmtRec
+	indent  int
+	ndecl   int
+	statics []staticEntry
+}
+
+// Name returns the staged function's name in the generated program.
+func (f *FuncBuilder) Name() string { return f.name }
+
+// registerStatic records a static variable's getter for per-line
+// snapshots and for scope bookkeeping in the debug tables.
+func (f *FuncBuilder) registerStatic(name string, get func() string) {
+	f.statics = append(f.statics, staticEntry{name: name, get: get})
+}
+
+// add appends one generated statement at the current nesting depth.
+func (f *FuncBuilder) add(format string, args ...any) {
+	rec := stmtRec{text: fmt.Sprintf(format, args...), indent: f.indent}
+	// D2X:BEGIN stmt-tagging
+	if f.b.d2x {
+		rec.tag = captureTag()
+		rec.snap = f.snapshotStatics()
+	}
+	// D2X:END stmt-tagging
+	f.stmts = append(f.stmts, rec)
+}
+
+// fresh mints a generated variable name: user name + per-function
+// ordinal, so first-stage reuse of a name cannot collide.
+func (f *FuncBuilder) fresh(name string) string {
+	f.ndecl++
+	return fmt.Sprintf("%s_%d", name, f.ndecl)
+}
+
+// Arg returns the i-th parameter as an expression.
+func (f *FuncBuilder) Arg(i int) Expr {
+	p := f.params[i]
+	return Expr{text: p.Name, typ: p.Type, prec: precAtom}
+}
+
+// IntLit returns an integer literal expression.
+func (f *FuncBuilder) IntLit(v int64) Expr {
+	return Expr{text: fmt.Sprint(v), typ: minic.IntType, prec: precAtom}
+}
+
+// StringLit returns a string literal expression.
+func (f *FuncBuilder) StringLit(s string) Expr {
+	return Expr{text: minic.Quote(s), typ: minic.StringType, prec: precAtom}
+}
+
+// bin builds a binary expression, parenthesizing operands whose
+// outermost operator binds less tightly (or equally, on the right of a
+// non-associative operator).
+func (f *FuncBuilder) bin(op string, prec int, x, y Expr, typ *minic.Type) Expr {
+	l := x.text
+	if x.prec < prec {
+		l = "(" + l + ")"
+	}
+	r := y.text
+	if y.prec < prec || (y.prec == prec && !associative(op)) {
+		r = "(" + r + ")"
+	}
+	return Expr{text: l + " " + op + " " + r, typ: typ, prec: prec}
+}
+
+// associative reports whether chaining the operator to the right needs
+// no parentheses (integer + and * are).
+func associative(op string) bool { return op == "+" || op == "*" }
+
+// Add returns x + y.
+func (f *FuncBuilder) Add(x, y Expr) Expr { return f.bin("+", precAdd, x, y, x.typ) }
+
+// Sub returns x - y.
+func (f *FuncBuilder) Sub(x, y Expr) Expr { return f.bin("-", precAdd, x, y, x.typ) }
+
+// Mul returns x * y.
+func (f *FuncBuilder) Mul(x, y Expr) Expr { return f.bin("*", precMul, x, y, x.typ) }
+
+// Div returns x / y.
+func (f *FuncBuilder) Div(x, y Expr) Expr { return f.bin("/", precMul, x, y, x.typ) }
+
+// Mod returns x % y.
+func (f *FuncBuilder) Mod(x, y Expr) Expr { return f.bin("%", precMul, x, y, minic.IntType) }
+
+// Lt returns x < y.
+func (f *FuncBuilder) Lt(x, y Expr) Expr { return f.bin("<", precCmp, x, y, minic.BoolType) }
+
+// Index returns arr[idx].
+func (f *FuncBuilder) Index(arr, idx Expr) Expr {
+	a := arr.text
+	if arr.prec < precPostfix {
+		a = "(" + a + ")"
+	}
+	var elem *minic.Type
+	if arr.typ != nil {
+		elem = arr.typ.Elem
+	}
+	return Expr{text: a + "[" + idx.text + "]", typ: elem, prec: precPostfix}
+}
+
+// Call returns a call expression naming a staged or native function; the
+// callee's result type must be supplied because staging is single-pass.
+func (f *FuncBuilder) Call(name string, result *minic.Type, args ...Expr) Expr {
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = a.text
+	}
+	return Expr{text: name + "(" + strings.Join(parts, ", ") + ")", typ: result, prec: precPostfix}
+}
+
+// Decl declares a fresh generated variable initialised to init and
+// returns it as an expression.
+func (f *FuncBuilder) Decl(name string, init Expr) Expr {
+	v := f.fresh(name)
+	f.add("%s %s = %s;", init.typ, v, init.text)
+	return Expr{text: v, typ: init.typ, prec: precAtom}
+}
+
+// DeclArr declares a fresh generated array of count elements and returns
+// it as an expression.
+func (f *FuncBuilder) DeclArr(name string, elem *minic.Type, count Expr) Expr {
+	v := f.fresh(name)
+	typ := minic.ArrayOf(elem)
+	f.add("%s %s = new %s[%s];", typ, v, elem, count.text)
+	return Expr{text: v, typ: typ, prec: precAtom}
+}
+
+// Assign emits lhs = rhs;.
+func (f *FuncBuilder) Assign(lhs, rhs Expr) { f.add("%s = %s;", lhs.text, rhs.text) }
+
+// AddAssign emits lhs += rhs;.
+func (f *FuncBuilder) AddAssign(lhs, rhs Expr) { f.add("%s += %s;", lhs.text, rhs.text) }
+
+// Do emits the expression as a statement (for calls evaluated for
+// effect).
+func (f *FuncBuilder) Do(x Expr) { f.add("%s;", x.text) }
+
+// Printf emits a printf statement with the given mini-C format verbs.
+func (f *FuncBuilder) Printf(format string, args ...Expr) {
+	parts := make([]string, 0, len(args)+1)
+	parts = append(parts, minic.Quote(format))
+	for _, a := range args {
+		parts = append(parts, a.text)
+	}
+	f.add("printf(%s);", strings.Join(parts, ", "))
+}
+
+// Return emits a return statement; the zero Expr returns void.
+func (f *FuncBuilder) Return(x Expr) {
+	if x.text == "" {
+		f.add("return;")
+		return
+	}
+	f.add("return %s;", x.text)
+}
+
+// For stages a generated counting loop [lo, hi) — second-stage control
+// flow that survives into the output, unlike first-stage Go loops which
+// unroll. The body callback receives the loop variable.
+func (f *FuncBuilder) For(name string, lo, hi Expr, body func(iv Expr)) {
+	v := f.fresh(name)
+	f.add("for (int %s = %s; %s < %s; %s++) {", v, lo.text, v, hi.text, v)
+	f.indent++
+	body(Expr{text: v, typ: minic.IntType, prec: precAtom})
+	f.indent--
+	f.add("}")
+}
+
+// paramList renders the generated parameter list.
+func (f *FuncBuilder) paramList() string {
+	parts := make([]string, len(f.params))
+	for i, p := range f.params {
+		parts[i] = fmt.Sprintf("%s %s", p.Type, p.Name)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Generate renders the staged program as mini-C source. With D2X enabled
+// it also produces the compile-time context holding the debug tables;
+// otherwise the context is nil. Generate may be called repeatedly; each
+// call renders from the recorded statements with a fresh context.
+func (b *Builder) Generate(filename string) (string, *d2xc.Context, error) {
+	_ = filename // the caller compiles under this name; the text does not embed it
+	var ctx *d2xc.Context
+	// D2X:BEGIN generate-context
+	if b.d2x {
+		ctx = d2xc.NewContext()
+	}
+	// D2X:END generate-context
+	em := d2xc.NewEmitter(ctx)
+	for _, f := range b.funcs {
+		em.Emitln("func %s %s(%s) {", f.result, f.name, f.paramList())
+		// D2X:BEGIN generate-section
+		if ctx != nil {
+			if err := beginFuncD2X(em, ctx, f); err != nil {
+				return "", nil, err
+			}
+		}
+		// D2X:END generate-section
+		for _, st := range f.stmts {
+			// D2X:BEGIN generate-line
+			if ctx != nil {
+				if err := emitStmtD2X(ctx, st); err != nil {
+					return "", nil, err
+				}
+			}
+			// D2X:END generate-line
+			em.Emitln("%s", strings.Repeat("\t", 1+st.indent)+st.text)
+		}
+		// D2X:BEGIN generate-section-end
+		if ctx != nil {
+			if err := endFuncD2X(em, ctx); err != nil {
+				return "", nil, err
+			}
+		}
+		// D2X:END generate-section-end
+		em.Emitln("}")
+		em.Emitln("")
+	}
+	return em.String(), ctx, nil
+}

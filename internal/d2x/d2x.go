@@ -23,6 +23,7 @@ import (
 	"d2x/internal/d2x/d2xenc"
 	"d2x/internal/d2x/d2xr"
 	"d2x/internal/d2x/macros"
+	"d2x/internal/d2xverify"
 	"d2x/internal/debugger"
 	"d2x/internal/dwarfish"
 	"d2x/internal/minic"
@@ -36,6 +37,12 @@ type Build struct {
 	DebugBlob []byte
 	Runtime   *d2xr.Runtime
 	Source    string // full generated source including the D2X tables
+
+	// Ctx is the D2X compile-time context the build was linked from (nil
+	// for WithoutD2X builds). The verifier uses it to check that the
+	// encoded tables round-trip and that the compiler's scope discipline
+	// was sound.
+	Ctx *d2xc.Context
 
 	// ExtraMacros holds DSL-specific debugger macros (paper §4.3): a DSL
 	// may define its own commands over functions it generated into the
@@ -106,7 +113,31 @@ func Link(filename, genSource string, ctx *d2xc.Context, opts LinkOptions) (*Bui
 			return nil, err
 		}
 	}
-	return &Build{Program: prog, DebugBlob: blob, Runtime: rt, Source: full}, nil
+	b := &Build{Program: prog, DebugBlob: blob, Runtime: rt, Source: full}
+	if !opts.WithoutD2X {
+		b.Ctx = ctx
+	}
+	return b, nil
+}
+
+// Verify runs the d2xverify cross-layer and lint checks over the build:
+// the program, its debug info, its D2X tables, and every macro the
+// debug session would load. Pipelines call this behind a -lint flag;
+// tests call it directly.
+func (b *Build) Verify() *d2xverify.Report {
+	macroText := ""
+	if b.Runtime != nil {
+		macroText = macros.GDBInit
+	}
+	if b.ExtraMacros != "" {
+		macroText += "\n" + b.ExtraMacros
+	}
+	return d2xverify.Verify(&d2xverify.Input{
+		Program:   b.Program,
+		DebugBlob: b.DebugBlob,
+		Ctx:       b.Ctx,
+		Macros:    macroText,
+	})
 }
 
 // NewSession attaches a fresh debugger to the build, with the D2X helper

@@ -6,7 +6,9 @@ import (
 	"testing"
 
 	"d2x/internal/d2x/d2xc"
+	"d2x/internal/d2xverify"
 	"d2x/internal/debugger"
+	"d2x/internal/loc"
 )
 
 // The DSL input the fake compiler below pretends to have compiled: a
@@ -403,10 +405,19 @@ func TestNoD2XContextMessage(t *testing.T) {
 // package must not import any d2x package — the paper's central claim is
 // that the debugger needs zero modification.
 func TestDebuggerHasNoD2XKnowledge(t *testing.T) {
-	// Enforced at build level: internal/debugger imports only dwarfish and
-	// minic. This test exists to document the invariant and to fail if
-	// someone wires a dependency in through a side door at runtime: a
-	// D2X-less session must still support every debugger command.
+	// The import-level invariant is enforced by d2xverify's
+	// arch/import-graph check over the real source tree.
+	root, err := loc.RepoRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := d2xverify.VerifyRepo(root)
+	if got := rep.ByCheck("arch/import-graph"); len(got) != 0 {
+		t.Fatalf("debugger imports D2X packages:\n%s", rep)
+	}
+	// And the runtime half of the invariant: a D2X-less session must
+	// still support every debugger command, with the macros simply
+	// absent.
 	b := buildPower(t, false)
 	var out strings.Builder
 	d, err := b.NewSession(&out)

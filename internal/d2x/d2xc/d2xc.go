@@ -71,6 +71,54 @@ type liveVar struct {
 	deleted bool
 }
 
+// JournalOp discriminates the operations recorded in a Context's journal.
+type JournalOp int
+
+const (
+	OpBeginSection JournalOp = iota
+	OpEndSection
+	OpPushScope
+	OpPopScope
+	OpCreateVar
+	OpUpdateVar
+	OpDeleteVar
+)
+
+// String names the operation for diagnostics.
+func (op JournalOp) String() string {
+	switch op {
+	case OpBeginSection:
+		return "BeginSection"
+	case OpEndSection:
+		return "EndSection"
+	case OpPushScope:
+		return "PushScope"
+	case OpPopScope:
+		return "PopScope"
+	case OpCreateVar:
+		return "CreateVar"
+	case OpUpdateVar:
+		return "UpdateVar"
+	case OpDeleteVar:
+		return "DeleteVar"
+	default:
+		return fmt.Sprintf("JournalOp(%d)", int(op))
+	}
+}
+
+// JournalEvent is one recorded scope/variable/section operation: what
+// happened, at which generated line (0 when no section was open), and —
+// for variable events — the key involved. The journal is the raw
+// material for static verification of a DSL compiler's D2X usage
+// (d2xverify's scope checks): the tables alone cannot reconstruct
+// whether scopes were balanced, the journal can.
+type JournalEvent struct {
+	Op        JournalOp
+	Line      int // generated line at event time; 0 outside a section
+	Key       string
+	InSection bool
+}
+
 // Context accumulates D2X debug information during code generation —
 // the d2x_context of the paper. Typical use:
 //
@@ -90,8 +138,25 @@ type Context struct {
 
 	scopes [][]*liveVar
 
+	journal []JournalEvent
+
 	emitted int // how many sections EmitSectionInfo has consumed
 }
+
+// logOp appends one journal event at the current line.
+func (c *Context) logOp(op JournalOp, key string) {
+	line := 0
+	if c.cur != nil {
+		line = c.curLine
+	}
+	c.journal = append(c.journal, JournalEvent{
+		Op: op, Line: line, Key: key, InSection: c.cur != nil,
+	})
+}
+
+// Journal returns the recorded operation sequence (shared slice; treat
+// as read-only).
+func (c *Context) Journal() []JournalEvent { return c.journal }
 
 // NewContext returns an empty D2X compile-time context.
 func NewContext() *Context {
@@ -110,6 +175,7 @@ func (c *Context) BeginSectionAt(startLine int) error {
 	c.curLine = startLine
 	c.pendingStack = nil
 	c.pendingVars = nil
+	c.logOp(OpBeginSection, "")
 	return nil
 }
 
@@ -119,6 +185,7 @@ func (c *Context) EndSection() error {
 		return fmt.Errorf("d2xc: EndSection without BeginSection")
 	}
 	c.flushLine()
+	c.logOp(OpEndSection, "")
 	c.sections = append(c.sections, c.cur)
 	c.cur = nil
 	return nil
@@ -194,6 +261,7 @@ func (c *Context) CreateVar(key string) {
 	c.scopes[scope] = append(c.scopes[scope], &liveVar{
 		key: key, kind: VarConst, val: "<uninitialized>",
 	})
+	c.logOp(OpCreateVar, key)
 }
 
 // UpdateVar changes the value of a live variable to a constant string.
@@ -205,6 +273,7 @@ func (c *Context) UpdateVar(key, value string) error {
 	}
 	lv.kind = VarConst
 	lv.val = value
+	c.logOp(OpUpdateVar, key)
 	return nil
 }
 
@@ -216,6 +285,7 @@ func (c *Context) UpdateVarHandler(key string, h RTVHandler) error {
 	}
 	lv.kind = VarHandler
 	lv.val = h.FuncName
+	c.logOp(OpUpdateVar, key)
 	return nil
 }
 
@@ -226,6 +296,7 @@ func (c *Context) DeleteVar(key string) error {
 		return fmt.Errorf("d2xc: DeleteVar: no live variable %q", key)
 	}
 	lv.deleted = true
+	c.logOp(OpDeleteVar, key)
 	return nil
 }
 
@@ -244,6 +315,7 @@ func (c *Context) findLive(key string) *liveVar {
 // the generated code.
 func (c *Context) PushScope() {
 	c.scopes = append(c.scopes, nil)
+	c.logOp(OpPushScope, "")
 }
 
 // PopScope closes the innermost scope, deleting its live variables.
@@ -252,6 +324,7 @@ func (c *Context) PopScope() error {
 		return fmt.Errorf("d2xc: PopScope with no open scope")
 	}
 	c.scopes = c.scopes[:len(c.scopes)-1]
+	c.logOp(OpPopScope, "")
 	return nil
 }
 

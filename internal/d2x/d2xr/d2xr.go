@@ -41,6 +41,43 @@ type XBreakpoint struct {
 	GenLines []int
 }
 
+// Names of the native entry points D2X-R links into the generated
+// program. The helper macros reach them as d2x_runtime::command_* (the
+// debugger mangles :: to _); d2xverify checks the linked program and the
+// macro text against this same list, so the interface is defined once.
+const (
+	NativeXBT          = "d2x_runtime_command_xbt"
+	NativeXFrame       = "d2x_runtime_command_xframe"
+	NativeXList        = "d2x_runtime_command_xlist"
+	NativeXVars        = "d2x_runtime_command_xvars"
+	NativeXBreak       = "d2x_runtime_command_xbreak"
+	NativeXDel         = "d2x_runtime_command_xdel"
+	NativeFindStackVar = "d2x_find_stack_var"
+)
+
+// NativeSpec declares one D2X-R entry point: its linked name and its
+// signature in the generated language.
+type NativeSpec struct {
+	Name string
+	Sig  minic.Signature
+}
+
+// CommandNatives returns the complete D2X-R native interface (Table 2).
+// Register installs exactly these; verification tools cross-check a
+// linked program against them.
+func CommandNatives() []NativeSpec {
+	intT, strT, voidT := minic.IntType, minic.StringType, minic.VoidType
+	return []NativeSpec{
+		{NativeXBT, minic.Signature{Params: []*minic.Type{intT, intT}, Result: voidT}},
+		{NativeXFrame, minic.Signature{Params: []*minic.Type{intT, intT, strT}, Result: voidT}},
+		{NativeXList, minic.Signature{Params: []*minic.Type{intT, intT}, Result: voidT}},
+		{NativeXVars, minic.Signature{Params: []*minic.Type{intT, intT, strT}, Result: voidT}},
+		{NativeXBreak, minic.Signature{Params: []*minic.Type{intT, strT}, Result: strT}},
+		{NativeXDel, minic.Signature{Params: []*minic.Type{strT}, Result: strT}},
+		{NativeFindStackVar, minic.Signature{Params: []*minic.Type{strT}, Result: minic.AnyType}},
+	}
+}
+
 // Runtime is the per-program D2X runtime state — the data a real D2X build
 // links into the executable. Register its entry points into the native
 // registry before compiling the generated code (the "link" step), then
@@ -105,35 +142,35 @@ func (r *Runtime) Breakpoints() []*XBreakpoint { return r.xbps }
 func (r *Runtime) Register(nats *minic.Natives) {
 	intT, strT, voidT := minic.IntType, minic.StringType, minic.VoidType
 	nats.Register(&minic.Native{
-		Name: "d2x_runtime_command_xbt",
+		Name: NativeXBT,
 		Sig:  minic.Signature{Params: []*minic.Type{intT, intT}, Result: voidT},
 		Handler: r.command(func(call *minic.NativeCall) (minic.Value, error) {
 			return minic.NullVal(), r.xbt(call.VM, call.Args[0].I)
 		}),
 	})
 	nats.Register(&minic.Native{
-		Name: "d2x_runtime_command_xframe",
+		Name: NativeXFrame,
 		Sig:  minic.Signature{Params: []*minic.Type{intT, intT, strT}, Result: voidT},
 		Handler: r.command(func(call *minic.NativeCall) (minic.Value, error) {
 			return minic.NullVal(), r.xframe(call.VM, call.Args[0].I, call.Args[2].S)
 		}),
 	})
 	nats.Register(&minic.Native{
-		Name: "d2x_runtime_command_xlist",
+		Name: NativeXList,
 		Sig:  minic.Signature{Params: []*minic.Type{intT, intT}, Result: voidT},
 		Handler: r.command(func(call *minic.NativeCall) (minic.Value, error) {
 			return minic.NullVal(), r.xlist(call.VM, call.Args[0].I)
 		}),
 	})
 	nats.Register(&minic.Native{
-		Name: "d2x_runtime_command_xvars",
+		Name: NativeXVars,
 		Sig:  minic.Signature{Params: []*minic.Type{intT, intT, strT}, Result: voidT},
 		Handler: r.command(func(call *minic.NativeCall) (minic.Value, error) {
 			return minic.NullVal(), r.xvars(call.VM, call.Args[0].I, call.Args[2].S)
 		}),
 	})
 	nats.Register(&minic.Native{
-		Name: "d2x_runtime_command_xbreak",
+		Name: NativeXBreak,
 		Sig:  minic.Signature{Params: []*minic.Type{intT, strT}, Result: strT},
 		Handler: r.command(func(call *minic.NativeCall) (minic.Value, error) {
 			s, err := r.xbreak(call.VM, call.Args[0].I, call.Args[1].S)
@@ -141,7 +178,7 @@ func (r *Runtime) Register(nats *minic.Natives) {
 		}),
 	})
 	nats.Register(&minic.Native{
-		Name: "d2x_runtime_command_xdel",
+		Name: NativeXDel,
 		Sig:  minic.Signature{Params: []*minic.Type{strT}, Result: strT},
 		Handler: func(call *minic.NativeCall) (minic.Value, error) {
 			s, err := r.xdel(call.VM, call.Args[0].S)
@@ -149,7 +186,7 @@ func (r *Runtime) Register(nats *minic.Natives) {
 		},
 	})
 	nats.Register(&minic.Native{
-		Name:      "d2x_find_stack_var",
+		Name:      NativeFindStackVar,
 		Sig:       minic.Signature{Params: []*minic.Type{strT}, Result: minic.AnyType},
 		AnyResult: true,
 		Handler: func(call *minic.NativeCall) (minic.Value, error) {

@@ -1,0 +1,576 @@
+package d2xverify
+
+// Cross-layer consistency checks: the dwarfish debug info, the D2X
+// tables, and the generated program each describe the same compile, so
+// any disagreement between them is a compiler bug. Each check reads two
+// layers and diffs them.
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+
+	"d2x/internal/d2x/d2xc"
+	"d2x/internal/d2x/d2xr"
+	"d2x/internal/dwarfish"
+	"d2x/internal/minic"
+	"d2x/internal/srcloc"
+)
+
+func crossLayerChecks() []Check {
+	return []Check{
+		{
+			Name: "debug/line-table",
+			Desc: "dwarfish line-table entries map to real generated statements",
+			Run:  checkLineTable,
+		},
+		{
+			Name: "debug/frame-vars",
+			Desc: "dwarfish variable records agree with the program's frame layout",
+			Run:  checkFrameVars,
+		},
+		{
+			Name: "d2x/records",
+			Desc: "D2X table records anchor real lines and carry well-formed stacks",
+			Run:  checkRecords,
+		},
+		{
+			Name: "d2x/handlers",
+			Desc: "runtime value handlers name existing functions with the handler signature",
+			Run:  checkHandlers,
+		},
+		{
+			Name: "d2x/runtime-link",
+			Desc: "D2X runtime natives and macro call targets resolve in the program",
+			Run:  checkRuntimeLink,
+		},
+		{
+			Name: "d2x/roundtrip",
+			Desc: "tables decoded from the debuggee match the compile-time context",
+			Run:  checkRoundtrip,
+		},
+		{
+			Name: "d2x/scopes",
+			Desc: "scope and live-variable operations are balanced with sane live ranges",
+			Run:  checkScopes,
+		},
+	}
+}
+
+// realStmtLine reports whether 1-based line n of the generated source
+// holds code a statement could live on (non-blank, not a pure comment).
+func realStmtLine(p *minic.Program, n int) bool {
+	lines := p.SourceLines()
+	if n < 1 || n > len(lines) {
+		return false
+	}
+	text := strings.TrimSpace(lines[n-1])
+	return text != "" && !strings.HasPrefix(text, "//")
+}
+
+// checkLineTable verifies the dwarfish stage-1 mapping: every line-table
+// entry must land on a real statement of the generated source, with
+// monotonically increasing PCs, and every function record must agree
+// with the program's function table.
+func checkLineTable(in *Input, r *Reporter) error {
+	info, err := in.Info()
+	if err != nil {
+		return err
+	}
+	if info == nil {
+		return nil
+	}
+	if info.File != in.GenFile() {
+		r.Errorf(srcloc.Loc{File: info.File},
+			"recompile with the link step that produced the program",
+			"debug info is for file %q but the program is %q", info.File, in.GenFile())
+	}
+	nLines := len(in.Program.SourceLines())
+	for i := range info.Funcs {
+		f := &info.Funcs[i]
+		fd := progFunc(in.Program, f)
+		if fd == nil {
+			r.Errorf(srcloc.Loc{File: info.File, Line: f.DeclLine},
+				"regenerate the debug info from the final program",
+				"debug info describes function %q (index %d) which the program does not define",
+				f.Name, f.FuncIndex)
+			continue
+		}
+		if fd.Line != f.DeclLine {
+			r.Errorf(in.GenLoc(f.DeclLine), "",
+				"function %q declared at line %d but debug info says line %d",
+				f.Name, fd.Line, f.DeclLine)
+		}
+		prevPC := -1
+		for _, e := range f.Lines {
+			if e.PC <= prevPC {
+				r.Errorf(in.GenLoc(e.Line), "",
+					"function %q: line-table PC %d not increasing (previous %d)",
+					f.Name, e.PC, prevPC)
+			}
+			prevPC = e.PC
+			if e.Line < 1 || e.Line > nLines {
+				r.Errorf(in.GenLoc(e.Line),
+					"line-table entries must reference the generated file",
+					"function %q: line-table entry for PC %d references line %d outside the %d-line source",
+					f.Name, e.PC, e.Line, nLines)
+				continue
+			}
+			if !realStmtLine(in.Program, e.Line) {
+				r.Errorf(in.GenLoc(e.Line), "",
+					"function %q: line-table entry for PC %d maps to line %d, which holds no statement (%q)",
+					f.Name, e.PC, e.Line, strings.TrimSpace(in.Program.SourceLine(e.Line)))
+			}
+		}
+	}
+	return nil
+}
+
+// progFunc resolves a dwarfish function record against the program,
+// accepting it only when index and name agree.
+func progFunc(p *minic.Program, f *dwarfish.FuncInfo) *minic.FuncDecl {
+	if f.FuncIndex < 0 || f.FuncIndex >= len(p.Funcs) {
+		return nil
+	}
+	fd := p.Funcs[f.FuncIndex]
+	if fd.Name != f.Name {
+		return nil
+	}
+	return fd
+}
+
+// checkFrameVars verifies that every dwarfish variable record names a
+// real frame slot of its function, with the right name, type, and
+// parameter flag — the data `info locals`, `print`, and
+// d2x_find_stack_var all depend on.
+func checkFrameVars(in *Input, r *Reporter) error {
+	info, err := in.Info()
+	if err != nil {
+		return err
+	}
+	if info == nil {
+		return nil
+	}
+	for i := range info.Funcs {
+		f := &info.Funcs[i]
+		fd := progFunc(in.Program, f)
+		if fd == nil {
+			continue // reported by debug/line-table
+		}
+		loc := in.GenLoc(f.DeclLine)
+		for _, v := range f.Vars {
+			if v.Slot < 0 || v.Slot >= fd.NumSlots {
+				r.Errorf(loc, "",
+					"function %q: variable %q claims slot %d but the frame has %d slots",
+					f.Name, v.Name, v.Slot, fd.NumSlots)
+				continue
+			}
+			if want := fd.SlotNames[v.Slot]; v.Name != want {
+				r.Errorf(loc, "",
+					"function %q: slot %d is %q in the program but %q in debug info",
+					f.Name, v.Slot, want, v.Name)
+			}
+			if want := fd.SlotTypes[v.Slot].String(); v.Type != want {
+				r.Errorf(loc, "",
+					"function %q: variable %q has type %q in the program but %q in debug info",
+					f.Name, v.Name, want, v.Type)
+			}
+			if want := v.Slot < len(fd.Params); v.Param != want {
+				r.Errorf(loc, "",
+					"function %q: variable %q parameter flag is %v but slot %d says %v",
+					f.Name, v.Name, v.Param, v.Slot, want)
+			}
+		}
+	}
+	return nil
+}
+
+// checkRecords verifies the D2X table records themselves: every record
+// must anchor a real generated line in increasing order, its extended
+// stack frames must carry a file and a positive line, and a record must
+// say *something* (a record with no stack and no vars can never be
+// produced by d2xc and would make xbt report context where none exists).
+func checkRecords(in *Input, r *Reporter) error {
+	tables, err := in.Tables()
+	if err != nil {
+		return err
+	}
+	if tables == nil {
+		return nil
+	}
+	prevLine := 0
+	for _, rec := range tables.Records {
+		loc := in.GenLoc(rec.GenLine)
+		if !realStmtLine(in.Program, rec.GenLine) {
+			r.Errorf(loc, "only attach records to emitted statement lines",
+				"D2X record anchored at line %d, which holds no generated statement", rec.GenLine)
+		}
+		if rec.GenLine <= prevLine {
+			r.Errorf(loc, "",
+				"D2X records out of order: line %d follows line %d", rec.GenLine, prevLine)
+		}
+		prevLine = rec.GenLine
+		if len(rec.Stack) == 0 && len(rec.Vars) == 0 {
+			r.Errorf(loc, "",
+				"empty D2X record at line %d: no extended stack and no variables", rec.GenLine)
+		}
+		for i, fr := range rec.Stack {
+			if fr.File == "" || fr.Line < 1 {
+				r.Errorf(loc, "push_source_loc requires a file and a 1-based line",
+					"line %d: extended stack frame #%d is malformed (file=%q line=%d)",
+					rec.GenLine, i, fr.File, fr.Line)
+			}
+		}
+		// Duplicate keys are legitimate (a per-line SetVar shadows a live
+		// variable), but an empty key can never be looked up.
+		for _, v := range rec.Vars {
+			if v.Key == "" {
+				r.Errorf(loc, "", "line %d: extended variable with empty key", rec.GenLine)
+			}
+		}
+	}
+	return nil
+}
+
+// handlerSig is the required signature of a runtime value handler:
+// func string <name>(string key).
+var handlerSig = minic.Signature{
+	Params: []*minic.Type{minic.StringType},
+	Result: minic.StringType,
+}
+
+// checkHandlers verifies that every rtv_handler referenced by the tables
+// names a function that exists in the program with the handler calling
+// convention — a dangling handler turns `xvars` into a crash at debug
+// time.
+func checkHandlers(in *Input, r *Reporter) error {
+	tables, err := in.Tables()
+	if err != nil {
+		return err
+	}
+	if tables == nil {
+		return nil
+	}
+	reported := map[string]bool{}
+	for _, rec := range tables.Records {
+		for _, v := range rec.Vars {
+			if v.Kind != d2xc.VarHandler || reported[v.Val] {
+				continue
+			}
+			loc := in.GenLoc(rec.GenLine)
+			fi, ok := in.Program.FuncByName[v.Val]
+			if !ok {
+				reported[v.Val] = true
+				r.Errorf(loc,
+					fmt.Sprintf("generate `func string %s(string key)` into the program", v.Val),
+					"variable %q names runtime value handler %q, which is not defined",
+					v.Key, v.Val)
+				continue
+			}
+			fd := in.Program.Funcs[fi]
+			if !compatibleSig(funcSig(fd), handlerSig) {
+				reported[v.Val] = true
+				r.Errorf(loc,
+					fmt.Sprintf("change %s to `func string %s(string key)`", v.Val, v.Val),
+					"runtime value handler %q has signature %s; handlers must be (string) string",
+					v.Val, funcSig(fd))
+			}
+		}
+	}
+	return nil
+}
+
+func funcSig(fd *minic.FuncDecl) minic.Signature {
+	sig := minic.Signature{Result: fd.Result}
+	for _, p := range fd.Params {
+		sig.Params = append(sig.Params, p.Type)
+	}
+	return sig
+}
+
+func compatibleSig(got, want minic.Signature) bool {
+	if len(got.Params) != len(want.Params) || !got.Result.Equal(want.Result) {
+		return false
+	}
+	for i := range got.Params {
+		if !got.Params[i].Equal(want.Params[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// macroCallRe matches a call target inside debugger macro text:
+// `call d2x_runtime::command_xbt($rip, $rsp)` or
+// `eval "%s", d2x_runtime::command_xbreak($rip, "$arg0")`.
+var macroCallRe = regexp.MustCompile(`([A-Za-z_][A-Za-z0-9_]*(?:::[A-Za-z_][A-Za-z0-9_]*)*)\s*\(`)
+
+// checkRuntimeLink verifies the link contract between the tables and the
+// D2X runtime: a program carrying D2X tables must also register every
+// command native the helper macros call (otherwise `xbt` dies at debug
+// time), every native's signature must match the interface spec, and
+// every call target in DSL-supplied macro text must resolve — after the
+// debugger's `::` mangling — to a native or generated function.
+func checkRuntimeLink(in *Input, r *Reporter) error {
+	fileLoc := srcloc.Loc{File: in.GenFile()}
+	if in.HasD2XTables() {
+		for _, spec := range d2xr.CommandNatives() {
+			nat, _, ok := in.Program.Natives.Lookup(spec.Name)
+			if !ok {
+				r.Errorf(fileLoc,
+					"link with d2xr.Register (d2x.Link does this automatically)",
+					"program carries D2X tables but native %q is not registered", spec.Name)
+				continue
+			}
+			if !compatibleSig(nat.Sig, spec.Sig) && !nat.AnyResult {
+				r.Errorf(fileLoc, "",
+					"native %q registered with signature %s; the D2X runtime interface requires %s",
+					spec.Name, nat.Sig, spec.Sig)
+			}
+		}
+	}
+	for i, line := range strings.Split(in.Macros, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if !strings.HasPrefix(trimmed, "call ") && !strings.HasPrefix(trimmed, "eval ") {
+			continue
+		}
+		for _, m := range macroCallRe.FindAllStringSubmatch(trimmed, -1) {
+			target := strings.ReplaceAll(m[1], "::", "_")
+			if _, _, ok := in.Program.Natives.Lookup(target); ok {
+				continue
+			}
+			if _, ok := in.Program.FuncByName[target]; ok {
+				continue
+			}
+			r.Errorf(srcloc.Loc{File: "<macros>", Line: i + 1},
+				fmt.Sprintf("define %q in the generated program or register it as a native", target),
+				"macro calls %q, which resolves to nothing in the program", m[1])
+		}
+	}
+	return nil
+}
+
+// checkRoundtrip verifies the wire format end to end: the tables decoded
+// out of the debuggee's globals (the path the D2X runtime takes) must be
+// record-for-record identical to the compile-time context that emitted
+// them. Any divergence means d2xenc dropped or mangled debug state.
+func checkRoundtrip(in *Input, r *Reporter) error {
+	if in.Ctx == nil {
+		return nil
+	}
+	tables, err := in.Tables()
+	if err != nil {
+		return err
+	}
+	if tables == nil {
+		return nil
+	}
+	want := in.Ctx.Records()
+	got := tables.Records
+	if len(got) != len(want) {
+		r.Errorf(srcloc.Loc{File: in.GenFile()}, "",
+			"context has %d records but the encoded tables decode to %d", len(want), len(got))
+		return nil
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		loc := in.GenLoc(w.GenLine)
+		if g.GenLine != w.GenLine {
+			r.Errorf(loc, "", "record %d: generated line %d round-trips as %d", i, w.GenLine, g.GenLine)
+			continue
+		}
+		// The encoder deliberately drops column information (the tables
+		// are line-granular), so compare stacks without Col.
+		if !stacksEqualNoCol(w.Stack, g.Stack) {
+			r.Errorf(loc, "", "record %d (line %d): extended stack did not round-trip:\ncompile time:\n%s\ndecoded:\n%s",
+				i, w.GenLine, indent(w.Stack.String()), indent(g.Stack.String()))
+		}
+		if !varsEqual(w.Vars, g.Vars) {
+			r.Errorf(loc, "", "record %d (line %d): extended variables did not round-trip (%d at compile time, %d decoded)",
+				i, w.GenLine, len(w.Vars), len(g.Vars))
+		}
+	}
+	return nil
+}
+
+func stacksEqualNoCol(a, b srcloc.Stack) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		x.Col, y.Col = 0, 0
+		if x != y {
+			return false
+		}
+	}
+	return true
+}
+
+func varsEqual(a, b []d2xc.VarEntry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// liveRange is one live variable reconstructed from the journal.
+type liveRange struct {
+	key   string
+	start int // generated line of CreateVar
+	end   int // generated line where the var died; 0 while still live
+}
+
+// checkScopes replays the context's operation journal and verifies the
+// scope discipline the tables cannot express: sections and scopes must
+// nest, every scope opened inside a section must close before the
+// section ends, variables must be created inside sections (a variable
+// created outside is invisible to every record), and each variable's
+// live range must stay inside one generated function.
+func checkScopes(in *Input, r *Reporter) error {
+	if in.Ctx == nil {
+		return nil
+	}
+	var (
+		depth        int
+		sectionDepth int
+		scopes       [][]*liveRange
+		ranges       []*liveRange
+	)
+	scopes = append(scopes, nil) // outermost scope, never popped
+	endScope := func(vars []*liveRange, line int) {
+		for _, lr := range vars {
+			if lr.end == 0 {
+				lr.end = line
+			}
+		}
+	}
+	for _, ev := range in.Ctx.Journal() {
+		loc := in.GenLoc(ev.Line)
+		switch ev.Op {
+		case d2xc.OpBeginSection:
+			sectionDepth = depth
+		case d2xc.OpEndSection:
+			if depth != sectionDepth {
+				r.Errorf(loc, "pop every scope pushed inside the section before EndSection",
+					"section ended at line %d with %d scope(s) still open", ev.Line, depth-sectionDepth)
+				// Close the leaked scopes so later sections are judged fresh.
+				for depth > sectionDepth {
+					endScope(scopes[len(scopes)-1], ev.Line)
+					scopes = scopes[:len(scopes)-1]
+					depth--
+				}
+			}
+		case d2xc.OpPushScope:
+			scopes = append(scopes, nil)
+			depth++
+		case d2xc.OpPopScope:
+			endScope(scopes[len(scopes)-1], ev.Line)
+			scopes = scopes[:len(scopes)-1]
+			depth--
+		case d2xc.OpCreateVar:
+			if !ev.InSection {
+				r.Warnf(loc, "create live variables after BeginSection",
+					"live variable %q created outside any section; it will never appear in a record", ev.Key)
+			}
+			lr := &liveRange{key: ev.Key, start: ev.Line}
+			scopes[len(scopes)-1] = append(scopes[len(scopes)-1], lr)
+			ranges = append(ranges, lr)
+		case d2xc.OpDeleteVar:
+			for i := len(scopes) - 1; i >= 0; i-- {
+				found := false
+				for j := len(scopes[i]) - 1; j >= 0; j-- {
+					if lr := scopes[i][j]; lr.key == ev.Key && lr.end == 0 {
+						lr.end = ev.Line
+						found = true
+						break
+					}
+				}
+				if found {
+					break
+				}
+			}
+		}
+	}
+	if depth != 0 {
+		r.Errorf(srcloc.Loc{File: in.GenFile()},
+			"balance PushScope/PopScope in the DSL compiler",
+			"code generation finished with %d scope(s) still open", depth)
+	}
+	for _, lr := range ranges {
+		if lr.end == 0 {
+			r.Warnf(in.GenLoc(lr.start), "delete the variable or pop its scope",
+				"live variable %q (created at line %d) was never deleted", lr.key, lr.start)
+		}
+	}
+	// Live ranges must not straddle generated functions: a variable
+	// created in one function's section but still live in another would
+	// attach that context to the wrong frames.
+	info, err := in.Info()
+	if err != nil {
+		return err
+	}
+	if info == nil {
+		return nil
+	}
+	extents := funcExtents(info)
+	for _, lr := range ranges {
+		if lr.start == 0 || lr.end == 0 {
+			continue
+		}
+		fn := extentContaining(extents, lr.start)
+		if fn == nil {
+			continue
+		}
+		if lr.end < lr.start || lr.end > fn.hi {
+			r.Errorf(in.GenLoc(lr.start), "pop the variable's scope before the function ends",
+				"live variable %q spans lines %d-%d, escaping function %q (lines %d-%d)",
+				lr.key, lr.start, lr.end, fn.name, fn.lo, fn.hi)
+		}
+	}
+	return nil
+}
+
+type funcExtent struct {
+	name   string
+	lo, hi int
+}
+
+// funcExtents derives each function's textual extent from the debug
+// info: from its first line to just before the next function starts
+// (the last function extends to the end of the file). Using the next
+// function's start rather than the last line-table entry keeps trailing
+// close-brace lines inside the extent.
+func funcExtents(info *dwarfish.Info) []funcExtent {
+	var out []funcExtent
+	for i := range info.Funcs {
+		f := &info.Funcs[i]
+		if lo, _, ok := f.LineRange(); ok {
+			out = append(out, funcExtent{name: f.Name, lo: lo, hi: 1 << 30})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].lo < out[b].lo })
+	for i := 0; i+1 < len(out); i++ {
+		out[i].hi = out[i+1].lo - 1
+	}
+	return out
+}
+
+func extentContaining(extents []funcExtent, line int) *funcExtent {
+	for i := range extents {
+		if line >= extents[i].lo && line <= extents[i].hi {
+			return &extents[i]
+		}
+	}
+	return nil
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(s, "\n", "\n  ")
+}

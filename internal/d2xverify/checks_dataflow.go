@@ -1,0 +1,480 @@
+package d2xverify
+
+// mini-C dataflow lints over the generated program's AST. The audience
+// is DSL compiler authors: a use-before-init or a dead store in
+// *generated* code is a codegen bug (lost initialisation pass, stale
+// buffer reuse), so these fire as part of the compile pipeline rather
+// than at debug time.
+//
+// All four lints are deliberately conservative. parallel_for bodies are
+// compiled into helper functions with their own frames and the shared
+// AST is slot-annotated for the helper, so the parent walk prunes at
+// ParallelForStmt and the helper is analysed as its own function;
+// slots with no local declaration in the analysed body (parameters,
+// captured locals, the helper's loop variable) are assumed initialised
+// and in use.
+
+import (
+	"d2x/internal/minic"
+)
+
+func dataflowChecks() []Check {
+	return []Check{
+		{
+			Name: "minic/use-before-init",
+			Desc: "locals are definitely assigned before every read",
+			Run:  wholeProgramLint(lintUseBeforeInit),
+		},
+		{
+			Name: "minic/unreachable",
+			Desc: "no statement follows a return/break/continue in its block",
+			Run:  wholeProgramLint(lintUnreachable),
+		},
+		{
+			Name: "minic/unused-slot",
+			Desc: "every declared frame slot is read somewhere",
+			Run:  wholeProgramLint(lintUnusedSlots),
+		},
+		{
+			Name: "minic/dead-store",
+			Desc: "no store is unconditionally overwritten before being read",
+			Run:  wholeProgramLint(lintDeadStores),
+		},
+	}
+}
+
+// wholeProgramLint lifts a per-function lint over every function of the
+// program.
+func wholeProgramLint(lint func(in *Input, fd *minic.FuncDecl, r *Reporter)) func(*Input, *Reporter) error {
+	return func(in *Input, r *Reporter) error {
+		for _, fd := range in.Program.Funcs {
+			if fd.Body == nil {
+				continue
+			}
+			lint(in, fd, r)
+		}
+		return nil
+	}
+}
+
+// stmtsOf walks the statements fd's own frame executes: everything in
+// the body except parallel_for bodies, which run in a helper frame.
+// fn is called in source order; returning false prunes nested blocks.
+func stmtsOf(fd *minic.FuncDecl, fn func(minic.Stmt) bool) {
+	minic.InspectStmts(fd.Body, func(s minic.Stmt) bool {
+		if !fn(s) {
+			return false
+		}
+		_, isPar := s.(*minic.ParallelForStmt)
+		return !isPar
+	})
+}
+
+// exprsOf calls fn for every expression evaluated by fd's own frame
+// (deeply), in source order.
+func exprsOf(fd *minic.FuncDecl, fn func(minic.Expr)) {
+	stmtsOf(fd, func(s minic.Stmt) bool {
+		minic.StmtExprs(s, func(e minic.Expr) {
+			minic.InspectExpr(e, fn)
+		})
+		return true
+	})
+}
+
+// localIdent returns the frame slot when e is an identifier naming a
+// local (not a global, not a function reference), and -1 otherwise.
+func localIdent(e minic.Expr) int {
+	if id, ok := e.(*minic.Ident); ok && !id.IsGlobal && !id.IsFunc {
+		return id.Slot
+	}
+	return -1
+}
+
+// declaredSlots maps slot -> declaration for every local declared in
+// the statements fd's own frame executes.
+func declaredSlots(fd *minic.FuncDecl) map[int]*minic.VarDeclStmt {
+	decls := map[int]*minic.VarDeclStmt{}
+	stmtsOf(fd, func(s minic.Stmt) bool {
+		if d, ok := s.(*minic.VarDeclStmt); ok {
+			decls[d.Slot] = d
+		}
+		return true
+	})
+	return decls
+}
+
+// addressTakenSlots returns the slots whose address escapes via &x; any
+// store to them may be observed through the pointer, so the store lints
+// leave them alone. Slots captured by a parallel_for are passed to the
+// helper by reference and count as escaping too.
+func addressTakenSlots(fd *minic.FuncDecl) map[int]bool {
+	taken := map[int]bool{}
+	exprsOf(fd, func(e minic.Expr) {
+		if u, ok := e.(*minic.UnaryExpr); ok && u.Op == minic.Amp {
+			if slot := localIdent(u.X); slot >= 0 {
+				taken[slot] = true
+			}
+		}
+	})
+	captured := map[string]bool{}
+	stmtsOf(fd, func(s minic.Stmt) bool {
+		if p, ok := s.(*minic.ParallelForStmt); ok {
+			for _, name := range p.CapturedVars {
+				captured[name] = true
+			}
+		}
+		return true
+	})
+	for slot, name := range fd.SlotNames {
+		if captured[name] {
+			taken[slot] = true
+		}
+	}
+	return taken
+}
+
+// ---- use-before-init ----
+
+// initState tracks, for locally declared slots only, whether each is
+// definitely assigned on every path reaching the current point.
+type initState map[int]bool
+
+func (s initState) clone() initState {
+	out := make(initState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// join intersects two states: a slot is definitely assigned after a
+// branch only when both arms assigned it.
+func (s initState) join(o initState) {
+	for k, v := range s {
+		s[k] = v && o[k]
+	}
+}
+
+// lintUseBeforeInit is a definite-assignment analysis in the style
+// mandated by the Java and C# specs: path-insensitive, loops may run
+// zero times, if/else joins by intersection. It only tracks slots
+// declared in the analysed body — anything else (params, captured
+// locals, helper loop variables) is initialised by the caller.
+func lintUseBeforeInit(in *Input, fd *minic.FuncDecl, r *Reporter) {
+	ub := &useBeforeInit{in: in, fd: fd, r: r, taken: addressTakenSlots(fd)}
+	ub.block(fd.Body, initState{})
+}
+
+type useBeforeInit struct {
+	in    *Input
+	fd    *minic.FuncDecl
+	r     *Reporter
+	taken map[int]bool
+}
+
+// read flags uses of declared-but-unassigned slots inside e.
+func (ub *useBeforeInit) read(e minic.Expr, st initState) {
+	minic.InspectExpr(e, func(x minic.Expr) {
+		if u, ok := x.(*minic.UnaryExpr); ok && u.Op == minic.Amp {
+			// &x initialises x as far as this analysis can see: the callee
+			// may write through the pointer (d2x_find_stack_var does).
+			if slot := localIdent(u.X); slot >= 0 {
+				if _, tracked := st[slot]; tracked {
+					st[slot] = true
+				}
+			}
+			return
+		}
+		slot := localIdent(x)
+		if slot < 0 {
+			return
+		}
+		if assigned, tracked := st[slot]; tracked && !assigned {
+			ub.r.Errorf(ub.in.GenLoc(x.Pos()),
+				"initialise the variable at its declaration or on every path before this read",
+				"function %q: %q (slot %d) may be read before it is assigned",
+				ub.fd.Name, ub.fd.SlotNames[slot], slot)
+			st[slot] = true // report each slot's first offending read only
+		}
+	})
+}
+
+// assignTarget processes the LHS of an assignment: a plain local ident
+// becomes assigned; any other lvalue shape (index, field, deref) reads
+// its subexpressions.
+func (ub *useBeforeInit) assignTarget(lhs minic.Expr, st initState, alsoReads bool) {
+	if slot := localIdent(lhs); slot >= 0 {
+		if alsoReads {
+			ub.read(lhs, st)
+		}
+		if _, tracked := st[slot]; tracked {
+			st[slot] = true
+		}
+		return
+	}
+	ub.read(lhs, st)
+}
+
+// stmt analyses one statement, mutating st in place; the return value
+// reports whether the statement terminates its block (control cannot
+// fall through to the next statement).
+func (ub *useBeforeInit) stmt(s minic.Stmt, st initState) bool {
+	switch t := s.(type) {
+	case *minic.BlockStmt:
+		return ub.block(t, st)
+	case *minic.VarDeclStmt:
+		if t.Init != nil {
+			ub.read(t.Init, st)
+		}
+		st[t.Slot] = t.Init != nil
+	case *minic.AssignStmt:
+		ub.read(t.RHS, st)
+		ub.assignTarget(t.LHS, st, t.Op != minic.Assign)
+	case *minic.IncDecStmt:
+		ub.assignTarget(t.LHS, st, true)
+	case *minic.ExprStmt:
+		ub.read(t.X, st)
+	case *minic.IfStmt:
+		ub.read(t.Cond, st)
+		thenSt := st.clone()
+		thenTerm := ub.block(t.Then, thenSt)
+		elseSt := st.clone()
+		elseTerm := false
+		if t.Else != nil {
+			elseTerm = ub.stmt(t.Else, elseSt)
+		}
+		// Join only the arms control can fall out of: a terminated arm
+		// contributes nothing to the state after the if.
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			for k := range st {
+				st[k] = elseSt[k]
+			}
+		case elseTerm:
+			for k := range st {
+				st[k] = thenSt[k]
+			}
+		default:
+			for k := range st {
+				st[k] = thenSt[k] && elseSt[k]
+			}
+		}
+	case *minic.WhileStmt:
+		ub.read(t.Cond, st)
+		ub.block(t.Body, st.clone()) // body may run zero times
+	case *minic.ForStmt:
+		if t.Init != nil {
+			ub.stmt(t.Init, st)
+		}
+		if t.Cond != nil {
+			ub.read(t.Cond, st)
+		}
+		bodySt := st.clone()
+		ub.block(t.Body, bodySt)
+		if t.Post != nil {
+			ub.stmt(t.Post, bodySt)
+		}
+	case *minic.ParallelForStmt:
+		ub.read(t.Lo, st)
+		ub.read(t.Hi, st)
+		// The body runs in the helper's frame; captured locals are treated
+		// as address-taken, so nothing else to do here.
+	case *minic.ReturnStmt:
+		if t.X != nil {
+			ub.read(t.X, st)
+		}
+		return true
+	case *minic.BreakStmt, *minic.ContinueStmt:
+		return true
+	}
+	return false
+}
+
+func (ub *useBeforeInit) block(b *minic.BlockStmt, st initState) bool {
+	for _, s := range b.Stmts {
+		if ub.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- unreachable statements ----
+
+// lintUnreachable flags statements that can never execute because an
+// earlier statement in the same block unconditionally left it. One
+// finding per dead region.
+func lintUnreachable(in *Input, fd *minic.FuncDecl, r *Reporter) {
+	checkBlock := func(b *minic.BlockStmt) {
+		dead := false
+		for _, s := range b.Stmts {
+			if dead {
+				r.Errorf(in.GenLoc(s.Pos()),
+					"remove the statement or restructure the control flow before it",
+					"function %q: unreachable statement", fd.Name)
+				break
+			}
+			if stmtTerminates(s) {
+				dead = true
+			}
+		}
+	}
+	stmtsOf(fd, func(s minic.Stmt) bool {
+		if b, ok := s.(*minic.BlockStmt); ok {
+			checkBlock(b)
+		}
+		return true
+	})
+	checkBlock(fd.Body)
+	// fd.Body's nested blocks are reached via stmtsOf; the top-level call
+	// covers the function body itself, which InspectStmts does not yield.
+}
+
+// stmtTerminates reports whether control cannot flow past s.
+func stmtTerminates(s minic.Stmt) bool {
+	switch t := s.(type) {
+	case *minic.ReturnStmt, *minic.BreakStmt, *minic.ContinueStmt:
+		return true
+	case *minic.BlockStmt:
+		for _, c := range t.Stmts {
+			if stmtTerminates(c) {
+				return true
+			}
+		}
+		return false
+	case *minic.IfStmt:
+		if t.Else == nil {
+			return false
+		}
+		return stmtTerminates(t.Then) && stmtTerminates(t.Else)
+	}
+	return false
+}
+
+// ---- unused frame slots ----
+
+// lintUnusedSlots flags locals that are declared but never read: their
+// frame slots, their stores, and their debug records are all dead
+// weight, and in generated code they usually mark a codegen pass that
+// lost track of a temporary.
+func lintUnusedSlots(in *Input, fd *minic.FuncDecl, r *Reporter) {
+	decls := declaredSlots(fd)
+	if len(decls) == 0 {
+		return
+	}
+	read := addressTakenSlots(fd) // &x and captures count as reads
+	markReads := func(e minic.Expr, skipRoot bool) {
+		minic.InspectExpr(e, func(x minic.Expr) {
+			if skipRoot && x == e {
+				return
+			}
+			if slot := localIdent(x); slot >= 0 {
+				read[slot] = true
+			}
+		})
+	}
+	stmtsOf(fd, func(s minic.Stmt) bool {
+		switch t := s.(type) {
+		case *minic.VarDeclStmt:
+			if t.Init != nil {
+				markReads(t.Init, false)
+			}
+		case *minic.AssignStmt:
+			markReads(t.RHS, false)
+			// A plain `x = ...` does not read x; any other LHS shape does.
+			markReads(t.LHS, t.Op == minic.Assign && localIdent(t.LHS) >= 0)
+		case *minic.IncDecStmt:
+			// x++ reads x before writing it.
+			markReads(t.LHS, false)
+		default:
+			minic.StmtExprs(s, func(e minic.Expr) { markReads(e, false) })
+		}
+		return true
+	})
+	for slot, decl := range decls {
+		if !read[slot] {
+			r.Warnf(in.GenLoc(decl.Pos()),
+				"drop the declaration and every store to it",
+				"function %q: %q (slot %d) is declared but never read",
+				fd.Name, decl.Name, slot)
+		}
+	}
+}
+
+// ---- dead stores ----
+
+// lintDeadStores flags a store to a local that the very next statement
+// unconditionally overwrites without reading it. Only adjacent
+// statements in one block are considered, and only for locals whose
+// address never escapes — a deliberately conservative window that is
+// still enough to catch the classic generated-code bug of initialising
+// a temporary twice.
+func lintDeadStores(in *Input, fd *minic.FuncDecl, r *Reporter) {
+	escaped := addressTakenSlots(fd)
+	// storeOf returns (slot, true) when s is an unconditional plain store
+	// to a non-escaping local.
+	storeOf := func(s minic.Stmt) (int, bool) {
+		switch t := s.(type) {
+		case *minic.VarDeclStmt:
+			if t.Init != nil && !escaped[t.Slot] {
+				return t.Slot, true
+			}
+		case *minic.AssignStmt:
+			if t.Op == minic.Assign {
+				if slot := localIdent(t.LHS); slot >= 0 && !escaped[slot] {
+					return slot, true
+				}
+			}
+		}
+		return -1, false
+	}
+	reads := func(s minic.Stmt, slot int) bool {
+		found := false
+		minic.StmtExprs(s, func(e minic.Expr) {
+			minic.InspectExpr(e, func(x minic.Expr) {
+				if localIdent(x) == slot {
+					found = true
+				}
+			})
+		})
+		if a, ok := s.(*minic.AssignStmt); ok && a.Op == minic.Assign {
+			// The LHS ident of a plain store is a write, not a read; it was
+			// counted by the walk above, so discount it when it is the only
+			// occurrence.
+			if localIdent(a.LHS) == slot {
+				found = false
+				minic.InspectExpr(a.RHS, func(x minic.Expr) {
+					if localIdent(x) == slot {
+						found = true
+					}
+				})
+			}
+		}
+		return found
+	}
+	checkBlock := func(b *minic.BlockStmt) {
+		for i := 0; i+1 < len(b.Stmts); i++ {
+			slot, ok := storeOf(b.Stmts[i])
+			if !ok {
+				continue
+			}
+			next := b.Stmts[i+1]
+			nextSlot, nextIsStore := storeOf(next)
+			if nextIsStore && nextSlot == slot && !reads(next, slot) {
+				r.Warnf(in.GenLoc(b.Stmts[i].Pos()),
+					"remove the first store; its value is overwritten before any read",
+					"function %q: value stored to %q (slot %d) is immediately overwritten at line %d",
+					fd.Name, fd.SlotNames[slot], slot, next.Pos())
+			}
+		}
+	}
+	checkBlock(fd.Body)
+	stmtsOf(fd, func(s minic.Stmt) bool {
+		if b, ok := s.(*minic.BlockStmt); ok {
+			checkBlock(b)
+		}
+		return true
+	})
+}

@@ -79,6 +79,25 @@ func (f *FuncInfo) LineOf(pc int) int {
 	return line
 }
 
+// LineRange returns the inclusive source-line span covered by the
+// function: its declaration line through the last line-table entry.
+// ok is false when the function has no line entries at all.
+func (f *FuncInfo) LineRange() (lo, hi int, ok bool) {
+	if len(f.Lines) == 0 {
+		return 0, 0, false
+	}
+	lo, hi = f.DeclLine, f.DeclLine
+	for _, e := range f.Lines {
+		if e.Line < lo {
+			lo = e.Line
+		}
+		if e.Line > hi {
+			hi = e.Line
+		}
+	}
+	return lo, hi, true
+}
+
 // StmtPCs returns the statement-start PCs on the given line.
 func (f *FuncInfo) StmtPCs(line int) []int {
 	var pcs []int

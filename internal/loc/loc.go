@@ -11,6 +11,7 @@
 package loc
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -18,6 +19,32 @@ import (
 	"sort"
 	"strings"
 )
+
+// ErrMissingComponent reports that a component's source directory does
+// not exist. Callers that tolerate partially-built trees (the seed state
+// before every component landed) match it with errors.As and read the
+// component name from it.
+type ErrMissingComponent struct {
+	Component string // component name passed to CountComponent
+	Dir       string // the directory that could not be read
+	Err       error  // underlying filesystem error
+}
+
+func (e *ErrMissingComponent) Error() string {
+	return fmt.Sprintf("loc: component %q: missing directory %s: %v", e.Component, e.Dir, e.Err)
+}
+
+func (e *ErrMissingComponent) Unwrap() error { return e.Err }
+
+// IsMissingComponent reports whether err is an ErrMissingComponent and
+// returns the missing component's name.
+func IsMissingComponent(err error) (string, bool) {
+	var me *ErrMissingComponent
+	if errors.As(err, &me) {
+		return me.Component, true
+	}
+	return "", false
+}
 
 // Stats summarises one component.
 type Stats struct {
@@ -63,7 +90,7 @@ func CountComponent(root, name string, dirs ...string) (Stats, error) {
 		full := filepath.Join(root, dir)
 		entries, err := os.ReadDir(full)
 		if err != nil {
-			return st, fmt.Errorf("loc: %w", err)
+			return st, &ErrMissingComponent{Component: name, Dir: full, Err: err}
 		}
 		names := make([]string, 0, len(entries))
 		for _, e := range entries {

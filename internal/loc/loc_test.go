@@ -1,6 +1,7 @@
 package loc
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -140,7 +141,24 @@ func TestTablesRender(t *testing.T) {
 }
 
 func TestCountComponentMissingDir(t *testing.T) {
-	if _, err := CountComponent("/nonexistent", "x", "nope"); err == nil {
-		t.Error("missing directory accepted")
+	_, err := CountComponent("/nonexistent", "x", "nope")
+	if err == nil {
+		t.Fatal("missing directory accepted")
+	}
+	// The error is typed so tools can distinguish "component not built
+	// yet" from real I/O failures, and name the component.
+	comp, ok := IsMissingComponent(err)
+	if !ok {
+		t.Fatalf("error %v is not an ErrMissingComponent", err)
+	}
+	if comp != "x" {
+		t.Errorf("component = %q, want %q", comp, "x")
+	}
+	var me *ErrMissingComponent
+	if !errors.As(err, &me) {
+		t.Fatalf("errors.As failed on %v", err)
+	}
+	if me.Dir == "" || me.Err == nil {
+		t.Errorf("incomplete error detail: %+v", me)
 	}
 }
