@@ -448,3 +448,86 @@ func benchVarStrategy(b *testing.B, live bool) {
 	}
 	b.ReportMetric(float64(tableBytes), "table-bytes")
 }
+
+// ---- D2X-R command path: xbreak and multi-session table sharing ----
+
+// BenchmarkXBreak measures the DSL-breakpoint round trip: expand a DSL
+// line through the tables' forward index, insert the generated-code
+// breakpoints via eval, then delete them again.
+func BenchmarkXBreak(b *testing.B) {
+	d, _ := pausedPagerankDelta(b, "powerlaw:n=64,m=512,seed=5")
+	dslLine := lineOf(graphit.PageRankDeltaSrc, "new_rank[dst] +=")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Execute(fmt.Sprintf("xbreak pagerankdelta.gt:%d", dslLine)); err != nil {
+			b.Fatal(err)
+		}
+		if err := d.Execute(fmt.Sprintf("xdel %d", i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// pagerankBuild links the standard PageRankDelta build with D2X once.
+func pagerankBuild(b *testing.B) *d2x.Build {
+	b.Helper()
+	art, err := graphit.CompileToC("pagerankdelta.gt", graphit.PageRankDeltaSrc,
+		"s", graphit.PageRankDeltaSchedule, graphit.CompileOptions{D2X: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	build, err := art.Link()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return build
+}
+
+// pausedSession attaches one more debug session to an existing build and
+// pauses it inside the specialised UDF.
+func pausedSession(b *testing.B, build *d2x.Build) *debugger.Debugger {
+	b.Helper()
+	var sink strings.Builder
+	d, err := build.NewSession(&sink)
+	if err != nil {
+		b.Fatal(err)
+	}
+	udfLine := lineOf(build.Source, "atomic_add(&new_rank[dst]")
+	mustExec(b, d, fmt.Sprintf("break pagerankdelta.c:%d", udfLine), "run")
+	return d
+}
+
+// The shared-tables pair measures what a *second* concurrent session on
+// the same Build pays per D2X command. With the shared service the first
+// session's decode is reused; the ablation re-decodes the tables from the
+// debuggee on each command, which is what per-session table ownership
+// (the pre-service design) cost on a session's first command.
+func BenchmarkSharedTables_SecondSessionXBT(b *testing.B) {
+	build := pagerankBuild(b)
+	d1 := pausedSession(b, build)
+	mustExec(b, d1, "xbt") // first session pays the one shared decode
+	d2 := pausedSession(b, build)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d2.Execute("xbt"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSharedTables_PerSessionDecodeXBT(b *testing.B) {
+	build := pagerankBuild(b)
+	d1 := pausedSession(b, build)
+	mustExec(b, d1, "xbt")
+	d2 := pausedSession(b, build)
+	vm := d2.Process().VM
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d2xenc.Decode(vm); err != nil { // the old per-session decode
+			b.Fatal(err)
+		}
+		if err := d2.Execute("xbt"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

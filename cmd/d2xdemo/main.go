@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	d2xdemo [-lint] [fig2|fig6|fig9|fig11|all]
+//	d2xdemo [-lint] [fig2|fig6|fig9|fig11|parallel|all]
 //
 // With -lint each figure's build is run through the d2xverify checks
 // instead of a debugger session; any finding exits nonzero.
@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 
 	"d2x/internal/buildit"
 	"d2x/internal/d2x"
@@ -37,12 +38,13 @@ func main() {
 	}
 	demos := map[string]func() error{
 		"fig2": fig2, "fig6": fig6, "fig9": fig9, "fig11": fig11,
+		"parallel": parallel,
 	}
-	order := []string{"fig2", "fig6", "fig9", "fig11"}
+	order := []string{"fig2", "fig6", "fig9", "fig11", "parallel"}
 	if which != "all" {
 		fn, ok := demos[which]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "d2xdemo: unknown demo %q (want fig2, fig6, fig9, fig11, all)\n", which)
+			fmt.Fprintf(os.Stderr, "d2xdemo: unknown demo %q (want fig2, fig6, fig9, fig11, parallel, all)\n", which)
 			os.Exit(2)
 		}
 		if err := fn(); err != nil {
@@ -268,6 +270,68 @@ func fig11() error {
 		"delete",
 		"continue",
 	)
+}
+
+// parallel demonstrates the shared debug-info service: one PageRankDelta
+// build serves several concurrent debug sessions, each with its own
+// debuggee, breakpoints, and transcript, while the D2X tables are decoded
+// exactly once. Transcripts are buffered per session and printed in
+// order, like a terminal per developer.
+func parallel() error {
+	const sessions = 4
+	fmt.Printf("Parallel sessions: %d debuggers, one build, one table decode\n", sessions)
+	art, err := graphit.CompileToC("pagerankdelta.gt", graphit.PageRankDeltaSrc,
+		"pagerankdelta.sched", graphit.PageRankDeltaSchedule, graphit.CompileOptions{D2X: true})
+	if err != nil {
+		return err
+	}
+	build, err := art.Link()
+	if err != nil {
+		return err
+	}
+	if done, err := maybeLint("parallel", build); done {
+		return err
+	}
+	udfLine := lineOf(build.Source, "atomic_add(&new_rank[dst]")
+
+	transcripts := make([]strings.Builder, sessions)
+	errs := make([]error, sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out := &transcripts[i]
+			d, err := build.NewSession(out)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer d.Close()
+			for _, c := range []string{
+				fmt.Sprintf("break pagerankdelta.c:%d", udfLine),
+				"run", "xbt", "xvars schedule",
+				"xbreak pagerankdelta.gt:" + fmt.Sprint(lineOf(graphit.PageRankDeltaSrc, "new_rank[dst] +=")),
+				"delete", "continue",
+			} {
+				fmt.Fprintf(out, "(gdb) %s\n", c)
+				if err := d.Execute(c); err != nil {
+					errs[i] = fmt.Errorf("command %q: %w", c, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := range transcripts {
+		fmt.Printf("\n-- session %d --\n%s", i, transcripts[i].String())
+		if errs[i] != nil {
+			return fmt.Errorf("session %d: %w", i, errs[i])
+		}
+	}
+	fmt.Printf("\ntable decodes: %d (shared across %d sessions), live sessions after close: %d\n",
+		build.Runtime.TableDecodes(), sessions, build.LiveSessions())
+	return nil
 }
 
 func lineOf(src, needle string) int {

@@ -143,6 +143,12 @@ func (b *Build) Verify() *d2xverify.Report {
 // NewSession attaches a fresh debugger to the build, with the D2X helper
 // macros installed. Program output and the debugger transcript both go to
 // out, interleaved as in a terminal.
+//
+// Sessions are independent: each gets its own debuggee VM and debugger,
+// while the build's D2X runtime serves all of them from one shared table
+// decode. Call Close on the returned debugger when done with it — that
+// evicts the session's D2X state from the shared runtime (via a close
+// hook, so the debugger itself stays D2X-free).
 func (b *Build) NewSession(out io.Writer) (*debugger.Debugger, error) {
 	proc, err := debugger.NewProcess(b.Program, b.DebugBlob, out)
 	if err != nil {
@@ -153,6 +159,9 @@ func (b *Build) NewSession(out io.Writer) (*debugger.Debugger, error) {
 		if err := macros.Install(d); err != nil {
 			return nil, err
 		}
+		vm := proc.VM
+		rt := b.Runtime
+		d.OnClose(func() { rt.Release(vm) })
 	}
 	if b.ExtraMacros != "" {
 		if err := d.LoadMacros(b.ExtraMacros); err != nil {
@@ -160,6 +169,15 @@ func (b *Build) NewSession(out io.Writer) (*debugger.Debugger, error) {
 		}
 	}
 	return d, nil
+}
+
+// LiveSessions reports how many debug sessions currently hold per-session
+// state in the build's D2X runtime (0 for WithoutD2X builds).
+func (b *Build) LiveSessions() int {
+	if b.Runtime == nil {
+		return 0
+	}
+	return b.Runtime.LiveSessions()
 }
 
 // Run executes the build to completion without a debugger (the normal,

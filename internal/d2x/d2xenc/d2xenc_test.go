@@ -209,6 +209,17 @@ func TestFileMatching(t *testing.T) {
 		{"a/b/xc.dsl", "c.dsl", false},
 		{"c.dsl", "c.dsl", true},
 		{"c.dsl", "d.dsl", false},
+		// A basename query must only match at a path boundary: "a.gt" is
+		// a suffix of "extra.gt" but names a different file.
+		{"extra.gt", "a.gt", false},
+		{"dir/extra.gt", "a.gt", false},
+		{"dir/a.gt", "a.gt", true},
+		// Empty query matches everything (the "any file" wildcard).
+		{"a/b/c.dsl", "", true},
+		{"", "", true},
+		// Exact path, including one without any separator.
+		{"a.gt", "a.gt", true},
+		{"a.gt", "r/a.gt", false},
 	}
 	for _, tc := range cases {
 		if got := fileMatches(tc.full, tc.query); got != tc.want {
@@ -249,5 +260,108 @@ func TestChunkedInitFunctions(t *testing.T) {
 	tables := roundTrip(t, ctx)
 	if len(tables.Records) != 700 {
 		t.Errorf("records = %d, want 700", len(tables.Records))
+	}
+}
+
+// multiFileTables builds tables spanning several DSL files whose names
+// share suffixes, to exercise the forward index's file resolution.
+// Generated lines start at 1; each context line i has stack top
+// (files[i%len], dslLine) per the schedule below.
+func multiFileTables(t *testing.T) *Tables {
+	t.Helper()
+	ctx := d2xc.NewContext()
+	if err := ctx.BeginSectionAt(1); err != nil {
+		t.Fatal(err)
+	}
+	// (file, dslLine) per generated line, in table order.
+	schedule := []struct {
+		file string
+		line int
+	}{
+		{"dsl/a.gt", 3},
+		{"extra.gt", 3},
+		{"a.gt", 3},
+		{"other/a.gt", 3},
+		{"dsl/a.gt", 3}, // second generated line for the same DSL location
+		{"dsl/a.gt", 7},
+	}
+	for _, s := range schedule {
+		ctx.PushSourceLoc(s.file, s.line, "fn")
+		ctx.Nextl()
+	}
+	if err := ctx.EndSection(); err != nil {
+		t.Fatal(err)
+	}
+	return roundTrip(t, ctx)
+}
+
+// genLinesLinear is the pre-index reference implementation: scan every
+// record, match its stack top. The forward index must agree with it.
+func genLinesLinear(tb *Tables, file string, line int) []int {
+	var out []int
+	for _, r := range tb.Records {
+		top, ok := r.Stack.Top()
+		if !ok {
+			continue
+		}
+		if top.Line == line && fileMatches(top.File, file) {
+			out = append(out, r.GenLine)
+		}
+	}
+	return out
+}
+
+func TestForwardIndexMatchesLinearScan(t *testing.T) {
+	tables := multiFileTables(t)
+	queries := []struct {
+		file string
+		line int
+	}{
+		{"a.gt", 3},       // suffix: hits dsl/a.gt, a.gt, other/a.gt — not extra.gt
+		{"extra.gt", 3},   // exact basename
+		{"dsl/a.gt", 3},   // exact path, two generated lines
+		{"dsl/a.gt", 7},   //
+		{"", 3},           // wildcard file: every file at line 3
+		{"a.gt", 99},      // no such line
+		{"missing.gt", 3}, // no such file
+	}
+	for _, q := range queries {
+		got := tables.GenLinesForDSL(q.file, q.line)
+		want := genLinesLinear(tables, q.file, q.line)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("GenLinesForDSL(%q, %d) = %v, linear scan = %v", q.file, q.line, got, want)
+		}
+	}
+	// The suffix query must have merged records from three files back
+	// into table order.
+	if got := tables.GenLinesForDSL("a.gt", 3); fmt.Sprint(got) != "[1 3 4 5]" {
+		t.Errorf("suffix query order = %v, want [1 3 4 5]", got)
+	}
+}
+
+// TestQueryResultsAreFresh: mutating what a query returned must not
+// change what the next identical query sees — the immutability contract
+// concurrent sessions rely on.
+func TestQueryResultsAreFresh(t *testing.T) {
+	tables := multiFileTables(t)
+	lines := tables.GenLinesForDSL("dsl/a.gt", 3)
+	if len(lines) != 2 {
+		t.Fatalf("GenLinesForDSL = %v, want 2 entries", lines)
+	}
+	before := fmt.Sprint(lines)
+	for i := range lines {
+		lines[i] = -1
+	}
+	trimmed := lines[:0] // the old xbreak filter pattern
+	_ = append(trimmed, -2)
+	if again := tables.GenLinesForDSL("dsl/a.gt", 3); fmt.Sprint(again) != before {
+		t.Errorf("query after caller mutation = %v, want %v", again, before)
+	}
+	files := tables.DSLFiles()
+	for i := range files {
+		files[i] = "clobbered"
+	}
+	if again := tables.DSLFiles(); len(again) == 0 || again[0] == "clobbered" {
+		t.Errorf("DSLFiles after caller mutation = %v", again)
 	}
 }

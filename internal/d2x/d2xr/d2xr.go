@@ -12,6 +12,12 @@
 // carries (stage 2) — the two-stage mapping of Figure 4. Breakpoint
 // commands return debugger-command strings that the debugger's eval
 // executes, letting the debuggee drive the debugger without any plugin.
+//
+// One Runtime serves every debug session attached to the same build. The
+// expensive per-build data (debug info, decoded D2X tables, DSL sources)
+// is shared read-only; everything a command mutates lives in per-session
+// state keyed by the session's VM (internal/d2x/session), created on
+// first command and evicted when the session closes.
 package d2xr
 
 import (
@@ -19,9 +25,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 
 	"d2x/internal/d2x/d2xc"
 	"d2x/internal/d2x/d2xenc"
+	"d2x/internal/d2x/session"
 	"d2x/internal/dwarfish"
 	"d2x/internal/minic"
 	"d2x/internal/srcloc"
@@ -33,13 +41,8 @@ import (
 type FileResolver func(path string) (string, error)
 
 // XBreakpoint is one DSL-level breakpoint: a DSL location expanded to the
-// generated lines it corresponds to.
-type XBreakpoint struct {
-	ID       int
-	File     string
-	Line     int
-	GenLines []int
-}
+// generated lines it corresponds to. Breakpoints are per-session state.
+type XBreakpoint = session.XBreakpoint
 
 // Names of the native entry points D2X-R links into the generated
 // program. The helper macros reach them as d2x_runtime::command_* (the
@@ -78,27 +81,18 @@ func CommandNatives() []NativeSpec {
 	}
 }
 
-// Runtime is the per-program D2X runtime state — the data a real D2X build
-// links into the executable. Register its entry points into the native
-// registry before compiling the generated code (the "link" step), then
-// attach the debug info produced alongside the binary.
+// Runtime is the per-build D2X runtime — the data a real D2X build links
+// into the executable. Register its entry points into the native registry
+// before compiling the generated code (the "link" step), then attach the
+// debug info produced alongside the binary. One Runtime may serve any
+// number of concurrent debug sessions; commands from different sessions
+// never contend beyond a map lookup.
 type Runtime struct {
-	info   *dwarfish.Info
-	files  FileResolver
-	tables map[*minic.VM]*d2xenc.Tables
+	info  *dwarfish.Info   // immutable after AttachDebugInfo
+	files FileResolver     // replaced only before sessions start
+	svc   *session.Service // shared tables + per-session state
 
-	// Ambient command state. A debug session is single-threaded: commands
-	// run one at a time from the paused debugger, so plain fields suffice.
-	curVM  *minic.VM
-	curRSP int64
-
-	selXFrame int
-	lastRIP   int64
-	haveRIP   bool
-
-	xbps   []*XBreakpoint
-	nextID int
-
+	fileMu    sync.Mutex
 	fileCache map[string][]string
 }
 
@@ -110,14 +104,15 @@ func New() *Runtime {
 			b, err := os.ReadFile(path)
 			return string(b), err
 		},
-		tables:    map[*minic.VM]*d2xenc.Tables{},
-		nextID:    1,
+		svc:       session.New(),
 		fileCache: map[string][]string{},
 	}
 }
 
 // SetFileResolver replaces the DSL source reader.
 func (r *Runtime) SetFileResolver(fr FileResolver) {
+	r.fileMu.Lock()
+	defer r.fileMu.Unlock()
 	r.files = fr
 	r.fileCache = map[string][]string{}
 }
@@ -134,8 +129,33 @@ func (r *Runtime) AttachDebugInfo(blob []byte) error {
 	return nil
 }
 
-// Breakpoints returns the live DSL-level breakpoints.
-func (r *Runtime) Breakpoints() []*XBreakpoint { return r.xbps }
+// Breakpoints returns the live DSL-level breakpoints across all sessions
+// (a snapshot; take it while sessions are quiescent).
+func (r *Runtime) Breakpoints() []*XBreakpoint { return r.svc.AllBreakpoints() }
+
+// BreakpointsFor returns the DSL-level breakpoints of one session.
+func (r *Runtime) BreakpointsFor(vm *minic.VM) []*XBreakpoint {
+	st, ok := r.svc.Lookup(vm)
+	if !ok {
+		return nil
+	}
+	return st.XBPs
+}
+
+// Release evicts the per-session state of one debuggee VM. The d2x link
+// layer wires this to Debugger.Close; without it a long-lived build
+// accumulates state for every session that ever attached.
+func (r *Runtime) Release(vm *minic.VM) { r.svc.Release(vm) }
+
+// LiveSessions reports how many debug sessions currently hold state.
+func (r *Runtime) LiveSessions() int { return r.svc.Sessions() }
+
+// TableDecodes reports how many times the D2X tables were decoded from a
+// debuggee: 1 after any table-backed command, however many sessions ran.
+func (r *Runtime) TableDecodes() int { return r.svc.Decodes() }
+
+// cmdFunc is a D2X command body with its session state resolved.
+type cmdFunc func(st *session.State, call *minic.NativeCall) (minic.Value, error)
 
 // Register installs the D2X-R entry points as host-linked natives, the
 // analogue of linking libd2x-r.a into the generated executable.
@@ -144,36 +164,36 @@ func (r *Runtime) Register(nats *minic.Natives) {
 	nats.Register(&minic.Native{
 		Name: NativeXBT,
 		Sig:  minic.Signature{Params: []*minic.Type{intT, intT}, Result: voidT},
-		Handler: r.command(func(call *minic.NativeCall) (minic.Value, error) {
+		Handler: r.command(true, func(st *session.State, call *minic.NativeCall) (minic.Value, error) {
 			return minic.NullVal(), r.xbt(call.VM, call.Args[0].I)
 		}),
 	})
 	nats.Register(&minic.Native{
 		Name: NativeXFrame,
 		Sig:  minic.Signature{Params: []*minic.Type{intT, intT, strT}, Result: voidT},
-		Handler: r.command(func(call *minic.NativeCall) (minic.Value, error) {
-			return minic.NullVal(), r.xframe(call.VM, call.Args[0].I, call.Args[2].S)
+		Handler: r.command(true, func(st *session.State, call *minic.NativeCall) (minic.Value, error) {
+			return minic.NullVal(), r.xframe(st, call.VM, call.Args[0].I, call.Args[2].S)
 		}),
 	})
 	nats.Register(&minic.Native{
 		Name: NativeXList,
 		Sig:  minic.Signature{Params: []*minic.Type{intT, intT}, Result: voidT},
-		Handler: r.command(func(call *minic.NativeCall) (minic.Value, error) {
-			return minic.NullVal(), r.xlist(call.VM, call.Args[0].I)
+		Handler: r.command(true, func(st *session.State, call *minic.NativeCall) (minic.Value, error) {
+			return minic.NullVal(), r.xlist(st, call.VM, call.Args[0].I)
 		}),
 	})
 	nats.Register(&minic.Native{
 		Name: NativeXVars,
 		Sig:  minic.Signature{Params: []*minic.Type{intT, intT, strT}, Result: voidT},
-		Handler: r.command(func(call *minic.NativeCall) (minic.Value, error) {
+		Handler: r.command(true, func(st *session.State, call *minic.NativeCall) (minic.Value, error) {
 			return minic.NullVal(), r.xvars(call.VM, call.Args[0].I, call.Args[2].S)
 		}),
 	})
 	nats.Register(&minic.Native{
 		Name: NativeXBreak,
 		Sig:  minic.Signature{Params: []*minic.Type{intT, strT}, Result: strT},
-		Handler: r.command(func(call *minic.NativeCall) (minic.Value, error) {
-			s, err := r.xbreak(call.VM, call.Args[0].I, call.Args[1].S)
+		Handler: r.command(false, func(st *session.State, call *minic.NativeCall) (minic.Value, error) {
+			s, err := r.xbreak(st, call.VM, call.Args[0].I, call.Args[1].S)
 			return minic.StrVal(s), err
 		}),
 	})
@@ -181,7 +201,7 @@ func (r *Runtime) Register(nats *minic.Natives) {
 		Name: NativeXDel,
 		Sig:  minic.Signature{Params: []*minic.Type{strT}, Result: strT},
 		Handler: func(call *minic.NativeCall) (minic.Value, error) {
-			s, err := r.xdel(call.VM, call.Args[0].S)
+			s, err := r.xdel(r.svc.State(call.VM), call.VM, call.Args[0].S)
 			return minic.StrVal(s), err
 		},
 	})
@@ -195,38 +215,36 @@ func (r *Runtime) Register(nats *minic.Natives) {
 	})
 }
 
-// command wraps an entry point with the ambient-state bookkeeping every
-// D2X command shares: remembering the VM and frame for nested handler
-// calls, and resetting the selected extended frame when execution moved.
-func (r *Runtime) command(h minic.NativeHandler) minic.NativeHandler {
+// command wraps an entry point with the session-state bookkeeping every
+// D2X command shares: resolving the calling session, resetting the
+// selected extended frame when execution moved, and — for the commands
+// that receive $rsp — marking the command active so nested handler calls
+// can locate the paused frame. The flag is explicit because frame ID 0
+// (the first frame a VM creates) is a perfectly valid $rsp.
+func (r *Runtime) command(hasRSP bool, h cmdFunc) minic.NativeHandler {
 	return func(call *minic.NativeCall) (minic.Value, error) {
-		r.curVM = call.VM
-		if len(call.Args) >= 2 {
-			r.curRSP = call.Args[1].I
-		}
+		st := r.svc.State(call.VM)
 		if len(call.Args) >= 1 {
 			rip := call.Args[0].I
-			if !r.haveRIP || rip != r.lastRIP {
-				r.selXFrame = 0
+			if !st.HaveRIP || rip != st.LastRIP {
+				st.SelXFrame = 0
 			}
-			r.lastRIP = rip
-			r.haveRIP = true
+			st.LastRIP = rip
+			st.HaveRIP = true
 		}
-		return h(call)
+		if hasRSP && len(call.Args) >= 2 {
+			st.CurRSP = call.Args[1].I
+			st.CmdActive = true
+			defer func() { st.CmdActive = false }()
+		}
+		return h(st, call)
 	}
 }
 
-// tablesFor decodes (and caches) the D2X tables of a program instance.
+// tablesFor returns the build's decoded D2X tables, shared across all
+// sessions (the first session to ask pays the one decode).
 func (r *Runtime) tablesFor(vm *minic.VM) (*d2xenc.Tables, error) {
-	if t, ok := r.tables[vm]; ok {
-		return t, nil
-	}
-	t, err := d2xenc.Decode(vm)
-	if err != nil {
-		return nil, err
-	}
-	r.tables[vm] = t
-	return t, nil
+	return r.svc.Tables(vm)
 }
 
 // recordAt performs the two-stage mapping for an encoded rip: standard
@@ -267,7 +285,7 @@ func (r *Runtime) xbt(vm *minic.VM, rip int64) error {
 }
 
 // xframe displays or changes the selected extended frame.
-func (r *Runtime) xframe(vm *minic.VM, rip int64, arg string) error {
+func (r *Runtime) xframe(st *session.State, vm *minic.VM, rip int64, arg string) error {
 	rec, genLine, err := r.recordAt(vm, rip)
 	if err != nil {
 		return err
@@ -284,13 +302,13 @@ func (r *Runtime) xframe(vm *minic.VM, rip int64, arg string) error {
 		if n < 0 || n >= len(rec.Stack) {
 			return fmt.Errorf("d2x: no extended frame %d (stack has %d frames)", n, len(rec.Stack))
 		}
-		r.selXFrame = n
+		st.SelXFrame = n
 	}
-	if r.selXFrame >= len(rec.Stack) {
-		r.selXFrame = 0
+	if st.SelXFrame >= len(rec.Stack) {
+		st.SelXFrame = 0
 	}
-	loc := rec.Stack[r.selXFrame]
-	out(vm, "%s\n", formatXFrame(r.selXFrame, loc))
+	loc := rec.Stack[st.SelXFrame]
+	out(vm, "%s\n", formatXFrame(st.SelXFrame, loc))
 	if text, ok := r.sourceLine(loc.File, loc.Line); ok {
 		out(vm, "%d\t%s\n", loc.Line, text)
 	}
@@ -298,7 +316,7 @@ func (r *Runtime) xframe(vm *minic.VM, rip int64, arg string) error {
 }
 
 // xlist lists DSL source around the selected extended frame.
-func (r *Runtime) xlist(vm *minic.VM, rip int64) error {
+func (r *Runtime) xlist(st *session.State, vm *minic.VM, rip int64) error {
 	rec, genLine, err := r.recordAt(vm, rip)
 	if err != nil {
 		return err
@@ -307,10 +325,10 @@ func (r *Runtime) xlist(vm *minic.VM, rip int64) error {
 		out(vm, "No D2X context for generated line %d\n", genLine)
 		return nil
 	}
-	if r.selXFrame >= len(rec.Stack) {
-		r.selXFrame = 0
+	if st.SelXFrame >= len(rec.Stack) {
+		st.SelXFrame = 0
 	}
-	loc := rec.Stack[r.selXFrame]
+	loc := rec.Stack[st.SelXFrame]
 	lines, err := r.sourceFile(loc.File)
 	if err != nil {
 		return fmt.Errorf("d2x: cannot list %s: %w", loc.File, err)
@@ -381,18 +399,18 @@ func (r *Runtime) evalVar(vm *minic.VM, v d2xc.VarEntry) (string, error) {
 // all matching generated lines and returns the debugger commands that
 // install the low-level breakpoints (executed by the debugger's eval).
 // An empty spec lists the current DSL breakpoints and returns no commands.
-func (r *Runtime) xbreak(vm *minic.VM, rip int64, spec string) (string, error) {
+func (r *Runtime) xbreak(st *session.State, vm *minic.VM, rip int64, spec string) (string, error) {
 	tables, err := r.tablesFor(vm)
 	if err != nil {
 		return "", err
 	}
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
-		if len(r.xbps) == 0 {
+		if len(st.XBPs) == 0 {
 			out(vm, "No DSL breakpoints.\n")
 			return "", nil
 		}
-		for _, bp := range r.xbps {
+		for _, bp := range st.XBPs {
 			out(vm, "#%d  %s:%d  (%d generated locations)\n", bp.ID, bp.File, bp.Line, len(bp.GenLines))
 		}
 		return "", nil
@@ -425,24 +443,25 @@ func (r *Runtime) xbreak(vm *minic.VM, rip int64, spec string) (string, error) {
 
 	genLines := tables.GenLinesForDSL(file, line)
 	// Keep only lines a breakpoint can bind to (brace-only or merged
-	// lines have D2X records but no statement site).
-	breakable := genLines[:0]
+	// lines have D2X records but no statement site). Filter into a fresh
+	// slice: the expansion is stored on the breakpoint, and must not
+	// alias anything the shared tables handed out.
+	breakable := make([]int, 0, len(genLines))
 	for _, gl := range genLines {
 		if len(r.info.SitesForLine(gl)) > 0 {
 			breakable = append(breakable, gl)
 		}
 	}
-	genLines = breakable
-	if len(genLines) == 0 {
+	if len(breakable) == 0 {
 		out(vm, "No generated code for %s:%d\n", file, line)
 		return "", nil
 	}
-	bp := &XBreakpoint{ID: r.nextID, File: file, Line: line, GenLines: genLines}
-	r.nextID++
-	r.xbps = append(r.xbps, bp)
-	out(vm, "Inserting %d breakpoints with ID: #%d\n", len(genLines), bp.ID)
+	bp := &XBreakpoint{ID: st.NextID, File: file, Line: line, GenLines: breakable}
+	st.NextID++
+	st.XBPs = append(st.XBPs, bp)
+	out(vm, "Inserting %d breakpoints with ID: #%d\n", len(breakable), bp.ID)
 	var cmds []string
-	for _, gl := range genLines {
+	for _, gl := range breakable {
 		cmds = append(cmds, fmt.Sprintf("break %s:%d", r.genFileName(), gl))
 	}
 	return strings.Join(cmds, "\n"), nil
@@ -450,17 +469,17 @@ func (r *Runtime) xbreak(vm *minic.VM, rip int64, spec string) (string, error) {
 
 // xdel removes a DSL-level breakpoint by ID and returns the debugger
 // commands that clear the generated-code breakpoints.
-func (r *Runtime) xdel(vm *minic.VM, spec string) (string, error) {
+func (r *Runtime) xdel(st *session.State, vm *minic.VM, spec string) (string, error) {
 	spec = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(spec), "#"))
 	id, err := strconv.Atoi(spec)
 	if err != nil {
 		return "", fmt.Errorf("d2x: bad breakpoint id %q", spec)
 	}
-	for i, bp := range r.xbps {
+	for i, bp := range st.XBPs {
 		if bp.ID != id {
 			continue
 		}
-		r.xbps = append(r.xbps[:i], r.xbps[i+1:]...)
+		st.XBPs = append(st.XBPs[:i], st.XBPs[i+1:]...)
 		out(vm, "Deleted DSL breakpoint #%d (%d generated locations)\n", id, len(bp.GenLines))
 		var cmds []string
 		for _, gl := range bp.GenLines {
@@ -479,12 +498,13 @@ func (r *Runtime) findStackVar(vm *minic.VM, name string) (minic.Value, error) {
 	if r.info == nil {
 		return minic.NullVal(), fmt.Errorf("d2x: no debug info attached")
 	}
-	if r.curVM != vm || r.curRSP == 0 {
+	st, ok := r.svc.Lookup(vm)
+	if !ok || !st.CmdActive {
 		return minic.NullVal(), fmt.Errorf("d2x: find_stack_var called outside a D2X command")
 	}
-	frame := vm.FrameByID(int(r.curRSP))
+	frame := vm.FrameByID(int(st.CurRSP))
 	if frame == nil {
-		return minic.NullVal(), fmt.Errorf("d2x: frame %d is no longer live", r.curRSP)
+		return minic.NullVal(), fmt.Errorf("d2x: frame %d is no longer live", st.CurRSP)
 	}
 	fi := r.info.FuncByIndex(frame.FuncIndex)
 	if fi == nil {
@@ -505,6 +525,8 @@ func (r *Runtime) genFileName() string {
 }
 
 func (r *Runtime) sourceFile(path string) ([]string, error) {
+	r.fileMu.Lock()
+	defer r.fileMu.Unlock()
 	if lines, ok := r.fileCache[path]; ok {
 		return lines, nil
 	}

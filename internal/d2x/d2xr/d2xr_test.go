@@ -259,8 +259,9 @@ func TestNoDebugInfoAttached(t *testing.T) {
 func TestStaleFrameRejected(t *testing.T) {
 	f := newFixture(t)
 	// A frame ID that never existed.
-	f.rt.curVM = f.vm
-	f.rt.curRSP = 999999
+	st := f.rt.svc.State(f.vm)
+	st.CmdActive = true
+	st.CurRSP = 999999
 	if _, err := f.rt.findStackVar(f.vm, "v"); err == nil || !strings.Contains(err.Error(), "no longer live") {
 		t.Errorf("stale frame: %v", err)
 	}
@@ -313,5 +314,135 @@ func int main() {
 		Args: []minic.Value{minic.IntVal(rip), minic.IntVal(int64(top.ID)), minic.StrVal("bad")}})
 	if err == nil || !strings.Contains(err.Error(), "rtv_handler __boom failed") {
 		t.Errorf("handler fault: %v", err)
+	}
+}
+
+// TestFindStackVarInFrameZero is the regression test for the frame-0 bug:
+// the runtime used to track the active command frame with the sentinel
+// "curRSP == 0", but minic assigns the very first frame it creates ID 0.
+// In a program with no constructors that is main's frame, so an
+// rtv_handler evaluated while paused in main was wrongly rejected with
+// "called outside a D2X command".
+func TestFindStackVarInFrameZero(t *testing.T) {
+	nats := minic.NewNatives()
+	rt := New()
+	rt.Register(nats)
+	// No D2X tables appended: table constructors would run before main and
+	// consume frame ID 0. findStackVar only needs debug info and the
+	// command state, not the tables.
+	prog, err := minic.Compile("gen.c", fixtureGen, nats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.AttachDebugInfo(dwarfish.Build(prog).Encode()); err != nil {
+		t.Fatal(err)
+	}
+	vm := minic.NewVM(prog, nil)
+	if err := vm.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Step until main's second statement (line 7), where v is live at 41.
+	var frameID int
+	for {
+		th := vm.NextThread()
+		if th == nil {
+			t.Fatal("program finished before reaching line 7")
+		}
+		top := th.Top()
+		in := top.Code.Instrs[top.PC]
+		if in.StmtStart && in.Line == 7 {
+			frameID = top.ID
+			break
+		}
+		vm.StepInstr()
+	}
+	if frameID != 0 {
+		t.Fatalf("expected main to be frame 0 in a constructor-free program, got %d", frameID)
+	}
+	// Mark a D2X command active on frame 0, exactly as the command wrapper
+	// does when the debugger passes $rsp = 0.
+	st := rt.svc.State(vm)
+	st.CmdActive = true
+	st.CurRSP = 0
+	defer func() { st.CmdActive = false }()
+	res, err := vm.CallFunction("__h", []minic.Value{minic.StrVal("vh")})
+	if err != nil {
+		t.Fatalf("rtv_handler paused in frame 0: %v", err)
+	}
+	if res.S != "vh=41" {
+		t.Errorf("rtv_handler in frame 0 = %q, want %q", res.S, "vh=41")
+	}
+}
+
+// TestXBreakRepeatedExpansionStable is the regression test for the slice
+// aliasing bug: xbreak used to filter the GenLinesForDSL result with
+// genLines[:0], mutating the slice in place. With the results now served
+// from the shared table index, that write would corrupt the tables and a
+// second identical xbreak would see a different expansion.
+func TestXBreakRepeatedExpansionStable(t *testing.T) {
+	f := newFixture(t)
+	first := f.callCmd(t, "d2x_runtime_command_xbreak",
+		minic.IntVal(f.rip), minic.StrVal("prog.dsl:2")).S
+	second := f.callCmd(t, "d2x_runtime_command_xbreak",
+		minic.IntVal(f.rip), minic.StrVal("prog.dsl:2")).S
+	if first == "" {
+		t.Fatal("xbreak produced no breakpoint commands")
+	}
+	if first != second {
+		t.Errorf("identical xbreak calls expanded differently:\n1st: %q\n2nd: %q", first, second)
+	}
+	bps := f.rt.BreakpointsFor(f.vm)
+	if len(bps) != 2 {
+		t.Fatalf("expected 2 breakpoints, got %d", len(bps))
+	}
+	if fmt.Sprint(bps[0].GenLines) != fmt.Sprint(bps[1].GenLines) {
+		t.Errorf("stored expansions differ: %v vs %v", bps[0].GenLines, bps[1].GenLines)
+	}
+}
+
+// TestSessionStateEviction covers the unbounded-growth bug: per-VM state
+// used to live in a map that never deleted keys. Release must evict it.
+func TestSessionStateEviction(t *testing.T) {
+	f := newFixture(t)
+	f.callCmd(t, "d2x_runtime_command_xbt", minic.IntVal(f.rip), minic.IntVal(f.rsp))
+	if n := f.rt.LiveSessions(); n != 1 {
+		t.Fatalf("live sessions after a command = %d, want 1", n)
+	}
+	f.rt.Release(f.vm)
+	if n := f.rt.LiveSessions(); n != 0 {
+		t.Errorf("live sessions after Release = %d, want 0", n)
+	}
+	f.rt.Release(f.vm) // idempotent
+	if n := f.rt.LiveSessions(); n != 0 {
+		t.Errorf("live sessions after double Release = %d, want 0", n)
+	}
+}
+
+// TestSharedTablesSingleDecode: N sessions over one runtime share one
+// table decode.
+func TestSharedTablesSingleDecode(t *testing.T) {
+	f := newFixture(t)
+	if n := f.rt.TableDecodes(); n != 0 {
+		t.Fatalf("decodes before any command = %d, want 0", n)
+	}
+	f.callCmd(t, "d2x_runtime_command_xbt", minic.IntVal(f.rip), minic.IntVal(f.rsp))
+
+	// A second debuggee VM of the same program, served by the same runtime.
+	vm2 := minic.NewVM(f.prog, nil)
+	if err := vm2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	nat, _, _ := f.prog.Natives.Lookup("d2x_runtime_command_xbt")
+	top := vm2.Threads()[0].Top()
+	rip2 := dwarfish.EncodeAddr(dwarfish.Addr{FuncIndex: top.FuncIndex, PC: top.PC})
+	if _, err := nat.Handler(&minic.NativeCall{VM: vm2, Thread: vm2.Threads()[0],
+		Args: []minic.Value{minic.IntVal(rip2), minic.IntVal(int64(top.ID))}}); err != nil {
+		t.Fatal(err)
+	}
+	if n := f.rt.TableDecodes(); n != 1 {
+		t.Errorf("decodes after two sessions = %d, want 1", n)
+	}
+	if n := f.rt.LiveSessions(); n != 2 {
+		t.Errorf("live sessions = %d, want 2", n)
 	}
 }

@@ -1,0 +1,161 @@
+// Package session is the shared debug-info service behind D2X-R: it owns
+// the one immutable decode of a build's D2X tables and the per-session
+// command state of every debugger attached to that build.
+//
+// The paper's premise (§3.2, Table 2) is that a debug command is a cheap
+// call into the paused inferior. When many sessions debug instances of
+// the same build concurrently, that only holds if the expensive part —
+// decoding the tables out of inferior memory — happens once per build,
+// not once per session, and if the cheap part touches no state shared
+// between sessions. This package provides exactly that split:
+//
+//   - Tables: decoded on first use from whichever session asks first,
+//     then shared read-only by every later session. d2xenc.Tables is
+//     immutable after Decode, so no lock guards reads.
+//   - State: the ambient command state one session accumulates (selected
+//     extended frame, DSL breakpoints, active-command frame). Each state
+//     is touched only by its own session's command stream; the Service
+//     lock guards only the map holding them.
+//   - Release: evicts a session's state when its debugger closes, so a
+//     long-lived build serving many sessions does not accumulate state
+//     for VMs that are gone.
+package session
+
+import (
+	"sort"
+	"sync"
+
+	"d2x/internal/d2x/d2xenc"
+	"d2x/internal/minic"
+)
+
+// XBreakpoint is one DSL-level breakpoint: a DSL location expanded to the
+// generated lines it corresponds to. Breakpoints belong to the session
+// that set them; IDs are per-session, like a debugger's.
+type XBreakpoint struct {
+	ID       int
+	File     string
+	Line     int
+	GenLines []int
+}
+
+// State is the command state of one debug session, keyed by the session's
+// debuggee VM. A debug session executes commands one at a time from its
+// paused debugger, so the fields need no lock of their own — only the
+// Service map that stores states is shared between sessions.
+type State struct {
+	// SelXFrame is the selected extended frame (xframe), reset to the
+	// top whenever a command arrives with a new rip.
+	SelXFrame int
+	LastRIP   int64
+	HaveRIP   bool
+
+	// CmdActive reports that a frame-bearing D2X command is currently
+	// executing on this session, and CurRSP holds its frame ID. An
+	// explicit flag, not a sentinel value: frame ID 0 is a valid frame
+	// (the first frame a VM creates), so "CurRSP == 0" cannot mean
+	// "no command running".
+	CmdActive bool
+	CurRSP    int64
+
+	XBPs   []*XBreakpoint
+	NextID int
+}
+
+// Service shares one build's decoded D2X tables across its debug
+// sessions and tracks each session's command state. All methods are safe
+// for concurrent use by multiple sessions.
+type Service struct {
+	mu      sync.RWMutex
+	tables  *d2xenc.Tables
+	decodes int
+	states  map[*minic.VM]*State
+}
+
+// New returns an empty service.
+func New() *Service {
+	return &Service{states: map[*minic.VM]*State{}}
+}
+
+// Tables returns the build's decoded D2X tables, decoding them out of
+// vm's memory on first use. Every session shares the same immutable
+// decode. Failures are not cached: a VM that has not yet run the table
+// constructors must not poison sessions that ask later.
+func (s *Service) Tables(vm *minic.VM) (*d2xenc.Tables, error) {
+	s.mu.RLock()
+	t := s.tables
+	s.mu.RUnlock()
+	if t != nil {
+		return t, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tables == nil {
+		t, err := d2xenc.Decode(vm)
+		if err != nil {
+			return nil, err
+		}
+		s.tables = t
+		s.decodes++
+	}
+	return s.tables, nil
+}
+
+// State returns the command state of vm's session, creating it on first
+// use.
+func (s *Service) State(vm *minic.VM) *State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.states[vm]
+	if st == nil {
+		st = &State{NextID: 1}
+		s.states[vm] = st
+	}
+	return st
+}
+
+// Lookup returns the command state of vm's session without creating one.
+func (s *Service) Lookup(vm *minic.VM) (*State, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.states[vm]
+	return st, ok
+}
+
+// Release evicts the command state of vm's session. Idempotent; the
+// shared tables stay, since they belong to the build, not the session.
+func (s *Service) Release(vm *minic.VM) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.states, vm)
+}
+
+// Sessions reports how many sessions currently hold state.
+func (s *Service) Sessions() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.states)
+}
+
+// Decodes reports how many times the tables were decoded from a debuggee:
+// 1 after any session ran a table-backed command, no matter how many
+// sessions there are.
+func (s *Service) Decodes() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.decodes
+}
+
+// AllBreakpoints returns the DSL breakpoints of every live session,
+// ordered by ID (per-session creation order; IDs may repeat across
+// sessions).
+func (s *Service) AllBreakpoints() []*XBreakpoint {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*XBreakpoint
+	for _, st := range s.states {
+		out = append(out, st.XBPs...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,92 @@
+package session
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"d2x/internal/minic"
+)
+
+func TestStateLifecycle(t *testing.T) {
+	s := New()
+	vm1 := &minic.VM{}
+	vm2 := &minic.VM{}
+
+	if _, ok := s.Lookup(vm1); ok {
+		t.Error("Lookup before State created")
+	}
+	st1 := s.State(vm1)
+	if st1.NextID != 1 {
+		t.Errorf("fresh state NextID = %d, want 1", st1.NextID)
+	}
+	if got := s.State(vm1); got != st1 {
+		t.Error("State is not stable per VM")
+	}
+	st2 := s.State(vm2)
+	if st2 == st1 {
+		t.Error("distinct VMs share a state")
+	}
+	if n := s.Sessions(); n != 2 {
+		t.Errorf("Sessions = %d, want 2", n)
+	}
+
+	st1.XBPs = append(st1.XBPs, &XBreakpoint{ID: 2, File: "a.dsl", Line: 1})
+	st2.XBPs = append(st2.XBPs, &XBreakpoint{ID: 1, File: "b.dsl", Line: 2})
+	all := s.AllBreakpoints()
+	if len(all) != 2 || all[0].ID != 1 || all[1].ID != 2 {
+		t.Errorf("AllBreakpoints = %+v", all)
+	}
+
+	s.Release(vm1)
+	s.Release(vm1) // idempotent
+	if n := s.Sessions(); n != 1 {
+		t.Errorf("Sessions after Release = %d, want 1", n)
+	}
+	if _, ok := s.Lookup(vm1); ok {
+		t.Error("Lookup after Release")
+	}
+	if _, ok := s.Lookup(vm2); !ok {
+		t.Error("Release evicted the wrong session")
+	}
+}
+
+func TestTablesFailureNotCached(t *testing.T) {
+	s := New()
+	prog, err := minic.Compile("p.c", "func int main() { return 0; }", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := minic.NewVM(prog, nil)
+	// This program carries no tables: the decode fails, and the failure
+	// must not be cached as a decode.
+	if _, err := s.Tables(vm); err == nil || !strings.Contains(err.Error(), "no D2X tables") {
+		t.Fatalf("Tables on table-less program: %v", err)
+	}
+	if n := s.Decodes(); n != 0 {
+		t.Errorf("Decodes after failure = %d, want 0", n)
+	}
+}
+
+func TestStateConcurrent(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			vm := &minic.VM{}
+			st := s.State(vm)
+			st.CmdActive = true
+			st.XBPs = append(st.XBPs, &XBreakpoint{ID: 1})
+			if _, ok := s.Lookup(vm); !ok {
+				t.Error("Lookup missed own state")
+			}
+			s.Release(vm)
+		}()
+	}
+	wg.Wait()
+	if n := s.Sessions(); n != 0 {
+		t.Errorf("Sessions after concurrent churn = %d, want 0", n)
+	}
+}

@@ -1,0 +1,111 @@
+package d2x
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestSessionCloseEvictsState: closing a session evicts its per-session
+// D2X state from the build's runtime (the fix for the map that grew
+// without bound), without touching other sessions or the shared tables.
+func TestSessionCloseEvictsState(t *testing.T) {
+	b := buildPower(t, true)
+	d1, _ := session(t, b)
+	d2, out2 := session(t, b)
+	exec(t, d1, "break power_gen.c:5", "run", "xbt", "xbreak power.dsl:6")
+	exec(t, d2, "break power_gen.c:5", "run", "xbt")
+	if n := b.LiveSessions(); n != 2 {
+		t.Fatalf("live sessions = %d, want 2", n)
+	}
+	if n := len(b.Runtime.Breakpoints()); n != 1 {
+		t.Fatalf("runtime breakpoints = %d, want 1", n)
+	}
+
+	d1.Close()
+	if n := b.LiveSessions(); n != 1 {
+		t.Errorf("live sessions after first Close = %d, want 1", n)
+	}
+	// The closed session's breakpoints went with its state.
+	if n := len(b.Runtime.Breakpoints()); n != 0 {
+		t.Errorf("runtime breakpoints after Close = %d, want 0", n)
+	}
+	if err := d1.Execute("xbt"); err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Errorf("Execute on closed session: %v", err)
+	}
+
+	// The surviving session still works over the shared tables.
+	out2.Reset()
+	exec(t, d2, "xbt")
+	if !strings.Contains(out2.String(), "#0 in power at power.dsl:7") {
+		t.Errorf("second session after first Close:\n%s", out2.String())
+	}
+
+	d2.Close()
+	d2.Close() // idempotent
+	if n := b.LiveSessions(); n != 0 {
+		t.Errorf("live sessions after all Closes = %d, want 0", n)
+	}
+	if n := b.Runtime.TableDecodes(); n != 1 {
+		t.Errorf("table decodes across both sessions = %d, want 1", n)
+	}
+}
+
+// TestConcurrentSessionsShareTables runs N full debug sessions over one
+// Build in parallel — break, run, xbt, rtv_handler evaluation, xbreak,
+// continue — and checks that they share a single table decode and leave
+// no state behind. Run under -race this also proves the shared decode,
+// debug info, and DSL source cache are safe for concurrent sessions.
+func TestConcurrentSessionsShareTables(t *testing.T) {
+	b := buildPower(t, true)
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var out strings.Builder
+			d, err := b.NewSession(&out)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer d.Close()
+			cmds := []string{
+				"break power_gen.c:5", "run",
+				"xbt", "xlist", "xvars res_view",
+				"xbreak power.dsl:6", "continue",
+			}
+			for _, cmd := range cmds {
+				if err := d.Execute(cmd); err != nil {
+					errs <- fmt.Errorf("session %d: %q: %w", i, cmd, err)
+					return
+				}
+			}
+			tr := out.String()
+			for _, want := range []string{
+				"#0 in power at power.dsl:7",
+				"res_view = res_1=3",
+				"Inserting 4 breakpoints with ID: #1",
+			} {
+				if !strings.Contains(tr, want) {
+					errs <- fmt.Errorf("session %d transcript missing %q:\n%s", i, want, tr)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := b.Runtime.TableDecodes(); got != 1 {
+		t.Errorf("table decodes across %d sessions = %d, want 1", n, got)
+	}
+	if got := b.LiveSessions(); got != 0 {
+		t.Errorf("live sessions after all Closes = %d, want 0", got)
+	}
+}

@@ -119,6 +119,7 @@ func markerComponentDirs() []string {
 		"internal/d2x/d2xc",
 		"internal/d2x/d2xenc",
 		"internal/d2x/d2xr",
+		"internal/d2x/session",
 		"internal/d2x/macros",
 	}
 }

@@ -15,6 +15,9 @@ import (
 // macros. Errors are returned (the interactive driver prints them; scripts
 // may choose to stop).
 func (d *Debugger) Execute(line string) error {
+	if d.closed {
+		return fmt.Errorf("debug session is closed")
+	}
 	line = strings.TrimSpace(line)
 	if line == "" || strings.HasPrefix(line, "#") {
 		return nil

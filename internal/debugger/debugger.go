@@ -128,6 +128,9 @@ type Debugger struct {
 	// maxSteps bounds one resume, so a runaway debuggee cannot hang the
 	// host test suite. 0 means the default of 500M instructions.
 	maxSteps int64
+
+	closed     bool
+	closeHooks []func()
 }
 
 // New attaches a debugger to a process, writing all user-visible output
@@ -147,6 +150,29 @@ func New(proc *Process, out io.Writer) *Debugger {
 
 // Out returns the transcript writer (macro expansion writes through it).
 func (d *Debugger) Out() io.Writer { return d.out }
+
+// OnClose registers a hook run (once) when the session is closed. The
+// layer that attaches runtime services to a session uses this to release
+// per-session state; the debugger itself stays ignorant of what they are.
+func (d *Debugger) OnClose(fn func()) {
+	d.closeHooks = append(d.closeHooks, fn)
+}
+
+// Close ends the debug session: registered hooks run in registration
+// order and further Execute calls fail. Idempotent.
+func (d *Debugger) Close() {
+	if d.closed {
+		return
+	}
+	d.closed = true
+	for _, fn := range d.closeHooks {
+		fn()
+	}
+	d.closeHooks = nil
+}
+
+// Closed reports whether the session has been closed.
+func (d *Debugger) Closed() bool { return d.closed }
 
 // Process returns the debuggee.
 func (d *Debugger) Process() *Process { return d.proc }

@@ -362,6 +362,9 @@ func Decode(data []byte) (*Info, error) {
 			f.Lines[j] = LineEntry{PC: prevPC, Line: prevLine, Stmt: stmt}
 		}
 	}
+	// Build the name index now so a decoded Info is immutable from here on
+	// and safe to share between concurrent debug sessions without locks.
+	in.ensureIndex()
 	return in, nil
 }
 

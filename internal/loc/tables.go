@@ -44,7 +44,7 @@ func Table3(root string) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	d2xr, err := CountComponent(root, "d2xr", "internal/d2x/d2xr")
+	d2xr, err := CountComponent(root, "d2xr", "internal/d2x/d2xr", "internal/d2x/session")
 	if err != nil {
 		return nil, err
 	}
