@@ -1,15 +1,21 @@
-// Command d2xlint runs the d2xverify checks over the three case-study
-// pipelines (pagerankdelta, power, einsum) and over the repository's
-// architecture invariants. It is the CI face of the verifier: a healthy
-// tree prints one "ok" line per target and exits 0; any cross-layer
-// inconsistency or lint finding is printed with its anchor and fix hint
-// and the exit status is 1.
+// Command d2xlint runs the d2xverify checks over the case-study
+// pipelines (pagerankdelta, power, einsum, quickstart) and over the
+// repository's architecture invariants. It is the CI face of the
+// verifier: a healthy tree prints one "ok" line per target and exits 0.
+//
+// Exit status follows compiler conventions:
+//
+//	0  no error-severity findings (warnings are printed but do not fail)
+//	1  at least one SevError finding
+//	2  the tool itself could not run (unknown pipeline, build failure)
 //
 // Usage:
 //
-//	d2xlint [-arch=false] [pagerankdelta|power|einsum ...]
+//	d2xlint [-arch=false] [-effects] [pagerankdelta|power|einsum|quickstart ...]
 //
-// With no pipeline arguments all three are checked.
+// With no pipeline arguments all pipelines are checked. -effects prints
+// each pipeline's per-function effect summaries (the output of
+// internal/minic/effects) — the debugging view for the analysis itself.
 package main
 
 import (
@@ -24,40 +30,48 @@ import (
 	"d2x/internal/graphit"
 	"d2x/internal/loc"
 	"d2x/internal/minic"
+	"d2x/internal/minic/effects"
 )
 
 func main() {
 	arch := flag.Bool("arch", true, "also run the repository architecture checks")
+	showFX := flag.Bool("effects", false, "print per-function effect summaries for each pipeline")
 	flag.Parse()
 
 	builders := map[string]func() (*d2x.Build, error){
 		"pagerankdelta": buildPagerankDelta,
 		"power":         buildPower,
 		"einsum":        buildEinsum,
+		"quickstart":    buildQuickstart,
 	}
 	targets := flag.Args()
 	if len(targets) == 0 {
-		targets = []string{"pagerankdelta", "power", "einsum"}
+		targets = []string{"pagerankdelta", "power", "einsum", "quickstart"}
 	}
 
-	failed := false
+	sawError := false
 	for _, name := range targets {
 		mk, ok := builders[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "d2xlint: unknown pipeline %q (want pagerankdelta, power, einsum)\n", name)
+			fmt.Fprintf(os.Stderr, "d2xlint: unknown pipeline %q (want pagerankdelta, power, einsum, quickstart)\n", name)
 			os.Exit(2)
 		}
 		build, err := mk()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "d2xlint: building %s: %v\n", name, err)
-			os.Exit(1)
+			os.Exit(2)
 		}
 		rep := build.Verify()
+		if rep.Errors() > 0 {
+			sawError = true
+		}
 		if len(rep.Diags) > 0 {
-			failed = true
 			fmt.Printf("%s: %d finding(s)\n%s", name, len(rep.Diags), rep)
 		} else {
 			fmt.Printf("%s: ok (%d checks)\n", name, len(d2xverify.DefaultRegistry().Checks()))
+		}
+		if *showFX {
+			printEffects(name, build.Program)
 		}
 	}
 
@@ -65,19 +79,34 @@ func main() {
 		root, err := loc.RepoRoot()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "d2xlint:", err)
-			os.Exit(1)
+			os.Exit(2)
 		}
 		rep := d2xverify.VerifyRepo(root)
+		if rep.Errors() > 0 {
+			sawError = true
+		}
 		if len(rep.Diags) > 0 {
-			failed = true
 			fmt.Printf("arch: %d finding(s)\n%s", len(rep.Diags), rep)
 		} else {
 			fmt.Printf("arch: ok (%d checks)\n", len(d2xverify.DefaultRegistry().RepoChecks()))
 		}
 	}
 
-	if failed {
+	if sawError {
 		os.Exit(1)
+	}
+}
+
+// printEffects dumps one pipeline's effect summaries, one function per
+// line, in name order.
+func printEffects(name string, prog *minic.Program) {
+	fmt.Printf("%s: effect summaries\n", name)
+	for _, s := range effects.Analyze(prog).Sorted() {
+		line := fmt.Sprintf("  %-40s %-36s loops=%s", s.Name, s.Effects, s.Loop)
+		if s.Effects&effects.WritesHeap != 0 && s.WriteLine != 0 {
+			line += fmt.Sprintf(" (first write at line %d)", s.WriteLine)
+		}
+		fmt.Println(line)
 	}
 }
 
@@ -142,4 +171,23 @@ func buildEinsum() (*d2x.Build, error) {
 	m.Do(m.Call("m_v_mul", minic.VoidType, out, mat, in))
 	m.Return(m.IntLit(0))
 	return bb.Link("einsum_gen.c", d2x.LinkOptions{})
+}
+
+// buildQuickstart replicates the staging of examples/quickstart: an
+// unrolled sum_squares with an erased static, the smallest D2X build.
+func buildQuickstart() (*d2x.Build, error) {
+	bb := buildit.NewBuilder()
+	buildit.EnableD2X(bb)
+	f := bb.Func("sum_squares", []buildit.Param{{Name: "n", Type: minic.IntType}}, minic.IntType)
+	unroll := buildit.NewStatic(f, "unroll", 4)
+	total := f.Decl("total", f.IntLit(0))
+	for unroll.Get() > 0 {
+		f.AddAssign(total, f.Mul(f.Arg(0), f.Arg(0)))
+		unroll.Set(unroll.Get() - 1)
+	}
+	f.Return(total)
+	m := bb.Func("main", nil, minic.IntType)
+	m.Printf("%d\n", m.Call("sum_squares", minic.IntType, m.IntLit(5)))
+	m.Return(m.IntLit(0))
+	return bb.Link("quickstart_gen.c", d2x.LinkOptions{})
 }

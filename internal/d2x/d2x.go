@@ -27,6 +27,7 @@ import (
 	"d2x/internal/debugger"
 	"d2x/internal/dwarfish"
 	"d2x/internal/minic"
+	"d2x/internal/minic/effects"
 )
 
 // Build is a linked, debuggable artifact: the compiled generated program
@@ -72,18 +73,9 @@ type LinkOptions struct {
 // Link assembles a debuggable build from generated source and the D2X
 // compile-time context that produced it.
 func Link(filename, genSource string, ctx *d2xc.Context, opts LinkOptions) (*Build, error) {
-	full := genSource
-	if !opts.WithoutD2X && ctx != nil {
-		var tb strings.Builder
-		if err := d2xenc.EmitTables(ctx, &tb); err != nil {
-			return nil, fmt.Errorf("d2x: emitting tables: %w", err)
-		}
-		if !strings.HasSuffix(full, "\n") && full != "" {
-			full += "\n"
-		}
-		full += tb.String()
-	}
-
+	// Natives first: the handler effect analysis below checks the
+	// generated source against the same native registry the final
+	// compile will use.
 	nats := minic.NewNatives()
 	var rt *d2xr.Runtime
 	if !opts.WithoutD2X {
@@ -95,6 +87,18 @@ func Link(filename, genSource string, ctx *d2xc.Context, opts LinkOptions) (*Bui
 	}
 	if opts.Natives != nil {
 		opts.Natives(nats)
+	}
+
+	full := genSource
+	if !opts.WithoutD2X && ctx != nil {
+		var tb strings.Builder
+		if err := d2xenc.EmitTablesFX(ctx, handlerEffects(filename, genSource, ctx, nats), &tb); err != nil {
+			return nil, fmt.Errorf("d2x: emitting tables: %w", err)
+		}
+		if !strings.HasSuffix(full, "\n") && full != "" {
+			full += "\n"
+		}
+		full += tb.String()
 	}
 
 	var prog *minic.Program
@@ -118,6 +122,48 @@ func Link(filename, genSource string, ctx *d2xc.Context, opts LinkOptions) (*Bui
 		b.Ctx = ctx
 	}
 	return b, nil
+}
+
+// handlerEffects runs the effect-and-termination analysis over the
+// generated source (before the D2X tables are appended — the tables'
+// own __init constructors are not handlers) and returns one summary row
+// per registered rtv handler, in first-registration order. Analysis
+// failures are swallowed: a genSource that does not check here will
+// fail the real compile just below with a better error.
+func handlerEffects(filename, genSource string, ctx *d2xc.Context, nats *minic.Natives) []d2xenc.HandlerEffect {
+	var names []string
+	seen := map[string]bool{}
+	for _, r := range ctx.Records() {
+		for _, v := range r.Vars {
+			if v.Kind == d2xc.VarHandler && v.Val != "" && !seen[v.Val] {
+				seen[v.Val] = true
+				names = append(names, v.Val)
+			}
+		}
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	file, err := minic.Parse(filename, genSource)
+	if err != nil {
+		return nil
+	}
+	prog, err := minic.Check(file, nats)
+	if err != nil {
+		return nil
+	}
+	an := effects.Analyze(prog)
+	var fx []d2xenc.HandlerEffect
+	for _, name := range names {
+		s, ok := an.ByName(name)
+		if !ok {
+			continue // handler not in this translation unit
+		}
+		fx = append(fx, d2xenc.HandlerEffect{
+			Handler: name, Mask: int64(s.Effects), Loop: int64(s.Loop),
+		})
+	}
+	return fx
 }
 
 // Verify runs the d2xverify cross-layer and lint checks over the build:

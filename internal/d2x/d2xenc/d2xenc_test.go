@@ -365,3 +365,107 @@ func TestQueryResultsAreFresh(t *testing.T) {
 		t.Errorf("DSLFiles after caller mutation = %v", again)
 	}
 }
+
+// roundTripFX is roundTrip with explicit effect-summary rows.
+func roundTripFX(t *testing.T, ctx *d2xc.Context, fx []HandlerEffect) *Tables {
+	t.Helper()
+	var b strings.Builder
+	if err := EmitTablesFX(ctx, fx, &b); err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString("func int main() { return 0; }\n")
+	prog, err := minic.Compile("tables.c", b.String(), nil)
+	if err != nil {
+		t.Fatalf("emitted tables do not compile: %v\n%s", err, b.String())
+	}
+	vm := minic.NewVM(prog, nil)
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tables, err := Decode(vm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tables
+}
+
+func fxContext(t *testing.T) *d2xc.Context {
+	t.Helper()
+	ctx := d2xc.NewContext()
+	if err := ctx.BeginSectionAt(1); err != nil {
+		t.Fatal(err)
+	}
+	ctx.PushSourceLoc("a.dsl", 1, "f")
+	ctx.SetVarHandler("fr", d2xc.RTVHandler{FuncName: "__h"})
+	ctx.Nextl()
+	if err := ctx.EndSection(); err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+// TestFXRoundTrip: effect summaries survive the emit → compile → run →
+// decode wire path, including a quoted handler name.
+func TestFXRoundTrip(t *testing.T) {
+	fx := []HandlerEffect{
+		{Handler: "__h", Mask: 3, Loop: 1},
+		{Handler: `odd"name`, Mask: 0, Loop: 0},
+	}
+	tables := roundTripFX(t, fxContext(t), fx)
+	if !tables.HasFX() {
+		t.Fatal("HasFX = false after FX emit")
+	}
+	if got := tables.HandlerFXNames(); len(got) != 2 || got[0] != "__h" || got[1] != `odd"name` {
+		t.Fatalf("HandlerFXNames = %q", got)
+	}
+	h, ok := tables.HandlerFX("__h")
+	if !ok || h.Mask != 3 || h.Loop != 1 {
+		t.Errorf("HandlerFX(__h) = %+v ok=%v, want mask=3 loop=1", h, ok)
+	}
+	if _, ok := tables.HandlerFX("missing"); ok {
+		t.Error("HandlerFX(missing) = ok")
+	}
+}
+
+// TestFXEmptyVsAbsent distinguishes a post-analysis build with zero
+// handlers (columns present, empty) from a pre-analysis build (columns
+// absent): HasFX is true for the former, false for the latter.
+func TestFXEmptyVsAbsent(t *testing.T) {
+	tables := roundTripFX(t, fxContext(t), nil)
+	if !tables.HasFX() {
+		t.Error("HasFX = false for empty-FX build; columns should still be emitted")
+	}
+	if n := tables.HandlerFXNames(); len(n) != 0 {
+		t.Errorf("HandlerFXNames = %q, want empty", n)
+	}
+
+	// Simulate a pre-analysis build by stripping every __d2x_fx line
+	// from the emitted source.
+	var b strings.Builder
+	if err := EmitTablesFX(fxContext(t), nil, &b); err != nil {
+		t.Fatal(err)
+	}
+	var kept []string
+	for _, line := range strings.Split(b.String(), "\n") {
+		if strings.Contains(line, "__d2x_fx") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	src := strings.Join(kept, "\n") + "func int main() { return 0; }\n"
+	prog, err := minic.Compile("tables.c", src, nil)
+	if err != nil {
+		t.Fatalf("stripped tables do not compile: %v\n%s", err, src)
+	}
+	vm := minic.NewVM(prog, nil)
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	old, err := Decode(vm)
+	if err != nil {
+		t.Fatalf("pre-analysis build must decode cleanly: %v", err)
+	}
+	if old.HasFX() {
+		t.Error("HasFX = true for build without FX columns")
+	}
+}

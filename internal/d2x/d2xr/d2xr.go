@@ -21,6 +21,7 @@
 package d2xr
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"strconv"
@@ -32,6 +33,7 @@ import (
 	"d2x/internal/d2x/session"
 	"d2x/internal/dwarfish"
 	"d2x/internal/minic"
+	"d2x/internal/minic/effects"
 	"d2x/internal/srcloc"
 )
 
@@ -186,7 +188,7 @@ func (r *Runtime) Register(nats *minic.Natives) {
 		Name: NativeXVars,
 		Sig:  minic.Signature{Params: []*minic.Type{intT, intT, strT}, Result: voidT},
 		Handler: r.command(true, func(st *session.State, call *minic.NativeCall) (minic.Value, error) {
-			return minic.NullVal(), r.xvars(call.VM, call.Args[0].I, call.Args[2].S)
+			return minic.NullVal(), r.xvars(st, call.VM, call.Args[0].I, call.Args[2].S)
 		}),
 	})
 	nats.Register(&minic.Native{
@@ -346,7 +348,7 @@ func (r *Runtime) xlist(st *session.State, vm *minic.VM, rip int64) error {
 }
 
 // xvars lists the extended variables at the current line, or evaluates one.
-func (r *Runtime) xvars(vm *minic.VM, rip int64, name string) error {
+func (r *Runtime) xvars(st *session.State, vm *minic.VM, rip int64, name string) error {
 	rec, genLine, err := r.recordAt(vm, rip)
 	if err != nil {
 		return err
@@ -366,7 +368,7 @@ func (r *Runtime) xvars(vm *minic.VM, rip int64, name string) error {
 		if v.Key != name {
 			continue
 		}
-		val, err := r.evalVar(vm, v)
+		val, err := r.evalVar(st, vm, v)
 		if err != nil {
 			return err
 		}
@@ -376,15 +378,77 @@ func (r *Runtime) xvars(vm *minic.VM, rip int64, name string) error {
 	return fmt.Errorf("d2x: no extended variable %q at this line", name)
 }
 
+// DefaultHandlerFuel is the instruction budget for guarded rtv_handler
+// evaluation when the session does not override it (State.FuelBudget).
+// Generous enough for any real handler — the graphit frontier handler
+// burns a few thousand instructions — while still bounding a runaway
+// loop to well under a second.
+const DefaultHandlerFuel int64 = 2_000_000
+
+// StateFor returns (creating if needed) the per-session state of one
+// debuggee VM — the hook tests and tooling use to tune FuelBudget.
+func (r *Runtime) StateFor(vm *minic.VM) *session.State { return r.svc.State(vm) }
+
+// guardFor picks the runtime guard for one handler call from the effect
+// summary the link step recorded in the tables:
+//
+//   - proven safe (no writes, trivially bounded): no guard at all;
+//   - no writes but unproven termination: fuel budget only;
+//   - writes, or no recorded summary (old build, unknown handler):
+//     fuel budget plus the write barrier.
+//
+// This is the "trust but verify" split: the static proof buys back the
+// guard's overhead, and anything unproven runs fenced.
+func (r *Runtime) guardFor(vm *minic.VM, st *session.State, handler string) *minic.Guard {
+	fuel := st.FuelBudget
+	if fuel <= 0 {
+		fuel = DefaultHandlerFuel
+	}
+	full := &minic.Guard{Fuel: fuel, BlockWrites: true}
+	tables, err := r.tablesFor(vm)
+	if err != nil || !tables.HasFX() {
+		return full
+	}
+	h, ok := tables.HandlerFX(handler)
+	if !ok {
+		return full
+	}
+	mask := effects.Effect(h.Mask)
+	loop := effects.LoopClass(h.Loop)
+	if mask&effects.WritesHeap != 0 {
+		return full
+	}
+	if mask&effects.DivergesMaybe != 0 || loop != effects.LoopTrivial {
+		return &minic.Guard{Fuel: fuel}
+	}
+	return nil
+}
+
+// Degraded results for guarded handler calls that hit a fence. They are
+// values, not errors: a misbehaving handler must not abort the user's
+// command or the session, only its own display.
+const (
+	ResultFuelExceeded = "<handler exceeded fuel>"
+	ResultWriteBlocked = "<handler blocked: write to debuggee>"
+)
+
 // evalVar resolves a variable entry to its display string, invoking the
-// generated rtv_handler for handler-valued variables.
-func (r *Runtime) evalVar(vm *minic.VM, v d2xc.VarEntry) (string, error) {
+// generated rtv_handler for handler-valued variables under the guard
+// the effect summary calls for.
+func (r *Runtime) evalVar(st *session.State, vm *minic.VM, v d2xc.VarEntry) (string, error) {
 	switch v.Kind {
 	case d2xc.VarConst:
 		return v.Val, nil
 	case d2xc.VarHandler:
-		res, err := vm.CallFunction(v.Val, []minic.Value{minic.StrVal(v.Key)})
-		if err != nil {
+		g := r.guardFor(vm, st, v.Val)
+		res, err := vm.CallFunctionGuarded(v.Val, []minic.Value{minic.StrVal(v.Key)}, g)
+		switch {
+		case err == nil:
+		case errors.Is(err, minic.ErrFuelExhausted):
+			return ResultFuelExceeded, nil
+		case errors.Is(err, minic.ErrWriteBarrier):
+			return ResultWriteBlocked, nil
+		default:
 			return "", fmt.Errorf("d2x: rtv_handler %s failed: %w", v.Val, err)
 		}
 		if res.Kind != minic.VStr {

@@ -1,0 +1,213 @@
+package d2x
+
+// End-to-end tests for handler safety: the same misbehaving handler is
+// (1) rejected statically by the verifier and (2), when forced past the
+// check, stopped by the runtime guard — with the session and debuggee
+// left intact. This is the two-path property the effect analysis exists
+// to provide: the static layer gives early, precise diagnostics; the
+// dynamic layer guarantees nothing slips through.
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"d2x/internal/d2x/d2xc"
+	"d2x/internal/d2x/d2xr"
+	"d2x/internal/d2xverify"
+)
+
+// buildWithHandler stages a tiny generated program whose single xvar
+// `view` is backed by handlerSrc's __d2x_rtv_view function.
+func buildWithHandler(t *testing.T, handlerSrc string) *Build {
+	t.Helper()
+	ctx := d2xc.NewContext()
+	e := d2xc.NewEmitter(ctx)
+	e.Emitln("global int counter = 100;")
+	e.Emitln("func int work(int arg0) {")
+	if err := e.BeginSection(); err != nil {
+		t.Fatal(err)
+	}
+	ctx.PushScope()
+	ctx.CreateVar("view")
+	if err := ctx.UpdateVarHandler("view", d2xc.RTVHandler{FuncName: "__d2x_rtv_view"}); err != nil {
+		t.Fatal(err)
+	}
+	ctx.PushSourceLoc("app.dsl", 1, "work")
+	e.Emitln("\tint r = arg0 + counter;")
+	ctx.PushSourceLoc("app.dsl", 2, "work")
+	e.Emitln("\treturn r;")
+	if err := ctx.PopScope(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.EndSection(); err != nil {
+		t.Fatal(err)
+	}
+	e.Emitln("}")
+	for _, line := range strings.Split(strings.TrimRight(handlerSrc, "\n"), "\n") {
+		e.Emitln("%s", line)
+	}
+	e.Emitln("func int main() {")
+	e.Emitln("\tprintf(\"%%d\\n\", work(1));")
+	e.Emitln("\treturn 0;")
+	e.Emitln("}")
+	build, err := Link("handler_gen.c", e.String(), ctx, LinkOptions{})
+	if err != nil {
+		t.Fatalf("link failed: %v\nsource:\n%s", err, e.String())
+	}
+	return build
+}
+
+const writingHandler = `func string __d2x_rtv_view(string key) {
+	counter = counter + 1;
+	return to_str(counter);
+}`
+
+// TestWritingHandlerBothPaths is the acceptance scenario: a handler that
+// writes a debuggee global is rejected at compile time by the verifier,
+// and — forced past the check — stopped by the runtime write barrier,
+// with the global untouched and the session fully functional afterwards.
+func TestWritingHandlerBothPaths(t *testing.T) {
+	b := buildWithHandler(t, writingHandler)
+
+	// Path 1: static. The verifier flags the handler as an error.
+	rep := b.Verify()
+	var hit *d2xverify.Diagnostic
+	for _, d := range rep.ByCheck("d2x/handler-effects") {
+		if d.Severity == d2xverify.SevError && strings.Contains(d.Message, "__d2x_rtv_view") {
+			hit = &d
+			break
+		}
+	}
+	if hit == nil {
+		t.Fatalf("verifier did not reject the writing handler:\n%s", rep)
+	}
+
+	// Path 2: dynamic. Ignore the verifier and debug anyway.
+	d, out := session(t, b)
+	exec(t, d, "break handler_gen.c:3", "run")
+	out.Reset()
+	exec(t, d, "xvars view")
+	if !strings.Contains(out.String(), d2xr.ResultWriteBlocked) {
+		t.Fatalf("xvars view = %q, want %q", out.String(), d2xr.ResultWriteBlocked)
+	}
+	vm := d.Process().VM
+	if got := vm.GlobalCell("counter").V.I; got != 100 {
+		t.Fatalf("counter = %d after blocked handler, want 100 (write must not land)", got)
+	}
+
+	// The session survives: tables still decode (xbt works), the blocked
+	// handler stays blocked on re-evaluation, and the debuggee runs to
+	// the correct result.
+	out.Reset()
+	exec(t, d, "xbt")
+	if !strings.Contains(out.String(), "#0 in work at app.dsl:1") {
+		t.Fatalf("xbt after blocked handler:\n%s", out.String())
+	}
+	out.Reset()
+	exec(t, d, "xvars view")
+	if !strings.Contains(out.String(), d2xr.ResultWriteBlocked) {
+		t.Fatalf("second xvars view:\n%s", out.String())
+	}
+	out.Reset()
+	exec(t, d, "continue")
+	if !strings.Contains(out.String(), "101") {
+		t.Fatalf("debuggee output after blocked handler:\n%s", out.String())
+	}
+}
+
+const spinningHandler = `func string __d2x_rtv_view(string key) {
+	int i = 0;
+	while (true) { i = i + 1; }
+	return "";
+}`
+
+// TestUnboundedHandlerFuel: a handler with no provable exit draws a
+// compile-time warning, and at debug time terminates under the session
+// fuel budget with the degraded diagnostic value.
+func TestUnboundedHandlerFuel(t *testing.T) {
+	b := buildWithHandler(t, spinningHandler)
+
+	rep := b.Verify()
+	warned := false
+	for _, d := range rep.ByCheck("d2x/handler-effects") {
+		if d.Severity == d2xverify.SevWarning && strings.Contains(d.Message, "no provable exit") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Fatalf("verifier did not warn about the unbounded loop:\n%s", rep)
+	}
+
+	d, out := session(t, b)
+	exec(t, d, "break handler_gen.c:3", "run")
+	st := b.Runtime.StateFor(d.Process().VM)
+	st.FuelBudget = 20_000 // keep the test fast; default is 2M instructions
+	out.Reset()
+	exec(t, d, "xvars view")
+	if !strings.Contains(out.String(), d2xr.ResultFuelExceeded) {
+		t.Fatalf("xvars view = %q, want %q", out.String(), d2xr.ResultFuelExceeded)
+	}
+	if st.FuelBudget != 20_000 {
+		t.Fatalf("FuelBudget = %d after exhaustion, want 20000 (session state untouched)", st.FuelBudget)
+	}
+	// The stop is recoverable: the debuggee continues to completion.
+	out.Reset()
+	exec(t, d, "continue")
+	if !strings.Contains(out.String(), "101") {
+		t.Fatalf("debuggee output after fuel exhaustion:\n%s", out.String())
+	}
+}
+
+// TestConcurrentGuardedSessions runs two sessions over one build, each
+// exhausting the fuel guard concurrently: per-session state (including
+// the fuel budget) must stay isolated and race-free (the CI -race run
+// is the real assertion here).
+func TestConcurrentGuardedSessions(t *testing.T) {
+	b := buildWithHandler(t, spinningHandler)
+	var wg sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func(budget int64) {
+			defer wg.Done()
+			d, out := session(t, b)
+			defer d.Close()
+			exec(t, d, "break handler_gen.c:3", "run")
+			st := b.Runtime.StateFor(d.Process().VM)
+			st.FuelBudget = budget
+			out.Reset()
+			exec(t, d, "xvars view")
+			if !strings.Contains(out.String(), d2xr.ResultFuelExceeded) {
+				t.Errorf("budget %d: xvars view = %q", budget, out.String())
+			}
+			if st.FuelBudget != budget {
+				t.Errorf("budget %d: FuelBudget changed to %d", budget, st.FuelBudget)
+			}
+		}(int64(10_000 * (s + 1)))
+	}
+	wg.Wait()
+	if n := b.LiveSessions(); n != 0 {
+		t.Errorf("LiveSessions = %d after closes, want 0", n)
+	}
+}
+
+// TestSafeHandlerRunsUnguarded: the analysis proves the read-only,
+// loop-free handler safe, so it evaluates normally even with a fuel
+// budget far too small for a guarded run — proof the guard was not
+// attached at all.
+func TestSafeHandlerRunsUnguarded(t *testing.T) {
+	b := buildWithHandler(t, `func string __d2x_rtv_view(string key) {
+	return "c=" + to_str(counter);
+}`)
+	if got := b.Verify().ByCheck("d2x/handler-effects"); len(got) != 0 {
+		t.Fatalf("safe handler flagged: %v", got)
+	}
+	d, out := session(t, b)
+	exec(t, d, "break handler_gen.c:3", "run")
+	b.Runtime.StateFor(d.Process().VM).FuelBudget = 1 // would kill any guarded call
+	out.Reset()
+	exec(t, d, "xvars view")
+	if !strings.Contains(out.String(), "view = c=100") {
+		t.Fatalf("safe handler result:\n%s", out.String())
+	}
+}

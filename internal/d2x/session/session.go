@@ -60,6 +60,12 @@ type State struct {
 
 	XBPs   []*XBreakpoint
 	NextID int
+
+	// FuelBudget overrides the runtime's default instruction budget for
+	// guarded rtv-handler evaluation in this session (0 = use the
+	// runtime default). Handlers the effects analysis proved safe run
+	// unguarded and ignore it.
+	FuelBudget int64
 }
 
 // Service shares one build's decoded D2X tables across its debug

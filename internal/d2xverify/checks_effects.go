@@ -1,0 +1,234 @@
+package d2xverify
+
+// Effect & termination checks — the verifier's second major analysis
+// family (after the cross-layer consistency checks). The paper's design
+// rests on the debugger `call`ing generated code inside the *paused*
+// debuggee; these checks run internal/minic/effects over the compiled
+// program and reject, before any debug session starts, handlers that
+// would write debuggee state (SevError — session corruption) or loop
+// without a provable exit (SevWarning — the runtime fuel guard will
+// catch it, at the cost of burning the whole budget).
+//
+// The checks work from either side of the wire: with the compile-time
+// context when the caller still holds it, or from the effect-summary
+// columns the link step records in the D2X tables (so an already-linked
+// build verifies too). A third check cross-validates those recorded
+// summaries against a recomputation — recorded summaries may be *more*
+// pessimistic than reality (the link analyses unoptimised source), but
+// never less.
+
+import (
+	"fmt"
+	"strings"
+
+	"d2x/internal/d2x/d2xc"
+	"d2x/internal/minic/effects"
+	"d2x/internal/srcloc"
+)
+
+func effectsChecks() []Check {
+	return []Check{
+		{
+			Name: "d2x/handler-effects",
+			Desc: "rtv handlers are read-only and provably terminating",
+			Run:  checkHandlerEffects,
+		},
+		{
+			Name: "d2x/eval-effects",
+			Desc: "macro call/eval targets are safe to run in the paused debuggee",
+			Run:  checkEvalEffects,
+		},
+		{
+			Name: "d2x/effect-tables",
+			Desc: "recorded handler effect summaries are at least as pessimistic as reality",
+			Run:  checkEffectTables,
+		},
+	}
+}
+
+// registeredHandlers returns the distinct rtv handler names registered
+// in the build, in first-appearance order — from the compile-time
+// context when available, otherwise from the decoded tables (the wire
+// path, for already-linked builds).
+func registeredHandlers(in *Input) ([]string, error) {
+	var names []string
+	seen := map[string]bool{}
+	add := func(recs []d2xc.Record) {
+		for _, rec := range recs {
+			for _, v := range rec.Vars {
+				if v.Kind == d2xc.VarHandler && v.Val != "" && !seen[v.Val] {
+					seen[v.Val] = true
+					names = append(names, v.Val)
+				}
+			}
+		}
+	}
+	if in.Ctx != nil {
+		add(in.Ctx.Records())
+		return names, nil
+	}
+	tables, err := in.Tables()
+	if err != nil {
+		return nil, err
+	}
+	if tables != nil {
+		add(tables.Records)
+	}
+	return names, nil
+}
+
+// declLine returns the declaration line of a program function, or 0.
+func declLine(in *Input, name string) int {
+	if i, ok := in.Program.FuncByName[name]; ok {
+		return in.Program.Funcs[i].Line
+	}
+	return 0
+}
+
+// reportUnsafe files the standard diagnostics for one unsafe summary.
+// what names the evaluation surface ("rtv_handler __d2x_rtv_res",
+// "macro call target compute"); loc overrides the anchor when non-zero
+// (macro findings anchor in the macro text, not the program).
+func reportUnsafe(in *Input, r *Reporter, s *effects.Summary, what string, loc srcloc.Loc) {
+	at := func(line int) srcloc.Loc {
+		if loc != (srcloc.Loc{}) {
+			return loc
+		}
+		if line == 0 {
+			line = declLine(in, s.Name)
+		}
+		return in.GenLoc(line)
+	}
+	if s.Effects&effects.WritesHeap != 0 {
+		r.Errorf(at(s.WriteLine),
+			"make it read-only: build the result in locals and return it",
+			"%s writes debuggee state (effects: %s); calling it in a paused debuggee corrupts the session",
+			what, s.Effects)
+	}
+	switch {
+	case s.Loop == effects.LoopUnprovable:
+		r.Warnf(at(s.LoopLine),
+			"give the loop a reachable exit (a bounded condition or a break)",
+			"%s contains a loop with no provable exit; evaluation will always exhaust the fuel budget",
+			what)
+	case s.Effects&effects.DivergesMaybe != 0:
+		r.Warnf(at(declLine(in, s.Name)),
+			"restructure the recursion into a bounded loop",
+			"%s is (mutually) recursive; termination is unprovable and evaluation falls back to the fuel guard",
+			what)
+	}
+}
+
+// checkHandlerEffects analyses every registered rtv handler. Handlers
+// that name no program function are the cross-layer handler check's
+// business, not this one's.
+func checkHandlerEffects(in *Input, r *Reporter) error {
+	handlers, err := registeredHandlers(in)
+	if err != nil {
+		return err
+	}
+	if len(handlers) == 0 {
+		return nil
+	}
+	an := in.EffectAnalysis()
+	for _, h := range handlers {
+		if s, ok := an.ByName(h); ok {
+			reportUnsafe(in, r, s, fmt.Sprintf("rtv_handler %s", h), srcloc.Loc{})
+		}
+	}
+	return nil
+}
+
+// evalPrefixes are the macro-line commands whose targets execute inside
+// the paused debuggee: explicit call/eval, plus watch/display whose
+// expressions the debugger re-evaluates on every stop.
+var evalPrefixes = []string{"call ", "eval ", "watch ", "display "}
+
+// checkEvalEffects analyses every macro call/eval target that resolves
+// to a generated program function (natives are covered by the fixed
+// policy inside the analysis, not flagged here).
+func checkEvalEffects(in *Input, r *Reporter) error {
+	if in.Macros == "" {
+		return nil
+	}
+	var an *effects.Analysis
+	for i, line := range strings.Split(in.Macros, "\n") {
+		trimmed := strings.TrimSpace(line)
+		matched := false
+		for _, p := range evalPrefixes {
+			if strings.HasPrefix(trimmed, p) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			continue
+		}
+		for _, m := range macroCallRe.FindAllStringSubmatch(trimmed, -1) {
+			target := strings.ReplaceAll(m[1], "::", "_")
+			if _, ok := in.Program.FuncByName[target]; !ok {
+				continue
+			}
+			if an == nil {
+				an = in.EffectAnalysis()
+			}
+			if s, ok := an.ByName(target); ok {
+				reportUnsafe(in, r, s, fmt.Sprintf("macro eval target %s", m[1]),
+					srcloc.Loc{File: "<macros>", Line: i + 1})
+			}
+		}
+	}
+	return nil
+}
+
+// checkEffectTables cross-validates the effect summaries the link step
+// embedded in the D2X tables against a fresh analysis of the compiled
+// program. The recorded summary ran on unoptimised source, so it may be
+// more pessimistic than the recomputation — but a recomputation that is
+// *worse* means the tables understate the hazard (exactly the
+// confidently-wrong-metadata failure the verifier exists for), and a
+// registered handler with no row at all degrades the runtime to its
+// most conservative guard.
+func checkEffectTables(in *Input, r *Reporter) error {
+	tables, err := in.Tables()
+	if err != nil || tables == nil {
+		return err
+	}
+	if !tables.HasFX() {
+		return nil
+	}
+	an := in.EffectAnalysis()
+	for _, name := range tables.HandlerFXNames() {
+		rec, _ := tables.HandlerFX(name)
+		s, ok := an.ByName(name)
+		if !ok {
+			continue
+		}
+		recMask := effects.Effect(rec.Mask)
+		recLoop := effects.LoopClass(rec.Loop)
+		loc := in.GenLoc(declLine(in, name))
+		if extra := s.Effects &^ recMask; extra != 0 {
+			r.Errorf(loc, "re-link the build so the tables are regenerated",
+				"handler %s: recorded effect summary %q is missing %q found on recheck — the embedded tables understate the handler's effects",
+				name, recMask, extra)
+		}
+		if s.Loop > recLoop {
+			r.Errorf(loc, "re-link the build so the tables are regenerated",
+				"handler %s: recorded loop class %q but recheck finds %q — the embedded tables understate the handler's termination risk",
+				name, recLoop, s.Loop)
+		}
+	}
+	handlers, err := registeredHandlers(in)
+	if err != nil {
+		return err
+	}
+	for _, h := range handlers {
+		if _, ok := tables.HandlerFX(h); !ok {
+			r.Warnf(in.GenLoc(declLine(in, h)),
+				"emit the handler's summary via d2xenc.EmitTablesFX",
+				"handler %s has no recorded effect summary; the runtime will use its most conservative guard",
+				h)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package d2xverify
+
+// Differential line-attribution check for the optimiser. optimize.go's
+// header comment states the invariant the whole D2X design leans on —
+// optimisation changes code, not line attribution, because surviving
+// statements keep their lines — but nothing enforced it. This check
+// does, differentially: re-parse the program's source, run Optimize on
+// the copy, and verify the surviving statements' line set is a subset
+// of the original's. A line that appears only after optimisation means
+// the optimiser invented or re-homed a statement, which would silently
+// detach the D2X tables from the code they describe.
+
+import (
+	"sort"
+
+	"d2x/internal/minic"
+)
+
+func optimizeChecks() []Check {
+	return []Check{
+		{
+			Name: "opt/line-attribution",
+			Desc: "Optimize keeps surviving statements on their original lines",
+			Run:  checkOptimizeLines,
+		},
+	}
+}
+
+func checkOptimizeLines(in *Input, r *Reporter) error {
+	src := in.Program.SourceText
+	if src == "" {
+		return nil
+	}
+	// Parse twice rather than mutating anything the input owns: the
+	// check must be free of side effects on the program under test.
+	orig, err := minic.Parse(in.Program.SourceName, src)
+	if err != nil {
+		return nil // unparseable SourceText is another check's finding
+	}
+	work, err := minic.Parse(in.Program.SourceName, src)
+	if err != nil {
+		return nil
+	}
+	before := stmtLines(orig)
+	minic.Optimize(work)
+	var bad []int
+	seen := map[int]bool{}
+	for line := range stmtLines(work) {
+		if !before[line] && !seen[line] {
+			seen[line] = true
+			bad = append(bad, line)
+		}
+	}
+	sort.Ints(bad)
+	for _, line := range bad {
+		r.Errorf(in.GenLoc(line),
+			"Optimize must rewrite statements in place, never re-line or invent them",
+			"optimised program has a statement at line %d where the original had none — D2X line attribution would break",
+			line)
+	}
+	return nil
+}
+
+// stmtLines collects the source lines occupied by statements and global
+// declarations of a parsed file.
+func stmtLines(f *minic.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, fd := range f.Funcs {
+		minic.InspectStmts(fd.Body, func(s minic.Stmt) bool {
+			lines[s.Pos()] = true
+			return true
+		})
+	}
+	for _, g := range f.Globals {
+		lines[g.Line] = true
+	}
+	return lines
+}

@@ -35,6 +35,7 @@ import (
 	"d2x/internal/d2x/d2xenc"
 	"d2x/internal/dwarfish"
 	"d2x/internal/minic"
+	"d2x/internal/minic/effects"
 	"d2x/internal/srcloc"
 )
 
@@ -179,6 +180,20 @@ type Input struct {
 	tables     *d2xenc.Tables
 	tablesErr  error
 	tablesDone bool
+
+	fx     *effects.Analysis
+	fxDone bool
+}
+
+// EffectAnalysis lazily runs the effect-and-termination analysis over
+// the compiled program (checker annotations are enough; no bytecode is
+// consulted). The result is shared by every effects-family check.
+func (in *Input) EffectAnalysis() *effects.Analysis {
+	if !in.fxDone {
+		in.fxDone = true
+		in.fx = effects.Analyze(in.Program)
+	}
+	return in.fx
 }
 
 // GenFile returns the generated source file name.
@@ -270,6 +285,12 @@ func DefaultRegistry() *Registry {
 		reg.Register(c)
 	}
 	for _, c := range dataflowChecks() {
+		reg.Register(c)
+	}
+	for _, c := range effectsChecks() {
+		reg.Register(c)
+	}
+	for _, c := range optimizeChecks() {
 		reg.Register(c)
 	}
 	for _, c := range repoChecks() {

@@ -1,0 +1,232 @@
+package d2xverify_test
+
+// Tests for the effect & termination check family (checks_effects.go)
+// and the differential optimiser check (checks_optimize.go). Same
+// conventions as corrupt_test.go: one corruption per test, assertions
+// on that check's findings only.
+
+import (
+	"strings"
+	"testing"
+
+	"d2x/internal/d2x/d2xc"
+	"d2x/internal/d2x/d2xenc"
+	"d2x/internal/d2xverify"
+	"d2x/internal/minic"
+	"d2x/internal/minic/effects"
+)
+
+// handlerCtx registers a single rtv handler named fn.
+func handlerCtx(t *testing.T, fn string) *d2xc.Context {
+	t.Helper()
+	ctx := d2xc.NewContext()
+	if err := ctx.BeginSectionAt(2); err != nil {
+		t.Fatal(err)
+	}
+	ctx.PushSourceLoc("app.dsl", 1)
+	ctx.SetVarHandler("frontier", d2xc.RTVHandler{FuncName: fn})
+	if err := ctx.EndSection(); err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+// withTablesFX is withTables plus explicit effect-summary rows.
+func withTablesFX(t *testing.T, name, src string, ctx *d2xc.Context, fx []d2xenc.HandlerEffect) *minic.Program {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(src)
+	if err := d2xenc.EmitTablesFX(ctx, fx, &b); err != nil {
+		t.Fatal(err)
+	}
+	return compileSrc(t, name, b.String())
+}
+
+const writingHandlerSrc = `global int hits = 0;
+func string __d2x_rtv_bad(string key) {
+	hits = hits + 1;
+	return to_str(hits);
+}
+func int main() {
+	printf("%d\n", hits);
+	return 0;
+}
+`
+
+func TestWritingHandlerFires(t *testing.T) {
+	ctx := handlerCtx(t, "__d2x_rtv_bad")
+	prog := withTables(t, "gen.c", writingHandlerSrc, ctx)
+	rep := d2xverify.Verify(&d2xverify.Input{Program: prog, Ctx: ctx})
+	d := findings(t, rep, "d2x/handler-effects")[0]
+	if d.Severity != d2xverify.SevError {
+		t.Fatalf("severity = %v, want SevError", d.Severity)
+	}
+	wantAnchor(t, d, "gen.c", 3) // the store, not the declaration
+	if !strings.Contains(d.Message, "writes debuggee state") || !strings.Contains(d.Message, "__d2x_rtv_bad") {
+		t.Fatalf("unexpected message: %s", d)
+	}
+	if !strings.Contains(d.Hint, "read-only") {
+		t.Fatalf("unexpected hint: %s", d)
+	}
+}
+
+func TestUnboundedHandlerWarns(t *testing.T) {
+	src := `func string __d2x_rtv_spin(string key) {
+	while (true) { }
+	return "";
+}
+func int main() { return 0; }
+`
+	ctx := handlerCtx(t, "__d2x_rtv_spin")
+	prog := withTables(t, "gen.c", src, ctx)
+	rep := d2xverify.Verify(&d2xverify.Input{Program: prog, Ctx: ctx})
+	d := findings(t, rep, "d2x/handler-effects")[0]
+	if d.Severity != d2xverify.SevWarning {
+		t.Fatalf("severity = %v, want SevWarning (fuel guard catches it at runtime)", d.Severity)
+	}
+	wantAnchor(t, d, "gen.c", 2)
+	if !strings.Contains(d.Message, "no provable exit") {
+		t.Fatalf("unexpected message: %s", d)
+	}
+}
+
+func TestSafeHandlerIsQuiet(t *testing.T) {
+	src := `global int g = 3;
+func string __d2x_rtv_ok(string key) {
+	int acc = 0;
+	for (int i = 0; i < g; i++) { acc = acc + i; }
+	return to_str(acc);
+}
+func int main() { return 0; }
+`
+	ctx := handlerCtx(t, "__d2x_rtv_ok")
+	// The loop bound is a global, so the analysis classifies it
+	// fuel-bounded (not trivial): safe to run, fuel guard attached.
+	fx := []d2xenc.HandlerEffect{{
+		Handler: "__d2x_rtv_ok",
+		Mask:    int64(effects.ReadsHeap),
+		Loop:    int64(effects.LoopFuelBounded),
+	}}
+	prog := withTablesFX(t, "gen.c", src, ctx, fx)
+	rep := d2xverify.Verify(&d2xverify.Input{Program: prog, Ctx: ctx})
+	for _, check := range []string{"d2x/handler-effects", "d2x/eval-effects", "d2x/effect-tables"} {
+		if got := rep.ByCheck(check); len(got) != 0 {
+			t.Errorf("%s fired on a safe handler: %v", check, got)
+		}
+	}
+}
+
+// TestWirePathHandlerEffects: with no compile-time context, the handler
+// list comes from the decoded tables — the already-linked-build path.
+func TestWirePathHandlerEffects(t *testing.T) {
+	ctx := handlerCtx(t, "__d2x_rtv_bad")
+	prog := withTables(t, "gen.c", writingHandlerSrc, ctx)
+	rep := d2xverify.Verify(&d2xverify.Input{Program: prog}) // Ctx deliberately absent
+	d := findings(t, rep, "d2x/handler-effects")[0]
+	if d.Severity != d2xverify.SevError {
+		t.Fatalf("severity = %v, want SevError", d.Severity)
+	}
+}
+
+func TestMacroEvalTargetFires(t *testing.T) {
+	src := `global int calls = 0;
+func int dsl_runtime_bump(int x) {
+	calls = calls + 1;
+	return calls + x;
+}
+func int main() { return 0; }
+`
+	prog := compileSrc(t, "gen.c", src)
+	macros := "define xbump\n  call dsl_runtime::bump($rip)\nend\n"
+	rep := d2xverify.Verify(&d2xverify.Input{Program: prog, Macros: macros})
+	d := findings(t, rep, "d2x/eval-effects")[0]
+	wantAnchor(t, d, "<macros>", 2)
+	if !strings.Contains(d.Message, "dsl_runtime::bump") || !strings.Contains(d.Message, "writes debuggee state") {
+		t.Fatalf("unexpected message: %s", d)
+	}
+}
+
+// TestEffectTablesUnderstatementFires: tables that claim a writing
+// handler is pure are confidently-wrong metadata — SevError.
+func TestEffectTablesUnderstatementFires(t *testing.T) {
+	ctx := handlerCtx(t, "__d2x_rtv_bad")
+	fx := []d2xenc.HandlerEffect{{Handler: "__d2x_rtv_bad", Mask: 0, Loop: 0}} // claims pure
+	prog := withTablesFX(t, "gen.c", writingHandlerSrc, ctx, fx)
+	rep := d2xverify.Verify(&d2xverify.Input{Program: prog, Ctx: ctx})
+	d := findings(t, rep, "d2x/effect-tables")[0]
+	if d.Severity != d2xverify.SevError {
+		t.Fatalf("severity = %v, want SevError", d.Severity)
+	}
+	if !strings.Contains(d.Message, "understate") {
+		t.Fatalf("unexpected message: %s", d)
+	}
+}
+
+// TestEffectTablesMissingRowWarns: FX columns present but the registered
+// handler has no row — the runtime degrades to its most conservative
+// guard, worth a warning.
+func TestEffectTablesMissingRowWarns(t *testing.T) {
+	ctx := handlerCtx(t, "__d2x_rtv_bad")
+	prog := withTablesFX(t, "gen.c", writingHandlerSrc, ctx, nil) // columns, no rows
+	rep := d2xverify.Verify(&d2xverify.Input{Program: prog, Ctx: ctx})
+	var warn *d2xverify.Diagnostic
+	for _, d := range findings(t, rep, "d2x/effect-tables") {
+		if d.Severity == d2xverify.SevWarning {
+			warn = &d
+			break
+		}
+	}
+	if warn == nil {
+		t.Fatal("no SevWarning for missing FX row")
+	}
+	if !strings.Contains(warn.Message, "no recorded effect summary") {
+		t.Fatalf("unexpected message: %s", warn)
+	}
+}
+
+// TestAccuratePessimisticTablesQuiet: a recorded summary that is *more*
+// pessimistic than reality is allowed (link analyses unoptimised source).
+func TestAccuratePessimisticTablesQuiet(t *testing.T) {
+	src := `func string __d2x_rtv_pure(string key) { return key; }
+func int main() { return 0; }
+`
+	ctx := handlerCtx(t, "__d2x_rtv_pure")
+	fx := []d2xenc.HandlerEffect{{
+		Handler: "__d2x_rtv_pure",
+		Mask:    int64(3), // claims reads+writes — worse than the pure reality
+		Loop:    int64(2), // claims unprovable
+	}}
+	prog := withTablesFX(t, "gen.c", src, ctx, fx)
+	rep := d2xverify.Verify(&d2xverify.Input{Program: prog, Ctx: ctx})
+	if got := rep.ByCheck("d2x/effect-tables"); len(got) != 0 {
+		t.Errorf("pessimistic-but-sound tables flagged: %v", got)
+	}
+}
+
+// ---- opt/line-attribution ----
+
+func TestOptimizeLineAttributionClean(t *testing.T) {
+	// A program that actually exercises folding and dead-code removal
+	// must come out clean: every surviving statement keeps its line.
+	src := `func int main() {
+	int a = 2 + 3 * 4;
+	if (false) { printf("dead\n"); }
+	return a;
+	int ghost = 9;
+}
+`
+	prog := compileSrc(t, "gen.c", src)
+	rep := d2xverify.Verify(&d2xverify.Input{Program: prog})
+	if got := rep.ByCheck("opt/line-attribution"); len(got) != 0 {
+		t.Errorf("line-attribution fired on healthy optimiser: %v", got)
+	}
+}
+
+func TestOptimizeLineAttributionSkipsGarbageSource(t *testing.T) {
+	prog := compileSrc(t, "gen.c", simpleSrc)
+	prog.SourceText = "not { parseable ("
+	rep := d2xverify.Verify(&d2xverify.Input{Program: prog})
+	if got := rep.ByCheck("opt/line-attribution"); len(got) != 0 {
+		t.Errorf("check should skip unparseable SourceText: %v", got)
+	}
+}

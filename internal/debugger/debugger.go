@@ -129,6 +129,14 @@ type Debugger struct {
 	// host test suite. 0 means the default of 500M instructions.
 	maxSteps int64
 
+	// evalGuard, when set, constrains debuggee function calls made while
+	// evaluating expressions (CallValue applies it). The debugger sets it
+	// around *implicit* evaluations — watchpoint checks and auto-display
+	// refreshes — where a misbehaving expression must not mutate the
+	// debuggee or hang the stop path. Explicit user `call`/`print` stay
+	// unguarded: the user asked for the side effects.
+	evalGuard *minic.Guard
+
 	closed     bool
 	closeHooks []func()
 }

@@ -219,7 +219,7 @@ func (d *Debugger) stopAt(t *minic.Thread, reason StopReason, bp *Breakpoint, ad
 func (d *Debugger) CallValue(name string, args []minic.Value) (minic.Value, error) {
 	vm := d.proc.VM
 	if vm.Prog.FuncIndex(name) >= 0 {
-		return vm.CallFunction(name, args)
+		return vm.CallFunctionGuarded(name, args, d.evalGuard)
 	}
 	if nat, _, ok := vm.Prog.Natives.Lookup(name); ok {
 		return nat.Handler(&minic.NativeCall{VM: vm, Thread: d.SelectedThread(), Args: args})

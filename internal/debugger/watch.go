@@ -52,11 +52,26 @@ func (d *Debugger) DeleteWatchpoint(id int) error {
 	return fmt.Errorf("no watchpoint number %d", id)
 }
 
+// defaultEvalFuel bounds the implicit evaluations the debugger performs
+// on its own (watchpoint checks, auto-display refreshes). User-initiated
+// `call` and `print` stay on the VM's full synthetic budget.
+const defaultEvalFuel int64 = 5_000_000
+
+// guardedEval evaluates an expression with the implicit-evaluation guard
+// installed: any debuggee function the expression calls runs under a
+// fuel budget and a write barrier, so a stop-path evaluation can neither
+// hang the debugger nor mutate the program being debugged.
+func (d *Debugger) guardedEval(expr string) (minic.Value, error) {
+	d.evalGuard = &minic.Guard{Fuel: defaultEvalFuel, BlockWrites: true}
+	defer func() { d.evalGuard = nil }()
+	return d.EvalExpr(expr)
+}
+
 // checkWatchpoints evaluates all watchpoints and returns the first one
 // whose value changed, with old and new values.
 func (d *Debugger) checkWatchpoints() (*Watchpoint, minic.Value, minic.Value) {
 	for _, w := range d.watchpoints {
-		v, err := d.EvalExpr(w.Expr)
+		v, err := d.guardedEval(w.Expr)
 		if err != nil {
 			// Expression not evaluable in this context (e.g. a local of a
 			// returned frame); skip, like GDB's scope handling.
@@ -140,7 +155,7 @@ func (d *Debugger) cmdUndisplay(rest string) error {
 // after each stop.
 func (d *Debugger) showDisplays() {
 	for _, e := range d.displays {
-		v, err := d.EvalExpr(e.Expr)
+		v, err := d.guardedEval(e.Expr)
 		if err != nil {
 			d.printf("%d: %s = <error: %v>\n", e.ID, e.Expr, err)
 			continue

@@ -53,8 +53,9 @@ func registerCoreBuiltins(n *Natives) {
 		},
 	})
 	n.Register(&Native{
-		Name: "atomic_add",
-		Sig:  Signature{Params: []*Type{AnyType, AnyType}, Result: VoidType},
+		Name:         "atomic_add",
+		Sig:          Signature{Params: []*Type{AnyType, AnyType}, Result: VoidType},
+		WritesMemory: true,
 		Handler: func(call *NativeCall) (Value, error) {
 			p, v := call.Args[0], call.Args[1]
 			if p.Kind != VPtr || p.Ptr == nil {
@@ -70,8 +71,9 @@ func registerCoreBuiltins(n *Natives) {
 		},
 	})
 	n.Register(&Native{
-		Name: "atomic_min",
-		Sig:  Signature{Params: []*Type{AnyType, AnyType}, Result: BoolType},
+		Name:         "atomic_min",
+		Sig:          Signature{Params: []*Type{AnyType, AnyType}, Result: BoolType},
+		WritesMemory: true,
 		Handler: func(call *NativeCall) (Value, error) {
 			p, v := call.Args[0], call.Args[1]
 			if p.Kind != VPtr || p.Ptr == nil {
@@ -93,8 +95,9 @@ func registerCoreBuiltins(n *Natives) {
 		},
 	})
 	n.Register(&Native{
-		Name: "cas",
-		Sig:  Signature{Params: []*Type{AnyType, AnyType, AnyType}, Result: BoolType},
+		Name:         "cas",
+		Sig:          Signature{Params: []*Type{AnyType, AnyType, AnyType}, Result: BoolType},
+		WritesMemory: true,
 		Handler: func(call *NativeCall) (Value, error) {
 			p, expect, repl := call.Args[0], call.Args[1], call.Args[2]
 			if p.Kind != VPtr || p.Ptr == nil {

@@ -1,0 +1,249 @@
+package effects
+
+// Per-function control-flow graph over mini-C statements. The effects
+// analysis uses it for one precise question — is this `break` actually
+// reachable from the loop entry? — which separates `while (true) { ...
+// if (c) break; }` (fuel-bounded) from `while (true) {}` (unprovable).
+// The graph is statement-granular: each Block is a maximal straight-line
+// run of statements, with loop headers and if-conditions ending blocks.
+
+import "d2x/internal/minic"
+
+// Block is one basic block.
+type Block struct {
+	ID    int
+	Stmts []minic.Stmt
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function.
+type CFG struct {
+	Fn     *minic.FuncDecl
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block // every return and the fall-off-end path edge here
+
+	stmtBlock map[minic.Stmt]*Block
+}
+
+// BlockOf returns the basic block containing statement s, or nil if s is
+// not part of this function.
+func (c *CFG) BlockOf(s minic.Stmt) *Block { return c.stmtBlock[s] }
+
+// Reachable returns the set of blocks reachable from the entry.
+func (c *CFG) Reachable() map[*Block]bool {
+	seen := map[*Block]bool{c.Entry: true}
+	stack := []*Block{c.Entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// StmtReachable reports whether s lies in an entry-reachable block.
+func (c *CFG) StmtReachable(s minic.Stmt) bool {
+	b := c.stmtBlock[s]
+	return b != nil && c.Reachable()[b]
+}
+
+// BuildCFG lowers a function body to its control-flow graph. mini-C is
+// fully structured (no goto), so the lowering is a direct recursion with
+// break/continue target stacks.
+func BuildCFG(fd *minic.FuncDecl) *CFG {
+	b := &cfgBuilder{cfg: &CFG{Fn: fd, stmtBlock: map[minic.Stmt]*Block{}}}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.blockStmts(fd.Body)
+	if b.cur != nil {
+		b.edge(b.cur, b.cfg.Exit) // implicit return at end of body
+	}
+	return b.cfg
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+	cur *Block // nil right after a terminator (return/break/continue)
+
+	breakTo    []*Block
+	continueTo []*Block
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{ID: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+// append records s in the current block, opening a fresh (unreachable)
+// block if control already terminated — statements after a return still
+// get a home, and reachability analysis naturally reports them dead.
+func (b *cfgBuilder) append(s minic.Stmt) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Stmts = append(b.cur.Stmts, s)
+	b.cfg.stmtBlock[s] = b.cur
+}
+
+func (b *cfgBuilder) blockStmts(blk *minic.BlockStmt) {
+	if blk == nil {
+		return
+	}
+	for _, s := range blk.Stmts {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s minic.Stmt) {
+	switch st := s.(type) {
+	case *minic.BlockStmt:
+		b.blockStmts(st)
+
+	case *minic.IfStmt:
+		b.append(st)
+		cond := b.cur
+		after := b.newBlock()
+		then := b.newBlock()
+		b.edge(cond, then)
+		b.cur = then
+		b.blockStmts(st.Then)
+		if b.cur != nil {
+			b.edge(b.cur, after)
+		}
+		if st.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(st.Else)
+			if b.cur != nil {
+				b.edge(b.cur, after)
+			}
+		} else {
+			b.edge(cond, after)
+		}
+		b.cur = after
+
+	case *minic.WhileStmt:
+		header := b.newBlock()
+		if b.cur != nil {
+			b.edge(b.cur, header)
+		}
+		b.cur = header
+		b.append(st)
+		after := b.newBlock()
+		if !condAlwaysTrue(st.Cond) {
+			b.edge(header, after) // cond may be false on entry
+		}
+		body := b.newBlock()
+		b.edge(header, body)
+		b.pushLoop(after, header)
+		b.cur = body
+		b.blockStmts(st.Body)
+		if b.cur != nil {
+			b.edge(b.cur, header)
+		}
+		b.popLoop()
+		b.cur = after
+
+	case *minic.ForStmt:
+		if st.Init != nil {
+			b.stmt(st.Init)
+		}
+		header := b.newBlock()
+		if b.cur != nil {
+			b.edge(b.cur, header)
+		}
+		b.cur = header
+		b.append(st)
+		after := b.newBlock()
+		if st.Cond != nil && !condAlwaysTrue(st.Cond) {
+			b.edge(header, after)
+		}
+		body := b.newBlock()
+		b.edge(header, body)
+		post := b.newBlock()
+		if st.Post != nil {
+			// The post statement belongs to the loop's back-edge block
+			// (continue jumps here, not to the header).
+			b.cfg.stmtBlock[st.Post] = post
+			post.Stmts = append(post.Stmts, st.Post)
+		}
+		b.edge(post, header)
+		b.pushLoop(after, post)
+		b.cur = body
+		b.blockStmts(st.Body)
+		if b.cur != nil {
+			b.edge(b.cur, post)
+		}
+		b.popLoop()
+		b.cur = after
+
+	case *minic.ParallelForStmt:
+		// The iteration space [Lo, Hi) is computed once up front, so a
+		// parallel_for always terminates; model it as body-or-skip with
+		// a back edge for repeated iterations.
+		b.append(st)
+		header := b.cur
+		after := b.newBlock()
+		b.edge(header, after)
+		body := b.newBlock()
+		b.edge(header, body)
+		b.cur = body
+		b.blockStmts(st.Body)
+		if b.cur != nil {
+			b.edge(b.cur, header)
+		}
+		b.cur = after
+
+	case *minic.ReturnStmt:
+		b.append(st)
+		b.edge(b.cur, b.cfg.Exit)
+		b.cur = nil
+
+	case *minic.BreakStmt:
+		b.append(st)
+		if n := len(b.breakTo); n > 0 {
+			b.edge(b.cur, b.breakTo[n-1])
+		}
+		b.cur = nil
+
+	case *minic.ContinueStmt:
+		b.append(st)
+		if n := len(b.continueTo); n > 0 {
+			b.edge(b.cur, b.continueTo[n-1])
+		}
+		b.cur = nil
+
+	default:
+		b.append(s)
+	}
+}
+
+func (b *cfgBuilder) pushLoop(brk, cont *Block) {
+	b.breakTo = append(b.breakTo, brk)
+	b.continueTo = append(b.continueTo, cont)
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breakTo = b.breakTo[:len(b.breakTo)-1]
+	b.continueTo = b.continueTo[:len(b.continueTo)-1]
+}
+
+// condAlwaysTrue reports whether a loop condition is the constant true
+// (so the loop's only exits are break/return).
+func condAlwaysTrue(e minic.Expr) bool {
+	bl, ok := e.(*minic.BoolLit)
+	return ok && bl.Value
+}

@@ -1,0 +1,158 @@
+package effects
+
+import (
+	"testing"
+
+	"d2x/internal/minic"
+)
+
+func buildFor(t *testing.T, src, fn string) (*minic.Program, *minic.FuncDecl, *CFG) {
+	t.Helper()
+	file, err := minic.Parse("cfg_test.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := minic.Check(file, minic.NewNatives())
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	i, ok := prog.FuncByName[fn]
+	if !ok {
+		t.Fatalf("no function %s", fn)
+	}
+	fd := prog.Funcs[i]
+	return prog, fd, BuildCFG(fd)
+}
+
+// findStmt returns the first statement under fd matching pred.
+func findStmt(fd *minic.FuncDecl, pred func(minic.Stmt) bool) minic.Stmt {
+	var found minic.Stmt
+	minic.InspectStmts(fd.Body, func(s minic.Stmt) bool {
+		if found == nil && pred(s) {
+			found = s
+		}
+		return found == nil
+	})
+	return found
+}
+
+// TestCFGStraightLine: a straight-line body is one reachable block into
+// the exit.
+func TestCFGStraightLine(t *testing.T) {
+	_, fd, cfg := buildFor(t, `func int f(int n) {
+	int a = n + 1;
+	int b = a * 2;
+	return b;
+}`, "f")
+	reach := cfg.Reachable()
+	if !reach[cfg.Entry] {
+		t.Fatal("entry not reachable")
+	}
+	if !reach[cfg.Exit] {
+		t.Fatal("exit not reachable from straight-line body")
+	}
+	ret := findStmt(fd, func(s minic.Stmt) bool { _, ok := s.(*minic.ReturnStmt); return ok })
+	if !cfg.StmtReachable(ret) {
+		t.Fatal("return not reachable")
+	}
+}
+
+// TestCFGDeadAfterReturn: statements after a return land in an
+// unreachable block.
+func TestCFGDeadAfterReturn(t *testing.T) {
+	_, fd, cfg := buildFor(t, `func int f(int n) {
+	return n;
+	n = n + 1;
+}`, "f")
+	dead := findStmt(fd, func(s minic.Stmt) bool { _, ok := s.(*minic.AssignStmt); return ok })
+	if dead == nil {
+		t.Fatal("no assignment found")
+	}
+	if cfg.StmtReachable(dead) {
+		t.Fatal("statement after return must be unreachable")
+	}
+}
+
+// TestCFGBreakReachability is the distinction the loop heuristic leans
+// on: a break behind a live condition is reachable, a break behind an
+// unconditional continue is not.
+func TestCFGBreakReachability(t *testing.T) {
+	isBreak := func(s minic.Stmt) bool { _, ok := s.(*minic.BreakStmt); return ok }
+
+	_, fd, cfg := buildFor(t, `func int live(int n) {
+	while (true) {
+		if (n > 0) { break; }
+		n = n + 1;
+	}
+	return n;
+}`, "live")
+	if br := findStmt(fd, isBreak); !cfg.StmtReachable(br) {
+		t.Fatal("conditional break must be reachable")
+	}
+
+	_, fd2, cfg2 := buildFor(t, `func int deadbrk(int n) {
+	while (true) {
+		continue;
+		break;
+	}
+	return n;
+}`, "deadbrk")
+	if br := findStmt(fd2, isBreak); cfg2.StmtReachable(br) {
+		t.Fatal("break behind unconditional continue must be unreachable")
+	}
+}
+
+// TestCFGWhileTrueNoExitEdge: the after-block of while(true) with no
+// break is unreachable, so code after the loop is dead.
+func TestCFGWhileTrueNoExitEdge(t *testing.T) {
+	_, fd, cfg := buildFor(t, `func int f(int n) {
+	while (true) { n = n + 1; }
+	return n;
+}`, "f")
+	ret := findStmt(fd, func(s minic.Stmt) bool { _, ok := s.(*minic.ReturnStmt); return ok })
+	if cfg.StmtReachable(ret) {
+		t.Fatal("code after while(true) without break must be unreachable")
+	}
+}
+
+// TestCFGForContinueTargetsPost: continue in a for loop must route
+// through the post statement (the back-edge block), keeping the
+// induction step on every path.
+func TestCFGForContinueTargetsPost(t *testing.T) {
+	_, fd, cfg := buildFor(t, `func int f(int n) {
+	int acc = 0;
+	for (int i = 0; i < n; i++) {
+		if (i == 2) { continue; }
+		acc = acc + i;
+	}
+	return acc;
+}`, "f")
+	var forStmt *minic.ForStmt
+	minic.InspectStmts(fd.Body, func(s minic.Stmt) bool {
+		if fs, ok := s.(*minic.ForStmt); ok {
+			forStmt = fs
+		}
+		return true
+	})
+	if forStmt == nil || forStmt.Post == nil {
+		t.Fatal("no for/post found")
+	}
+	post := cfg.BlockOf(forStmt.Post)
+	if post == nil {
+		t.Fatal("post statement has no block")
+	}
+	cont := findStmt(fd, func(s minic.Stmt) bool { _, ok := s.(*minic.ContinueStmt); return ok })
+	cb := cfg.BlockOf(cont)
+	if cb == nil {
+		t.Fatal("continue has no block")
+	}
+	found := false
+	for _, s := range cb.Succs {
+		if s == post {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("continue must edge to the post block")
+	}
+}

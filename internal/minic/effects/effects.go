@@ -1,0 +1,438 @@
+// Package effects implements an interprocedural effect-and-termination
+// analysis over checked mini-C programs. It answers the question the D2X
+// verifier and runtime both need before letting the debugger `call`
+// generated code inside a paused debuggee: can this function write
+// debuggee state, and does it provably terminate?
+//
+// The analysis is a classic monotone framework:
+//
+//   - An intrinsic pass classifies each function body alone: heap reads
+//     and writes (globals, stores through pointers, array/struct fields
+//     not provably backed by a local `new`), native calls by a fixed
+//     policy, and per-loop termination via a bound heuristic backed by a
+//     per-function CFG (cfg.go, loops.go).
+//   - Call-graph cycles (mutual or self recursion) mark every function on
+//     the cycle DivergesMaybe — recursion depth is not bounded here.
+//   - A fixpoint then propagates effects and loop classes over call
+//     edges until nothing changes. The lattice is finite (a bitmask and
+//     a three-point chain) and all transfer functions are monotone, so
+//     termination is immediate.
+//
+// Consumers: d2xverify's checks_effects family (compile-time rejection),
+// d2xenc (effect summaries embedded in the emitted D2X tables), and
+// d2xr/debugger (choosing a runtime Guard when the proof is partial).
+package effects
+
+import (
+	"sort"
+	"strings"
+
+	"d2x/internal/minic"
+)
+
+// Effect is a bitmask over the effect lattice. The bottom element (0)
+// means pure: no heap access, no extern calls, provably terminating
+// modulo loop classification (which is tracked separately in LoopClass).
+type Effect uint8
+
+const (
+	// ReadsHeap: the function may read debuggee state that outlives the
+	// call — globals, or memory reached through pointers/arrays/fields
+	// not allocated by the function itself.
+	ReadsHeap Effect = 1 << iota
+	// WritesHeap: the function may mutate such state. This is the
+	// property that makes an rtv handler unsafe to `call` in a paused
+	// debuggee.
+	WritesHeap
+	// CallsExtern: the function may call a native whose behaviour the
+	// analysis does not model precisely (I/O, runtime services).
+	CallsExtern
+	// DivergesMaybe: the function sits on a call-graph cycle, so
+	// termination cannot be argued structurally.
+	DivergesMaybe
+)
+
+// String renders the mask as "pure" or a |-joined list of effect names.
+func (e Effect) String() string {
+	if e == 0 {
+		return "pure"
+	}
+	var parts []string
+	if e&ReadsHeap != 0 {
+		parts = append(parts, "reads-heap")
+	}
+	if e&WritesHeap != 0 {
+		parts = append(parts, "writes-heap")
+	}
+	if e&CallsExtern != 0 {
+		parts = append(parts, "calls-extern")
+	}
+	if e&DivergesMaybe != 0 {
+		parts = append(parts, "diverges-maybe")
+	}
+	return strings.Join(parts, "|")
+}
+
+// LoopClass is the termination verdict for the loops of a function
+// (including, transitively, the loops of its callees). The values form
+// a chain; interprocedural propagation takes the maximum.
+type LoopClass int
+
+const (
+	// LoopTrivial: every loop matches the trivially-bounded pattern
+	// (counted for-loop over an invariant bound), or there are no loops.
+	LoopTrivial LoopClass = iota
+	// LoopFuelBounded: some loop could not be proven bounded but is
+	// plausibly finite (data-dependent condition, or a while(true) with
+	// a reachable break); safe to run only under a fuel budget.
+	LoopFuelBounded
+	// LoopUnprovable: some loop has no structural exit at all — a
+	// while(true) whose every break is unreachable. Running it means
+	// burning the entire fuel budget.
+	LoopUnprovable
+)
+
+// String returns the class name used in diagnostics and -effects output.
+func (c LoopClass) String() string {
+	switch c {
+	case LoopTrivial:
+		return "trivially-bounded"
+	case LoopFuelBounded:
+		return "fuel-bounded"
+	case LoopUnprovable:
+		return "unprovable"
+	}
+	return "unknown"
+}
+
+// Summary is the analysis result for one function.
+type Summary struct {
+	Name    string
+	Effects Effect
+	Loop    LoopClass
+
+	// WriteLine is the source line of the first heap write found (or of
+	// the call site that transitively introduces one); 0 if none.
+	WriteLine int
+	// LoopLine is the source line of the worst-classified loop (or of
+	// the call site importing it); 0 when Loop is LoopTrivial.
+	LoopLine int
+}
+
+// Safe reports whether the function may be evaluated inside a paused
+// debuggee with no runtime guard at all: it provably writes nothing and
+// provably terminates.
+func (s *Summary) Safe() bool {
+	return s.Effects&(WritesHeap|DivergesMaybe) == 0 && s.Loop == LoopTrivial
+}
+
+// Analysis holds the fixpoint summaries for every function of a program.
+type Analysis struct {
+	Prog   *minic.Program
+	Funcs  []*Summary // parallel to Prog.Funcs
+	byName map[string]*Summary
+}
+
+// ByName returns the summary for the named function.
+func (a *Analysis) ByName(name string) (*Summary, bool) {
+	s, ok := a.byName[name]
+	return s, ok
+}
+
+// nativeFX is the fixed effect policy for natives the analysis knows.
+// Natives absent from this map default to ReadsHeap|CallsExtern — a DSL
+// runtime call may observe anything, but writes are only attributed
+// through the explicit Native.WritesMemory registration flag, so unknown
+// natives never trigger the SevError write diagnostic by themselves.
+var nativeFX = map[string]Effect{
+	"printf":             CallsExtern,
+	"to_str":             0,
+	"len":                0,
+	"str_len":            0,
+	"fabs":               0,
+	"sqrt":               0,
+	"min_int":            0,
+	"max_int":            0,
+	"thread_id":          0,
+	"num_workers":        0,
+	"assert":             0,
+	"atomic_add":         ReadsHeap | WritesHeap,
+	"atomic_min":         ReadsHeap | WritesHeap,
+	"cas":                ReadsHeap | WritesHeap,
+	"d2x_find_stack_var": ReadsHeap | CallsExtern,
+}
+
+// NativeEffect returns the effect mask attributed to one native call.
+func NativeEffect(nat *minic.Native) Effect {
+	e, known := nativeFX[nat.Name]
+	if !known {
+		e = ReadsHeap | CallsExtern
+	}
+	if nat.WritesMemory {
+		e |= ReadsHeap | WritesHeap
+	}
+	return e
+}
+
+// callEdge is one static call site in the call graph.
+type callEdge struct {
+	callee int // index into Prog.Funcs
+	line   int
+}
+
+// Analyze runs the full analysis over a checked program and returns the
+// fixpoint summaries. The program needs checker annotations (slots,
+// global indices, call resolution) but not compiled bytecode.
+func Analyze(p *minic.Program) *Analysis {
+	a := &Analysis{
+		Prog:   p,
+		Funcs:  make([]*Summary, len(p.Funcs)),
+		byName: make(map[string]*Summary, len(p.Funcs)),
+	}
+	edges := make([][]callEdge, len(p.Funcs))
+	for i, fd := range p.Funcs {
+		s := &Summary{Name: fd.Name, Loop: LoopTrivial}
+		edges[i] = intrinsic(p, fd, s)
+		cls, line := classifyLoops(p, fd, BuildCFG(fd))
+		if cls > s.Loop {
+			s.Loop, s.LoopLine = cls, line
+		}
+		a.Funcs[i] = s
+		a.byName[fd.Name] = s
+	}
+	markCycles(edges, a.Funcs)
+
+	// Interprocedural fixpoint: a caller absorbs its callees' effects
+	// and worst loop class. Strictly increasing on a finite lattice.
+	for changed := true; changed; {
+		changed = false
+		for i := range a.Funcs {
+			s := a.Funcs[i]
+			for _, e := range edges[i] {
+				c := a.Funcs[e.callee]
+				if add := c.Effects &^ s.Effects; add != 0 {
+					if add&WritesHeap != 0 && s.WriteLine == 0 {
+						s.WriteLine = e.line
+					}
+					s.Effects |= add
+					changed = true
+				}
+				if c.Loop > s.Loop {
+					s.Loop = c.Loop
+					s.LoopLine = e.line
+					changed = true
+				}
+			}
+		}
+	}
+	return a
+}
+
+// intrinsic classifies one function body in isolation, filling s with
+// its direct effects and returning its outgoing call edges.
+func intrinsic(p *minic.Program, fd *minic.FuncDecl, s *Summary) []callEdge {
+	var edges []callEdge
+	local := locallyAllocated(fd)
+
+	// isLocalRoot reports whether an lvalue chain (fields/indices)
+	// bottoms out in a local variable that only ever holds memory this
+	// function allocated itself — such stores cannot touch debuggee
+	// state that outlives the call.
+	isLocalRoot := func(e minic.Expr) bool {
+		for {
+			switch x := e.(type) {
+			case *minic.IndexExpr:
+				e = x.X
+			case *minic.FieldExpr:
+				e = x.X
+			default:
+				id, ok := e.(*minic.Ident)
+				return ok && !id.IsGlobal && !id.IsFunc && local[id.Slot]
+			}
+		}
+	}
+
+	heapWrite := func(line int) {
+		if s.Effects&WritesHeap == 0 {
+			s.WriteLine = line
+		}
+		s.Effects |= WritesHeap
+	}
+
+	// markReads walks one expression tree, attributing heap reads,
+	// native effects, and call edges.
+	markReads := func(e minic.Expr) {
+		minic.InspectExpr(e, func(n minic.Expr) {
+			switch x := n.(type) {
+			case *minic.Ident:
+				if x.IsGlobal {
+					s.Effects |= ReadsHeap
+				}
+			case *minic.IndexExpr:
+				if !isLocalRoot(x) {
+					s.Effects |= ReadsHeap
+				}
+			case *minic.FieldExpr:
+				if !isLocalRoot(x) {
+					s.Effects |= ReadsHeap
+				}
+			case *minic.UnaryExpr:
+				if x.Op == minic.Star {
+					s.Effects |= ReadsHeap
+				}
+			case *minic.CallExpr:
+				if x.IsBuiltin {
+					fx := NativeEffect(p.Natives.At(x.BuiltinIndex))
+					if fx&WritesHeap != 0 && s.Effects&WritesHeap == 0 {
+						s.WriteLine = x.Pos()
+					}
+					s.Effects |= fx
+				} else {
+					edges = append(edges, callEdge{callee: x.FuncIndex, line: x.Pos()})
+				}
+			}
+		})
+	}
+
+	markStore := func(lhs minic.Expr, line int) {
+		switch x := lhs.(type) {
+		case *minic.Ident:
+			if x.IsGlobal {
+				heapWrite(line)
+			}
+		case *minic.IndexExpr, *minic.FieldExpr:
+			if !isLocalRoot(x) {
+				heapWrite(line)
+			}
+			// The subscript/base computation still reads.
+			switch l := x.(type) {
+			case *minic.IndexExpr:
+				markReads(l.X)
+				markReads(l.Index)
+			case *minic.FieldExpr:
+				markReads(l.X)
+			}
+		case *minic.UnaryExpr: // *p = ...
+			heapWrite(line)
+			markReads(x.X)
+		default:
+			heapWrite(line)
+			markReads(lhs)
+		}
+	}
+
+	minic.InspectStmts(fd.Body, func(st minic.Stmt) bool {
+		switch x := st.(type) {
+		case *minic.AssignStmt:
+			markStore(x.LHS, x.Pos())
+			if x.Op != minic.Assign {
+				// += / -= reads the target too.
+				markReads(x.LHS)
+			}
+			markReads(x.RHS)
+		case *minic.IncDecStmt:
+			markStore(x.LHS, x.Pos())
+			markReads(x.LHS)
+		default:
+			minic.StmtExprs(st, markReads)
+		}
+		return true
+	})
+	return edges
+}
+
+// locallyAllocated returns the set of local slots whose every assignment
+// is a `new` expression and whose address is never taken — memory that
+// provably belongs to this invocation, so stores through it are local.
+// Parameters never qualify (their memory came from the caller).
+func locallyAllocated(fd *minic.FuncDecl) map[int]bool {
+	candidate := map[int]bool{}
+	disqualified := map[int]bool{}
+	minic.InspectStmts(fd.Body, func(st minic.Stmt) bool {
+		switch x := st.(type) {
+		case *minic.VarDeclStmt:
+			if _, isNew := x.Init.(*minic.NewExpr); isNew {
+				candidate[x.Slot] = true
+			} else {
+				disqualified[x.Slot] = true
+			}
+		case *minic.AssignStmt:
+			if id, ok := x.LHS.(*minic.Ident); ok && !id.IsGlobal && !id.IsFunc {
+				if _, isNew := x.RHS.(*minic.NewExpr); !isNew || x.Op != minic.Assign {
+					disqualified[id.Slot] = true
+				} else {
+					candidate[id.Slot] = true
+				}
+			}
+		case *minic.IncDecStmt:
+			if id, ok := x.LHS.(*minic.Ident); ok && !id.IsGlobal && !id.IsFunc {
+				disqualified[id.Slot] = true
+			}
+		}
+		// &x lets the pointer escape; a callee or alias could then
+		// republish the memory, so the slot no longer proves locality.
+		minic.StmtExprs(st, func(e minic.Expr) {
+			minic.InspectExpr(e, func(n minic.Expr) {
+				if u, ok := n.(*minic.UnaryExpr); ok && u.Op == minic.Amp {
+					if id, ok := u.X.(*minic.Ident); ok && !id.IsGlobal {
+						disqualified[id.Slot] = true
+					}
+				}
+			})
+		})
+		return true
+	})
+	for slot := range disqualified {
+		delete(candidate, slot)
+	}
+	return candidate
+}
+
+// markCycles marks every function on a call-graph cycle (including
+// self-recursion) DivergesMaybe: structural loop bounds say nothing
+// about recursion depth. Plain DFS reachability per node — programs
+// here are small, and the result feeds the same fixpoint anyway.
+func markCycles(edges [][]callEdge, sums []*Summary) {
+	for i := range sums {
+		if onCycle(i, edges) {
+			sums[i].Effects |= DivergesMaybe
+			if sums[i].Loop < LoopFuelBounded {
+				sums[i].Loop = LoopFuelBounded
+			}
+		}
+	}
+}
+
+// onCycle reports whether function i can reach itself through one or
+// more call edges.
+func onCycle(i int, edges [][]callEdge) bool {
+	seen := map[int]bool{}
+	var stack []int
+	for _, e := range edges[i] {
+		stack = append(stack, e.callee)
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == i {
+			return true
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		for _, e := range edges[n] {
+			stack = append(stack, e.callee)
+		}
+	}
+	return false
+}
+
+// Sorted returns the summaries ordered by function name — the stable
+// order used by `d2xlint -effects` and the verifier's diagnostics.
+func (a *Analysis) Sorted() []*Summary {
+	out := make([]*Summary, len(a.Funcs))
+	copy(out, a.Funcs)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

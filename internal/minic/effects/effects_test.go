@@ -1,0 +1,269 @@
+package effects
+
+import (
+	"testing"
+
+	"d2x/internal/minic"
+)
+
+// analyze checks src and runs the analysis; natives may add extra
+// registrations on top of the core builtins.
+func analyze(t *testing.T, src string, natives func(*minic.Natives)) *Analysis {
+	t.Helper()
+	nats := minic.NewNatives()
+	if natives != nil {
+		natives(nats)
+	}
+	file, err := minic.Parse("fx_test.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := minic.Check(file, nats)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return Analyze(prog)
+}
+
+func summary(t *testing.T, a *Analysis, name string) *Summary {
+	t.Helper()
+	s, ok := a.ByName(name)
+	if !ok {
+		t.Fatalf("no summary for %s", name)
+	}
+	return s
+}
+
+// TestAnalyzeTable drives the analysis through the lattice corners the
+// verifier depends on.
+func TestAnalyzeTable(t *testing.T) {
+	tests := []struct {
+		name     string
+		src      string
+		fn       string
+		effects  Effect
+		loop     LoopClass
+		safe     bool
+		natives  func(*minic.Natives)
+		wantLine int // expected WriteLine; 0 = don't check
+	}{
+		{
+			name: "pure handler",
+			src: `func string h(string key) {
+	string s = "v=" + key;
+	return s;
+}`,
+			fn: "h", effects: 0, loop: LoopTrivial, safe: true,
+		},
+		{
+			name: "global read only",
+			src: `global int g = 7;
+func int h(string key) { return g; }`,
+			fn: "h", effects: ReadsHeap, loop: LoopTrivial, safe: true,
+		},
+		{
+			name: "direct global write",
+			src: `global int g = 0;
+func int h(string key) {
+	g = g + 1;
+	return g;
+}`,
+			fn: "h", effects: ReadsHeap | WritesHeap, loop: LoopTrivial, safe: false,
+			wantLine: 3,
+		},
+		{
+			name: "transitive write through callee",
+			src: `global int g = 0;
+func void bump() { g = g + 1; }
+func int h(string key) {
+	bump();
+	return 1;
+}`,
+			fn: "h", effects: ReadsHeap | WritesHeap, loop: LoopTrivial, safe: false,
+			wantLine: 4, // the call site, not bump's body
+		},
+		{
+			name: "mutual recursion reaches fixpoint",
+			src: `func int even(int n) {
+	if (n == 0) { return 1; }
+	return odd(n - 1);
+}
+func int odd(int n) {
+	if (n == 0) { return 0; }
+	return even(n - 1);
+}`,
+			fn: "even", effects: DivergesMaybe, loop: LoopFuelBounded, safe: false,
+		},
+		{
+			name: "unbounded while flagged unprovable",
+			src: `func int h(string key) {
+	while (true) { }
+	return 0;
+}`,
+			fn: "h", effects: 0, loop: LoopUnprovable, safe: false,
+		},
+		{
+			name: "while true with reachable break is fuel-bounded",
+			src: `func int h(int n) {
+	int i = 0;
+	while (true) {
+		i = i + 1;
+		if (i > n) { break; }
+	}
+	return i;
+}`,
+			fn: "h", effects: 0, loop: LoopFuelBounded, safe: false,
+		},
+		{
+			name: "while true with unreachable break is unprovable",
+			src: `func int h(int n) {
+	while (true) {
+		if (n > 0) { continue; }
+		continue;
+		break;
+	}
+	return 0;
+}`,
+			fn: "h", effects: 0, loop: LoopUnprovable, safe: false,
+		},
+		{
+			name: "counted for loop is trivial",
+			src: `func int h(int n) {
+	int acc = 0;
+	for (int i = 0; i < n; i++) { acc = acc + i; }
+	return acc;
+}`,
+			fn: "h", effects: 0, loop: LoopTrivial, safe: true,
+		},
+		{
+			name: "for over struct-field bound in quiet body is trivial",
+			src: `struct box { int size; int[] data; }
+func int h(box* b) {
+	int acc = 0;
+	for (int i = 0; i < b->size; i++) { acc = acc + b->data[i]; }
+	return acc;
+}`,
+			fn: "h", effects: ReadsHeap, loop: LoopTrivial, safe: true,
+		},
+		{
+			name: "for over field bound with heap write in body is not trivial",
+			src: `struct box { int size; int[] data; }
+func int h(box* b) {
+	for (int i = 0; i < b->size; i++) { b->data[i] = 0; }
+	return 0;
+}`,
+			fn: "h", effects: ReadsHeap | WritesHeap, loop: LoopFuelBounded, safe: false,
+		},
+		{
+			name: "for mutating its own bound is not trivial",
+			src: `func int h(int n) {
+	int acc = 0;
+	for (int i = 0; i < n; i++) { n = n + 1; acc = acc + 1; }
+	return acc;
+}`,
+			fn: "h", effects: 0, loop: LoopFuelBounded, safe: false,
+		},
+		{
+			name: "locally allocated stores stay pure",
+			src: `func int h(int n) {
+	int[] buf = new int[8];
+	for (int i = 0; i < 8; i++) { buf[i] = i * n; }
+	return buf[3];
+}`,
+			fn: "h", effects: 0, loop: LoopTrivial, safe: true,
+		},
+		{
+			name: "store through pointer parameter writes heap",
+			src:  `func void h(int* p) { *p = 9; }`,
+			fn:   "h", effects: WritesHeap, loop: LoopTrivial, safe: false,
+		},
+		{
+			name: "writing native attributed through WritesMemory flag",
+			src: `global int g = 0;
+func void h() { atomic_add(&g, 1); }`,
+			fn: "h", effects: ReadsHeap | WritesHeap, loop: LoopTrivial, safe: false,
+		},
+		{
+			name: "unknown native defaults to reads+extern, not writes",
+			src:  `func int h() { return mystery(); }`,
+			fn:   "h", effects: ReadsHeap | CallsExtern, loop: LoopTrivial, safe: true,
+			natives: func(n *minic.Natives) {
+				n.Register(&minic.Native{
+					Name: "mystery",
+					Sig:  minic.Signature{Result: minic.IntType},
+					Handler: func(call *minic.NativeCall) (minic.Value, error) {
+						return minic.IntVal(42), nil
+					},
+				})
+			},
+		},
+		{
+			name: "printf is extern only",
+			src:  `func void h() { printf("hi\n"); }`,
+			fn:   "h", effects: CallsExtern, loop: LoopTrivial, safe: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			a := analyze(t, tt.src, tt.natives)
+			s := summary(t, a, tt.fn)
+			if s.Effects != tt.effects {
+				t.Errorf("effects = %s, want %s", s.Effects, tt.effects)
+			}
+			if s.Loop != tt.loop {
+				t.Errorf("loop = %s, want %s", s.Loop, tt.loop)
+			}
+			if s.Safe() != tt.safe {
+				t.Errorf("Safe() = %v, want %v", s.Safe(), tt.safe)
+			}
+			if tt.wantLine != 0 && s.WriteLine != tt.wantLine {
+				t.Errorf("WriteLine = %d, want %d", s.WriteLine, tt.wantLine)
+			}
+		})
+	}
+}
+
+// TestFixpointDeepChain checks that effects propagate through a call
+// chain of several hops (the fixpoint actually iterates).
+func TestFixpointDeepChain(t *testing.T) {
+	a := analyze(t, `global int g = 0;
+func void d() { g = 1; }
+func void c() { d(); }
+func void b() { c(); }
+func void top() { b(); }`, nil)
+	s := summary(t, a, "top")
+	if s.Effects&WritesHeap == 0 {
+		t.Fatalf("top effects = %s, want writes-heap via 3-hop chain", s.Effects)
+	}
+	if s.WriteLine != 5 {
+		t.Errorf("WriteLine = %d, want 5 (the b() call site)", s.WriteLine)
+	}
+}
+
+// TestSelfRecursionDiverges checks direct recursion is flagged.
+func TestSelfRecursionDiverges(t *testing.T) {
+	a := analyze(t, `func int fact(int n) {
+	if (n <= 1) { return 1; }
+	return n * fact(n - 1);
+}`, nil)
+	s := summary(t, a, "fact")
+	if s.Effects&DivergesMaybe == 0 {
+		t.Fatalf("fact effects = %s, want diverges-maybe", s.Effects)
+	}
+	if s.Safe() {
+		t.Error("recursive function must not be Safe")
+	}
+}
+
+// TestEffectString pins the diagnostic rendering.
+func TestEffectString(t *testing.T) {
+	if got := Effect(0).String(); got != "pure" {
+		t.Errorf("Effect(0) = %q", got)
+	}
+	if got := (ReadsHeap | WritesHeap).String(); got != "reads-heap|writes-heap" {
+		t.Errorf("mask = %q", got)
+	}
+	if got := LoopUnprovable.String(); got != "unprovable" {
+		t.Errorf("LoopUnprovable = %q", got)
+	}
+}

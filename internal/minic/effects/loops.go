@@ -1,0 +1,316 @@
+package effects
+
+// Loop-bound heuristic. Three verdicts per loop:
+//
+//   - LoopTrivial: a counted for-loop `for (i = ...; i REL bound; i++/--)`
+//     whose induction variable is local and untouched by the body, and
+//     whose bound is loop-invariant (a literal, an unmodified local, or a
+//     field/index read off an unmodified local in a body free of heap
+//     writes and program calls — the pattern of every generated rtv
+//     handler that iterates a runtime data structure).
+//   - LoopFuelBounded: anything data-dependent but with a structural
+//     exit: a non-constant while condition, a non-trivial for, or a
+//     while(true) with a CFG-reachable break.
+//   - LoopUnprovable: while(true) / for(;;) whose every break (if any)
+//     sits in CFG-unreachable code — the loop cannot exit.
+//
+// The function-level verdict is the worst loop's class, with its line.
+
+import "d2x/internal/minic"
+
+// classifyLoops walks every loop of fd and returns the worst class found
+// plus the source line of the offending loop.
+func classifyLoops(p *minic.Program, fd *minic.FuncDecl, cfg *CFG) (LoopClass, int) {
+	worst, line := LoopTrivial, 0
+	upd := func(c LoopClass, l int) {
+		if c > worst {
+			worst, line = c, l
+		}
+	}
+
+	// The walk tracks, for each loop, the break statements that belong
+	// to it (not to a nested loop).
+	var walkStmt func(s minic.Stmt, breaks *[]minic.Stmt)
+	walkBlock := func(b *minic.BlockStmt, breaks *[]minic.Stmt) {
+		if b == nil {
+			return
+		}
+		for _, s := range b.Stmts {
+			walkStmt(s, breaks)
+		}
+	}
+	walkStmt = func(s minic.Stmt, breaks *[]minic.Stmt) {
+		switch st := s.(type) {
+		case *minic.BlockStmt:
+			walkBlock(st, breaks)
+		case *minic.IfStmt:
+			walkBlock(st.Then, breaks)
+			if st.Else != nil {
+				walkStmt(st.Else, breaks)
+			}
+		case *minic.WhileStmt:
+			var mine []minic.Stmt
+			walkBlock(st.Body, &mine)
+			upd(classifyWhile(st, mine, cfg), st.Pos())
+		case *minic.ForStmt:
+			var mine []minic.Stmt
+			walkBlock(st.Body, &mine)
+			upd(classifyFor(p, st, mine, cfg), st.Pos())
+		case *minic.ParallelForStmt:
+			// Iteration space computed before the loop starts: bounded.
+			var mine []minic.Stmt
+			walkBlock(st.Body, &mine)
+		case *minic.BreakStmt:
+			if breaks != nil {
+				*breaks = append(*breaks, st)
+			}
+		}
+	}
+	walkBlock(fd.Body, nil)
+	return worst, line
+}
+
+// classifyWhile handles `while (cond) body`.
+func classifyWhile(st *minic.WhileStmt, breaks []minic.Stmt, cfg *CFG) LoopClass {
+	if bl, ok := st.Cond.(*minic.BoolLit); ok {
+		if !bl.Value {
+			return LoopTrivial // while(false): body never runs
+		}
+		return infiniteHeaderClass(breaks, cfg)
+	}
+	// Data-dependent condition: finite in practice, unprovable here.
+	return LoopFuelBounded
+}
+
+// classifyFor handles the C-style for statement.
+func classifyFor(p *minic.Program, st *minic.ForStmt, breaks []minic.Stmt, cfg *CFG) LoopClass {
+	if st.Cond == nil || condAlwaysTrue(st.Cond) {
+		return infiniteHeaderClass(breaks, cfg)
+	}
+	if trivialForBound(p, st) {
+		return LoopTrivial
+	}
+	return LoopFuelBounded
+}
+
+// infiniteHeaderClass classifies a loop whose header never exits: fuel
+// can bound it if some break of this loop is reachable; otherwise the
+// loop provably never terminates.
+func infiniteHeaderClass(breaks []minic.Stmt, cfg *CFG) LoopClass {
+	for _, br := range breaks {
+		if cfg.StmtReachable(br) {
+			return LoopFuelBounded
+		}
+	}
+	return LoopUnprovable
+}
+
+// trivialForBound recognises the counted-loop pattern.
+func trivialForBound(p *minic.Program, st *minic.ForStmt) bool {
+	// Induction variable from the init clause.
+	var ivSlot int
+	var ivName string
+	switch init := st.Init.(type) {
+	case *minic.VarDeclStmt:
+		ivSlot, ivName = init.Slot, init.Name
+	case *minic.AssignStmt:
+		id, ok := init.LHS.(*minic.Ident)
+		if !ok || id.IsGlobal || id.IsFunc || init.Op != minic.Assign {
+			return false
+		}
+		ivSlot, ivName = id.Slot, id.Name
+	default:
+		return false
+	}
+
+	// Condition `iv REL bound` (or `bound REL iv`), giving direction.
+	cond, ok := st.Cond.(*minic.BinaryExpr)
+	if !ok {
+		return false
+	}
+	var bound minic.Expr
+	var wantIncreasing bool
+	switch {
+	case isIdentSlot(cond.X, ivSlot) && (cond.Op == minic.Lt || cond.Op == minic.Le):
+		bound, wantIncreasing = cond.Y, true
+	case isIdentSlot(cond.X, ivSlot) && (cond.Op == minic.Gt || cond.Op == minic.Ge):
+		bound, wantIncreasing = cond.Y, false
+	case isIdentSlot(cond.Y, ivSlot) && (cond.Op == minic.Gt || cond.Op == minic.Ge):
+		bound, wantIncreasing = cond.X, true
+	case isIdentSlot(cond.Y, ivSlot) && (cond.Op == minic.Lt || cond.Op == minic.Le):
+		bound, wantIncreasing = cond.X, false
+	default:
+		return false
+	}
+
+	// Post clause must step iv strictly toward the bound.
+	if !stepsToward(st.Post, ivSlot, wantIncreasing) {
+		return false
+	}
+
+	// The body must not touch iv (writes or address-of).
+	mut := mutatedSlots(st.Body)
+	if mut[ivSlot] {
+		return false
+	}
+	_ = ivName
+
+	// The bound must be invariant across iterations.
+	switch b := bound.(type) {
+	case *minic.IntLit:
+		return true
+	case *minic.Ident:
+		return !b.IsGlobal && !b.IsFunc && !mut[b.Slot]
+	case *minic.FieldExpr, *minic.IndexExpr:
+		// A bound read from memory (`set->vertices_range`, `dims[0]`) is
+		// invariant only if the root local is unmodified AND the body
+		// performs no heap writes and no calls that could mutate the
+		// underlying object.
+		root := rootIdent(bound)
+		if root == nil || root.IsGlobal || root.IsFunc || mut[root.Slot] {
+			return false
+		}
+		return heapQuietBody(p, st.Body)
+	}
+	return false
+}
+
+func isIdentSlot(e minic.Expr, slot int) bool {
+	id, ok := e.(*minic.Ident)
+	return ok && !id.IsGlobal && !id.IsFunc && id.Slot == slot
+}
+
+// rootIdent unwraps field/index chains to the base identifier, or nil.
+func rootIdent(e minic.Expr) *minic.Ident {
+	for {
+		switch x := e.(type) {
+		case *minic.IndexExpr:
+			e = x.X
+		case *minic.FieldExpr:
+			e = x.X
+		case *minic.Ident:
+			return x
+		default:
+			return nil
+		}
+	}
+}
+
+// stepsToward reports whether the post clause moves the induction slot
+// strictly in the given direction by a constant.
+func stepsToward(post minic.Stmt, slot int, increasing bool) bool {
+	switch p := post.(type) {
+	case *minic.IncDecStmt:
+		if !isIdentSlot(p.LHS, slot) {
+			return false
+		}
+		return (p.Op == minic.Inc) == increasing
+	case *minic.AssignStmt:
+		if !isIdentSlot(p.LHS, slot) {
+			return false
+		}
+		switch p.Op {
+		case minic.PlusAssign:
+			return constSign(p.RHS) > 0 == increasing && constSign(p.RHS) != 0
+		case minic.MinusAssign:
+			return constSign(p.RHS) > 0 != increasing && constSign(p.RHS) != 0
+		case minic.Assign:
+			// i = i + c  /  i = i - c
+			bin, ok := p.RHS.(*minic.BinaryExpr)
+			if !ok || !isIdentSlot(bin.X, slot) {
+				return false
+			}
+			sign := constSign(bin.Y)
+			if sign == 0 {
+				return false
+			}
+			if bin.Op == minic.Minus {
+				sign = -sign
+			} else if bin.Op != minic.Plus {
+				return false
+			}
+			return sign > 0 == increasing
+		}
+	}
+	return false
+}
+
+// constSign returns the sign of an integer literal, or 0 for anything
+// else (including literal zero — a zero step never reaches the bound).
+func constSign(e minic.Expr) int {
+	lit, ok := e.(*minic.IntLit)
+	if !ok || lit.Value == 0 {
+		return 0
+	}
+	if lit.Value > 0 {
+		return 1
+	}
+	return -1
+}
+
+// mutatedSlots collects local slots assigned, inc/dec'd, or
+// address-taken anywhere under b (including nested loops).
+func mutatedSlots(b *minic.BlockStmt) map[int]bool {
+	mut := map[int]bool{}
+	markLHS := func(e minic.Expr) {
+		if id, ok := e.(*minic.Ident); ok && !id.IsGlobal && !id.IsFunc {
+			mut[id.Slot] = true
+		}
+	}
+	minic.InspectStmts(b, func(st minic.Stmt) bool {
+		switch x := st.(type) {
+		case *minic.VarDeclStmt:
+			mut[x.Slot] = true
+		case *minic.AssignStmt:
+			markLHS(x.LHS)
+		case *minic.IncDecStmt:
+			markLHS(x.LHS)
+		}
+		minic.StmtExprs(st, func(e minic.Expr) {
+			minic.InspectExpr(e, func(n minic.Expr) {
+				if u, ok := n.(*minic.UnaryExpr); ok && u.Op == minic.Amp {
+					markLHS(u.X)
+				}
+			})
+		})
+		return true
+	})
+	return mut
+}
+
+// heapQuietBody reports whether the loop body performs no heap writes
+// and calls nothing that could (program functions, or natives that
+// write memory) — the condition under which a memory-read bound stays
+// invariant.
+func heapQuietBody(p *minic.Program, b *minic.BlockStmt) bool {
+	quiet := true
+	minic.InspectStmts(b, func(st minic.Stmt) bool {
+		switch x := st.(type) {
+		case *minic.AssignStmt:
+			if id, ok := x.LHS.(*minic.Ident); !ok || id.IsGlobal {
+				quiet = false
+			}
+		case *minic.IncDecStmt:
+			if id, ok := x.LHS.(*minic.Ident); !ok || id.IsGlobal {
+				quiet = false
+			}
+		}
+		minic.StmtExprs(st, func(e minic.Expr) {
+			minic.InspectExpr(e, func(n minic.Expr) {
+				call, ok := n.(*minic.CallExpr)
+				if !ok {
+					return
+				}
+				if !call.IsBuiltin {
+					quiet = false // a program call may mutate anything
+					return
+				}
+				if NativeEffect(p.Natives.At(call.BuiltinIndex))&WritesHeap != 0 {
+					quiet = false
+				}
+			})
+		})
+		return quiet
+	})
+	return quiet
+}

@@ -32,17 +32,16 @@ type optimizer struct {
 
 func (o *optimizer) block(b *BlockStmt) *BlockStmt {
 	var out []Stmt
-	for _, s := range b.Stmts {
+	for i, s := range b.Stmts {
 		s = o.stmt(s)
 		if s == nil {
 			continue
 		}
 		out = append(out, s)
-		// Statements after an unconditional return are unreachable.
+		// Statements after an unconditional return are unreachable:
+		// count one rewrite per statement actually dropped.
 		if _, isRet := s.(*ReturnStmt); isRet {
-			if len(out) < len(b.Stmts) {
-				o.count++
-			}
+			o.count += len(b.Stmts) - i - 1
 			break
 		}
 	}

@@ -112,6 +112,33 @@ func int main() {
 	}
 }
 
+// TestDeadCodeCountExact pins the rewrite count for dead-code removal:
+// three statements after the return means exactly three rewrites, even
+// though they are dropped as one truncation.
+func TestDeadCodeCountExact(t *testing.T) {
+	_, n := optimizeSource(t, `
+func int main() {
+	return 1;
+	int a = 2;
+	int b = 3;
+	return a + b;
+}`)
+	if n != 3 {
+		t.Errorf("rewrite count = %d, want 3 (one per dropped statement)", n)
+	}
+
+	// A lone return at the end of the block drops nothing and must not
+	// inflate the count.
+	_, n = optimizeSource(t, `
+func int main() {
+	int a = 4;
+	return a;
+}`)
+	if n != 0 {
+		t.Errorf("rewrite count = %d, want 0 for clean function", n)
+	}
+}
+
 func TestCompileOptimizedRuns(t *testing.T) {
 	prog, folds, err := CompileOptimized("opt.c", `
 func int main() {

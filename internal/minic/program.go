@@ -87,6 +87,12 @@ type Native struct {
 	AnyResult bool
 	// Variadic allows any extra arguments after Sig.Params.
 	Variadic bool
+	// WritesMemory declares that the handler may mutate program-visible
+	// memory (globals, or memory reached through pointer arguments).
+	// The effects analysis treats this flag as ground truth for native
+	// writes, and the VM's guarded-call write barrier blocks calls to
+	// natives that set it.
+	WritesMemory bool
 }
 
 // Natives is a registry of native functions available to a program. A

@@ -1,6 +1,7 @@
 package minic
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -350,15 +351,50 @@ func (vm *VM) Run() error {
 // whole design rests on — and is also used by D2X-R to evaluate
 // rtv_handlers. Reentrant: a native called this way may call back in.
 func (vm *VM) CallFunction(name string, args []Value) (Value, error) {
+	return vm.CallFunctionGuarded(name, args, nil)
+}
+
+// Guard constrains a synthetic (debugger-initiated) call. It is the
+// runtime twin of the effects analysis: when a handler could not be
+// proven safe statically, the caller supplies a Guard and the VM fences
+// the call instead of trusting it.
+type Guard struct {
+	// Fuel caps the instruction count of the call (and everything it
+	// spawns). 0 means no extra cap beyond the VM-wide SynthBudget; a
+	// positive value tightens it.
+	Fuel int64
+	// BlockWrites rejects every store to debuggee-visible memory before
+	// it executes: global stores, stores through pointers (live frames,
+	// heap objects), and calls to natives registered WritesMemory.
+	// Stores to the synthetic call's own local slots remain allowed.
+	BlockWrites bool
+}
+
+// Sentinel errors for guard violations; callers match with errors.Is to
+// degrade the result instead of failing the session.
+var (
+	ErrFuelExhausted = errors.New("fuel exhausted")
+	ErrWriteBarrier  = errors.New("write to debuggee blocked")
+)
+
+// CallFunctionGuarded is CallFunction under an optional Guard (nil
+// behaves exactly like CallFunction).
+func (vm *VM) CallFunctionGuarded(name string, args []Value, g *Guard) (Value, error) {
 	fi := vm.Prog.FuncIndex(name)
 	if fi < 0 {
 		return NullVal(), fmt.Errorf("minic: no function %q in program", name)
 	}
-	return vm.CallFunctionByIndex(fi, args)
+	return vm.callSynthetic(fi, args, g)
 }
 
 // CallFunctionByIndex is CallFunction addressed by function index.
 func (vm *VM) CallFunctionByIndex(fi int, args []Value) (Value, error) {
+	return vm.callSynthetic(fi, args, nil)
+}
+
+// callSynthetic runs a function to completion on a synthetic thread
+// pool, enforcing the guard (if any) instruction by instruction.
+func (vm *VM) callSynthetic(fi int, args []Value, g *Guard) (Value, error) {
 	frame, err := vm.newFrame(fi, args)
 	if err != nil {
 		return NullVal(), err
@@ -366,6 +402,23 @@ func (vm *VM) CallFunctionByIndex(fi int, args []Value) (Value, error) {
 	root := vm.newThread(nil, true)
 	root.Frames = []*Frame{frame}
 	pool := []*Thread{root}
+	// fail unregisters the pool's live frames before reporting: an
+	// aborted call must not leave dangling frame IDs that the debugger
+	// (or a d2x_find_stack_var in a later call) could still resolve.
+	fail := func(err error) (Value, error) {
+		for _, t := range pool {
+			for _, f := range t.Frames {
+				delete(vm.frameByID, f.ID)
+			}
+		}
+		return NullVal(), err
+	}
+	limit := vm.SynthBudget
+	fuelLimited := false
+	if g != nil && g.Fuel > 0 && g.Fuel < limit {
+		limit = g.Fuel
+		fuelLimited = true
+	}
 	var budget int64
 	for {
 		progress := false
@@ -374,28 +427,93 @@ func (vm *VM) CallFunctionByIndex(fi int, args []Value) (Value, error) {
 			if t.State != ThreadReady {
 				continue
 			}
+			if g != nil && g.BlockWrites {
+				if err := vm.guardWriteCheck(t); err != nil {
+					return fail(err)
+				}
+			}
 			spawned, err := vm.execInstr(t)
 			vm.Steps++
 			budget++
 			if err != nil {
-				return NullVal(), fmt.Errorf("in %s: %w", vm.Prog.Funcs[fi].Name, err)
+				return fail(fmt.Errorf("in %s: %w", vm.Prog.Funcs[fi].Name, err))
 			}
 			pool = append(pool, spawned...)
 			progress = true
-			if budget > vm.SynthBudget {
-				return NullVal(), fmt.Errorf("minic: call to %s exceeded instruction budget", vm.Prog.Funcs[fi].Name)
+			if budget > limit {
+				if fuelLimited {
+					return fail(fmt.Errorf("minic: call to %s: %w after %d instructions",
+						vm.Prog.Funcs[fi].Name, ErrFuelExhausted, limit))
+				}
+				return fail(fmt.Errorf("minic: call to %s exceeded instruction budget", vm.Prog.Funcs[fi].Name))
 			}
 		}
 		if root.State == ThreadDone {
 			return root.Result, nil
 		}
 		if root.State == ThreadFaulted {
-			return NullVal(), root.Fault
+			return fail(root.Fault)
 		}
 		if !progress {
-			return NullVal(), fmt.Errorf("minic: call to %s deadlocked", vm.Prog.Funcs[fi].Name)
+			return fail(fmt.Errorf("minic: call to %s deadlocked", vm.Prog.Funcs[fi].Name))
 		}
 	}
+}
+
+// guardWriteCheck inspects the instruction t is about to execute and
+// rejects debuggee-visible stores before they happen. Checking ahead of
+// execution (rather than undoing after) keeps the barrier exact: the
+// write never lands, so shared session state cannot be corrupted even
+// transiently.
+func (vm *VM) guardWriteCheck(t *Thread) error {
+	f := t.Top()
+	if f == nil || f.PC < 0 || f.PC >= len(f.Code.Instrs) {
+		return nil
+	}
+	in := f.Code.Instrs[f.PC]
+	deny := func(what string) error {
+		return fmt.Errorf("%s:%d: in %s: %w: %s",
+			vm.Prog.SourceName, f.Line(), f.Fn.Name, ErrWriteBarrier, what)
+	}
+	switch in.Op {
+	case OpStoreGlobal:
+		return deny(fmt.Sprintf("store to global %s", vm.Prog.Globals[in.A].Name))
+	case OpStoreInd:
+		// Compound assignment and ++/-- on plain locals also lower to
+		// OpStoreInd, so an unconditional deny would reject every loop
+		// counter. Stores whose target cell is a frame slot of this
+		// thread are private to the guarded call and allowed; anything
+		// else — global cells, array backing stores, debuggee frames
+		// reached through pointers — is denied. (Locally-allocated
+		// arrays are denied too: allocation provenance is a static
+		// property, proven by internal/minic/effects, which then runs
+		// the handler with no guard at all.)
+		if len(f.stack) >= 2 {
+			if p := f.stack[len(f.stack)-2]; p.Kind == VPtr && p.Ptr != nil && frameLocalCell(t, p.Ptr) {
+				return nil
+			}
+		}
+		return deny("store through pointer")
+	case OpCallNative:
+		if nat := vm.Prog.Natives.At(in.A); nat.WritesMemory {
+			return deny(fmt.Sprintf("call to writing native %s", nat.Name))
+		}
+	}
+	return nil
+}
+
+// frameLocalCell reports whether cell is a local slot of one of t's own
+// frames — memory private to the guarded call, invisible to the
+// debuggee once the call returns.
+func frameLocalCell(t *Thread, cell *Cell) bool {
+	for _, fr := range t.Frames {
+		for _, s := range fr.Slots {
+			if s == cell {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // faultf builds a positioned runtime fault.
