@@ -20,6 +20,7 @@ import (
 	"d2x/internal/graphit"
 	"d2x/internal/loc"
 	"d2x/internal/minic"
+	"d2x/internal/obs"
 )
 
 func lineOf(src, needle string) int {
@@ -447,6 +448,28 @@ func benchVarStrategy(b *testing.B, live bool) {
 		tableBytes = sb.Len()
 	}
 	b.ReportMetric(float64(tableBytes), "table-bytes")
+}
+
+// ---- Observability overhead (DESIGN.md §Observability) ----
+
+// The obs pair runs the identical xbt command with the observability
+// layer enabled and disabled. The instrumentation budget for the whole
+// debug stack is <5% on this path (a handful of atomic increments and
+// clock reads per command); the pair measures what is actually paid.
+func BenchmarkObsOverhead_XBT_On(b *testing.B)  { benchObsOverhead(b, true) }
+func BenchmarkObsOverhead_XBT_Off(b *testing.B) { benchObsOverhead(b, false) }
+
+func benchObsOverhead(b *testing.B, on bool) {
+	d, _ := pausedPagerankDelta(b, "powerlaw:n=64,m=512,seed=5")
+	prev := obs.Enabled()
+	obs.SetEnabled(on)
+	defer obs.SetEnabled(prev)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Execute("xbt"); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // ---- D2X-R command path: xbreak and multi-session table sharing ----

@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"d2x/internal/obs"
+)
+
+// benchJSONFile is the committed machine-readable benchmark record. CI
+// regenerates it on every run, uploads it as an artifact, and — once a
+// baseline is committed — fails the job if the xbt p50 regresses by more
+// than benchGatePct percent.
+const benchJSONFile = "BENCH_pr4.json"
+
+// benchGatePct is the allowed xbt-p50 regression before the gate fails.
+const benchGatePct = 25
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type benchReport struct {
+	PR         string        `json:"pr"`
+	Go         string        `json:"go"`
+	OS         string        `json:"os"`
+	Arch       string        `json:"arch"`
+	Benchmarks []benchResult `json:"benchmarks"`
+	// XBTP50NS is the xbt command's median latency from the obs
+	// histogram, accumulated over every xbt the benchmarks executed
+	// while instrumentation was on. This is the gated number.
+	XBTP50NS int64 `json:"xbt_p50_ns"`
+	// Obs is the full observability snapshot of the benchmark run:
+	// command counters, stage latencies, decode counts, session churn.
+	Obs *obs.Snap `json:"obs"`
+}
+
+// TestEmitBenchJSON runs the command-path benchmarks programmatically and
+// writes BENCH_pr4.json: ns/op + allocs per benchmark, plus the obs
+// snapshot of everything the run executed. Gated behind an env var so
+// ordinary `go test ./...` stays fast:
+//
+//	D2X_BENCH_JSON=1 go test -run TestEmitBenchJSON .
+//
+// With D2X_BENCH_GATE=1 as well, the test fails if the measured xbt p50
+// exceeds the committed baseline by more than benchGatePct percent. The
+// baseline is read before the file is rewritten, so the gate always
+// compares against the last committed record, not this run's own output.
+func TestEmitBenchJSON(t *testing.T) {
+	if os.Getenv("D2X_BENCH_JSON") == "" {
+		t.Skipf("set D2X_BENCH_JSON=1 to emit %s", benchJSONFile)
+	}
+
+	var baseline benchReport
+	haveBaseline := false
+	if b, err := os.ReadFile(benchJSONFile); err == nil {
+		if json.Unmarshal(b, &baseline) == nil && baseline.XBTP50NS > 0 {
+			haveBaseline = true
+		}
+	}
+
+	// Fresh counters: the snapshot should describe this run only.
+	obs.Reset()
+	rep := benchReport{
+		PR: "pr4", Go: runtime.Version(),
+		OS: runtime.GOOS, Arch: runtime.GOARCH,
+	}
+	for _, bm := range []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"Fig4_TwoStageMapping", BenchmarkFig4_TwoStageMapping},
+		{"XBreak", BenchmarkXBreak},
+		{"SharedTables_SecondSessionXBT", BenchmarkSharedTables_SecondSessionXBT},
+		{"ObsOverhead_XBT_On", BenchmarkObsOverhead_XBT_On},
+		{"ObsOverhead_XBT_Off", BenchmarkObsOverhead_XBT_Off},
+	} {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			bm.fn(b)
+		})
+		rep.Benchmarks = append(rep.Benchmarks, benchResult{
+			Name:        bm.name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		t.Logf("%-32s %12.0f ns/op %8d allocs/op", bm.name,
+			float64(r.T.Nanoseconds())/float64(r.N), r.AllocsPerOp())
+	}
+
+	rep.XBTP50NS = obs.GetHistogram("d2xr.cmd.xbt").Quantile(0.5)
+	rep.Obs = obs.Snapshot()
+	if rep.XBTP50NS == 0 {
+		t.Fatal("no xbt latency recorded: instrumentation is dark")
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(benchJSONFile, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (xbt p50 = %d ns)", benchJSONFile, rep.XBTP50NS)
+
+	if os.Getenv("D2X_BENCH_GATE") == "" {
+		return
+	}
+	if !haveBaseline {
+		t.Logf("no committed baseline in %s yet; gate is a no-op", benchJSONFile)
+		return
+	}
+	limit := baseline.XBTP50NS * (100 + benchGatePct) / 100
+	if rep.XBTP50NS > limit {
+		t.Errorf("xbt p50 regressed more than %d%%: baseline %d ns, now %d ns (limit %d ns)",
+			benchGatePct, baseline.XBTP50NS, rep.XBTP50NS, limit)
+	} else {
+		t.Logf("gate ok: xbt p50 %d ns vs baseline %d ns (limit %d ns)",
+			rep.XBTP50NS, baseline.XBTP50NS, limit)
+	}
+}

@@ -8,8 +8,9 @@
 //
 // All of GDB's usual commands work (break, run, continue, step, next, bt,
 // frame, print, info, call, eval, ...) plus the D2X commands: xbt, xlist,
-// xframe, xvars, xbreak, xdel. With -x, commands come from a script file
-// and the session is non-interactive.
+// xframe, xvars, xbreak, xdel — and the observability commands stats
+// (metrics snapshot as JSON) and trace (event trace as JSONL). With -x,
+// commands come from a script file and the session is non-interactive.
 package main
 
 import (
@@ -116,6 +117,9 @@ D2X commands (DSL-level):
   xvars [NAME]   extended variables; NAME evaluates one (rtv_handlers run)
   xbreak [LOC]   DSL-level breakpoint (file:line in the DSL input)
   xdel ID        delete a DSL-level breakpoint
+Observability:
+  stats          debug-service metrics snapshot (JSON)
+  trace [N]      structured event trace as JSONL (last N events)
 `)
 }
 

@@ -5,10 +5,13 @@
 //
 // Usage:
 //
-//	d2xdemo [-lint] [fig2|fig6|fig9|fig11|parallel|all]
+//	d2xdemo [-lint] [-stats] [fig2|fig6|fig9|fig11|parallel|all]
 //
 // With -lint each figure's build is run through the d2xverify checks
-// instead of a debugger session; any finding exits nonzero.
+// instead of a debugger session; any finding exits nonzero. With -stats
+// the observability snapshot of everything the run touched — command
+// counts, lookup-stage latencies, table decodes, session churn — is
+// printed as JSON after the transcripts.
 package main
 
 import (
@@ -24,11 +27,15 @@ import (
 	"d2x/internal/einsum"
 	"d2x/internal/graphit"
 	"d2x/internal/minic"
+	"d2x/internal/obs"
 )
 
 // lintMode replaces each figure's debugger session with a d2xverify run
 // over the same build.
 var lintMode = flag.Bool("lint", false, "verify each figure's debug info instead of running a session")
+
+// statsMode dumps the obs.Snapshot of the whole run as JSON on exit.
+var statsMode = flag.Bool("stats", false, "print the observability snapshot (JSON) after the run")
 
 func main() {
 	flag.Parse()
@@ -50,6 +57,7 @@ func main() {
 		if err := fn(); err != nil {
 			fatal(err)
 		}
+		printStats()
 		return
 	}
 	for _, name := range order {
@@ -58,6 +66,20 @@ func main() {
 			fatal(err)
 		}
 	}
+	printStats()
+}
+
+// printStats implements -stats: the observability snapshot of everything
+// this run executed, as indented JSON on stdout.
+func printStats() {
+	if !*statsMode {
+		return
+	}
+	b, err := obs.Snapshot().MarshalIndent()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\n======== stats ========\n%s\n", b)
 }
 
 func banner(name string) {

@@ -24,9 +24,11 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"d2x/internal/d2x/d2xc"
 	"d2x/internal/d2x/d2xenc"
@@ -34,6 +36,7 @@ import (
 	"d2x/internal/dwarfish"
 	"d2x/internal/minic"
 	"d2x/internal/minic/effects"
+	"d2x/internal/obs"
 	"d2x/internal/srcloc"
 )
 
@@ -83,6 +86,68 @@ func CommandNatives() []NativeSpec {
 	}
 }
 
+// cmdMetrics is one D2X command's observability handle set: call and
+// error counts plus a latency histogram. Handles live in the package
+// (the obs registry is process-wide), resolved once at init, so the
+// command hot path touches only atomics.
+type cmdMetrics struct {
+	calls *obs.Counter
+	errs  *obs.Counter
+	lat   *obs.Histogram
+}
+
+func newCmdMetrics(name string) *cmdMetrics {
+	return &cmdMetrics{
+		calls: obs.GetCounter("d2xr.cmd." + name + ".calls"),
+		errs:  obs.GetCounter("d2xr.cmd." + name + ".errors"),
+		lat:   obs.GetHistogram("d2xr.cmd." + name),
+	}
+}
+
+// Package-wide instrumentation handles: the six Table 2 commands, the
+// two mapping stages of Figure 4, rtv-handler guard telemetry, and the
+// xlist source-file cache.
+var (
+	cmdObs = map[string]*cmdMetrics{
+		"xbt": newCmdMetrics("xbt"), "xframe": newCmdMetrics("xframe"),
+		"xlist": newCmdMetrics("xlist"), "xvars": newCmdMetrics("xvars"),
+		"xbreak": newCmdMetrics("xbreak"), "xdel": newCmdMetrics("xdel"),
+	}
+	stage1Lat  = obs.GetHistogram("d2xr.stage1.rip_to_genline")
+	stage1Miss = obs.GetCounter("d2xr.stage1.misses")
+	stage2Lat  = obs.GetHistogram("d2xr.stage2.genline_to_dsl")
+	stage2Miss = obs.GetCounter("d2xr.stage2.misses")
+
+	// stageTick drives 1-in-stageSampleEvery sampling of the two stage
+	// histograms (see recordAt); counts and misses remain exact.
+	stageTick atomic.Int64
+
+	rtvUnguarded  = obs.GetCounter("d2xr.rtv.unguarded")
+	rtvGuarded    = obs.GetCounter("d2xr.rtv.guarded")
+	rtvFuelSpent  = obs.GetCounter("d2xr.rtv.fuel_spent")
+	rtvBarrier    = obs.GetCounter("d2xr.rtv.barrier_denials")
+	rtvExhausted  = obs.GetCounter("d2xr.rtv.fuel_exhausted")
+	rtvLat        = obs.GetHistogram("d2xr.rtv.eval")
+	findStackVars = obs.GetCounter("d2xr.find_stack_var.calls")
+
+	fileCacheHits   = obs.GetCounter("d2xr.filecache.hits")
+	fileCacheMisses = obs.GetCounter("d2xr.filecache.misses")
+	fileCacheEvicts = obs.GetCounter("d2xr.filecache.evictions")
+	fileCacheResets = obs.GetCounter("d2xr.filecache.resets")
+)
+
+// maxFileCacheEntries bounds the xlist source-file cache. DSL programs
+// rarely span more than a handful of files; the bound exists so a
+// long-lived build serving many sessions over many differently-pathed
+// sources cannot grow without limit (the same leak class as the
+// pre-service per-session tables map).
+const maxFileCacheEntries = 64
+
+// stageSampleEvery is the sampling stride for the per-stage lookup
+// histograms: recordAt times its two stages on one call in this many.
+// A power of two keeps the modulo a mask.
+const stageSampleEvery = 8
+
 // Runtime is the per-build D2X runtime — the data a real D2X build links
 // into the executable. Register its entry points into the native registry
 // before compiling the generated code (the "link" step), then attach the
@@ -96,6 +161,7 @@ type Runtime struct {
 
 	fileMu    sync.Mutex
 	fileCache map[string][]string
+	fileOrder []string // cache keys in insertion order (FIFO eviction)
 }
 
 // New returns an empty runtime. Call Register before compiling generated
@@ -111,21 +177,36 @@ func New() *Runtime {
 	}
 }
 
-// SetFileResolver replaces the DSL source reader.
+// SetFileResolver replaces the DSL source reader and drops every cached
+// file: lines read through the old resolver must not leak into xlist
+// output served under the new one.
 func (r *Runtime) SetFileResolver(fr FileResolver) {
 	r.fileMu.Lock()
 	defer r.fileMu.Unlock()
 	r.files = fr
 	r.fileCache = map[string][]string{}
+	r.fileOrder = nil
+	fileCacheResets.Inc()
 }
 
 // AttachDebugInfo gives the runtime the program's standard debug info —
 // the same blob the debugger loads. D2X-R decodes it itself, exactly as
 // the paper's runtime decodes DWARF to find stack variables.
+//
+// Re-attaching (replacing the debug info of a runtime that already had
+// some) means the build itself was replaced, so everything derived from
+// the old build is invalidated: the shared table decode and every live
+// session's command state — a stale extended-frame selection or a DSL
+// breakpoint expanded against the old line numbering must not survive
+// into the new binary.
 func (r *Runtime) AttachDebugInfo(blob []byte) error {
 	info, err := dwarfish.Decode(blob)
 	if err != nil {
 		return fmt.Errorf("d2xr: %w", err)
+	}
+	if r.info != nil {
+		r.svc.Invalidate()
+		obs.Emit(obs.Event{Kind: "runtime", Name: "reattach", Detail: "tables and session state invalidated"})
 	}
 	r.info = info
 	return nil
@@ -166,35 +247,35 @@ func (r *Runtime) Register(nats *minic.Natives) {
 	nats.Register(&minic.Native{
 		Name: NativeXBT,
 		Sig:  minic.Signature{Params: []*minic.Type{intT, intT}, Result: voidT},
-		Handler: r.command(true, func(st *session.State, call *minic.NativeCall) (minic.Value, error) {
+		Handler: r.command("xbt", true, true, func(st *session.State, call *minic.NativeCall) (minic.Value, error) {
 			return minic.NullVal(), r.xbt(call.VM, call.Args[0].I)
 		}),
 	})
 	nats.Register(&minic.Native{
 		Name: NativeXFrame,
 		Sig:  minic.Signature{Params: []*minic.Type{intT, intT, strT}, Result: voidT},
-		Handler: r.command(true, func(st *session.State, call *minic.NativeCall) (minic.Value, error) {
+		Handler: r.command("xframe", true, true, func(st *session.State, call *minic.NativeCall) (minic.Value, error) {
 			return minic.NullVal(), r.xframe(st, call.VM, call.Args[0].I, call.Args[2].S)
 		}),
 	})
 	nats.Register(&minic.Native{
 		Name: NativeXList,
 		Sig:  minic.Signature{Params: []*minic.Type{intT, intT}, Result: voidT},
-		Handler: r.command(true, func(st *session.State, call *minic.NativeCall) (minic.Value, error) {
+		Handler: r.command("xlist", true, true, func(st *session.State, call *minic.NativeCall) (minic.Value, error) {
 			return minic.NullVal(), r.xlist(st, call.VM, call.Args[0].I)
 		}),
 	})
 	nats.Register(&minic.Native{
 		Name: NativeXVars,
 		Sig:  minic.Signature{Params: []*minic.Type{intT, intT, strT}, Result: voidT},
-		Handler: r.command(true, func(st *session.State, call *minic.NativeCall) (minic.Value, error) {
+		Handler: r.command("xvars", true, true, func(st *session.State, call *minic.NativeCall) (minic.Value, error) {
 			return minic.NullVal(), r.xvars(st, call.VM, call.Args[0].I, call.Args[2].S)
 		}),
 	})
 	nats.Register(&minic.Native{
 		Name: NativeXBreak,
 		Sig:  minic.Signature{Params: []*minic.Type{intT, strT}, Result: strT},
-		Handler: r.command(false, func(st *session.State, call *minic.NativeCall) (minic.Value, error) {
+		Handler: r.command("xbreak", true, false, func(st *session.State, call *minic.NativeCall) (minic.Value, error) {
 			s, err := r.xbreak(st, call.VM, call.Args[0].I, call.Args[1].S)
 			return minic.StrVal(s), err
 		}),
@@ -202,32 +283,38 @@ func (r *Runtime) Register(nats *minic.Natives) {
 	nats.Register(&minic.Native{
 		Name: NativeXDel,
 		Sig:  minic.Signature{Params: []*minic.Type{strT}, Result: strT},
-		Handler: func(call *minic.NativeCall) (minic.Value, error) {
-			s, err := r.xdel(r.svc.State(call.VM), call.VM, call.Args[0].S)
+		Handler: r.command("xdel", false, false, func(st *session.State, call *minic.NativeCall) (minic.Value, error) {
+			s, err := r.xdel(st, call.VM, call.Args[0].S)
 			return minic.StrVal(s), err
-		},
+		}),
 	})
 	nats.Register(&minic.Native{
 		Name:      NativeFindStackVar,
 		Sig:       minic.Signature{Params: []*minic.Type{strT}, Result: minic.AnyType},
 		AnyResult: true,
 		Handler: func(call *minic.NativeCall) (minic.Value, error) {
+			findStackVars.Inc()
 			return r.findStackVar(call.VM, call.Args[0].S)
 		},
 	})
 }
 
 // command wraps an entry point with the session-state bookkeeping every
-// D2X command shares: resolving the calling session, resetting the
-// selected extended frame when execution moved, and — for the commands
-// that receive $rsp — marking the command active so nested handler calls
-// can locate the paused frame. The flag is explicit because frame ID 0
-// (the first frame a VM creates) is a perfectly valid $rsp.
-func (r *Runtime) command(hasRSP bool, h cmdFunc) minic.NativeHandler {
+// D2X command shares — resolving the calling session, resetting the
+// selected extended frame when execution moved, and, for the commands
+// that receive $rsp, marking the command active so nested handler calls
+// can locate the paused frame — plus its observability: call/error
+// counters, a latency histogram, and one trace event per invocation.
+// The hasRIP/hasRSP flags are explicit: xdel's first argument is a
+// breakpoint spec, not a rip, and frame ID 0 (the first frame a VM
+// creates) is a perfectly valid $rsp.
+func (r *Runtime) command(name string, hasRIP, hasRSP bool, h cmdFunc) minic.NativeHandler {
+	m := cmdObs[name]
 	return func(call *minic.NativeCall) (minic.Value, error) {
 		st := r.svc.State(call.VM)
-		if len(call.Args) >= 1 {
-			rip := call.Args[0].I
+		var rip int64
+		if hasRIP && len(call.Args) >= 1 {
+			rip = call.Args[0].I
 			if !st.HaveRIP || rip != st.LastRIP {
 				st.SelXFrame = 0
 			}
@@ -239,7 +326,24 @@ func (r *Runtime) command(hasRSP bool, h cmdFunc) minic.NativeHandler {
 			st.CmdActive = true
 			defer func() { st.CmdActive = false }()
 		}
-		return h(st, call)
+		start := obs.NowNanos()
+		v, err := h(st, call)
+		m.calls.Inc()
+		ev := obs.Event{Kind: "cmd", Name: name, Session: st.ID, RIP: rip}
+		if start != 0 {
+			durNS := obs.NowNanos() - start
+			m.lat.ObserveNS(durNS)
+			ev.DurNS = durNS
+			// Derive the event's wall stamp from the timestamps already
+			// taken, sparing the ring its own clock read.
+			ev.Time = obs.WallNanos(start + durNS)
+		}
+		if err != nil {
+			m.errs.Inc()
+			ev.Err = err.Error()
+		}
+		obs.Emit(ev)
+		return v, err
 	}
 }
 
@@ -250,20 +354,43 @@ func (r *Runtime) tablesFor(vm *minic.VM) (*d2xenc.Tables, error) {
 }
 
 // recordAt performs the two-stage mapping for an encoded rip: standard
-// debug info to the generated line, then D2X tables to the DSL record.
+// debug info to the generated line (stage 1), then D2X tables to the DSL
+// record (stage 2). Each stage is timed separately, so the snapshot can
+// attribute command latency to the debug-info walk versus the table
+// lookup — the cost split of Figure 4.
 func (r *Runtime) recordAt(vm *minic.VM, rip int64) (*d2xc.Record, int, error) {
 	if r.info == nil {
 		return nil, 0, fmt.Errorf("d2x: no debug info attached")
 	}
+	// The stage histograms are sampled 1-in-stageSampleEvery: the stages
+	// are sub-microsecond map lookups, so timing each one on every call
+	// would cost more than the work being measured. Misses stay exact.
+	var t0, t1 int64
+	timed := stageTick.Add(1)%stageSampleEvery == 0
+	if timed {
+		t0 = obs.NowNanos()
+	}
 	_, genLine, ok := r.info.LineFor(dwarfish.DecodeAddr(rip))
+	if timed && t0 != 0 {
+		t1 = obs.NowNanos()
+		stage1Lat.ObserveNS(t1 - t0)
+	}
 	if !ok {
+		stage1Miss.Inc()
 		return nil, 0, fmt.Errorf("d2x: no line info for rip %#x", rip)
 	}
 	tables, err := r.tablesFor(vm)
 	if err != nil {
 		return nil, genLine, err
 	}
-	return tables.RecordForLine(genLine), genLine, nil
+	rec := tables.RecordForLine(genLine)
+	if timed && t1 != 0 {
+		stage2Lat.ObserveNS(obs.NowNanos() - t1)
+	}
+	if rec == nil {
+		stage2Miss.Inc()
+	}
+	return rec, genLine, nil
 }
 
 func out(vm *minic.VM, format string, args ...any) {
@@ -441,12 +568,28 @@ func (r *Runtime) evalVar(st *session.State, vm *minic.VM, v d2xc.VarEntry) (str
 		return v.Val, nil
 	case d2xc.VarHandler:
 		g := r.guardFor(vm, st, v.Val)
+		var gs minic.GuardStats
+		if g == nil {
+			rtvUnguarded.Inc()
+		} else {
+			rtvGuarded.Inc()
+			g.Stats = &gs
+		}
+		start := obs.NowNanos()
 		res, err := vm.CallFunctionGuarded(v.Val, []minic.Value{minic.StrVal(v.Key)}, g)
+		rtvLat.SinceNS(start)
+		rtvFuelSpent.Add(gs.FuelUsed)
 		switch {
 		case err == nil:
 		case errors.Is(err, minic.ErrFuelExhausted):
+			rtvExhausted.Inc()
+			obs.Emit(obs.Event{Kind: "guard", Name: "fuel", Session: st.ID,
+				Detail: fmt.Sprintf("%s fuel=%d", v.Val, gs.FuelUsed), Err: err.Error()})
 			return ResultFuelExceeded, nil
 		case errors.Is(err, minic.ErrWriteBarrier):
+			rtvBarrier.Inc()
+			obs.Emit(obs.Event{Kind: "guard", Name: "barrier", Session: st.ID,
+				Detail: fmt.Sprintf("%s fuel=%d", v.Val, gs.FuelUsed), Err: err.Error()})
 			return ResultWriteBlocked, nil
 		default:
 			return "", fmt.Errorf("d2x: rtv_handler %s failed: %w", v.Val, err)
@@ -516,6 +659,11 @@ func (r *Runtime) xbreak(st *session.State, vm *minic.VM, rip int64, spec string
 			breakable = append(breakable, gl)
 		}
 	}
+	// A DSL line can reach the same generated line through several
+	// records (overlapping sections, suffix-matched files): emit each
+	// `break` once, in line order, or the debugger ends up with stacked
+	// duplicate breakpoints xdel can only half-remove.
+	breakable = dedupeSortedLines(breakable)
 	if len(breakable) == 0 {
 		out(vm, "No generated code for %s:%d\n", file, line)
 		return "", nil
@@ -524,11 +672,29 @@ func (r *Runtime) xbreak(st *session.State, vm *minic.VM, rip int64, spec string
 	st.NextID++
 	st.XBPs = append(st.XBPs, bp)
 	out(vm, "Inserting %d breakpoints with ID: #%d\n", len(breakable), bp.ID)
-	var cmds []string
-	for _, gl := range breakable {
-		cmds = append(cmds, fmt.Sprintf("break %s:%d", r.genFileName(), gl))
+	gen := r.genFileName()
+	cmds := make([]string, len(breakable))
+	for i, gl := range breakable {
+		cmds[i] = fmt.Sprintf("break %s:%d", gen, gl)
 	}
 	return strings.Join(cmds, "\n"), nil
+}
+
+// dedupeSortedLines sorts line numbers ascending and removes duplicates,
+// in place.
+func dedupeSortedLines(lines []int) []int {
+	if len(lines) < 2 {
+		return lines
+	}
+	sort.Ints(lines)
+	w := 1
+	for _, l := range lines[1:] {
+		if l != lines[w-1] {
+			lines[w] = l
+			w++
+		}
+	}
+	return lines[:w]
 }
 
 // xdel removes a DSL-level breakpoint by ID and returns the debugger
@@ -545,9 +711,15 @@ func (r *Runtime) xdel(st *session.State, vm *minic.VM, spec string) (string, er
 		}
 		st.XBPs = append(st.XBPs[:i], st.XBPs[i+1:]...)
 		out(vm, "Deleted DSL breakpoint #%d (%d generated locations)\n", id, len(bp.GenLines))
-		var cmds []string
-		for _, gl := range bp.GenLines {
-			cmds = append(cmds, fmt.Sprintf("clear %s:%d", r.genFileName(), gl))
+		// Defensive dedupe: expansions made by current xbreak are already
+		// unique, but breakpoints that survived from an older build (or
+		// were installed by external tooling) may not be, and a duplicate
+		// `clear` on an already-cleared location is a command error.
+		gen := r.genFileName()
+		lines := dedupeSortedLines(append([]int(nil), bp.GenLines...))
+		cmds := make([]string, len(lines))
+		for i, gl := range lines {
+			cmds[i] = fmt.Sprintf("clear %s:%d", gen, gl)
 		}
 		return strings.Join(cmds, "\n"), nil
 	}
@@ -592,14 +764,25 @@ func (r *Runtime) sourceFile(path string) ([]string, error) {
 	r.fileMu.Lock()
 	defer r.fileMu.Unlock()
 	if lines, ok := r.fileCache[path]; ok {
+		fileCacheHits.Inc()
 		return lines, nil
 	}
+	fileCacheMisses.Inc()
 	text, err := r.files(path)
 	if err != nil {
+		// Failures are not cached: the file may appear later (e.g. a
+		// resolver backed by a build directory that is still filling).
 		return nil, err
 	}
 	lines := strings.Split(text, "\n")
+	for len(r.fileOrder) >= maxFileCacheEntries {
+		oldest := r.fileOrder[0]
+		r.fileOrder = r.fileOrder[1:]
+		delete(r.fileCache, oldest)
+		fileCacheEvicts.Inc()
+	}
 	r.fileCache[path] = lines
+	r.fileOrder = append(r.fileOrder, path)
 	return lines, nil
 }
 

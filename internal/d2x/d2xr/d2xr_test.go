@@ -7,6 +7,7 @@ import (
 
 	"d2x/internal/d2x/d2xc"
 	"d2x/internal/d2x/d2xenc"
+	"d2x/internal/d2x/session"
 	"d2x/internal/dwarfish"
 	"d2x/internal/minic"
 )
@@ -444,5 +445,181 @@ func TestSharedTablesSingleDecode(t *testing.T) {
 	}
 	if n := f.rt.LiveSessions(); n != 2 {
 		t.Errorf("live sessions = %d, want 2", n)
+	}
+}
+
+// TestSourceFileCacheBoundedAndReset is the regression test for the
+// unbounded xlist source cache: insertion past the cap must evict the
+// oldest entries, hits must not re-read, and swapping the resolver must
+// drop everything cached under the old one.
+func TestSourceFileCacheBoundedAndReset(t *testing.T) {
+	rt := New()
+	reads := map[string]int{}
+	rt.SetFileResolver(func(path string) (string, error) {
+		reads[path]++
+		return "old\n", nil
+	})
+	const overflow = 8
+	for i := 0; i < maxFileCacheEntries+overflow; i++ {
+		if _, err := rt.sourceFile(fmt.Sprintf("f%03d.dsl", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(rt.fileCache); n != maxFileCacheEntries {
+		t.Errorf("cache size after overflow = %d, want %d", n, maxFileCacheEntries)
+	}
+	if n := len(rt.fileOrder); n != maxFileCacheEntries {
+		t.Errorf("eviction order length = %d, want %d", n, maxFileCacheEntries)
+	}
+	// A surviving entry is a hit: no second read through the resolver.
+	if _, err := rt.sourceFile(fmt.Sprintf("f%03d.dsl", overflow)); err != nil {
+		t.Fatal(err)
+	}
+	if got := reads[fmt.Sprintf("f%03d.dsl", overflow)]; got != 1 {
+		t.Errorf("cached file read %d times, want 1", got)
+	}
+	// The oldest entries were evicted (FIFO): asking again re-reads.
+	if _, err := rt.sourceFile("f000.dsl"); err != nil {
+		t.Fatal(err)
+	}
+	if got := reads["f000.dsl"]; got != 2 {
+		t.Errorf("evicted file read %d times, want 2", got)
+	}
+	// Replacing the resolver must drop the whole cache: content cached
+	// under the old resolver must not be served for the new one.
+	rt.SetFileResolver(func(path string) (string, error) {
+		return "new\n", nil
+	})
+	lines, err := rt.sourceFile("f050.dsl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 || lines[0] != "new" {
+		t.Errorf("stale cache served across resolver change: %q", lines)
+	}
+}
+
+// TestXBreakDedupesDuplicateGenLines is the regression test for the
+// duplicate-emission bug: when a DSL line reaches one generated line
+// through several D2X records (two sections covering the same generated
+// line, as a macro expanded twice at one site produces), xbreak used to
+// emit the same `break` command once per record, stacking duplicate
+// breakpoints in the debugger that a single xdel could not fully remove.
+func TestXBreakDedupesDuplicateGenLines(t *testing.T) {
+	ctx := d2xc.NewContext()
+	for i := 0; i < 2; i++ {
+		if err := ctx.BeginSectionAt(2); err != nil {
+			t.Fatal(err)
+		}
+		ctx.PushSourceLoc("p.dsl", 1)
+		ctx.Nextl() // generated line 2: int v = 1;
+		if err := ctx.EndSection(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var src strings.Builder
+	src.WriteString(`func int main() {
+	int v = 1;
+	return v;
+}
+`)
+	if err := d2xenc.EmitTables(ctx, &src); err != nil {
+		t.Fatal(err)
+	}
+	nats := minic.NewNatives()
+	rt := New()
+	rt.Register(nats)
+	prog, err := minic.Compile("gen.c", src.String(), nats)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, src.String())
+	}
+	if err := rt.AttachDebugInfo(dwarfish.Build(prog).Encode()); err != nil {
+		t.Fatal(err)
+	}
+	vm := minic.NewVM(prog, nil)
+	if err := vm.Start(); err != nil {
+		t.Fatal(err)
+	}
+	top := vm.Threads()[0].Top()
+	rip := dwarfish.EncodeAddr(dwarfish.Addr{FuncIndex: top.FuncIndex, PC: top.PC})
+
+	// Both records map p.dsl:1 to generated line 2.
+	tables, err := rt.svc.Tables(vm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gls := tables.GenLinesForDSL("p.dsl", 1); len(gls) < 2 {
+		t.Fatalf("fixture did not reproduce duplicate records: GenLines = %v", gls)
+	}
+
+	var out strings.Builder
+	vm2 := minic.NewVM(prog, &out)
+	if err := vm2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	nat, _, _ := nats.Lookup("d2x_runtime_command_xbreak")
+	v, err := nat.Handler(&minic.NativeCall{VM: vm2, Thread: vm2.Threads()[0],
+		Args: []minic.Value{minic.IntVal(rip), minic.StrVal("p.dsl:1")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.S != "break gen.c:2" {
+		t.Errorf("xbreak commands = %q, want one deduplicated break", v.S)
+	}
+	if !strings.Contains(out.String(), "Inserting 1 breakpoints with ID: #1") {
+		t.Errorf("xbreak banner:\n%s", out.String())
+	}
+	out.Reset()
+	natDel, _, _ := nats.Lookup("d2x_runtime_command_xdel")
+	v, err = natDel.Handler(&minic.NativeCall{VM: vm2, Thread: vm2.Threads()[0],
+		Args: []minic.Value{minic.StrVal("#1")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.S != "clear gen.c:2" {
+		t.Errorf("xdel commands = %q, want one deduplicated clear", v.S)
+	}
+}
+
+// TestXDelEmitsSortedUniqueClears: xdel must emit clear commands sorted
+// and deduplicated even for breakpoints whose stored expansion predates
+// the dedupe (e.g. set before a re-attach under an older build).
+func TestXDelEmitsSortedUniqueClears(t *testing.T) {
+	f := newFixture(t)
+	st := f.rt.svc.State(f.vm)
+	st.XBPs = append(st.XBPs, &session.XBreakpoint{
+		ID: 5, File: "p.dsl", Line: 1, GenLines: []int{7, 6, 7, 6, 6}})
+	v := f.callCmd(t, "d2x_runtime_command_xdel", minic.StrVal("#5"))
+	if v.S != "clear gen.c:6\nclear gen.c:7" {
+		t.Errorf("xdel commands = %q, want sorted unique clears", v.S)
+	}
+}
+
+// TestReattachResetsSessionState is the regression test for the
+// mid-flight re-attach bug: replacing the debug info used to keep every
+// session's frame selection, remembered rip and DSL breakpoints, all of
+// which refer to the old build's line numbering.
+func TestReattachResetsSessionState(t *testing.T) {
+	f := newFixture(t)
+	f.callCmd(t, "d2x_runtime_command_xbreak", minic.IntVal(f.rip), minic.StrVal("prog.dsl:2"))
+	f.callCmd(t, "d2x_runtime_command_xbt", minic.IntVal(f.rip), minic.IntVal(f.rsp))
+	st := f.rt.svc.State(f.vm)
+	if !st.HaveRIP || len(st.XBPs) != 1 {
+		t.Fatalf("precondition not met: %+v", st)
+	}
+	dec0 := f.rt.TableDecodes()
+
+	if err := f.rt.AttachDebugInfo(dwarfish.Build(f.prog).Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if st.HaveRIP || st.LastRIP != 0 || st.SelXFrame != 0 || len(st.XBPs) != 0 {
+		t.Errorf("stale session state survived re-attach: %+v", st)
+	}
+	// The shared decode was dropped too: the next table-backed command
+	// re-decodes from the debuggee instead of serving the stale build.
+	f.out.Reset()
+	f.callCmd(t, "d2x_runtime_command_xbt", minic.IntVal(f.rip), minic.IntVal(f.rsp))
+	if n := f.rt.TableDecodes(); n != dec0+1 {
+		t.Errorf("decodes after re-attach = %d, want %d", n, dec0+1)
 	}
 }

@@ -11,7 +11,9 @@
 //
 //   - Tables: decoded on first use from whichever session asks first,
 //     then shared read-only by every later session. d2xenc.Tables is
-//     immutable after Decode, so no lock guards reads.
+//     immutable after Decode and published through an atomic pointer,
+//     so the hit path takes no lock at all — one atomic load plus one
+//     atomic counter increment.
 //   - State: the ambient command state one session accumulates (selected
 //     extended frame, DSL breakpoints, active-command frame). Each state
 //     is touched only by its own session's command stream; the Service
@@ -19,14 +21,20 @@
 //   - Release: evicts a session's state when its debugger closes, so a
 //     long-lived build serving many sessions does not accumulate state
 //     for VMs that are gone.
+//
+// Every event the service sees — decodes, cache hits and misses, state
+// creation and eviction, the live-session high-water mark — is exported
+// through internal/obs, so the premise is measured rather than asserted.
 package session
 
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"d2x/internal/d2x/d2xenc"
 	"d2x/internal/minic"
+	"d2x/internal/obs"
 )
 
 // XBreakpoint is one DSL-level breakpoint: a DSL location expanded to the
@@ -44,6 +52,10 @@ type XBreakpoint struct {
 // paused debugger, so the fields need no lock of their own — only the
 // Service map that stores states is shared between sessions.
 type State struct {
+	// ID identifies this session in trace events and diagnostics,
+	// assigned once at creation and stable across Reset.
+	ID int64
+
 	// SelXFrame is the selected extended frame (xframe), reset to the
 	// top whenever a command arrives with a new rip.
 	SelXFrame int
@@ -68,19 +80,67 @@ type State struct {
 	FuelBudget int64
 }
 
+// Reset clears everything that refers to the build the session was
+// debugging: the selected extended frame, the remembered rip, the active
+// command marker, and every DSL breakpoint (their generated-line
+// expansions belong to the old build's line numbering). The session's
+// identity and its fuel-budget preference survive. Called when
+// AttachDebugInfo replaces the build mid-flight.
+func (st *State) Reset() {
+	st.SelXFrame = 0
+	st.LastRIP = 0
+	st.HaveRIP = false
+	st.CmdActive = false
+	st.CurRSP = 0
+	st.XBPs = nil
+	st.NextID = 1
+}
+
+// metrics is the service's observability handle set, resolved once at
+// New so the hot paths never touch the registry.
+type metrics struct {
+	decodes      *obs.Counter
+	decodeErrs   *obs.Counter
+	tablesHit    *obs.Counter
+	tablesMiss   *obs.Counter
+	stateCreates *obs.Counter
+	stateEvicts  *obs.Counter
+	live         *obs.Gauge
+	decodeLat    *obs.Histogram
+}
+
+func newMetrics() metrics {
+	return metrics{
+		decodes:      obs.GetCounter("session.tables.decodes"),
+		decodeErrs:   obs.GetCounter("session.tables.decode_errors"),
+		tablesHit:    obs.GetCounter("session.tables.hit"),
+		tablesMiss:   obs.GetCounter("session.tables.miss"),
+		stateCreates: obs.GetCounter("session.state.creates"),
+		stateEvicts:  obs.GetCounter("session.state.evicts"),
+		live:         obs.GetGauge("session.live"),
+		decodeLat:    obs.GetHistogram("session.tables.decode"),
+	}
+}
+
 // Service shares one build's decoded D2X tables across its debug
 // sessions and tracks each session's command state. All methods are safe
 // for concurrent use by multiple sessions.
 type Service struct {
-	mu      sync.RWMutex
-	tables  *d2xenc.Tables
+	// tables is the published decode. Reads are a single atomic load —
+	// the shared-tables fast path takes no lock whatsoever.
+	tables atomic.Pointer[d2xenc.Tables]
+
+	mu      sync.Mutex // guards decode, states, decodes, nextSessID
 	decodes int
 	states  map[*minic.VM]*State
+
+	nextSessID atomic.Int64
+	m          metrics
 }
 
 // New returns an empty service.
 func New() *Service {
-	return &Service{states: map[*minic.VM]*State{}}
+	return &Service{states: map[*minic.VM]*State{}, m: newMetrics()}
 }
 
 // Tables returns the build's decoded D2X tables, decoding them out of
@@ -88,23 +148,30 @@ func New() *Service {
 // decode. Failures are not cached: a VM that has not yet run the table
 // constructors must not poison sessions that ask later.
 func (s *Service) Tables(vm *minic.VM) (*d2xenc.Tables, error) {
-	s.mu.RLock()
-	t := s.tables
-	s.mu.RUnlock()
-	if t != nil {
+	if t := s.tables.Load(); t != nil {
+		s.m.tablesHit.Inc()
 		return t, nil
 	}
+	s.m.tablesMiss.Inc()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.tables == nil {
-		t, err := d2xenc.Decode(vm)
-		if err != nil {
-			return nil, err
-		}
-		s.tables = t
-		s.decodes++
+	if t := s.tables.Load(); t != nil {
+		// Another session decoded while we waited for the lock.
+		return t, nil
 	}
-	return s.tables, nil
+	start := obs.Now()
+	t, err := d2xenc.Decode(vm)
+	if err != nil {
+		s.m.decodeErrs.Inc()
+		obs.Emit(obs.Event{Kind: "decode", Name: "tables", Err: err.Error()})
+		return nil, err
+	}
+	s.m.decodeLat.Since(start)
+	s.m.decodes.Inc()
+	s.decodes++
+	obs.Emit(obs.Event{Kind: "decode", Name: "tables", Detail: "shared decode published"})
+	s.tables.Store(t)
+	return t, nil
 }
 
 // State returns the command state of vm's session, creating it on first
@@ -114,16 +181,21 @@ func (s *Service) State(vm *minic.VM) *State {
 	defer s.mu.Unlock()
 	st := s.states[vm]
 	if st == nil {
-		st = &State{NextID: 1}
+		st = &State{ID: s.nextSessID.Add(1), NextID: 1}
 		s.states[vm] = st
+		s.m.stateCreates.Inc()
+		// Delta, not Set: the gauge is process-wide and several builds'
+		// services may feed it concurrently.
+		s.m.live.Add(1)
+		obs.Emit(obs.Event{Kind: "session", Name: "create", Session: st.ID})
 	}
 	return st
 }
 
 // Lookup returns the command state of vm's session without creating one.
 func (s *Service) Lookup(vm *minic.VM) (*State, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	st, ok := s.states[vm]
 	return st, ok
 }
@@ -133,22 +205,46 @@ func (s *Service) Lookup(vm *minic.VM) (*State, bool) {
 func (s *Service) Release(vm *minic.VM) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	st, ok := s.states[vm]
+	if !ok {
+		return
+	}
 	delete(s.states, vm)
+	s.m.stateEvicts.Inc()
+	s.m.live.Add(-1)
+	obs.Emit(obs.Event{Kind: "session", Name: "evict", Session: st.ID})
+}
+
+// Invalidate drops the shared table decode and resets every live
+// session's command state, keeping the State objects themselves (their
+// owners hold pointers). Called when the build's debug info is replaced
+// mid-flight: the old tables describe a binary that no longer exists,
+// and stale frame selections or breakpoints must not survive into the
+// new one. The cumulative decode counters are deliberately kept — they
+// measure work done, not current contents.
+func (s *Service) Invalidate() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tables.Store(nil)
+	for _, st := range s.states {
+		st.Reset()
+		obs.Emit(obs.Event{Kind: "session", Name: "invalidate", Session: st.ID})
+	}
 }
 
 // Sessions reports how many sessions currently hold state.
 func (s *Service) Sessions() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return len(s.states)
 }
 
 // Decodes reports how many times the tables were decoded from a debuggee:
 // 1 after any session ran a table-backed command, no matter how many
-// sessions there are.
+// sessions there are (more only if Invalidate forced a re-decode).
 func (s *Service) Decodes() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.decodes
 }
 
@@ -156,8 +252,8 @@ func (s *Service) Decodes() int {
 // ordered by ID (per-session creation order; IDs may repeat across
 // sessions).
 func (s *Service) AllBreakpoints() []*XBreakpoint {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var out []*XBreakpoint
 	for _, st := range s.states {
 		out = append(out, st.XBPs...)

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"d2x/internal/minic"
+	"d2x/internal/obs"
 )
 
 func TestStateLifecycle(t *testing.T) {
@@ -65,6 +66,102 @@ func TestTablesFailureNotCached(t *testing.T) {
 	}
 	if n := s.Decodes(); n != 0 {
 		t.Errorf("Decodes after failure = %d, want 0", n)
+	}
+}
+
+// TestMetricsReflectLifecycle asserts that state creation and eviction
+// are visible in the obs layer: the satellite requirement that "eviction
+// is reflected in the metrics". The registry is process-wide, so the
+// test works in deltas.
+func TestMetricsReflectLifecycle(t *testing.T) {
+	creates := obs.GetCounter("session.state.creates")
+	evicts := obs.GetCounter("session.state.evicts")
+	live := obs.GetGauge("session.live")
+	c0, e0, l0 := creates.Value(), evicts.Value(), live.Value()
+
+	s := New()
+	vm1, vm2 := &minic.VM{}, &minic.VM{}
+	st1 := s.State(vm1)
+	s.State(vm2)
+	if d := creates.Value() - c0; d != 2 {
+		t.Errorf("creates delta = %d, want 2", d)
+	}
+	if d := live.Value() - l0; d != 2 {
+		t.Errorf("live delta = %d, want 2", d)
+	}
+	if st1.ID == 0 {
+		t.Error("session ID not assigned")
+	}
+
+	s.Release(vm1)
+	s.Release(vm1) // idempotent: second release must not double-count
+	if d := evicts.Value() - e0; d != 1 {
+		t.Errorf("evicts delta = %d, want 1", d)
+	}
+	if d := live.Value() - l0; d != 1 {
+		t.Errorf("live delta after evict = %d, want 1", d)
+	}
+	s.Release(vm2)
+	if d := live.Value() - l0; d != 0 {
+		t.Errorf("live delta after full drain = %d, want 0", d)
+	}
+	if d := evicts.Value() - e0; d != 2 {
+		t.Errorf("evicts delta after full drain = %d, want 2", d)
+	}
+}
+
+// TestInvalidateResetsStates covers the re-attach bugfix: replacing the
+// build must reset each session's frame selection, rip memory and DSL
+// breakpoints while keeping the State objects (and their identities and
+// fuel budgets) alive.
+func TestInvalidateResetsStates(t *testing.T) {
+	s := New()
+	vm := &minic.VM{}
+	st := s.State(vm)
+	st.SelXFrame = 3
+	st.LastRIP = 0x77
+	st.HaveRIP = true
+	st.CmdActive = true
+	st.CurRSP = 9
+	st.FuelBudget = 123
+	st.XBPs = append(st.XBPs, &XBreakpoint{ID: 1, File: "a.dsl", Line: 4, GenLines: []int{10}})
+	st.NextID = 2
+	id := st.ID
+
+	s.Invalidate()
+
+	if got := s.State(vm); got != st {
+		t.Fatal("Invalidate replaced the State object")
+	}
+	if st.SelXFrame != 0 || st.LastRIP != 0 || st.HaveRIP || st.CmdActive || st.CurRSP != 0 {
+		t.Errorf("stale frame state survived: %+v", st)
+	}
+	if len(st.XBPs) != 0 || st.NextID != 1 {
+		t.Errorf("stale breakpoints survived: %+v NextID=%d", st.XBPs, st.NextID)
+	}
+	if st.ID != id {
+		t.Errorf("session ID changed across Invalidate: %d -> %d", id, st.ID)
+	}
+	if st.FuelBudget != 123 {
+		t.Errorf("fuel budget lost across Invalidate: %d", st.FuelBudget)
+	}
+}
+
+// TestInvalidateDropsSharedTables: after Invalidate the next Tables call
+// must re-decode (miss), not serve the stale build's decode.
+func TestInvalidateDropsSharedTables(t *testing.T) {
+	s := New()
+	prog, err := minic.Compile("p.c", "func int main() { return 0; }", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := minic.NewVM(prog, nil)
+	if _, err := s.Tables(vm); err == nil {
+		t.Fatal("decode unexpectedly succeeded on a table-less program")
+	}
+	s.Invalidate()
+	if s.tables.Load() != nil {
+		t.Error("tables survived Invalidate")
 	}
 }
 

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"d2x/internal/obs"
 )
 
 // TestSessionCloseEvictsState: closing a session evicts its per-session
@@ -107,5 +109,93 @@ func TestConcurrentSessionsShareTables(t *testing.T) {
 	}
 	if got := b.LiveSessions(); got != 0 {
 		t.Errorf("live sessions after all Closes = %d, want 0", got)
+	}
+}
+
+// TestObsMetricsUnderConcurrentSessions is the observability counterpart
+// of the concurrency test above: N sessions hammer one build in parallel
+// while the obs layer records them. Counters must sum exactly (no lost
+// updates), the live-session gauge must drain back to its starting
+// level, and every event readable from the trace ring must be fully
+// formed — under -race this doubles as the no-torn-reads proof for the
+// ring's atomic-pointer slots.
+func TestObsMetricsUnderConcurrentSessions(t *testing.T) {
+	b := buildPower(t, true)
+	xbtCalls := obs.GetCounter("d2xr.cmd.xbt.calls")
+	xbreakCalls := obs.GetCounter("d2xr.cmd.xbreak.calls")
+	creates := obs.GetCounter("session.state.creates")
+	evicts := obs.GetCounter("session.state.evicts")
+	live := obs.GetGauge("session.live")
+	xbtLat := obs.GetHistogram("d2xr.cmd.xbt")
+	c0 := []int64{xbtCalls.Value(), xbreakCalls.Value(), creates.Value(), evicts.Value(), live.Value(), xbtLat.Count()}
+
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var out strings.Builder
+			d, err := b.NewSession(&out)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer d.Close()
+			for _, cmd := range []string{
+				"break power_gen.c:5", "run", "xbt",
+				"xbreak power.dsl:6", "continue",
+			} {
+				if err := d.Execute(cmd); err != nil {
+					errs <- fmt.Errorf("session %d: %q: %w", i, cmd, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if d := xbtCalls.Value() - c0[0]; d != n {
+		t.Errorf("xbt calls delta = %d, want %d", d, n)
+	}
+	if d := xbreakCalls.Value() - c0[1]; d != n {
+		t.Errorf("xbreak calls delta = %d, want %d", d, n)
+	}
+	if d := creates.Value() - c0[2]; d != n {
+		t.Errorf("state creates delta = %d, want %d", d, n)
+	}
+	if d := evicts.Value() - c0[3]; d != n {
+		t.Errorf("state evicts delta = %d, want %d", d, n)
+	}
+	if d := live.Value() - c0[4]; d != 0 {
+		t.Errorf("live gauge did not drain: delta = %d", d)
+	}
+	// The command wrapper times every call (only the stage histograms
+	// sample), so the latency count must match the call count exactly.
+	if d := xbtLat.Count() - c0[5]; d != n {
+		t.Errorf("xbt latency observations delta = %d, want %d", d, n)
+	}
+
+	// Every event the ring hands out must be fully formed: monotonically
+	// increasing Seq and a non-empty Kind. A torn read would surface here
+	// (and as a -race report) as a zero or mixed-up record.
+	events := obs.Default.Ring().Events()
+	if len(events) == 0 {
+		t.Fatal("no trace events recorded")
+	}
+	lastSeq := int64(-1)
+	for _, e := range events {
+		if e.Seq <= lastSeq {
+			t.Fatalf("ring events out of order: seq %d after %d", e.Seq, lastSeq)
+		}
+		lastSeq = e.Seq
+		if e.Kind == "" {
+			t.Fatalf("torn/empty event: %+v", e)
+		}
 	}
 }

@@ -1,11 +1,13 @@
 package debugger
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
 	"d2x/internal/dwarfish"
 	"d2x/internal/minic"
+	"d2x/internal/obs"
 )
 
 // The power-by-squaring program, the generated-code shape from the paper's
@@ -510,5 +512,45 @@ func int main() {
 	mustExec(t, d, "continue")
 	if f := d.SelectedFrame(); f.Fn.Name != "updateEdge_2" {
 		t.Errorf("second stop in %s", f.Fn.Name)
+	}
+}
+
+// TestStatsAndTraceCommands: the observability commands print the metric
+// snapshot as JSON and the event trace as JSONL on the transcript, and
+// reflect the commands dispatched before them.
+func TestStatsAndTraceCommands(t *testing.T) {
+	d, out := attach(t, powerSrc)
+	before := obs.GetCounter("debugger.cmd.run").Value()
+	mustExec(t, d, "break gen.c:4", "run")
+	out.Reset()
+	mustExec(t, d, "stats")
+	var snap map[string]any
+	if err := json.Unmarshal([]byte(out.String()), &snap); err != nil {
+		t.Fatalf("stats output is not JSON: %v\n%s", err, out.String())
+	}
+	counters, _ := snap["counters"].(map[string]any)
+	if got, _ := counters["debugger.cmd.run"].(float64); int64(got) != before+1 {
+		t.Errorf("debugger.cmd.run = %v, want %d", got, before+1)
+	}
+
+	// The plain debugger emits no trace events itself (only the D2X
+	// runtime layers do); feed the ring directly so the dump has content
+	// even when this test runs alone.
+	obs.Emit(obs.Event{Kind: "cmd", Name: "xbt", Session: 1, DurNS: 42})
+	obs.Emit(obs.Event{Kind: "session", Name: "create", Session: 2})
+	out.Reset()
+	mustExec(t, d, "trace 5")
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) == 0 || len(lines) > 5 {
+		t.Fatalf("trace 5 printed %d lines:\n%s", len(lines), out.String())
+	}
+	for _, l := range lines {
+		var e map[string]any
+		if err := json.Unmarshal([]byte(l), &e); err != nil {
+			t.Errorf("trace line is not JSON: %v: %q", err, l)
+		}
+	}
+	if err := d.Execute("trace bogus"); err == nil {
+		t.Error("trace with junk arg accepted")
 	}
 }

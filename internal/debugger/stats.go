@@ -1,0 +1,50 @@
+package debugger
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"d2x/internal/obs"
+)
+
+// cmdStats prints the observability snapshot of the whole debug service —
+// every counter, gauge and latency histogram the process has accumulated
+// — as indented JSON on the transcript.
+func (d *Debugger) cmdStats() error {
+	snap := obs.Snapshot()
+	b, err := snap.MarshalIndent()
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	d.printf("%s\n", b)
+	return nil
+}
+
+// cmdTrace dumps the structured event trace as JSONL, oldest first. With
+// a numeric argument only the most recent N events are printed.
+func (d *Debugger) cmdTrace(rest string) error {
+	events := obs.Default.Ring().Events()
+	if rest = strings.TrimSpace(rest); rest != "" {
+		n, err := strconv.Atoi(rest)
+		if err != nil || n < 0 {
+			return fmt.Errorf("trace: want a non-negative event count, got %q", rest)
+		}
+		if n < len(events) {
+			events = events[len(events)-n:]
+		}
+	}
+	if len(events) == 0 {
+		d.printf("No trace events recorded.\n")
+		return nil
+	}
+	for _, e := range events {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		d.printf("%s\n", b)
+	}
+	return nil
+}

@@ -368,6 +368,24 @@ type Guard struct {
 	// heap objects), and calls to natives registered WritesMemory.
 	// Stores to the synthetic call's own local slots remain allowed.
 	BlockWrites bool
+	// Stats, when non-nil, receives the call's guard telemetry: fuel
+	// actually burned and which fence (if any) stopped it. The VM only
+	// writes into it — observability layers above decide what to do
+	// with the numbers, keeping this package free of any obs dependency.
+	Stats *GuardStats
+}
+
+// GuardStats is the per-call telemetry a Guard collects when its Stats
+// field is set. One struct per call: guards are built per invocation, so
+// no synchronisation is needed.
+type GuardStats struct {
+	// FuelUsed is the number of instructions the call executed before
+	// returning or being stopped.
+	FuelUsed int64
+	// WriteDenied reports that the write barrier stopped the call.
+	WriteDenied bool
+	// FuelExhausted reports that the fuel cap stopped the call.
+	FuelExhausted bool
 }
 
 // Sentinel errors for guard violations; callers match with errors.Is to
@@ -402,10 +420,14 @@ func (vm *VM) callSynthetic(fi int, args []Value, g *Guard) (Value, error) {
 	root := vm.newThread(nil, true)
 	root.Frames = []*Frame{frame}
 	pool := []*Thread{root}
+	var budget int64
 	// fail unregisters the pool's live frames before reporting: an
 	// aborted call must not leave dangling frame IDs that the debugger
 	// (or a d2x_find_stack_var in a later call) could still resolve.
 	fail := func(err error) (Value, error) {
+		if g != nil && g.Stats != nil {
+			g.Stats.FuelUsed = budget
+		}
 		for _, t := range pool {
 			for _, f := range t.Frames {
 				delete(vm.frameByID, f.ID)
@@ -419,7 +441,6 @@ func (vm *VM) callSynthetic(fi int, args []Value, g *Guard) (Value, error) {
 		limit = g.Fuel
 		fuelLimited = true
 	}
-	var budget int64
 	for {
 		progress := false
 		for i := 0; i < len(pool); i++ {
@@ -429,6 +450,9 @@ func (vm *VM) callSynthetic(fi int, args []Value, g *Guard) (Value, error) {
 			}
 			if g != nil && g.BlockWrites {
 				if err := vm.guardWriteCheck(t); err != nil {
+					if g.Stats != nil {
+						g.Stats.WriteDenied = true
+					}
 					return fail(err)
 				}
 			}
@@ -442,6 +466,9 @@ func (vm *VM) callSynthetic(fi int, args []Value, g *Guard) (Value, error) {
 			progress = true
 			if budget > limit {
 				if fuelLimited {
+					if g.Stats != nil {
+						g.Stats.FuelExhausted = true
+					}
 					return fail(fmt.Errorf("minic: call to %s: %w after %d instructions",
 						vm.Prog.Funcs[fi].Name, ErrFuelExhausted, limit))
 				}
@@ -449,6 +476,9 @@ func (vm *VM) callSynthetic(fi int, args []Value, g *Guard) (Value, error) {
 			}
 		}
 		if root.State == ThreadDone {
+			if g != nil && g.Stats != nil {
+				g.Stats.FuelUsed = budget
+			}
 			return root.Result, nil
 		}
 		if root.State == ThreadFaulted {

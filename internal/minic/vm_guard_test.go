@@ -181,3 +181,51 @@ func int main() { return 0; }`)
 		t.Fatalf("err = %v; VM budget overruns must not report as guard fuel", err)
 	}
 }
+
+// TestGuardStatsTelemetry: a Guard with Stats attached reports the fuel
+// actually burned and which fence stopped the call — the raw numbers the
+// observability layer exports.
+func TestGuardStatsTelemetry(t *testing.T) {
+	vm := startProgram(t, `
+global int g = 1;
+func int ok() {
+	int i = 0;
+	while (i < 10) { i = i + 1; }
+	return i;
+}
+func int writer() { g = 2; return g; }
+func int spin() {
+	while (true) { }
+	return 0;
+}
+func int main() { return 0; }`)
+
+	// Clean completion: fuel used is positive, no fences tripped.
+	st := &GuardStats{}
+	if _, err := vm.CallFunctionGuarded("ok", nil, &Guard{Fuel: 10_000, Stats: st}); err != nil {
+		t.Fatal(err)
+	}
+	if st.FuelUsed <= 0 || st.WriteDenied || st.FuelExhausted {
+		t.Errorf("clean call stats = %+v", st)
+	}
+
+	// Write barrier: denied flag set, fuel reflects work before the stop.
+	st = &GuardStats{}
+	_, err := vm.CallFunctionGuarded("writer", nil, &Guard{BlockWrites: true, Stats: st})
+	if !errors.Is(err, ErrWriteBarrier) {
+		t.Fatalf("err = %v, want ErrWriteBarrier", err)
+	}
+	if !st.WriteDenied || st.FuelExhausted {
+		t.Errorf("barrier stats = %+v", st)
+	}
+
+	// Fuel exhaustion: exhausted flag set, fuel used is at the cap.
+	st = &GuardStats{}
+	_, err = vm.CallFunctionGuarded("spin", nil, &Guard{Fuel: 1_000, Stats: st})
+	if !errors.Is(err, ErrFuelExhausted) {
+		t.Fatalf("err = %v, want ErrFuelExhausted", err)
+	}
+	if !st.FuelExhausted || st.WriteDenied || st.FuelUsed < 1_000 {
+		t.Errorf("fuel stats = %+v", st)
+	}
+}

@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry(16)
+	c := r.Counter("a.calls")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.calls") != c {
+		t.Error("counter handle not stable per name")
+	}
+
+	g := r.Gauge("live")
+	g.Add(3)
+	g.Add(2)
+	g.Add(-4)
+	if g.Value() != 1 || g.Max() != 5 {
+		t.Errorf("gauge = %d/%d, want 1/5", g.Value(), g.Max())
+	}
+	g.Set(7)
+	if g.Value() != 7 || g.Max() != 7 {
+		t.Errorf("gauge after Set = %d/%d, want 7/7", g.Value(), g.Max())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry(16)
+	h := r.Histogram("lat")
+	// 90 fast samples around 1µs, 10 slow around 1ms.
+	for i := 0; i < 90; i++ {
+		h.Observe(1 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1 * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	p50, p99 := h.Quantile(0.50), h.Quantile(0.99)
+	// Log2 buckets: the estimate must land within a factor of 2.
+	if p50 < 512 || p50 > 2048 {
+		t.Errorf("p50 = %dns, want ~1µs", p50)
+	}
+	if p99 < 512*1024 || p99 > 2*1024*1024 {
+		t.Errorf("p99 = %dns, want ~1ms", p99)
+	}
+	if h.MaxNS() < int64(time.Millisecond) {
+		t.Errorf("max = %dns", h.MaxNS())
+	}
+}
+
+func TestHistogramSinceZeroStart(t *testing.T) {
+	var h Histogram
+	h.Since(time.Time{}) // disabled-at-start: must record nothing
+	if h.Count() != 0 {
+		t.Errorf("count = %d after zero-start Since", h.Count())
+	}
+	h.Since(time.Now().Add(-time.Millisecond))
+	if h.Count() != 1 || h.SumNS() < int64(time.Millisecond) {
+		t.Errorf("count=%d sum=%d after real Since", h.Count(), h.SumNS())
+	}
+}
+
+func TestRingOrderAndWrap(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Add(Event{Kind: "cmd", Name: "xbt", DurNS: int64(i)})
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("len = %d, want 4 (ring cap)", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != int64(6+i) || e.DurNS != int64(6+i) {
+			t.Errorf("event %d = seq %d dur %d, want %d", i, e.Seq, e.DurNS, 6+i)
+		}
+	}
+	if r.Written() != 10 || r.Len() != 4 {
+		t.Errorf("written/len = %d/%d", r.Written(), r.Len())
+	}
+}
+
+func TestRingJSONL(t *testing.T) {
+	r := NewRing(8)
+	r.Add(Event{Kind: "cmd", Name: "xbt", Session: 3, RIP: 0x42, DurNS: 1234})
+	r.Add(Event{Kind: "guard", Name: "barrier", Err: "write to debuggee blocked"})
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d:\n%s", len(lines), buf.String())
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Kind != "cmd" || e.Name != "xbt" || e.Session != 3 || e.RIP != 0x42 || e.DurNS != 1234 {
+		t.Errorf("round-trip = %+v", e)
+	}
+	if !strings.Contains(lines[1], "write to debuggee blocked") {
+		t.Errorf("error event lost: %s", lines[1])
+	}
+}
+
+func TestSnapshotJSONShape(t *testing.T) {
+	r := NewRegistry(16)
+	r.Counter("d2xr.cmd.xbt.calls").Add(7)
+	r.Gauge("session.live").Set(2)
+	r.Histogram("d2xr.cmd.xbt").Observe(5 * time.Microsecond)
+	r.Ring().Add(Event{Kind: "cmd", Name: "xbt"})
+	s := r.Snapshot()
+	b, err := s.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("snapshot JSON invalid: %v\n%s", err, b)
+	}
+	for _, key := range []string{"counters", "gauges", "latencies", "trace_events"} {
+		if _, ok := back[key]; !ok {
+			t.Errorf("snapshot JSON missing %q", key)
+		}
+	}
+	if s.Counters["d2xr.cmd.xbt.calls"] != 7 {
+		t.Errorf("counter in snapshot = %d", s.Counters["d2xr.cmd.xbt.calls"])
+	}
+	if s.Latencies["d2xr.cmd.xbt"].Count != 1 {
+		t.Errorf("latency count = %d", s.Latencies["d2xr.cmd.xbt"].Count)
+	}
+}
+
+func TestResetPreservesHandles(t *testing.T) {
+	r := NewRegistry(8)
+	c := r.Counter("x")
+	h := r.Histogram("y")
+	g := r.Gauge("z")
+	c.Add(5)
+	h.Observe(time.Microsecond)
+	g.Set(9)
+	r.Ring().Add(Event{Kind: "cmd"})
+	r.Reset()
+	if c.Value() != 0 || h.Count() != 0 || g.Value() != 0 || g.Max() != 0 || r.Ring().Len() != 0 {
+		t.Error("Reset left residue")
+	}
+	// Cached handles must still feed the registry after Reset.
+	c.Inc()
+	if r.Snapshot().Counters["x"] != 1 {
+		t.Error("cached handle detached from registry after Reset")
+	}
+}
+
+// TestConcurrentCountersAndRing is the obs half of the satellite
+// concurrency requirement: N goroutines hammer one counter, one
+// histogram, one gauge and the ring; the counter must sum exactly, the
+// histogram count must match, and every dumped event must be
+// well-formed (the atomic.Pointer slots make torn reads impossible —
+// run with -race).
+func TestConcurrentCountersAndRing(t *testing.T) {
+	r := NewRegistry(64)
+	c := r.Counter("c")
+	h := r.Histogram("h")
+	g := r.Gauge("g")
+	const goroutines, per = 16, 500
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Inc()
+				h.Observe(time.Duration(j) * time.Nanosecond)
+				g.Add(1)
+				g.Add(-1)
+				r.Ring().Add(Event{Kind: "cmd", Name: "xbt", Session: int64(id), DurNS: int64(j)})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Value() != goroutines*per {
+		t.Errorf("counter = %d, want %d", c.Value(), goroutines*per)
+	}
+	if h.Count() != goroutines*per {
+		t.Errorf("histogram count = %d, want %d", h.Count(), goroutines*per)
+	}
+	if g.Value() != 0 || g.Max() < 1 {
+		t.Errorf("gauge = %d/%d", g.Value(), g.Max())
+	}
+	if r.Ring().Written() != goroutines*per {
+		t.Errorf("ring written = %d, want %d", r.Ring().Written(), goroutines*per)
+	}
+	for _, e := range r.Ring().Events() {
+		if e.Kind != "cmd" || e.Name != "xbt" || e.Session < 0 || e.Session >= goroutines {
+			t.Fatalf("torn or malformed event: %+v", e)
+		}
+	}
+}
+
+func TestEnabledGatesNowAndEmit(t *testing.T) {
+	defer SetEnabled(true)
+	SetEnabled(false)
+	if !Now().IsZero() {
+		t.Error("Now() not zero while disabled")
+	}
+	before := Default.Ring().Written()
+	Emit(Event{Kind: "cmd", Name: "x"})
+	if Default.Ring().Written() != before {
+		t.Error("Emit recorded while disabled")
+	}
+	SetEnabled(true)
+	if Now().IsZero() {
+		t.Error("Now() zero while enabled")
+	}
+	Emit(Event{Kind: "cmd", Name: "x"})
+	if Default.Ring().Written() != before+1 {
+		t.Error("Emit dropped while enabled")
+	}
+}

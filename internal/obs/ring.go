@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultRingSize is the trace-ring capacity of the default registry.
+const DefaultRingSize = 4096
+
+// Event is one structured trace record: what the debugger of the
+// debugger sees. Events are written by every instrumented layer (one
+// per D2X command, table decode, session create/evict, guard violation,
+// ...) and dumped post hoc as JSONL to debug the debug service itself.
+type Event struct {
+	// Seq is the global sequence number, assigned by the ring. Gaps in
+	// a dump mean the ring wrapped.
+	Seq int64 `json:"seq"`
+	// Time is the wall-clock time in Unix nanoseconds.
+	Time int64 `json:"t"`
+	// Kind is the event class: "cmd", "decode", "session", "guard", ...
+	Kind string `json:"kind"`
+	// Name is the specific operation: "xbt", "tables-decode", "evict", ...
+	Name string `json:"name,omitempty"`
+	// Session is the session.State ID the event belongs to (0 = none).
+	Session int64 `json:"sess,omitempty"`
+	// RIP is the encoded instruction pointer of a command event.
+	RIP int64 `json:"rip,omitempty"`
+	// DurNS is the operation's duration in nanoseconds (0 = instant).
+	DurNS int64 `json:"dur_ns,omitempty"`
+	// Err holds the error text of a failed operation.
+	Err string `json:"err,omitempty"`
+	// Detail carries free-form context ("fuel=2000000", "hit", ...).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Ring is a fixed-capacity, lock-free trace buffer. Writers reserve a
+// slot with one atomic add and publish a heap-allocated Event with one
+// atomic pointer store; readers load pointers atomically, so a dump can
+// never observe a torn event — at worst it misses a slot that is being
+// replaced mid-scan, which is inherent to sampling a live ring.
+type Ring struct {
+	mask  int64
+	pos   atomic.Int64
+	slots []atomic.Pointer[Event]
+}
+
+// NewRing returns a ring with capacity rounded up to a power of two
+// (0 or negative uses DefaultRingSize).
+func NewRing(size int) *Ring {
+	if size <= 0 {
+		size = DefaultRingSize
+	}
+	cap := 1
+	for cap < size {
+		cap <<= 1
+	}
+	return &Ring{mask: int64(cap - 1), slots: make([]atomic.Pointer[Event], cap)}
+}
+
+// Cap returns the ring's capacity.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Len returns how many events the ring currently holds.
+func (r *Ring) Len() int {
+	n := r.pos.Load()
+	if n > int64(len(r.slots)) {
+		return len(r.slots)
+	}
+	return int(n)
+}
+
+// Written returns how many events were ever added (≥ Len once wrapped).
+func (r *Ring) Written() int64 { return r.pos.Load() }
+
+// Add records one event. The event value is copied to the heap; callers
+// may reuse their struct. Timestamps and sequence numbers are filled in
+// here so call sites stay one-liners.
+func (r *Ring) Add(e Event) {
+	seq := r.pos.Add(1) - 1
+	e.Seq = seq
+	if e.Time == 0 {
+		e.Time = time.Now().UnixNano()
+	}
+	r.slots[seq&r.mask].Store(&e)
+}
+
+// Events returns the buffered events, oldest first. Each entry is a
+// copy; the ring keeps running.
+func (r *Ring) Events() []Event {
+	head := r.pos.Load()
+	n := int64(len(r.slots))
+	start := head - n
+	if start < 0 {
+		start = 0
+	}
+	out := make([]Event, 0, head-start)
+	for s := start; s < head; s++ {
+		p := r.slots[s&r.mask].Load()
+		// Skip slots that wrapped under us (their Seq moved ahead) or
+		// are not yet published.
+		if p == nil || p.Seq != s {
+			continue
+		}
+		out = append(out, *p)
+	}
+	return out
+}
+
+// WriteJSONL dumps the buffered events as JSON Lines, oldest first.
+func (r *Ring) WriteJSONL(w io.Writer) error {
+	for _, e := range r.Events() {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reset clears the ring.
+func (r *Ring) Reset() {
+	r.pos.Store(0)
+	for i := range r.slots {
+		r.slots[i].Store(nil)
+	}
+}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"d2x/internal/debugger"
+	"d2x/internal/graphit"
+	"d2x/internal/obs"
+)
+
+// pausedPagerankDeltaT is pausedPagerankDelta for plain tests: build
+// PageRankDelta with D2X and pause inside the specialised UDF.
+func pausedPagerankDeltaT(t *testing.T, spec string) *debugger.Debugger {
+	t.Helper()
+	src := strings.Replace(graphit.PageRankDeltaSrc,
+		`load("powerlaw:n=64,m=512,seed=5")`, fmt.Sprintf("load(%q)", spec), 1)
+	art, err := graphit.CompileToC("pagerankdelta.gt", src,
+		"s", graphit.PageRankDeltaSchedule, graphit.CompileOptions{D2X: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	build, err := art.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink strings.Builder
+	d, err := build.NewSession(&sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	udfLine := lineOf(build.Source, "atomic_add(&new_rank[dst]")
+	for _, c := range []string{fmt.Sprintf("break pagerankdelta.c:%d", udfLine), "run"} {
+		if err := d.Execute(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+// TestObsOverheadPaired measures the instrumentation overhead on xbt with
+// a paired design: enabled and disabled batches alternate inside one
+// process, so machine drift between separate benchmark runs (which on a
+// shared box exceeds the effect being measured) cancels out. The result
+// is logged, not asserted — CI boxes are too noisy for a hard timing
+// gate here; the number lands in EXPERIMENTS.md and BENCH_pr4.json.
+func TestObsOverheadPaired(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing measurement, skipped in -short")
+	}
+	d := pausedPagerankDeltaT(t, "powerlaw:n=64,m=512,seed=5")
+	const rounds, iters = 14, 2000
+	run := func(on bool) time.Duration {
+		obs.SetEnabled(on)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := d.Execute("xbt"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	defer obs.SetEnabled(true)
+	run(true) // warm both paths before measuring
+	run(false)
+	var onTot, offTot time.Duration
+	for r := 0; r < rounds; r++ {
+		onTot += run(true)
+		offTot += run(false)
+	}
+	on := float64(onTot.Nanoseconds()) / float64(rounds*iters)
+	off := float64(offTot.Nanoseconds()) / float64(rounds*iters)
+	t.Logf("xbt instrumentation overhead: on %.0f ns/op, off %.0f ns/op, delta %.0f ns (%.2f%%)",
+		on, off, on-off, 100*(on-off)/off)
+}
