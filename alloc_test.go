@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"d2x/internal/graphit"
+)
+
+// Steady-state allocation budgets for the hot D2X-R command path. These
+// are ceilings, not measurements: each budget sits a little above what
+// the path allocates today so runtime-internal noise (a map rehash, a
+// pool refill after GC) cannot flake the test, while any real regression
+// — a fmt call is ≥3 allocations, a dropped pool is dozens — trips it
+// immediately. CI runs these alongside the ns/op gate in
+// benchjson_test.go, so a change can't trade allocations for latency
+// unnoticed.
+const (
+	// xbtAllocBudget bounds one `xbt` after warmup. Measured at the
+	// time of writing: 0 allocs/op — stage 1+2 resolve through the
+	// fused index, the backtrace renders into a pooled []byte, and the
+	// debuggee write path reuses the session's output buffer. The
+	// slack of 4 is deliberate (ISSUE PR5): it absorbs GC-timing noise
+	// without admitting even a single formatted string per frame.
+	xbtAllocBudget = 4
+
+	// xframeAllocBudget bounds one `xframe 1` after warmup. Measured:
+	// 0 allocs/op — same render path as xbt, one frame instead of all.
+	xframeAllocBudget = 4
+
+	// xbreakAllocBudget bounds one xbreak+xdel round trip. Measured:
+	// 19 allocs/op. The remainder is semantic, not waste: each round
+	// trip creates a live *XBreakpoint and *Breakpoint, copies the
+	// GenLines expansion, and materialises the two command strings the
+	// breakpoints keep; the xdel command line differs per ID, so its
+	// lex is an expression-cache miss by construction.
+	xbreakAllocBudget = 20
+)
+
+func measureAllocs(t *testing.T, runs int, f func() error) float64 {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation budgets don't hold under the race detector's runtime")
+	}
+	// Warm pools, caches and the fused index outside the measurement.
+	for i := 0; i < 3; i++ {
+		if err := f(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var err error
+	avg := testing.AllocsPerRun(runs, func() {
+		if e := f(); e != nil && err == nil {
+			err = e
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return avg
+}
+
+func TestXBTAllocSteadyState(t *testing.T) {
+	d, _ := pausedPagerankDelta(t, "powerlaw:n=64,m=512,seed=5")
+	avg := measureAllocs(t, 200, func() error { return d.Execute("xbt") })
+	if avg > xbtAllocBudget {
+		t.Errorf("xbt steady state = %.1f allocs/op, budget %d", avg, xbtAllocBudget)
+	}
+}
+
+func TestXFrameAllocSteadyState(t *testing.T) {
+	d, _ := pausedPagerankDelta(t, "powerlaw:n=64,m=512,seed=5")
+	mustExec(t, d, "xbt") // xframe needs a remembered rip
+	avg := measureAllocs(t, 200, func() error { return d.Execute("xframe 1") })
+	if avg > xframeAllocBudget {
+		t.Errorf("xframe steady state = %.1f allocs/op, budget %d", avg, xframeAllocBudget)
+	}
+}
+
+func TestXBreakAllocSteadyState(t *testing.T) {
+	d, _ := pausedPagerankDelta(t, "powerlaw:n=64,m=512,seed=5")
+	dslLine := lineOf(graphit.PageRankDeltaSrc, "new_rank[dst] +=")
+	xbreakCmd := fmt.Sprintf("xbreak pagerankdelta.gt:%d", dslLine)
+	id := 0
+	avg := measureAllocs(t, 100, func() error {
+		id++
+		if err := d.Execute(xbreakCmd); err != nil {
+			return err
+		}
+		return d.Execute(fmt.Sprintf("xdel %d", id))
+	})
+	if avg > xbreakAllocBudget {
+		t.Errorf("xbreak+xdel steady state = %.1f allocs/op, budget %d", avg, xbreakAllocBudget)
+	}
+}
+
+// TestConcurrentSessionsSharedRenderPath runs 8 debug sessions of the
+// same build concurrently, each hammering the pooled render buffers, the
+// shared table decode and the fused resolution index. Run under -race
+// (CI does) this is the data-race check for everything the sessions
+// share; run without it, it still exercises the pool round-trip under
+// contention.
+func TestConcurrentSessionsSharedRenderPath(t *testing.T) {
+	build := pagerankBuild(t)
+	udfLine := lineOf(build.Source, "atomic_add(&new_rank[dst]")
+	dslLine := lineOf(graphit.PageRankDeltaSrc, "new_rank[dst] +=")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var sink strings.Builder
+			d, err := build.NewSession(&sink)
+			if err != nil {
+				t.Errorf("session %d: %v", i, err)
+				return
+			}
+			cmds := []string{fmt.Sprintf("break pagerankdelta.c:%d", udfLine), "run"}
+			for j := 0; j < 25; j++ {
+				cmds = append(cmds, "xbt", "xframe 1",
+					fmt.Sprintf("xbreak pagerankdelta.gt:%d", dslLine),
+					fmt.Sprintf("xdel %d", j+1))
+			}
+			for _, c := range cmds {
+				if err := d.Execute(c); err != nil {
+					t.Errorf("session %d: command %q: %v", i, c, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -7,6 +7,7 @@ package bench
 
 import (
 	"fmt"
+	"io"
 	"strings"
 	"testing"
 
@@ -32,11 +33,11 @@ func lineOf(src, needle string) int {
 	return 1
 }
 
-func mustExec(b *testing.B, d *debugger.Debugger, cmds ...string) {
-	b.Helper()
+func mustExec(tb testing.TB, d *debugger.Debugger, cmds ...string) {
+	tb.Helper()
 	for _, c := range cmds {
 		if err := d.Execute(c); err != nil {
-			b.Fatalf("command %q: %v", c, err)
+			tb.Fatalf("command %q: %v", c, err)
 		}
 	}
 }
@@ -79,27 +80,28 @@ func BenchmarkFig4_TwoStageMapping(b *testing.B) {
 }
 
 // pausedPagerankDelta builds PageRankDelta with D2X and pauses inside the
-// specialised UDF; output is discarded.
-func pausedPagerankDelta(b *testing.B, spec string) (*debugger.Debugger, string) {
-	b.Helper()
+// specialised UDF. Output goes to io.Discard: a strings.Builder sink
+// grows without bound across b.N command iterations, and its regrow
+// memcpys would dominate the measured command latency at large N.
+func pausedPagerankDelta(tb testing.TB, spec string) (*debugger.Debugger, string) {
+	tb.Helper()
 	src := strings.Replace(graphit.PageRankDeltaSrc,
 		`load("powerlaw:n=64,m=512,seed=5")`, fmt.Sprintf("load(%q)", spec), 1)
 	art, err := graphit.CompileToC("pagerankdelta.gt", src,
 		"s", graphit.PageRankDeltaSchedule, graphit.CompileOptions{D2X: true})
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	build, err := art.Link()
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
-	var sink strings.Builder
-	d, err := build.NewSession(&sink)
+	d, err := build.NewSession(io.Discard)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	udfLine := lineOf(build.Source, "atomic_add(&new_rank[dst]")
-	mustExec(b, d, fmt.Sprintf("break pagerankdelta.c:%d", udfLine), "run")
+	mustExec(tb, d, fmt.Sprintf("break pagerankdelta.c:%d", udfLine), "run")
 	return d, build.Source
 }
 
@@ -141,8 +143,7 @@ func BenchmarkFig7_FrontierHandler(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			var sink strings.Builder
-			d, err := build.NewSession(&sink)
+			d, err := build.NewSession(io.Discard)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -480,9 +481,10 @@ func benchObsOverhead(b *testing.B, on bool) {
 func BenchmarkXBreak(b *testing.B) {
 	d, _ := pausedPagerankDelta(b, "powerlaw:n=64,m=512,seed=5")
 	dslLine := lineOf(graphit.PageRankDeltaSrc, "new_rank[dst] +=")
+	xbreakCmd := fmt.Sprintf("xbreak pagerankdelta.gt:%d", dslLine)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := d.Execute(fmt.Sprintf("xbreak pagerankdelta.gt:%d", dslLine)); err != nil {
+		if err := d.Execute(xbreakCmd); err != nil {
 			b.Fatal(err)
 		}
 		if err := d.Execute(fmt.Sprintf("xdel %d", i+1)); err != nil {
@@ -492,31 +494,30 @@ func BenchmarkXBreak(b *testing.B) {
 }
 
 // pagerankBuild links the standard PageRankDelta build with D2X once.
-func pagerankBuild(b *testing.B) *d2x.Build {
-	b.Helper()
+func pagerankBuild(tb testing.TB) *d2x.Build {
+	tb.Helper()
 	art, err := graphit.CompileToC("pagerankdelta.gt", graphit.PageRankDeltaSrc,
 		"s", graphit.PageRankDeltaSchedule, graphit.CompileOptions{D2X: true})
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	build, err := art.Link()
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	return build
 }
 
 // pausedSession attaches one more debug session to an existing build and
-// pauses it inside the specialised UDF.
-func pausedSession(b *testing.B, build *d2x.Build) *debugger.Debugger {
-	b.Helper()
-	var sink strings.Builder
-	d, err := build.NewSession(&sink)
+// pauses it inside the specialised UDF (output discarded, as above).
+func pausedSession(tb testing.TB, build *d2x.Build) *debugger.Debugger {
+	tb.Helper()
+	d, err := build.NewSession(io.Discard)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	udfLine := lineOf(build.Source, "atomic_add(&new_rank[dst]")
-	mustExec(b, d, fmt.Sprintf("break pagerankdelta.c:%d", udfLine), "run")
+	mustExec(tb, d, fmt.Sprintf("break pagerankdelta.c:%d", udfLine), "run")
 	return d
 }
 

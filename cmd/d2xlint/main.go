@@ -23,11 +23,8 @@ import (
 	"fmt"
 	"os"
 
-	"d2x/internal/buildit"
-	"d2x/internal/d2x"
 	"d2x/internal/d2xverify"
-	"d2x/internal/einsum"
-	"d2x/internal/graphit"
+	"d2x/internal/examplebuilds"
 	"d2x/internal/loc"
 	"d2x/internal/minic"
 	"d2x/internal/minic/effects"
@@ -38,25 +35,14 @@ func main() {
 	showFX := flag.Bool("effects", false, "print per-function effect summaries for each pipeline")
 	flag.Parse()
 
-	builders := map[string]func() (*d2x.Build, error){
-		"pagerankdelta": buildPagerankDelta,
-		"power":         buildPower,
-		"einsum":        buildEinsum,
-		"quickstart":    buildQuickstart,
-	}
 	targets := flag.Args()
 	if len(targets) == 0 {
-		targets = []string{"pagerankdelta", "power", "einsum", "quickstart"}
+		targets = examplebuilds.Names()
 	}
 
 	sawError := false
 	for _, name := range targets {
-		mk, ok := builders[name]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "d2xlint: unknown pipeline %q (want pagerankdelta, power, einsum, quickstart)\n", name)
-			os.Exit(2)
-		}
-		build, err := mk()
+		build, err := examplebuilds.Build(name)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "d2xlint: building %s: %v\n", name, err)
 			os.Exit(2)
@@ -108,86 +94,4 @@ func printEffects(name string, prog *minic.Program) {
 		}
 		fmt.Println(line)
 	}
-}
-
-func buildPagerankDelta() (*d2x.Build, error) {
-	art, err := graphit.CompileToC("pagerankdelta.gt", graphit.PageRankDeltaSrc,
-		"pagerankdelta.sched", graphit.PageRankDeltaSchedule, graphit.CompileOptions{D2X: true})
-	if err != nil {
-		return nil, err
-	}
-	return art.Link()
-}
-
-func buildPower() (*d2x.Build, error) {
-	bb := buildit.NewBuilder()
-	buildit.EnableD2X(bb)
-	f := bb.Func("power_15", []buildit.Param{{Name: "base", Type: minic.IntType}}, minic.IntType)
-	exp := buildit.NewStatic(f, "exponent", 15)
-	res := f.Decl("res", f.IntLit(1))
-	x := f.Decl("x", f.Arg(0))
-	for exp.Get() > 0 {
-		if exp.Get()%2 == 1 {
-			f.Assign(res, f.Mul(res, x))
-		}
-		exp.Set(exp.Get() / 2)
-		if exp.Get() > 0 {
-			f.Assign(x, f.Mul(x, x))
-		}
-	}
-	f.Return(res)
-	m := bb.Func("main", nil, minic.IntType)
-	r := m.Decl("r", m.Call("power_15", minic.IntType, m.IntLit(3)))
-	m.Printf("%d\n", r)
-	m.Return(m.IntLit(0))
-	return bb.Link("power_gen.c", d2x.LinkOptions{})
-}
-
-func buildEinsum() (*d2x.Build, error) {
-	const M, N = 16, 8
-	bb := buildit.NewBuilder()
-	buildit.EnableD2X(bb)
-	f := bb.Func("m_v_mul", []buildit.Param{
-		{Name: "output", Type: einsum.IntArrayType},
-		{Name: "matrix", Type: einsum.IntArrayType},
-		{Name: "input", Type: einsum.IntArrayType},
-	}, minic.VoidType)
-	env := einsum.New(f)
-	c := env.Tensor("c", f.Arg(0), M)
-	a := env.Tensor("a", f.Arg(1), M, N)
-	bt := env.Tensor("b", f.Arg(2), N)
-	ii, jj := einsum.NewIndex("i"), einsum.NewIndex("j")
-	if err := bt.Assign(einsum.Const(1), jj); err != nil {
-		return nil, err
-	}
-	if err := c.Assign(einsum.Mul(einsum.Const(2), a.At(ii, jj), bt.At(jj)), ii); err != nil {
-		return nil, err
-	}
-	f.Return(buildit.Expr{})
-	m := bb.Func("main", nil, minic.IntType)
-	out := m.DeclArr("output", minic.IntType, m.IntLit(M))
-	mat := m.DeclArr("matrix", minic.IntType, m.IntLit(M*N))
-	in := m.DeclArr("input", minic.IntType, m.IntLit(N))
-	m.Do(m.Call("m_v_mul", minic.VoidType, out, mat, in))
-	m.Return(m.IntLit(0))
-	return bb.Link("einsum_gen.c", d2x.LinkOptions{})
-}
-
-// buildQuickstart replicates the staging of examples/quickstart: an
-// unrolled sum_squares with an erased static, the smallest D2X build.
-func buildQuickstart() (*d2x.Build, error) {
-	bb := buildit.NewBuilder()
-	buildit.EnableD2X(bb)
-	f := bb.Func("sum_squares", []buildit.Param{{Name: "n", Type: minic.IntType}}, minic.IntType)
-	unroll := buildit.NewStatic(f, "unroll", 4)
-	total := f.Decl("total", f.IntLit(0))
-	for unroll.Get() > 0 {
-		f.AddAssign(total, f.Mul(f.Arg(0), f.Arg(0)))
-		unroll.Set(unroll.Get() - 1)
-	}
-	f.Return(total)
-	m := bb.Func("main", nil, minic.IntType)
-	m.Printf("%d\n", m.Call("sum_squares", minic.IntType, m.IntLit(5)))
-	m.Return(m.IntLit(0))
-	return bb.Link("quickstart_gen.c", d2x.LinkOptions{})
 }

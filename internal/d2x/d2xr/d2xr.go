@@ -117,8 +117,9 @@ var (
 	stage1Miss = obs.GetCounter("d2xr.stage1.misses")
 	stage2Lat  = obs.GetHistogram("d2xr.stage2.genline_to_dsl")
 	stage2Miss = obs.GetCounter("d2xr.stage2.misses")
+	fusedLat   = obs.GetHistogram("d2xr.fused.resolve")
 
-	// stageTick drives 1-in-stageSampleEvery sampling of the two stage
+	// stageTick drives 1-in-stageSampleEvery sampling of the resolve
 	// histograms (see recordAt); counts and misses remain exact.
 	stageTick atomic.Int64
 
@@ -353,39 +354,43 @@ func (r *Runtime) tablesFor(vm *minic.VM) (*d2xenc.Tables, error) {
 	return r.svc.Tables(vm)
 }
 
-// recordAt performs the two-stage mapping for an encoded rip: standard
-// debug info to the generated line (stage 1), then D2X tables to the DSL
-// record (stage 2). Each stage is timed separately, so the snapshot can
-// attribute command latency to the debug-info walk versus the table
-// lookup — the cost split of Figure 4.
+// recordAt maps an encoded rip to its DSL context through the fused
+// resolution index: the two stages of Figure 4 — debug info to the
+// generated line, generated line to the D2X record — were joined at
+// index-build time, so the steady state is one atomic load plus one
+// binary search. The stage-1/stage-2 miss counters keep their exact
+// meaning (a fused miss is by construction a stage-1 miss; a resolved
+// rip with a nil record is a stage-2 miss).
 func (r *Runtime) recordAt(vm *minic.VM, rip int64) (*d2xc.Record, int, error) {
 	if r.info == nil {
 		return nil, 0, fmt.Errorf("d2x: no debug info attached")
 	}
-	// The stage histograms are sampled 1-in-stageSampleEvery: the stages
-	// are sub-microsecond map lookups, so timing each one on every call
-	// would cost more than the work being measured. Misses stay exact.
-	var t0, t1 int64
-	timed := stageTick.Add(1)%stageSampleEvery == 0
-	if timed {
+	fu, err := r.svc.Fused(vm, r.info)
+	if err != nil {
+		// The shared tables are unavailable (program carries none, or
+		// its constructors have not run). Report with the reference
+		// path's precedence: a stage-1 miss outranks the table error.
+		_, genLine, ok := r.info.LineFor(dwarfish.DecodeAddr(rip))
+		if !ok {
+			stage1Miss.Inc()
+			return nil, 0, fmt.Errorf("d2x: no line info for rip %#x", rip)
+		}
+		return nil, genLine, err
+	}
+	// The resolve histogram is sampled 1-in-stageSampleEvery: the lookup
+	// is tens of nanoseconds, so timing every call would cost more than
+	// the work being measured. Misses stay exact.
+	var t0 int64
+	if stageTick.Add(1)%stageSampleEvery == 0 {
 		t0 = obs.NowNanos()
 	}
-	_, genLine, ok := r.info.LineFor(dwarfish.DecodeAddr(rip))
-	if timed && t0 != 0 {
-		t1 = obs.NowNanos()
-		stage1Lat.ObserveNS(t1 - t0)
+	genLine, rec, ok := fu.Resolve(rip)
+	if t0 != 0 {
+		fusedLat.ObserveNS(obs.NowNanos() - t0)
 	}
 	if !ok {
 		stage1Miss.Inc()
 		return nil, 0, fmt.Errorf("d2x: no line info for rip %#x", rip)
-	}
-	tables, err := r.tablesFor(vm)
-	if err != nil {
-		return nil, genLine, err
-	}
-	rec := tables.RecordForLine(genLine)
-	if timed && t1 != 0 {
-		stage2Lat.ObserveNS(obs.NowNanos() - t1)
 	}
 	if rec == nil {
 		stage2Miss.Inc()
@@ -393,8 +398,65 @@ func (r *Runtime) recordAt(vm *minic.VM, rip int64) (*d2xc.Record, int, error) {
 	return rec, genLine, nil
 }
 
-func out(vm *minic.VM, format string, args ...any) {
-	fmt.Fprintf(vm.Output, format, args...)
+// RecordAt maps an encoded rip to its DSL context through the fused
+// resolution index — the production path every D2X command uses.
+// Exported alongside RecordAtReference so the differential-correctness
+// check can drive both and compare.
+func (r *Runtime) RecordAt(vm *minic.VM, rip int64) (*d2xc.Record, int, error) {
+	return r.recordAt(vm, rip)
+}
+
+// Info returns the attached debug info (nil before AttachDebugInfo).
+func (r *Runtime) Info() *dwarfish.Info { return r.info }
+
+// RecordAtReference performs the original, un-fused two-stage mapping:
+// standard debug info to the generated line (stage 1), then D2X tables
+// to the DSL record (stage 2), each stage timed separately so the
+// snapshot can attribute latency to the debug-info walk versus the
+// table lookup. It is retained as the correctness oracle for the fused
+// index — CI runs a differential check proving recordAt and this path
+// agree on every address of every example program.
+func (r *Runtime) RecordAtReference(vm *minic.VM, rip int64) (*d2xc.Record, int, error) {
+	if r.info == nil {
+		return nil, 0, fmt.Errorf("d2x: no debug info attached")
+	}
+	t0 := obs.NowNanos()
+	_, genLine, ok := r.info.LineFor(dwarfish.DecodeAddr(rip))
+	var t1 int64
+	if t0 != 0 {
+		t1 = obs.NowNanos()
+		stage1Lat.ObserveNS(t1 - t0)
+	}
+	if !ok {
+		return nil, 0, fmt.Errorf("d2x: no line info for rip %#x", rip)
+	}
+	tables, err := r.tablesFor(vm)
+	if err != nil {
+		return nil, genLine, err
+	}
+	rec := tables.RecordForLine(genLine)
+	if t1 != 0 {
+		stage2Lat.ObserveNS(obs.NowNanos() - t1)
+	}
+	return rec, genLine, nil
+}
+
+// appendNoContext renders the no-DSL-context notice shared by the
+// frame-walking commands.
+func appendNoContext(b []byte, what string, genLine int) []byte {
+	b = append(b, "No D2X "...)
+	b = append(b, what...)
+	b = append(b, " for generated line "...)
+	b = strconv.AppendInt(b, int64(genLine), 10)
+	return append(b, '\n')
+}
+
+// flush writes the rendered bytes to the debuggee's output. Write
+// errors are ignored, as the fmt.Fprintf-based renderer ignored them:
+// command output goes to the session's capture buffer, which cannot
+// fail, and a failing sink must not abort the user's command.
+func flush(vm *minic.VM, b []byte) {
+	_, _ = vm.Output.Write(b)
 }
 
 // xbt prints the extended stack for the current execution frame.
@@ -403,13 +465,17 @@ func (r *Runtime) xbt(vm *minic.VM, rip int64) error {
 	if err != nil {
 		return err
 	}
+	rb := getRender()
+	defer putRender(rb)
 	if rec == nil || len(rec.Stack) == 0 {
-		out(vm, "No D2X context for generated line %d\n", genLine)
-		return nil
+		rb.b = appendNoContext(rb.b, "context", genLine)
+	} else {
+		for i, loc := range rec.Stack {
+			rb.b = appendXFrame(rb.b, i, loc)
+			rb.b = append(rb.b, '\n')
+		}
 	}
-	for i, loc := range rec.Stack {
-		out(vm, "%s\n", formatXFrame(i, loc))
-	}
+	flush(vm, rb.b)
 	return nil
 }
 
@@ -419,8 +485,11 @@ func (r *Runtime) xframe(st *session.State, vm *minic.VM, rip int64, arg string)
 	if err != nil {
 		return err
 	}
+	rb := getRender()
+	defer putRender(rb)
 	if rec == nil || len(rec.Stack) == 0 {
-		out(vm, "No D2X context for generated line %d\n", genLine)
+		rb.b = appendNoContext(rb.b, "context", genLine)
+		flush(vm, rb.b)
 		return nil
 	}
 	if arg = strings.TrimSpace(arg); arg != "" {
@@ -437,10 +506,15 @@ func (r *Runtime) xframe(st *session.State, vm *minic.VM, rip int64, arg string)
 		st.SelXFrame = 0
 	}
 	loc := rec.Stack[st.SelXFrame]
-	out(vm, "%s\n", formatXFrame(st.SelXFrame, loc))
+	rb.b = appendXFrame(rb.b, st.SelXFrame, loc)
+	rb.b = append(rb.b, '\n')
 	if text, ok := r.sourceLine(loc.File, loc.Line); ok {
-		out(vm, "%d\t%s\n", loc.Line, text)
+		rb.b = strconv.AppendInt(rb.b, int64(loc.Line), 10)
+		rb.b = append(rb.b, '\t')
+		rb.b = append(rb.b, text...)
+		rb.b = append(rb.b, '\n')
 	}
+	flush(vm, rb.b)
 	return nil
 }
 
@@ -450,8 +524,11 @@ func (r *Runtime) xlist(st *session.State, vm *minic.VM, rip int64) error {
 	if err != nil {
 		return err
 	}
+	rb := getRender()
+	defer putRender(rb)
 	if rec == nil || len(rec.Stack) == 0 {
-		out(vm, "No D2X context for generated line %d\n", genLine)
+		rb.b = appendNoContext(rb.b, "context", genLine)
+		flush(vm, rb.b)
 		return nil
 	}
 	if st.SelXFrame >= len(rec.Stack) {
@@ -465,12 +542,17 @@ func (r *Runtime) xlist(st *session.State, vm *minic.VM, rip int64) error {
 	lo := max(1, loc.Line-2)
 	hi := min(len(lines), loc.Line+2)
 	for n := lo; n <= hi; n++ {
-		marker := " "
+		marker := byte(' ')
 		if n == loc.Line {
-			marker = ">"
+			marker = '>'
 		}
-		out(vm, "%s%-4d %s\n", marker, n, strings.TrimRight(lines[n-1], " \t"))
+		rb.b = append(rb.b, marker)
+		rb.b = appendIntPadded(rb.b, int64(n), 4)
+		rb.b = append(rb.b, ' ')
+		rb.b = append(rb.b, strings.TrimRight(lines[n-1], " \t")...)
+		rb.b = append(rb.b, '\n')
 	}
+	flush(vm, rb.b)
 	return nil
 }
 
@@ -480,15 +562,22 @@ func (r *Runtime) xvars(st *session.State, vm *minic.VM, rip int64, name string)
 	if err != nil {
 		return err
 	}
+	rb := getRender()
+	defer putRender(rb)
 	if rec == nil || len(rec.Vars) == 0 {
-		out(vm, "No D2X variables for generated line %d\n", genLine)
+		rb.b = appendNoContext(rb.b, "variables", genLine)
+		flush(vm, rb.b)
 		return nil
 	}
 	name = strings.TrimSpace(name)
 	if name == "" {
 		for i, v := range rec.Vars {
-			out(vm, "%d. %s\n", i+1, v.Key)
+			rb.b = strconv.AppendInt(rb.b, int64(i+1), 10)
+			rb.b = append(rb.b, '.', ' ')
+			rb.b = append(rb.b, v.Key...)
+			rb.b = append(rb.b, '\n')
 		}
+		flush(vm, rb.b)
 		return nil
 	}
 	for _, v := range rec.Vars {
@@ -499,7 +588,11 @@ func (r *Runtime) xvars(st *session.State, vm *minic.VM, rip int64, name string)
 		if err != nil {
 			return err
 		}
-		out(vm, "%s = %s\n", v.Key, val)
+		rb.b = append(rb.b, v.Key...)
+		rb.b = append(rb.b, " = "...)
+		rb.b = append(rb.b, val...)
+		rb.b = append(rb.b, '\n')
+		flush(vm, rb.b)
 		return nil
 	}
 	return fmt.Errorf("d2x: no extended variable %q at this line", name)
@@ -611,15 +704,27 @@ func (r *Runtime) xbreak(st *session.State, vm *minic.VM, rip int64, spec string
 	if err != nil {
 		return "", err
 	}
+	rb := getRender()
+	defer putRender(rb)
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
 		if len(st.XBPs) == 0 {
-			out(vm, "No DSL breakpoints.\n")
+			rb.b = append(rb.b, "No DSL breakpoints.\n"...)
+			flush(vm, rb.b)
 			return "", nil
 		}
 		for _, bp := range st.XBPs {
-			out(vm, "#%d  %s:%d  (%d generated locations)\n", bp.ID, bp.File, bp.Line, len(bp.GenLines))
+			rb.b = append(rb.b, '#')
+			rb.b = strconv.AppendInt(rb.b, int64(bp.ID), 10)
+			rb.b = append(rb.b, "  "...)
+			rb.b = append(rb.b, bp.File...)
+			rb.b = append(rb.b, ':')
+			rb.b = strconv.AppendInt(rb.b, int64(bp.Line), 10)
+			rb.b = append(rb.b, "  ("...)
+			rb.b = strconv.AppendInt(rb.b, int64(len(bp.GenLines)), 10)
+			rb.b = append(rb.b, " generated locations)\n"...)
 		}
+		flush(vm, rb.b)
 		return "", nil
 	}
 
@@ -648,36 +753,62 @@ func (r *Runtime) xbreak(st *session.State, vm *minic.VM, rip int64, spec string
 		}
 	}
 
-	genLines := tables.GenLinesForDSL(file, line)
+	// Collect candidates into the session's scratch slice: the expansion
+	// is filtered, deduped and sorted in place, and only the final
+	// result is copied out onto the breakpoint.
+	st.ScratchLines = tables.AppendGenLinesForDSL(st.ScratchLines[:0], file, line)
 	// Keep only lines a breakpoint can bind to (brace-only or merged
-	// lines have D2X records but no statement site). Filter into a fresh
-	// slice: the expansion is stored on the breakpoint, and must not
-	// alias anything the shared tables handed out.
-	breakable := make([]int, 0, len(genLines))
-	for _, gl := range genLines {
-		if len(r.info.SitesForLine(gl)) > 0 {
-			breakable = append(breakable, gl)
+	// lines have D2X records but no statement site).
+	w := 0
+	for _, gl := range st.ScratchLines {
+		if r.info.HasStmtOnLine(gl) {
+			st.ScratchLines[w] = gl
+			w++
 		}
 	}
 	// A DSL line can reach the same generated line through several
 	// records (overlapping sections, suffix-matched files): emit each
 	// `break` once, in line order, or the debugger ends up with stacked
 	// duplicate breakpoints xdel can only half-remove.
-	breakable = dedupeSortedLines(breakable)
+	breakable := dedupeSortedLines(st.ScratchLines[:w])
 	if len(breakable) == 0 {
-		out(vm, "No generated code for %s:%d\n", file, line)
+		rb.b = append(rb.b, "No generated code for "...)
+		rb.b = append(rb.b, file...)
+		rb.b = append(rb.b, ':')
+		rb.b = strconv.AppendInt(rb.b, int64(line), 10)
+		rb.b = append(rb.b, '\n')
+		flush(vm, rb.b)
 		return "", nil
 	}
-	bp := &XBreakpoint{ID: st.NextID, File: file, Line: line, GenLines: breakable}
+	// The stored expansion must not alias the scratch slice, which the
+	// next command overwrites.
+	bp := &XBreakpoint{ID: st.NextID, File: file, Line: line,
+		GenLines: append([]int(nil), breakable...)}
 	st.NextID++
 	st.XBPs = append(st.XBPs, bp)
-	out(vm, "Inserting %d breakpoints with ID: #%d\n", len(breakable), bp.ID)
-	gen := r.genFileName()
-	cmds := make([]string, len(breakable))
-	for i, gl := range breakable {
-		cmds[i] = fmt.Sprintf("break %s:%d", gen, gl)
+	rb.b = append(rb.b, "Inserting "...)
+	rb.b = strconv.AppendInt(rb.b, int64(len(breakable)), 10)
+	rb.b = append(rb.b, " breakpoints with ID: #"...)
+	rb.b = strconv.AppendInt(rb.b, int64(bp.ID), 10)
+	rb.b = append(rb.b, '\n')
+	flush(vm, rb.b)
+	rb.b = appendBreakCmds(rb.b[:0], "break ", r.genFileName(), breakable)
+	return string(rb.b), nil
+}
+
+// appendBreakCmds renders one debugger command per generated line
+// ("break gen.c:N" or "clear gen.c:N"), newline-separated.
+func appendBreakCmds(b []byte, verb, gen string, lines []int) []byte {
+	for i, gl := range lines {
+		if i > 0 {
+			b = append(b, '\n')
+		}
+		b = append(b, verb...)
+		b = append(b, gen...)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, int64(gl), 10)
 	}
-	return strings.Join(cmds, "\n"), nil
+	return b
 }
 
 // dedupeSortedLines sorts line numbers ascending and removes duplicates,
@@ -710,18 +841,23 @@ func (r *Runtime) xdel(st *session.State, vm *minic.VM, spec string) (string, er
 			continue
 		}
 		st.XBPs = append(st.XBPs[:i], st.XBPs[i+1:]...)
-		out(vm, "Deleted DSL breakpoint #%d (%d generated locations)\n", id, len(bp.GenLines))
-		// Defensive dedupe: expansions made by current xbreak are already
-		// unique, but breakpoints that survived from an older build (or
-		// were installed by external tooling) may not be, and a duplicate
+		rb := getRender()
+		defer putRender(rb)
+		rb.b = append(rb.b, "Deleted DSL breakpoint #"...)
+		rb.b = strconv.AppendInt(rb.b, int64(id), 10)
+		rb.b = append(rb.b, " ("...)
+		rb.b = strconv.AppendInt(rb.b, int64(len(bp.GenLines)), 10)
+		rb.b = append(rb.b, " generated locations)\n"...)
+		flush(vm, rb.b)
+		// Defensive dedupe (in the session scratch, not a fresh copy):
+		// expansions made by current xbreak are already unique, but
+		// breakpoints that survived from an older build (or were
+		// installed by external tooling) may not be, and a duplicate
 		// `clear` on an already-cleared location is a command error.
-		gen := r.genFileName()
-		lines := dedupeSortedLines(append([]int(nil), bp.GenLines...))
-		cmds := make([]string, len(lines))
-		for i, gl := range lines {
-			cmds[i] = fmt.Sprintf("clear %s:%d", gen, gl)
-		}
-		return strings.Join(cmds, "\n"), nil
+		st.ScratchLines = append(st.ScratchLines[:0], bp.GenLines...)
+		lines := dedupeSortedLines(st.ScratchLines)
+		rb.b = appendBreakCmds(rb.b[:0], "clear ", r.genFileName(), lines)
+		return string(rb.b), nil
 	}
 	return "", fmt.Errorf("d2x: no DSL breakpoint #%d", id)
 }
@@ -794,6 +930,9 @@ func (r *Runtime) sourceLine(path string, n int) (string, bool) {
 	return strings.TrimRight(lines[n-1], " \t"), true
 }
 
+// formatXFrame is the fmt-based reference renderer for one extended
+// frame line. The command path renders with appendXFrame instead; this
+// stays as the oracle the equivalence tests compare against.
 func formatXFrame(i int, loc srcloc.Loc) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "#%d ", i)

@@ -623,3 +623,53 @@ func TestReattachResetsSessionState(t *testing.T) {
 		t.Errorf("decodes after re-attach = %d, want %d", n, dec0+1)
 	}
 }
+
+// TestReattachInvalidatesFusedIndex is the stale-index regression test
+// for the fused resolution index: replacing the debug info must drop the
+// published index and rebuild it against the new info identity on the
+// next command. An entry fused under the old build's line numbering
+// serving the new binary would resolve frames to the wrong DSL context
+// silently — the worst failure mode this subsystem has.
+func TestReattachInvalidatesFusedIndex(t *testing.T) {
+	f := newFixture(t)
+	f.out.Reset()
+	f.callCmd(t, "d2x_runtime_command_xbt", minic.IntVal(f.rip), minic.IntVal(f.rsp))
+	want := f.out.String()
+	if want == "" {
+		t.Fatal("xbt produced no output before re-attach")
+	}
+	fu0, err := f.rt.svc.Fused(f.vm, f.rt.info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fu0.Info() != f.rt.info {
+		t.Fatal("published index not keyed to the attached info")
+	}
+
+	// Re-attach the same blob: the decode yields a fresh *dwarfish.Info,
+	// so anything keyed to the old identity is now stale by definition.
+	if err := f.rt.AttachDebugInfo(dwarfish.Build(f.prog).Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if f.rt.info == fu0.Info() {
+		t.Fatal("re-attach kept the old info identity; test can prove nothing")
+	}
+	fu1, err := f.rt.svc.Fused(f.vm, f.rt.info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fu1 == fu0 {
+		t.Error("stale fused index survived AttachDebugInfo")
+	}
+	if fu1.Info() != f.rt.info {
+		t.Errorf("rebuilt index keyed to %p, want the re-attached info %p", fu1.Info(), f.rt.info)
+	}
+
+	// The command path agrees byte for byte with the pre-reattach output
+	// (same program, same rip — only the index was rebuilt).
+	f.out.Reset()
+	f.callCmd(t, "d2x_runtime_command_xbt", minic.IntVal(f.rip), minic.IntVal(f.rsp))
+	if got := f.out.String(); got != want {
+		t.Errorf("xbt after re-attach = %q, want %q", got, want)
+	}
+}

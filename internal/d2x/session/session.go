@@ -78,6 +78,14 @@ type State struct {
 	// runtime default). Handlers the effects analysis proved safe run
 	// unguarded and ignore it.
 	FuelBudget int64
+
+	// ScratchLines is the reusable generated-line scratch of the xbreak
+	// and xdel command paths (candidate collection, dedupe, sort). It is
+	// touched only by this session's single command stream and is always
+	// rewritten from length zero, so stale contents cannot leak between
+	// commands or builds; keeping the capacity across Reset is what makes
+	// repeat commands allocation-free.
+	ScratchLines []int
 }
 
 // Reset clears everything that refers to the build the session was
@@ -107,6 +115,10 @@ type metrics struct {
 	stateEvicts  *obs.Counter
 	live         *obs.Gauge
 	decodeLat    *obs.Histogram
+	fusedHit     *obs.Counter
+	fusedMiss    *obs.Counter
+	fusedBuilds  *obs.Counter
+	fusedLat     *obs.Histogram
 }
 
 func newMetrics() metrics {
@@ -119,6 +131,10 @@ func newMetrics() metrics {
 		stateEvicts:  obs.GetCounter("session.state.evicts"),
 		live:         obs.GetGauge("session.live"),
 		decodeLat:    obs.GetHistogram("session.tables.decode"),
+		fusedHit:     obs.GetCounter("session.fused.hit"),
+		fusedMiss:    obs.GetCounter("session.fused.miss"),
+		fusedBuilds:  obs.GetCounter("session.fused.builds"),
+		fusedLat:     obs.GetHistogram("session.fused.build"),
 	}
 }
 
@@ -129,6 +145,11 @@ type Service struct {
 	// tables is the published decode. Reads are a single atomic load —
 	// the shared-tables fast path takes no lock whatsoever.
 	tables atomic.Pointer[d2xenc.Tables]
+
+	// fused is the published fused resolution index, derived from one
+	// (tables, debug-info) pair and shared read-only by every session,
+	// under the same atomic-pointer discipline as tables.
+	fused atomic.Pointer[Fused]
 
 	mu      sync.Mutex // guards decode, states, decodes, nextSessID
 	decodes int
@@ -226,6 +247,10 @@ func (s *Service) Invalidate() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.tables.Store(nil)
+	// The fused index is derived from the tables; it dies with them.
+	// (Its info-identity check would also reject it, but only when the
+	// debug info object itself was replaced — drop it unconditionally.)
+	s.fused.Store(nil)
 	for _, st := range s.states {
 		st.Reset()
 		obs.Emit(obs.Event{Kind: "session", Name: "invalidate", Session: st.ID})

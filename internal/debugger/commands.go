@@ -194,9 +194,52 @@ func (d *Debugger) run(cmd, rest string) error {
 	}
 
 	if m, ok := d.macros[cmd]; ok {
-		return d.runMacro(m, splitArgs(rest))
+		args := d.splitArgsReuse(rest)
+		err := d.runMacro(m, args)
+		d.putStrArgs(args)
+		return err
 	}
 	return fmt.Errorf("undefined command: %q", cmd)
+}
+
+// getStrArgs pops a recycled string slice (length 0) off the freelist.
+func (d *Debugger) getStrArgs() []string {
+	if n := len(d.strFree); n > 0 {
+		a := d.strFree[n-1]
+		d.strFree = d.strFree[:n-1]
+		return a
+	}
+	return nil
+}
+
+// splitArgsReuse is splitArgs into a recycled slice. Macro dispatch is
+// the per-command hot path; macros nest (a body line may invoke another
+// macro), so recycled slices live on a freelist, not a single slot.
+func (d *Debugger) splitArgsReuse(s string) []string {
+	return appendSplitArgs(d.getStrArgs(), s)
+}
+
+// putStrArgs returns a macro-argument slice to the freelist, dropping
+// the string references it held.
+func (d *Debugger) putStrArgs(args []string) {
+	for i := range args {
+		args[i] = ""
+	}
+	d.strFree = append(d.strFree, args[:0])
+}
+
+// getBuf / putBuf recycle byte scratch buffers (macro substitution).
+func (d *Debugger) getBuf() []byte {
+	if n := len(d.bufFree); n > 0 {
+		b := d.bufFree[n-1]
+		d.bufFree = d.bufFree[:n-1]
+		return b
+	}
+	return nil
+}
+
+func (d *Debugger) putBuf(b []byte) {
+	d.bufFree = append(d.bufFree, b[:0])
 }
 
 // ExecuteScript runs commands one per line, stopping at the first error.
@@ -218,7 +261,12 @@ func splitCommand(line string) (string, string) {
 
 // splitArgs splits macro arguments on whitespace, honouring quotes.
 func splitArgs(s string) []string {
-	var args []string
+	return appendSplitArgs(nil, s)
+}
+
+// appendSplitArgs appends the whitespace-split, quote-honouring arguments
+// of s onto args.
+func appendSplitArgs(args []string, s string) []string {
 	i := 0
 	for i < len(s) {
 		for i < len(s) && (s[i] == ' ' || s[i] == '\t') {
@@ -285,33 +333,40 @@ func (d *Debugger) cmdClear(spec string) error {
 	if err != nil {
 		return err
 	}
-	at := map[dwarfish.Addr]bool{}
-	for _, s := range sites {
-		at[s.Addr] = true
-	}
-	var kept []*Breakpoint
-	var deleted []int
-	for _, bp := range d.bps {
+	// Filter d.bps in place: site lists are a few entries, so a nested
+	// scan beats building a lookup map, and the compaction reuses the
+	// slice's backing array. If nothing matches, the compaction was the
+	// identity and d.bps is untouched.
+	old := d.bps
+	kept := old[:0]
+	deleted := 0
+	for _, bp := range old {
 		hit := false
 		for _, s := range bp.Sites {
-			if at[s.Addr] {
-				hit = true
+			for _, t := range sites {
+				if s.Addr == t.Addr {
+					hit = true
+					break
+				}
+			}
+			if hit {
 				break
 			}
 		}
 		if hit {
-			deleted = append(deleted, bp.ID)
+			deleted++
+			d.printf("Deleted breakpoint %d\n", bp.ID)
 		} else {
 			kept = append(kept, bp)
 		}
 	}
-	if len(deleted) == 0 {
+	if deleted == 0 {
 		return fmt.Errorf("no breakpoint at %s", spec)
 	}
-	d.bps = kept
-	for _, id := range deleted {
-		d.printf("Deleted breakpoint %d\n", id)
+	for i := len(kept); i < len(old); i++ {
+		old[i] = nil // release the compacted-away tail
 	}
+	d.bps = kept
 	return nil
 }
 
@@ -427,23 +482,40 @@ func (d *Debugger) cmdSet(rest string) error {
 // into the debuggee), then execute the result as commands. D2X's xbreak
 // depends on this to let the debuggee drive breakpoint insertion.
 func (d *Debugger) cmdEval(rest string) error {
-	format, args, err := parseFormatArgs(rest)
+	// Both scratch slices come from the debugger's freelists; evaluating
+	// an argument may itself pop a slice (nested call), which the
+	// freelists handle.
+	format, args, err := appendParseFormatArgs(d.getStrArgs(), rest)
 	if err != nil {
+		d.putStrArgs(args)
 		return err
 	}
-	vals := make([]minic.Value, len(args))
-	for i, a := range args {
+	vals := d.getArgs()
+	for _, a := range args {
 		v, err := d.EvalExpr(a)
 		if err != nil {
+			d.putStrArgs(args)
+			d.putArgs(vals)
 			return err
 		}
-		vals[i] = v
+		vals = append(vals, v)
 	}
+	d.putStrArgs(args)
 	expanded, err := minic.FormatPrintf(format, vals)
+	d.putArgs(vals)
 	if err != nil {
 		return err
 	}
-	for _, line := range strings.Split(expanded, "\n") {
+	// Iterate lines in place rather than materialising a []string: the
+	// expansion of a hot D2X command is a single line.
+	for start := 0; start < len(expanded); {
+		line := expanded[start:]
+		if nl := strings.IndexByte(line, '\n'); nl >= 0 {
+			line = line[:nl]
+			start += nl + 1
+		} else {
+			start = len(expanded)
+		}
 		if strings.TrimSpace(line) == "" {
 			continue
 		}
@@ -457,41 +529,29 @@ func (d *Debugger) cmdEval(rest string) error {
 // parseFormatArgs splits `"fmt", arg1, arg2` respecting quotes and nested
 // parentheses inside arguments.
 func parseFormatArgs(s string) (string, []string, error) {
+	return appendParseFormatArgs(nil, s)
+}
+
+// appendParseFormatArgs is parseFormatArgs appending onto a (possibly
+// recycled) slice. The input slice is returned even on error, so a
+// pooled caller can always reclaim it.
+func appendParseFormatArgs(args []string, s string) (string, []string, error) {
 	s = strings.TrimSpace(s)
 	if !strings.HasPrefix(s, "\"") {
-		return "", nil, fmt.Errorf("eval requires a quoted format string")
+		return "", args, fmt.Errorf("eval requires a quoted format string")
 	}
-	i := 1
-	var fb strings.Builder
-	for i < len(s) && s[i] != '"' {
-		if s[i] == '\\' && i+1 < len(s) {
-			i++
-			switch s[i] {
-			case 'n':
-				fb.WriteByte('\n')
-			case 't':
-				fb.WriteByte('\t')
-			default:
-				fb.WriteByte(s[i])
-			}
-		} else {
-			fb.WriteByte(s[i])
-		}
-		i++
+	format, i, err := scanEvalFormat(s)
+	if err != nil {
+		return "", args, err
 	}
-	if i >= len(s) {
-		return "", nil, fmt.Errorf("unterminated format string")
-	}
-	i++ // closing quote
 	rest := strings.TrimSpace(s[i:])
 	if rest == "" {
-		return fb.String(), nil, nil
+		return format, args, nil
 	}
 	if !strings.HasPrefix(rest, ",") {
-		return "", nil, fmt.Errorf("expected ',' after format string")
+		return "", args, fmt.Errorf("expected ',' after format string")
 	}
 	rest = rest[1:]
-	var args []string
 	depth := 0
 	start := 0
 	inStr := false
@@ -520,7 +580,43 @@ func parseFormatArgs(s string) (string, []string, error) {
 			}
 		}
 	}
-	return fb.String(), args, nil
+	return format, args, nil
+}
+
+// scanEvalFormat scans the quoted format string starting at s[0] == '"'
+// and returns its unescaped contents plus the index just past the closing
+// quote. A format with no escape sequences — every D2X macro's — is
+// returned as a substring of the input, with no copy.
+func scanEvalFormat(s string) (string, int, error) {
+	i := 1
+	for i < len(s) && s[i] != '"' && s[i] != '\\' {
+		i++
+	}
+	if i < len(s) && s[i] == '"' {
+		return s[1:i], i + 1, nil
+	}
+	var fb strings.Builder
+	fb.WriteString(s[1:i])
+	for i < len(s) && s[i] != '"' {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case 'n':
+				fb.WriteByte('\n')
+			case 't':
+				fb.WriteByte('\t')
+			default:
+				fb.WriteByte(s[i])
+			}
+		} else {
+			fb.WriteByte(s[i])
+		}
+		i++
+	}
+	if i >= len(s) {
+		return "", 0, fmt.Errorf("unterminated format string")
+	}
+	return fb.String(), i + 1, nil
 }
 
 func (d *Debugger) cmdThread(rest string) error {
@@ -540,7 +636,7 @@ func (d *Debugger) cmdThread(rest string) error {
 		return err
 	}
 	d.printf("[Switching to thread %d]\n", id)
-	if len(d.frames()) > 0 {
+	if d.frameCount() > 0 {
 		d.printf("%s\n", d.describeFrame(0))
 	}
 	return nil
@@ -722,7 +818,7 @@ func (d *Debugger) reportStop(stop Stop) {
 		d.showDisplays()
 	case StopFault:
 		d.printf("Program received fault: %v\n", stop.Fault)
-		if len(d.frames()) > 0 {
+		if d.frameCount() > 0 {
 			d.printf("%s\n", d.describeFrame(0))
 			d.printSourceLineAt(0)
 		}

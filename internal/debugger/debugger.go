@@ -137,6 +137,26 @@ type Debugger struct {
 	// unguarded: the user asked for the side effects.
 	evalGuard *minic.Guard
 
+	// exprCache memoises lexed token slices and ns::fn name manglings.
+	// Macro-driven command streams evaluate the same handful of call
+	// expressions on every command, so without these the lexer's token
+	// slice and the mangler's rewrite dominate steady-state dispatch
+	// cost. Both maps are bounded (cleared wholesale when full — the
+	// real working set is a few entries) and hold immutable values, and
+	// the debugger executes commands one at a time, so no locking.
+	exprCache   map[string][]exprToken
+	mangleCache map[string]string
+
+	// argFree and natFree recycle the argument slices and native-call
+	// frames of debuggee calls. Calls nest (f(g(x)) holds two argument
+	// lists at once), hence freelists rather than single slots; an inner
+	// call completes before the outer one is issued, so a popped entry
+	// is never still in use when it is reused.
+	argFree []([]minic.Value)
+	natFree []*minic.NativeCall
+	strFree [][]string
+	bufFree [][]byte
+
 	closed     bool
 	closeHooks []func()
 }
@@ -218,7 +238,6 @@ func (d *Debugger) resolveSpec(spec string) ([]dwarfish.BreakpointSite, error) {
 	if spec == "" {
 		return nil, fmt.Errorf("empty breakpoint location")
 	}
-	var line int
 	lineSpec := spec
 	if i := strings.LastIndex(spec, ":"); i >= 0 {
 		file := spec[:i]
@@ -227,7 +246,7 @@ func (d *Debugger) resolveSpec(spec string) ([]dwarfish.BreakpointSite, error) {
 		}
 		lineSpec = spec[i+1:]
 	}
-	if _, err := fmt.Sscanf(lineSpec, "%d", &line); err == nil && line > 0 {
+	if line, ok := parseLeadingInt(lineSpec); ok && line > 0 {
 		sites := d.proc.Info.SitesForLine(line)
 		if len(sites) == 0 {
 			return nil, fmt.Errorf("no code at line %d", line)
@@ -239,6 +258,29 @@ func (d *Debugger) resolveSpec(spec string) ([]dwarfish.BreakpointSite, error) {
 		return nil, fmt.Errorf("function %q not defined", spec)
 	}
 	return sites, nil
+}
+
+// parseLeadingInt parses an optionally signed decimal prefix, the subset
+// of Sscanf("%d") semantics resolveSpec relies on, without fmt's scan
+// state. Trailing non-digits are ignored, as Sscanf's were.
+func parseLeadingInt(s string) (int, bool) {
+	i, neg := 0, false
+	if i < len(s) && (s[i] == '+' || s[i] == '-') {
+		neg = s[i] == '-'
+		i++
+	}
+	n, start := 0, i
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		n = n*10 + int(s[i]-'0')
+		i++
+	}
+	if i == start {
+		return 0, false
+	}
+	if neg {
+		n = -n
+	}
+	return n, true
 }
 
 // DeleteBreakpoint removes the breakpoint with the given ID.
@@ -299,7 +341,8 @@ func (d *Debugger) SelectThread(id int) error {
 }
 
 // frames returns the selected thread's call stack innermost-first, the
-// order backtraces display.
+// order backtraces display. It allocates a reversed copy; hot paths that
+// need a single frame use frameAt instead.
 func (d *Debugger) frames() []*minic.Frame {
 	t := d.SelectedThread()
 	if t == nil {
@@ -313,23 +356,43 @@ func (d *Debugger) frames() []*minic.Frame {
 	return out
 }
 
+// frameCount returns the depth of the selected thread's call stack.
+func (d *Debugger) frameCount() int {
+	t := d.SelectedThread()
+	if t == nil {
+		return 0
+	}
+	return len(t.Frames)
+}
+
+// frameAt returns frame n of the selected thread, innermost-first —
+// frames()[n] without materialising the reversed slice. The register
+// meta-variables ($rip, $rsp) every D2X command evaluates resolve through
+// here, so the command hot path does not copy the stack per lookup.
+func (d *Debugger) frameAt(n int) *minic.Frame {
+	t := d.SelectedThread()
+	if t == nil {
+		return nil
+	}
+	fs := t.Frames
+	if n < 0 || n >= len(fs) {
+		return nil
+	}
+	return fs[len(fs)-1-n]
+}
+
 // SelectedFrame returns the currently selected frame (nil before run).
 func (d *Debugger) SelectedFrame() *minic.Frame {
-	fs := d.frames()
-	if d.selFrame < 0 || d.selFrame >= len(fs) {
-		if len(fs) == 0 {
-			return nil
-		}
-		return fs[0]
+	if f := d.frameAt(d.selFrame); f != nil {
+		return f
 	}
-	return fs[d.selFrame]
+	return d.frameAt(0)
 }
 
 // SelectFrame chooses frame n of the selected thread (0 = innermost).
 func (d *Debugger) SelectFrame(n int) error {
-	fs := d.frames()
-	if n < 0 || n >= len(fs) {
-		return fmt.Errorf("no frame %d (stack has %d frames)", n, len(fs))
+	if n < 0 || n >= d.frameCount() {
+		return fmt.Errorf("no frame %d (stack has %d frames)", n, d.frameCount())
 	}
 	d.selFrame = n
 	return nil
@@ -339,11 +402,10 @@ func (d *Debugger) SelectFrame(n int) error {
 // the instruction about to execute; for outer frames the call site (PC-1,
 // like a return address).
 func (d *Debugger) FrameAddr(frameNo int) (dwarfish.Addr, bool) {
-	fs := d.frames()
-	if frameNo < 0 || frameNo >= len(fs) {
+	f := d.frameAt(frameNo)
+	if f == nil {
 		return dwarfish.Addr{}, false
 	}
-	f := fs[frameNo]
 	pc := f.PC
 	if frameNo > 0 && pc > 0 {
 		pc-- // outer frames point at their pending call instruction

@@ -216,13 +216,34 @@ func (d *Debugger) stopAt(t *minic.Thread, reason StopReason, bp *Breakpoint, ad
 // returns its result — the debugger feature (GDB `call`) that D2X's whole
 // runtime design exploits. Program functions and host-linked natives are
 // both callable, as both are "functions linked into the executable".
+//
+// The NativeCall frame handed to a native handler is recycled; handlers
+// must not retain it (or its Args slice) past their return, which none of
+// a debugger's synchronous command handlers have reason to do.
 func (d *Debugger) CallValue(name string, args []minic.Value) (minic.Value, error) {
 	vm := d.proc.VM
 	if vm.Prog.FuncIndex(name) >= 0 {
 		return vm.CallFunctionGuarded(name, args, d.evalGuard)
 	}
 	if nat, _, ok := vm.Prog.Natives.Lookup(name); ok {
-		return nat.Handler(&minic.NativeCall{VM: vm, Thread: d.SelectedThread(), Args: args})
+		nc := d.getNatCall()
+		nc.VM, nc.Thread, nc.Args = vm, d.SelectedThread(), args
+		v, err := nat.Handler(nc)
+		nc.VM, nc.Thread, nc.Args = nil, nil, nil
+		d.natFree = append(d.natFree, nc)
+		return v, err
 	}
 	return minic.NullVal(), fmt.Errorf("no symbol %q in current context", name)
+}
+
+// getNatCall pops a recycled NativeCall frame, or allocates the first
+// few. Natives can nest (a native's handler may evaluate expressions
+// that call back in), hence a freelist rather than a single slot.
+func (d *Debugger) getNatCall() *minic.NativeCall {
+	if n := len(d.natFree); n > 0 {
+		nc := d.natFree[n-1]
+		d.natFree = d.natFree[:n-1]
+		return nc
+	}
+	return &minic.NativeCall{}
 }

@@ -144,8 +144,34 @@ func (d *Debugger) EvalExpr(src string) (minic.Value, error) {
 	return r.val, nil
 }
 
-func (d *Debugger) evalResult(src string) (result, error) {
+// exprCacheMax bounds the lexed-token and mangle caches. The working set
+// of a command stream is a handful of macro-body expressions; when a
+// pathological stream of distinct expressions fills the map, it is
+// cleared wholesale rather than evicted piecemeal.
+const exprCacheMax = 256
+
+// lexCached returns the token slice for src, memoised. Token slices are
+// read-only after lexing (the evaluator only indexes into them), so
+// sharing one slice across evaluations is safe.
+func (d *Debugger) lexCached(src string) ([]exprToken, error) {
+	if toks, ok := d.exprCache[src]; ok {
+		return toks, nil
+	}
 	toks, err := lexExpr(src)
+	if err != nil {
+		return nil, err
+	}
+	if d.exprCache == nil {
+		d.exprCache = make(map[string][]exprToken)
+	} else if len(d.exprCache) >= exprCacheMax {
+		clear(d.exprCache)
+	}
+	d.exprCache[src] = toks
+	return toks, nil
+}
+
+func (d *Debugger) evalResult(src string) (result, error) {
+	toks, err := d.lexCached(src)
 	if err != nil {
 		return result{}, err
 	}
@@ -452,7 +478,8 @@ func (ev *exprEval) call(name string) (result, error) {
 	if err := ev.expect("("); err != nil {
 		return result{}, err
 	}
-	var args []minic.Value
+	args := ev.d.getArgs()
+	defer func() { ev.d.putArgs(args) }()
 	for ev.peek().kind != ")" {
 		a, err := ev.expr()
 		if err != nil {
@@ -468,17 +495,52 @@ func (ev *exprEval) call(name string) (result, error) {
 	if err := ev.expect(")"); err != nil {
 		return result{}, err
 	}
-	v, err := ev.d.CallValue(mangle(name), args)
+	v, err := ev.d.CallValue(ev.d.mangled(name), args)
 	if err != nil {
 		return result{}, err
 	}
 	return result{val: v}, nil
 }
 
-// mangle rewrites ns::fn to ns_fn so transcripts can use the paper's
-// d2x_runtime::command_xbt spelling verbatim.
-func mangle(name string) string {
-	return strings.ReplaceAll(name, "::", "_")
+// getArgs pops a reusable argument slice off the freelist (length 0,
+// capacity retained from earlier calls).
+func (d *Debugger) getArgs() []minic.Value {
+	if n := len(d.argFree); n > 0 {
+		a := d.argFree[n-1]
+		d.argFree = d.argFree[:n-1]
+		return a
+	}
+	return make([]minic.Value, 0, 4)
+}
+
+// putArgs returns an argument slice to the freelist, zeroing the used
+// prefix so recycled slices do not pin debuggee values.
+func (d *Debugger) putArgs(a []minic.Value) {
+	for i := range a {
+		a[i] = minic.Value{}
+	}
+	d.argFree = append(d.argFree, a[:0])
+}
+
+// mangled rewrites ns::fn to ns_fn so transcripts can use the paper's
+// d2x_runtime::command_xbt spelling verbatim. Unqualified names pass
+// through untouched; qualified rewrites are memoised, since the command
+// macros call the same few runtime entry points forever.
+func (d *Debugger) mangled(name string) string {
+	if !strings.Contains(name, "::") {
+		return name
+	}
+	if m, ok := d.mangleCache[name]; ok {
+		return m
+	}
+	m := strings.ReplaceAll(name, "::", "_")
+	if d.mangleCache == nil {
+		d.mangleCache = make(map[string]string)
+	} else if len(d.mangleCache) >= exprCacheMax {
+		clear(d.mangleCache)
+	}
+	d.mangleCache[name] = m
+	return m
 }
 
 // lookupSymbol resolves a bare identifier: selected-frame locals through

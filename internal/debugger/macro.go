@@ -12,10 +12,76 @@ import (
 type Macro struct {
 	Name string
 	Body []string
+
+	// compiled is the pre-parsed body, built once at DefineMacro: each
+	// line's literal segments and $argN references, plus the line's
+	// rendering with every argument empty. An invocation whose referenced
+	// arguments are all empty — every zero-argument D2X helper macro —
+	// executes its lines as pre-built strings, with no substitution work
+	// and no allocation.
+	compiled []macroLine
 }
 
-// DefineMacro installs (or replaces) a macro.
+// macroSeg is one piece of a macro line: a literal, or an argument
+// reference (arg >= 0).
+type macroSeg struct {
+	lit string
+	arg int
+}
+
+// macroLine is one pre-parsed macro body line.
+type macroLine struct {
+	segs   []macroSeg
+	static string // the line with every $argN replaced by ""
+	maxArg int    // highest referenced argument index; -1 for a pure literal
+}
+
+// compile parses $arg0..$arg9 references out of every body line. The
+// scan reproduces the substitution semantics of the original
+// ReplaceAll loop: only a single digit follows $arg, so "$arg12" is
+// argument 1 followed by the literal "2".
+func (m *Macro) compile() {
+	m.compiled = make([]macroLine, len(m.Body))
+	for i, line := range m.Body {
+		m.compiled[i] = compileMacroLine(line)
+	}
+}
+
+func compileMacroLine(line string) macroLine {
+	var segs []macroSeg
+	maxArg := -1
+	start, i := 0, 0
+	for i+4 < len(line) {
+		if line[i] == '$' && line[i+1:i+4] == "arg" && line[i+4] >= '0' && line[i+4] <= '9' {
+			if i > start {
+				segs = append(segs, macroSeg{lit: line[start:i], arg: -1})
+			}
+			n := int(line[i+4] - '0')
+			segs = append(segs, macroSeg{arg: n})
+			if n > maxArg {
+				maxArg = n
+			}
+			i += 5
+			start = i
+			continue
+		}
+		i++
+	}
+	if start < len(line) {
+		segs = append(segs, macroSeg{lit: line[start:], arg: -1})
+	}
+	var b strings.Builder
+	for _, s := range segs {
+		if s.arg < 0 {
+			b.WriteString(s.lit)
+		}
+	}
+	return macroLine{segs: segs, static: b.String(), maxArg: maxArg}
+}
+
+// DefineMacro installs (or replaces) a macro, pre-compiling its body.
 func (d *Debugger) DefineMacro(m *Macro) {
+	m.compile()
 	d.macros[m.Name] = m
 }
 
@@ -64,20 +130,46 @@ func (d *Debugger) LoadMacros(text string) error {
 	return nil
 }
 
-// runMacro substitutes arguments into the body and executes it.
+// runMacro substitutes arguments into the pre-compiled body and executes
+// it. Lines whose referenced arguments are all absent or empty execute as
+// the pre-built static string — no substitution, no allocation — which
+// covers every zero-argument helper macro on the hot command path.
 func (d *Debugger) runMacro(m *Macro, args []string) error {
-	for _, tmpl := range m.Body {
-		line := tmpl
-		for i := 9; i >= 0; i-- {
-			val := ""
-			if i < len(args) {
-				val = args[i]
+	if m.compiled == nil {
+		// Macro built by hand rather than through DefineMacro.
+		m.compile()
+	}
+	scratch := d.getBuf()
+	defer func() { d.putBuf(scratch) }()
+	for li := range m.compiled {
+		cl := &m.compiled[li]
+		line := cl.static
+		if cl.maxArg >= 0 && anyArgSet(cl.segs, args) {
+			scratch = scratch[:0]
+			for _, s := range cl.segs {
+				if s.arg < 0 {
+					scratch = append(scratch, s.lit...)
+				} else if s.arg < len(args) {
+					scratch = append(scratch, args[s.arg]...)
+				}
 			}
-			line = strings.ReplaceAll(line, fmt.Sprintf("$arg%d", i), val)
+			line = string(scratch)
 		}
 		if err := d.Execute(line); err != nil {
 			return fmt.Errorf("in macro %s: %w", m.Name, err)
 		}
 	}
 	return nil
+}
+
+// anyArgSet reports whether any argument referenced by the line's
+// segments has a non-empty value, i.e. whether substitution would change
+// the static rendering.
+func anyArgSet(segs []macroSeg, args []string) bool {
+	for _, s := range segs {
+		if s.arg >= 0 && s.arg < len(args) && args[s.arg] != "" {
+			return true
+		}
+	}
+	return false
 }

@@ -17,7 +17,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"sort"
 )
 
 // Magic identifies serialised dwarfish blobs; Version is bumped on any
@@ -115,6 +114,14 @@ type Info struct {
 	Funcs []FuncInfo
 
 	byName map[string]int
+	// byIdx is a dense FuncIndex → Funcs position table. Compiler
+	// function indices are small and near-dense, so a slice beats a map
+	// and makes FuncByIndex a bounds check + load on the frame-walk path.
+	byIdx []int32
+	// lineSites maps a source line to its statement-start sites across
+	// all functions, sorted by (FuncIndex, PC). Built once alongside the
+	// name index; the slices are shared and must not be mutated.
+	lineSites map[int][]BreakpointSite
 }
 
 // FuncByName returns the record of the named function, or nil.
@@ -129,10 +136,12 @@ func (in *Info) FuncByName(name string) *FuncInfo {
 // FuncByIndex returns the record of the function with the given compiler
 // index, or nil.
 func (in *Info) FuncByIndex(idx int) *FuncInfo {
-	for i := range in.Funcs {
-		if in.Funcs[i].FuncIndex == idx {
-			return &in.Funcs[i]
-		}
+	in.ensureIndex()
+	if idx < 0 || idx >= len(in.byIdx) {
+		return nil
+	}
+	if i := in.byIdx[idx]; i >= 0 {
+		return &in.Funcs[i]
 	}
 	return nil
 }
@@ -141,10 +150,47 @@ func (in *Info) ensureIndex() {
 	if in.byName != nil {
 		return
 	}
-	in.byName = make(map[string]int, len(in.Funcs))
-	for i, f := range in.Funcs {
-		in.byName[f.Name] = i
+	maxIdx := -1
+	for i := range in.Funcs {
+		if fi := in.Funcs[i].FuncIndex; fi > maxIdx {
+			maxIdx = fi
+		}
 	}
+	byIdx := make([]int32, maxIdx+1)
+	for i := range byIdx {
+		byIdx[i] = -1
+	}
+	byName := make(map[string]int, len(in.Funcs))
+	lineSites := make(map[int][]BreakpointSite)
+	for i := range in.Funcs {
+		f := &in.Funcs[i]
+		byName[f.Name] = i
+		if f.FuncIndex >= 0 && byIdx[f.FuncIndex] < 0 {
+			byIdx[f.FuncIndex] = int32(i)
+		}
+	}
+	// Functions are visited in FuncIndex order so each line's site list
+	// comes out sorted by (FuncIndex, PC) without a per-query sort.
+	for idx := 0; idx <= maxIdx; idx++ {
+		pos := byIdx[idx]
+		if pos < 0 {
+			continue
+		}
+		f := &in.Funcs[pos]
+		for _, e := range f.Lines {
+			if !e.Stmt {
+				continue
+			}
+			lineSites[e.Line] = append(lineSites[e.Line], BreakpointSite{
+				Func: f.Name,
+				Addr: Addr{FuncIndex: f.FuncIndex, PC: e.PC},
+				Line: e.Line,
+			})
+		}
+	}
+	in.byIdx = byIdx
+	in.lineSites = lineSites
+	in.byName = byName // publish last: byName != nil marks the index ready
 }
 
 // Addr identifies one executable location: a function and a program
@@ -191,25 +237,54 @@ type BreakpointSite struct {
 // line across all functions, sorted by function then PC. A single source
 // line can map to several sites (e.g. a UDF inlined per call site), which
 // is exactly the situation D2X's xbreak deals with one level up.
+//
+// The returned slice is shared with the Info's precomputed index and
+// must be treated as immutable by callers.
 func (in *Info) SitesForLine(line int) []BreakpointSite {
-	var sites []BreakpointSite
-	for i := range in.Funcs {
-		f := &in.Funcs[i]
-		for _, pc := range f.StmtPCs(line) {
-			sites = append(sites, BreakpointSite{
-				Func: f.Name,
-				Addr: Addr{FuncIndex: f.FuncIndex, PC: pc},
-				Line: line,
-			})
+	in.ensureIndex()
+	return in.lineSites[line]
+}
+
+// HasStmtOnLine reports whether any function has a statement-start PC on
+// the given source line — len(SitesForLine(line)) > 0 without touching
+// the site slice. It is the predicate the breakpoint-planning path uses
+// to filter candidate generated lines.
+func (in *Info) HasStmtOnLine(line int) bool {
+	in.ensureIndex()
+	return len(in.lineSites[line]) > 0
+}
+
+// VisitLineRanges calls fn once per maximal PC range of each function
+// that maps to a single source line, functions in FuncIndex order and
+// ranges in increasing PC order. A range is [loPC, hiPC); the final
+// range of each function is open-ended and reported with hiPC = -1.
+// The decomposition reproduces LineOf exactly: PCs below the first line
+// entry are not covered (LineOf reports line 0 there), and when several
+// entries share a PC the last one wins. Consumers such as the fused
+// rip→context index use this to precompute stage-1 resolution without
+// N×LineOf probes.
+func (in *Info) VisitLineRanges(fn func(f *FuncInfo, loPC, hiPC, line int)) {
+	in.ensureIndex()
+	for idx := 0; idx < len(in.byIdx); idx++ {
+		pos := in.byIdx[idx]
+		if pos < 0 {
+			continue
+		}
+		f := &in.Funcs[pos]
+		n := len(f.Lines)
+		for i := 0; i < n; i++ {
+			e := f.Lines[i]
+			if i+1 < n {
+				next := f.Lines[i+1].PC
+				if next == e.PC {
+					continue // shadowed entry: the later one wins, as in LineOf
+				}
+				fn(f, e.PC, next, e.Line)
+			} else {
+				fn(f, e.PC, -1, e.Line)
+			}
 		}
 	}
-	sort.Slice(sites, func(a, b int) bool {
-		if sites[a].Addr.FuncIndex != sites[b].Addr.FuncIndex {
-			return sites[a].Addr.FuncIndex < sites[b].Addr.FuncIndex
-		}
-		return sites[a].Addr.PC < sites[b].Addr.PC
-	})
-	return sites
 }
 
 // SitesForFunc returns the entry breakpoint site of the named function:
@@ -266,7 +341,12 @@ func (in *Info) Encode() []byte {
 	return b.Bytes()
 }
 
-// Decode parses a binary debug-info blob.
+// Decode parses a binary debug-info blob. All strings are interned
+// while decoding: the wire format repeats file names and type spellings
+// per function and per variable, and interning collapses each distinct
+// spelling to a single heap object. Consumers (the fused rip→context
+// index, the render path) can then hold and compare these strings
+// without copying.
 func Decode(data []byte) (*Info, error) {
 	r := bytes.NewReader(data)
 	magic := make([]byte, len(Magic))
@@ -279,6 +359,11 @@ func Decode(data []byte) (*Info, error) {
 	}
 	if ver != Version {
 		return nil, fmt.Errorf("dwarfish: unsupported version %d", ver)
+	}
+	tab := make(Interner, 32)
+	var scratch []byte
+	readString := func(r *bytes.Reader) (string, error) {
+		return readStringInterned(r, &scratch, tab)
 	}
 	in := &Info{}
 	if in.File, err = readString(r); err != nil {
@@ -396,7 +481,25 @@ func writeBool(b *bytes.Buffer, v bool) {
 func readUvarint(r *bytes.Reader) (uint64, error) { return binary.ReadUvarint(r) }
 func readVarint(r *bytes.Reader) (int64, error)   { return binary.ReadVarint(r) }
 
-func readString(r *bytes.Reader) (string, error) {
+// Interner deduplicates strings: each distinct spelling is stored once
+// and every later occurrence returns the stored copy. Decode uses one
+// per blob; d2xenc shares the same trick for its string tables.
+type Interner map[string]string
+
+// Intern returns the canonical copy of s, storing s on first sight.
+func (t Interner) Intern(s string) string {
+	if v, ok := t[s]; ok {
+		return v
+	}
+	t[s] = s
+	return s
+}
+
+// readStringInterned reads a length-prefixed string into a reused
+// scratch buffer and interns it. The map lookup keyed by string(buf)
+// does not allocate (the compiler elides the conversion), so repeated
+// spellings cost zero heap after their first occurrence.
+func readStringInterned(r *bytes.Reader, scratch *[]byte, tab Interner) (string, error) {
 	n, err := binary.ReadUvarint(r)
 	if err != nil {
 		return "", err
@@ -404,11 +507,19 @@ func readString(r *bytes.Reader) (string, error) {
 	if n > uint64(r.Len()) {
 		return "", fmt.Errorf("dwarfish: corrupt string length %d", n)
 	}
-	buf := make([]byte, n)
+	if uint64(cap(*scratch)) < n {
+		*scratch = make([]byte, n)
+	}
+	buf := (*scratch)[:n]
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return "", err
 	}
-	return string(buf), nil
+	if v, ok := tab[string(buf)]; ok {
+		return v, nil
+	}
+	s := string(buf)
+	tab[s] = s
+	return s, nil
 }
 
 func readBool(r *bytes.Reader) (bool, error) {

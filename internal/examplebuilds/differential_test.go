@@ -1,0 +1,150 @@
+package examplebuilds
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"d2x/internal/d2x"
+	"d2x/internal/d2x/d2xr"
+	"d2x/internal/dwarfish"
+	"d2x/internal/minic"
+)
+
+// ranSession builds the named example, attaches a session, and runs the
+// program to completion so the in-debuggee D2X table constructors have
+// executed. The returned buffer is the debuggee/debugger output sink.
+func ranSession(t *testing.T, name string) (*d2x.Build, *minic.VM, *bytes.Buffer) {
+	t.Helper()
+	build, err := Build(name)
+	if err != nil {
+		t.Fatalf("building %s: %v", name, err)
+	}
+	var out bytes.Buffer
+	d, err := build.NewSession(&out)
+	if err != nil {
+		t.Fatalf("session for %s: %v", name, err)
+	}
+	if err := d.Execute("run"); err != nil {
+		t.Fatalf("running %s: %v", name, err)
+	}
+	return build, d.Process().VM, &out
+}
+
+// sweepAddrs calls fn for every address of the build's debug info — each
+// function's PC range plus a margin past its last line entry — and for a
+// handful of addresses no function owns.
+func sweepAddrs(t *testing.T, info *dwarfish.Info, fn func(rip int64)) {
+	t.Helper()
+	n := 0
+	for fi := range info.Funcs {
+		f := &info.Funcs[fi]
+		maxPC := 0
+		for _, e := range f.Lines {
+			if e.PC > maxPC {
+				maxPC = e.PC
+			}
+		}
+		for pc := 0; pc <= maxPC+2; pc++ {
+			fn(dwarfish.EncodeAddr(dwarfish.Addr{FuncIndex: f.FuncIndex, PC: pc}))
+			n++
+		}
+	}
+	// Addresses outside any function: stage-1 misses both paths must
+	// agree on.
+	for _, a := range []dwarfish.Addr{
+		{FuncIndex: len(info.Funcs) + 7, PC: 0},
+		{FuncIndex: -1, PC: 3},
+	} {
+		fn(dwarfish.EncodeAddr(a))
+		n += 1
+	}
+	if n == 0 {
+		t.Fatal("address sweep visited nothing — debug info has no line entries")
+	}
+}
+
+// TestFusedMatchesTwoStageReference is the differential-correctness
+// check behind the fused resolution index (CI runs it explicitly): on
+// every address of every example program, the fused path must return the
+// identical record pointer, generated line, and error as the original
+// two-stage mapping it replaced.
+func TestFusedMatchesTwoStageReference(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			build, vm, _ := ranSession(t, name)
+			rt := build.Runtime
+			sweepAddrs(t, rt.Info(), func(rip int64) {
+				rec, gl, err := rt.RecordAt(vm, rip)
+				recRef, glRef, errRef := rt.RecordAtReference(vm, rip)
+				if (err == nil) != (errRef == nil) {
+					t.Fatalf("rip %#x: fused err=%v, reference err=%v", rip, err, errRef)
+				}
+				if err != nil && err.Error() != errRef.Error() {
+					t.Fatalf("rip %#x: fused err %q, reference err %q", rip, err, errRef)
+				}
+				if rec != recRef || gl != glRef {
+					t.Fatalf("rip %#x: fused (%p, line %d) != reference (%p, line %d)",
+						rip, rec, gl, recRef, glRef)
+				}
+			})
+		})
+	}
+}
+
+// TestXBTOutputMatchesReferenceRenderer drives the real xbt entry point
+// (append-rendered through the pooled buffers) at every address of every
+// example program and demands byte-identical output to a fmt-based
+// rendering of the reference two-stage resolution.
+func TestXBTOutputMatchesReferenceRenderer(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			build, vm, out := ranSession(t, name)
+			rt := build.Runtime
+			nat, _, ok := build.Program.Natives.Lookup(d2xr.NativeXBT)
+			if !ok {
+				t.Fatalf("%s: xbt native not registered", name)
+			}
+			sweepAddrs(t, rt.Info(), func(rip int64) {
+				out.Reset()
+				_, err := nat.Handler(&minic.NativeCall{
+					VM:   vm,
+					Args: []minic.Value{minic.IntVal(rip), minic.IntVal(0)},
+				})
+				got := out.String()
+
+				rec, gl, refErr := rt.RecordAtReference(vm, rip)
+				if refErr != nil {
+					if err == nil || err.Error() != refErr.Error() {
+						t.Fatalf("rip %#x: xbt err %v, reference err %v", rip, err, refErr)
+					}
+					if got != "" {
+						t.Fatalf("rip %#x: xbt wrote %q despite error", rip, got)
+					}
+					return
+				}
+				if err != nil {
+					t.Fatalf("rip %#x: xbt failed (%v) where reference resolved", rip, err)
+				}
+				var want string
+				if rec == nil || len(rec.Stack) == 0 {
+					want = fmt.Sprintf("No D2X context for generated line %d\n", gl)
+				} else {
+					var b strings.Builder
+					for i, loc := range rec.Stack {
+						fmt.Fprintf(&b, "#%d ", i)
+						if loc.Function != "" {
+							fmt.Fprintf(&b, "in %s ", loc.Function)
+						}
+						fmt.Fprintf(&b, "at %s:%d\n", loc.File, loc.Line)
+					}
+					want = b.String()
+				}
+				if got != want {
+					t.Fatalf("rip %#x: xbt output diverged\n got: %q\nwant: %q", rip, got, want)
+				}
+			})
+		})
+	}
+}

@@ -169,6 +169,12 @@ func registerCoreBuiltins(n *Natives) {
 // %b (bool), and %% (literal percent). It is exported so the debugger can
 // reuse it for its own format-string handling (the `eval` command).
 func FormatPrintf(format string, args []Value) (string, error) {
+	// A bare "%s" applied to one string is the identity. This is the
+	// debugger's eval hot path — D2X's xbreak/xdel expand a string the
+	// debuggee runtime already assembled — so skip the builder entirely.
+	if format == "%s" && len(args) == 1 && args[0].Kind == VStr {
+		return args[0].S, nil
+	}
 	var b strings.Builder
 	argi := 0
 	nextArg := func() (Value, error) {

@@ -14,11 +14,12 @@
 //
 // Design constraints, in order:
 //
-//  1. No lock contention on hot paths. Counters are single atomic adds;
-//     histograms are fixed log2 buckets of atomic counters; the event
-//     ring stores *Event via atomic.Pointer slots. The only mutex-free
-//     shared structure with any coordination is sync.Map, used for
-//     metric registration, which is read-mostly after startup.
+//  1. No lock contention and no allocation on hot paths. Counters are
+//     single atomic adds; histograms are fixed log2 buckets of atomic
+//     counters; the event ring copies Event values into fixed slots
+//     under per-slot CAS spinlocks, so tracing never touches the heap.
+//     The only shared structure with any coordination is sync.Map, used
+//     for metric registration, which is read-mostly after startup.
 //  2. Metric handles are cheap to cache. Instrumented packages resolve
 //     their handles once (at construction or init) and then touch only
 //     atomics; Reset zeroes values in place so cached handles survive.

@@ -37,15 +37,29 @@ type Event struct {
 	Detail string `json:"detail,omitempty"`
 }
 
-// Ring is a fixed-capacity, lock-free trace buffer. Writers reserve a
-// slot with one atomic add and publish a heap-allocated Event with one
-// atomic pointer store; readers load pointers atomically, so a dump can
-// never observe a torn event — at worst it misses a slot that is being
-// replaced mid-scan, which is inherent to sampling a live ring.
+// ringSlot stores one event in place. lock is a CAS spinlock (0 free,
+// 1 held) taken by writers for the few stores it takes to copy the
+// payload in, and try-taken by readers for the copy out. Because both
+// sides synchronise on the same atomic, the payload accesses are
+// ordered (happens-before via the CAS/Store pair) and a dump can never
+// observe a torn event. The slot seq that identifies which generation
+// the payload belongs to lives in ev.Seq itself.
+type ringSlot struct {
+	lock atomic.Int32
+	ev   Event
+}
+
+// Ring is a fixed-capacity trace buffer with allocation-free writes.
+// Writers reserve a slot with one atomic add and copy the event value
+// into it under a per-slot spinlock — no per-event heap allocation, so
+// tracing stays off the allocator even on the command hot path.
+// Readers skip a slot whose lock they cannot take; at worst a dump
+// misses a slot that is being replaced mid-scan, which is inherent to
+// sampling a live ring.
 type Ring struct {
 	mask  int64
 	pos   atomic.Int64
-	slots []atomic.Pointer[Event]
+	slots []ringSlot
 }
 
 // NewRing returns a ring with capacity rounded up to a power of two
@@ -58,7 +72,7 @@ func NewRing(size int) *Ring {
 	for cap < size {
 		cap <<= 1
 	}
-	return &Ring{mask: int64(cap - 1), slots: make([]atomic.Pointer[Event], cap)}
+	return &Ring{mask: int64(cap - 1), slots: make([]ringSlot, cap)}
 }
 
 // Cap returns the ring's capacity.
@@ -76,16 +90,23 @@ func (r *Ring) Len() int {
 // Written returns how many events were ever added (≥ Len once wrapped).
 func (r *Ring) Written() int64 { return r.pos.Load() }
 
-// Add records one event. The event value is copied to the heap; callers
-// may reuse their struct. Timestamps and sequence numbers are filled in
-// here so call sites stay one-liners.
+// Add records one event. The event value is copied into the ring in
+// place — no heap allocation — so callers may reuse their struct.
+// Timestamps and sequence numbers are filled in here so call sites
+// stay one-liners. Two writers contend on the same slot only when the
+// ring wraps a full capacity within the copy window, so the spin is
+// effectively uncontended.
 func (r *Ring) Add(e Event) {
 	seq := r.pos.Add(1) - 1
 	e.Seq = seq
 	if e.Time == 0 {
 		e.Time = time.Now().UnixNano()
 	}
-	r.slots[seq&r.mask].Store(&e)
+	s := &r.slots[seq&r.mask]
+	for !s.lock.CompareAndSwap(0, 1) {
+	}
+	s.ev = e
+	s.lock.Store(0)
 }
 
 // Events returns the buffered events, oldest first. Each entry is a
@@ -99,13 +120,19 @@ func (r *Ring) Events() []Event {
 	}
 	out := make([]Event, 0, head-start)
 	for s := start; s < head; s++ {
-		p := r.slots[s&r.mask].Load()
-		// Skip slots that wrapped under us (their Seq moved ahead) or
-		// are not yet published.
-		if p == nil || p.Seq != s {
+		slot := &r.slots[s&r.mask]
+		// Skip slots a writer holds right now (being replaced mid-scan).
+		if !slot.lock.CompareAndSwap(0, 1) {
 			continue
 		}
-		out = append(out, *p)
+		e := slot.ev
+		slot.lock.Store(0)
+		// Skip slots that wrapped under us (their Seq moved ahead) or
+		// are not yet published (Seq still belongs to an older lap).
+		if e.Seq != s || e.Time == 0 {
+			continue
+		}
+		out = append(out, e)
 	}
 	return out
 }
@@ -128,6 +155,10 @@ func (r *Ring) WriteJSONL(w io.Writer) error {
 func (r *Ring) Reset() {
 	r.pos.Store(0)
 	for i := range r.slots {
-		r.slots[i].Store(nil)
+		s := &r.slots[i]
+		for !s.lock.CompareAndSwap(0, 1) {
+		}
+		s.ev = Event{}
+		s.lock.Store(0)
 	}
 }

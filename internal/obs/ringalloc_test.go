@@ -1,0 +1,12 @@
+package obs
+
+import "testing"
+
+func TestRingAddAllocFree(t *testing.T) {
+	r := NewRing(64)
+	e := Event{Kind: "cmd", Name: "xbt", Time: 1}
+	n := testing.AllocsPerRun(200, func() { r.Add(e) })
+	if n != 0 {
+		t.Fatalf("Ring.Add allocates %v per call, want 0", n)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in. The
+// race runtime allocates on paths that are allocation-free in a normal
+// build, so the AllocsPerRun budgets only hold without it.
+const raceEnabled = true
