@@ -11,11 +11,14 @@
 //
 // Usage:
 //
-//	d2xlint [-arch=false] [-effects] [pagerankdelta|power|einsum|quickstart ...]
+//	d2xlint [-arch=false] [-effects] [-debugify] [pagerankdelta|power|einsum|quickstart ...]
 //
 // With no pipeline arguments all pipelines are checked. -effects prints
 // each pipeline's per-function effect summaries (the output of
 // internal/minic/effects) — the debugging view for the analysis itself.
+// -debugify prints each pipeline's per-pass debug-info preservation
+// summary (the output of internal/minic/debugify): rewrites applied,
+// locations tracked, and findings per optimiser pass.
 package main
 
 import (
@@ -33,6 +36,7 @@ import (
 func main() {
 	arch := flag.Bool("arch", true, "also run the repository architecture checks")
 	showFX := flag.Bool("effects", false, "print per-function effect summaries for each pipeline")
+	showDbg := flag.Bool("debugify", false, "print per-pass debug-info preservation summaries for each pipeline")
 	flag.Parse()
 
 	targets := flag.Args()
@@ -59,6 +63,9 @@ func main() {
 		if *showFX {
 			printEffects(name, build.Program)
 		}
+		if *showDbg {
+			printDebugify(name, build.Program)
+		}
 	}
 
 	if *arch {
@@ -80,6 +87,32 @@ func main() {
 
 	if sawError {
 		os.Exit(1)
+	}
+}
+
+// printDebugify dumps one pipeline's per-pass preservation summary, one
+// optimiser pass per line.
+func printDebugify(name string, prog *minic.Program) {
+	in := &d2xverify.Input{Program: prog}
+	rep, err := in.Debugify()
+	if err != nil || rep == nil {
+		fmt.Printf("%s: debugify unavailable\n", name)
+		return
+	}
+	fmt.Printf("%s: debugify per-pass preservation\n", name)
+	for _, pr := range rep.Passes {
+		status := "clean"
+		if !pr.Clean() {
+			status = fmt.Sprintf("%d finding(s)", len(pr.Findings))
+		}
+		fmt.Printf("  %-20s rewrites=%-4d locs=%d->%d vars=%d->%d %s\n",
+			pr.Pass, pr.Rewrites, pr.LocsBefore, pr.LocsAfter, pr.VarsBefore, pr.VarsAfter, status)
+		for _, f := range pr.Findings {
+			fmt.Printf("    %s\n", f)
+		}
+	}
+	if rep.VarCheckNote != "" {
+		fmt.Printf("  note: %s\n", rep.VarCheckNote)
 	}
 }
 

@@ -1,0 +1,72 @@
+package d2xverify
+
+// Debugify checks: per-pass debug-info preservation for the optimiser.
+// Where opt/line-attribution compares only the end-to-end line *sets*,
+// these checks instrument the program's source with unique synthetic
+// locations (internal/minic/debugify), run every declared optimiser
+// pass individually, and verify after each one that no location was
+// dropped, invented, or re-attributed without a declared remap, and
+// that no function's variable set widened. A failure names the pass
+// that broke the invariant, not just the fact that it broke.
+
+import (
+	"fmt"
+
+	"d2x/internal/minic/debugify"
+)
+
+func debugifyChecks() []Check {
+	return []Check{
+		{
+			Name: "opt/debugify-location",
+			Desc: "no optimiser pass drops or invents a location",
+			Run:  checkDebugifyLocation,
+		},
+		{
+			Name: "opt/debugify-reattribution",
+			Desc: "no optimiser pass re-attributes a location without a declared remap",
+			Run:  checkDebugifyReattribution,
+		},
+		{
+			Name: "opt/debugify-variables",
+			Desc: "no optimiser pass widens a function's variable set",
+			Run:  checkDebugifyVariables,
+		},
+	}
+}
+
+func checkDebugifyLocation(in *Input, r *Reporter) error {
+	return reportDebugify(in, r, func(k debugify.FindingKind) bool {
+		return k == debugify.FindingLocMissing || k == debugify.FindingLocInvented
+	})
+}
+
+func checkDebugifyReattribution(in *Input, r *Reporter) error {
+	return reportDebugify(in, r, func(k debugify.FindingKind) bool {
+		return k == debugify.FindingLocReattributed
+	})
+}
+
+func checkDebugifyVariables(in *Input, r *Reporter) error {
+	return reportDebugify(in, r, func(k debugify.FindingKind) bool {
+		return k == debugify.FindingVarWidened || k == debugify.FindingCheckFailed
+	})
+}
+
+// reportDebugify surfaces the debugify findings selected by want as
+// error diagnostics anchored at the affected generated line.
+func reportDebugify(in *Input, r *Reporter, want func(debugify.FindingKind) bool) error {
+	rep, err := in.Debugify()
+	if err != nil || rep == nil {
+		return err // no source text, or unparseable: not this check's finding
+	}
+	for _, f := range rep.Findings() {
+		if !want(f.Kind) {
+			continue
+		}
+		r.Errorf(in.GenLoc(f.Line),
+			fmt.Sprintf("fix pass %q, or declare the remap via minic.RemapSet if the re-attribution is intended", f.Pass),
+			"pass %q broke debug-info preservation [%s]: %s", f.Pass, f.Kind, f.Detail)
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package d2xverify
+
+// White-box tests for the opt/debugify-* checks. The declared optimiser
+// passes are (and must stay) preservation-clean, so the routing of
+// findings into diagnostics is tested against a fabricated debugify
+// report; the healthy-path test proves the real analysis runs and
+// covers every declared pass.
+
+import (
+	"strings"
+	"testing"
+
+	"d2x/internal/minic"
+	"d2x/internal/minic/debugify"
+)
+
+func runDebugifyChecks(in *Input) *Report {
+	rep := &Report{}
+	for _, c := range debugifyChecks() {
+		r := &Reporter{check: c.Name, diags: &rep.Diags}
+		if err := c.Run(in, r); err != nil {
+			r.Errorf(in.GenLoc(0), "", "check failed to run: %v", err)
+		}
+	}
+	return rep
+}
+
+func TestDebugifyChecksQuietOnHealthyProgram(t *testing.T) {
+	prog, err := minic.Compile("gen.c", `
+func int main() {
+	int a = 2 + 3;
+	if (false) {
+		a = 9;
+	}
+	return a * 1;
+}`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &Input{Program: prog}
+	rep := runDebugifyChecks(in)
+	if len(rep.Diags) != 0 {
+		t.Fatalf("healthy program tripped debugify checks:\n%s", rep)
+	}
+	dbg, err := in.Debugify()
+	if err != nil || dbg == nil {
+		t.Fatalf("Debugify() = (%v, %v), want report", dbg, err)
+	}
+	if len(dbg.Passes) != len(minic.Passes()) {
+		t.Fatalf("report covers %d passes, declared %d", len(dbg.Passes), len(minic.Passes()))
+	}
+	total := 0
+	for _, pr := range dbg.Passes {
+		total += pr.Rewrites
+	}
+	if total == 0 {
+		t.Fatal("no rewrites recorded on an optimisable program")
+	}
+}
+
+func TestDebugifyChecksRouteFindings(t *testing.T) {
+	prog, err := minic.Compile("gen.c", "func int main() { return 0; }", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &Input{Program: prog}
+	// Inject a fabricated analysis result: one finding of every kind,
+	// each anchored at a distinct line.
+	in.dbgDone = true
+	in.dbg = &debugify.Report{Passes: []debugify.PassReport{{
+		Pass: "fold-constants",
+		Findings: []debugify.Finding{
+			{Pass: "fold-constants", Kind: debugify.FindingLocMissing, Line: 11, Detail: "stmt lost location"},
+			{Pass: "fold-constants", Kind: debugify.FindingLocInvented, Line: 12, Detail: "unassigned location"},
+			{Pass: "fold-constants", Kind: debugify.FindingLocReattributed, Line: 13, Detail: "moved without remap"},
+			{Pass: "fold-constants", Kind: debugify.FindingVarWidened, Line: 0, Detail: "gained variable"},
+			{Pass: "fold-constants", Kind: debugify.FindingCheckFailed, Line: 0, Detail: "does not type-check"},
+		},
+	}}}
+	rep := runDebugifyChecks(in)
+
+	wantCounts := map[string]int{
+		"opt/debugify-location":      2,
+		"opt/debugify-reattribution": 1,
+		"opt/debugify-variables":     2,
+	}
+	for check, want := range wantCounts {
+		got := rep.ByCheck(check)
+		if len(got) != want {
+			t.Errorf("%s fired %d times, want %d; report:\n%s", check, len(got), want, rep)
+			continue
+		}
+		for _, d := range got {
+			if d.Severity != SevError {
+				t.Errorf("%s severity %v, want error", check, d.Severity)
+			}
+			if !strings.Contains(d.Message, `"fold-constants"`) {
+				t.Errorf("%s diagnostic does not name the pass: %s", check, d)
+			}
+		}
+	}
+	if d := rep.ByCheck("opt/debugify-reattribution")[0]; d.Loc.File != "gen.c" || d.Loc.Line != 13 {
+		t.Errorf("re-attribution anchored at %s:%d, want gen.c:13", d.Loc.File, d.Loc.Line)
+	}
+}
+
+func TestDebugifyChecksSkipWithoutSource(t *testing.T) {
+	prog, err := minic.Compile("gen.c", "func int main() { return 0; }", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog.SourceText = ""
+	in := &Input{Program: prog}
+	if rep := runDebugifyChecks(in); len(rep.Diags) != 0 {
+		t.Fatalf("sourceless program tripped debugify checks:\n%s", rep)
+	}
+	if dbg, err := in.Debugify(); dbg != nil || err != nil {
+		t.Fatalf("Debugify() without source = (%v, %v), want (nil, nil)", dbg, err)
+	}
+}

@@ -16,6 +16,11 @@ import (
 	"d2x/internal/minic"
 )
 
+// optimizeForCheck is the optimiser the check runs on its private parse.
+// A variable so the check's reporting path is testable against a
+// deliberately line-breaking optimiser (the real one never fires it).
+var optimizeForCheck = func(f *minic.File) { minic.Optimize(f) }
+
 func optimizeChecks() []Check {
 	return []Check{
 		{
@@ -42,7 +47,7 @@ func checkOptimizeLines(in *Input, r *Reporter) error {
 		return nil
 	}
 	before := stmtLines(orig)
-	minic.Optimize(work)
+	optimizeForCheck(work)
 	var bad []int
 	seen := map[int]bool{}
 	for line := range stmtLines(work) {

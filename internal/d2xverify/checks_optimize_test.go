@@ -1,0 +1,85 @@
+package d2xverify
+
+// White-box tests for opt/line-attribution. The real optimiser never
+// re-lines a statement (debugify enforces that per pass), so the
+// check's reporting path is exercised by swapping in a deliberately
+// line-breaking optimiser through the optimizeForCheck seam.
+
+import (
+	"testing"
+
+	"d2x/internal/minic"
+)
+
+func runOptimizeCheck(in *Input) *Report {
+	rep := &Report{}
+	for _, c := range optimizeChecks() {
+		r := &Reporter{check: c.Name, diags: &rep.Diags}
+		if err := c.Run(in, r); err != nil {
+			r.Errorf(in.GenLoc(0), "", "check failed to run: %v", err)
+		}
+	}
+	return rep
+}
+
+const optCheckSrc = `
+func int main() {
+	int a = 2 + 3;
+	int b = a * 1;
+	return b;
+}`
+
+func TestLineAttributionQuietOnRealOptimizer(t *testing.T) {
+	prog, err := minic.Compile("gen.c", optCheckSrc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := runOptimizeCheck(&Input{Program: prog})
+	if len(rep.Diags) != 0 {
+		t.Fatalf("real optimiser tripped opt/line-attribution:\n%s", rep)
+	}
+}
+
+func TestLineAttributionCatchesRelinedStatement(t *testing.T) {
+	prog, err := minic.Compile("gen.c", optCheckSrc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { optimizeForCheck = func(f *minic.File) { minic.Optimize(f) } }()
+	optimizeForCheck = func(f *minic.File) {
+		// A broken "optimiser": re-home the declarations far past the
+		// original function, inventing lines the original never had.
+		for _, fd := range f.Funcs {
+			minic.InspectStmts(fd.Body, func(s minic.Stmt) bool {
+				if d, ok := s.(*minic.VarDeclStmt); ok {
+					d.Line += 100
+				}
+				return true
+			})
+		}
+	}
+	rep := runOptimizeCheck(&Input{Program: prog})
+	diags := rep.ByCheck("opt/line-attribution")
+	if len(diags) == 0 {
+		t.Fatalf("re-lining optimiser produced no findings:\n%s", rep)
+	}
+	for _, d := range diags {
+		if d.Severity != SevError {
+			t.Errorf("severity %v, want error: %s", d.Severity, d)
+		}
+		if d.Loc.File != "gen.c" || d.Loc.Line == 0 {
+			t.Errorf("finding not anchored in the generated file: %s", d)
+		}
+	}
+}
+
+func TestLineAttributionSkipsWithoutSource(t *testing.T) {
+	prog, err := minic.Compile("gen.c", "func int main() { return 0; }", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog.SourceText = ""
+	if rep := runOptimizeCheck(&Input{Program: prog}); len(rep.Diags) != 0 {
+		t.Fatalf("sourceless program tripped opt/line-attribution:\n%s", rep)
+	}
+}

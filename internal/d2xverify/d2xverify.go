@@ -35,6 +35,7 @@ import (
 	"d2x/internal/d2x/d2xenc"
 	"d2x/internal/dwarfish"
 	"d2x/internal/minic"
+	"d2x/internal/minic/debugify"
 	"d2x/internal/minic/effects"
 	"d2x/internal/srcloc"
 )
@@ -183,6 +184,32 @@ type Input struct {
 
 	fx     *effects.Analysis
 	fxDone bool
+
+	dbg     *debugify.Report
+	dbgDone bool
+}
+
+// Debugify lazily runs the per-pass debug-info preservation analysis
+// over the program's source text (see internal/minic/debugify). The
+// report is shared by every opt/debugify-* check. Returns (nil, nil)
+// when the program carries no source text or it does not re-parse —
+// those are other checks' findings.
+func (in *Input) Debugify() (*debugify.Report, error) {
+	if !in.dbgDone {
+		in.dbgDone = true
+		src := in.Program.SourceText
+		if src == "" {
+			return nil, nil
+		}
+		rep, err := debugify.Run(in.Program.SourceName, src, in.Program.Natives)
+		if err != nil {
+			// debugify.Run only fails on a parse error, and unparseable
+			// SourceText is another check's finding.
+			return nil, nil
+		}
+		in.dbg = rep
+	}
+	return in.dbg, nil
 }
 
 // EffectAnalysis lazily runs the effect-and-termination analysis over
@@ -291,6 +318,9 @@ func DefaultRegistry() *Registry {
 		reg.Register(c)
 	}
 	for _, c := range optimizeChecks() {
+		reg.Register(c)
+	}
+	for _, c := range debugifyChecks() {
 		reg.Register(c)
 	}
 	for _, c := range repoChecks() {

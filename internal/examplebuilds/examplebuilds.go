@@ -23,33 +23,48 @@ func Names() []string {
 
 // Build constructs the named example.
 func Build(name string) (*d2x.Build, error) {
+	return buildMode(name, false)
+}
+
+// BuildOptimized constructs the named example with the mini-C optimiser
+// enabled — the staging is identical, only the link mode differs, so a
+// Build/BuildOptimized pair is a differential-testing fixture.
+func BuildOptimized(name string) (*d2x.Build, error) {
+	return buildMode(name, true)
+}
+
+func buildMode(name string, optimize bool) (*d2x.Build, error) {
 	switch name {
 	case "pagerankdelta":
-		return PagerankDelta()
+		return pagerankDelta(optimize)
 	case "power":
-		return Power()
+		return power(optimize)
 	case "einsum":
-		return Einsum()
+		return einsumBuild(optimize)
 	case "quickstart":
-		return Quickstart()
+		return quickstart(optimize)
 	}
 	return nil, fmt.Errorf("examplebuilds: unknown pipeline %q", name)
 }
 
 // PagerankDelta compiles the GraphIt PageRankDelta case study (paper §2,
 // Fig. 6) with D2X enabled.
-func PagerankDelta() (*d2x.Build, error) {
+func PagerankDelta() (*d2x.Build, error) { return pagerankDelta(false) }
+
+func pagerankDelta(optimize bool) (*d2x.Build, error) {
 	art, err := graphit.CompileToC("pagerankdelta.gt", graphit.PageRankDeltaSrc,
 		"pagerankdelta.sched", graphit.PageRankDeltaSchedule, graphit.CompileOptions{D2X: true})
 	if err != nil {
 		return nil, err
 	}
-	return art.Link()
+	return art.LinkOptimizing(optimize)
 }
 
 // Power stages the BuildIt power_15 example (paper Fig. 8): a
 // specialised exponentiation with the exponent erased at staging time.
-func Power() (*d2x.Build, error) {
+func Power() (*d2x.Build, error) { return power(false) }
+
+func power(optimize bool) (*d2x.Build, error) {
 	bb := buildit.NewBuilder()
 	buildit.EnableD2X(bb)
 	f := bb.Func("power_15", []buildit.Param{{Name: "base", Type: minic.IntType}}, minic.IntType)
@@ -70,11 +85,13 @@ func Power() (*d2x.Build, error) {
 	r := m.Decl("r", m.Call("power_15", minic.IntType, m.IntLit(3)))
 	m.Printf("%d\n", r)
 	m.Return(m.IntLit(0))
-	return bb.Link("power_gen.c", d2x.LinkOptions{})
+	return bb.Link("power_gen.c", d2x.LinkOptions{Optimize: optimize})
 }
 
 // Einsum stages the matrix-vector einsum example (paper Fig. 11).
-func Einsum() (*d2x.Build, error) {
+func Einsum() (*d2x.Build, error) { return einsumBuild(false) }
+
+func einsumBuild(optimize bool) (*d2x.Build, error) {
 	const M, N = 16, 8
 	bb := buildit.NewBuilder()
 	buildit.EnableD2X(bb)
@@ -101,12 +118,14 @@ func Einsum() (*d2x.Build, error) {
 	in := m.DeclArr("input", minic.IntType, m.IntLit(N))
 	m.Do(m.Call("m_v_mul", minic.VoidType, out, mat, in))
 	m.Return(m.IntLit(0))
-	return bb.Link("einsum_gen.c", d2x.LinkOptions{})
+	return bb.Link("einsum_gen.c", d2x.LinkOptions{Optimize: optimize})
 }
 
 // Quickstart replicates the staging of examples/quickstart: an unrolled
 // sum_squares with an erased static, the smallest D2X build.
-func Quickstart() (*d2x.Build, error) {
+func Quickstart() (*d2x.Build, error) { return quickstart(false) }
+
+func quickstart(optimize bool) (*d2x.Build, error) {
 	bb := buildit.NewBuilder()
 	buildit.EnableD2X(bb)
 	f := bb.Func("sum_squares", []buildit.Param{{Name: "n", Type: minic.IntType}}, minic.IntType)
@@ -120,5 +139,5 @@ func Quickstart() (*d2x.Build, error) {
 	m := bb.Func("main", nil, minic.IntType)
 	m.Printf("%d\n", m.Call("sum_squares", minic.IntType, m.IntLit(5)))
 	m.Return(m.IntLit(0))
-	return bb.Link("quickstart_gen.c", d2x.LinkOptions{})
+	return bb.Link("quickstart_gen.c", d2x.LinkOptions{Optimize: optimize})
 }

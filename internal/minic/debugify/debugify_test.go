@@ -1,0 +1,316 @@
+package debugify
+
+import (
+	"strings"
+	"testing"
+
+	"d2x/internal/minic"
+)
+
+// mustModule parses and instruments a source text.
+func mustModule(t *testing.T, src string) *Module {
+	t.Helper()
+	f, err := minic.Parse("dbg.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Instrument(f, nil)
+	if m.varNote != "" {
+		t.Fatalf("baseline variable check unavailable: %s", m.varNote)
+	}
+	return m
+}
+
+// TestDeclaredPassesPreserveDebugInfo is the production property this
+// package exists to enforce: every declared optimiser pass, run over a
+// representative program it actually rewrites, preserves all synthetic
+// locations and never widens a variable set.
+func TestDeclaredPassesPreserveDebugInfo(t *testing.T) {
+	programs := map[string]string{
+		"folding-and-pruning": `
+global int g = 42;
+struct pt {
+	int x;
+}
+func int helper(int a) {
+	return a + g;
+}
+func int main() {
+	int a = 2 + 3 * 4;
+	if (a > 100) {
+		a = 0;
+	} else {
+		a = a * 1;
+	}
+	int i = 0;
+	while (i < 3) {
+		i++;
+	}
+	for (int j = 0; j < 2; j++) {
+		a += j + 0;
+	}
+	if (false) {
+		int dead = 1;
+	}
+	pt* p = new pt;
+	return helper(a) + p->x;
+	int unreachable = 7;
+}`,
+		"parallel-and-arrays": `
+func int main() {
+	int[] arr = new int[4];
+	parallel_for (int k = 0; k < 4; k++) {
+		atomic_add(&arr[k], k * 1);
+	}
+	int cond = 1;
+	if (2 > 1) {
+		cond = arr[0] + 0;
+	}
+	while (false) {
+		cond = 9;
+	}
+	return cond;
+}`,
+		"casts-and-strings": `
+func void show(string s) {
+	printf("%s\n", s);
+}
+func int main() {
+	float f = float(2) * 1.5;
+	int n = int(f) + (8 / 2);
+	show("a" + "b");
+	bool p = true && n > 0;
+	if (p) {
+		n -= 0;
+	}
+	return n;
+}`,
+	}
+	for name, src := range programs {
+		t.Run(name, func(t *testing.T) {
+			rep, err := Run("dbg.c", src, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if note := rep.VarCheckNote; note != "" {
+				t.Fatalf("variable check disabled: %s", note)
+			}
+			total := 0
+			for _, pr := range rep.Passes {
+				total += pr.Rewrites
+				if pr.LocsAfter > pr.LocsBefore {
+					t.Errorf("pass %s grew the location population %d -> %d",
+						pr.Pass, pr.LocsBefore, pr.LocsAfter)
+				}
+				if pr.VarsAfter > pr.VarsBefore {
+					t.Errorf("pass %s widened total variable slots %d -> %d",
+						pr.Pass, pr.VarsBefore, pr.VarsAfter)
+				}
+			}
+			if total == 0 {
+				t.Fatal("no pass rewrote a clearly optimisable program; the run proves nothing")
+			}
+			if !rep.Clean() {
+				for _, f := range rep.Findings() {
+					t.Errorf("finding: %s", f)
+				}
+			}
+			if len(rep.Passes) != len(minic.Passes()) {
+				t.Errorf("report covers %d passes, declared %d", len(rep.Passes), len(minic.Passes()))
+			}
+		})
+	}
+}
+
+const twoDeclSrc = `
+func int main() {
+	int a = 1 + 2;
+	int b = 3;
+	return b;
+}`
+
+// mainBody digs out main's body from the instrumented module.
+func mainBody(t *testing.T, f *minic.File) *minic.BlockStmt {
+	t.Helper()
+	for _, fd := range f.Funcs {
+		if fd.Name == "main" {
+			return fd.Body
+		}
+	}
+	t.Fatal("no main")
+	return nil
+}
+
+func kinds(rep PassReport) map[FindingKind]int {
+	out := map[FindingKind]int{}
+	for _, f := range rep.Findings {
+		out[f.Kind]++
+	}
+	return out
+}
+
+// TestCatchesLocationDropper: a pass that zeroes a statement's location
+// must be reported as loc-missing.
+func TestCatchesLocationDropper(t *testing.T) {
+	m := mustModule(t, twoDeclSrc)
+	rep := m.RunPass("evil-drop", func(f *minic.File, rm *minic.RemapSet) int {
+		body := mainBody(t, f)
+		body.Stmts[0].(*minic.VarDeclStmt).Line = 0
+		return 1
+	})
+	if k := kinds(rep); k[FindingLocMissing] == 0 {
+		t.Fatalf("loc dropper not caught: %v", rep.Findings)
+	}
+}
+
+// TestCatchesInventedLocation: a pass that stamps a node with a line
+// number that was never assigned must be reported as loc-invented.
+func TestCatchesInventedLocation(t *testing.T) {
+	m := mustModule(t, twoDeclSrc)
+	rep := m.RunPass("evil-invent", func(f *minic.File, rm *minic.RemapSet) int {
+		body := mainBody(t, f)
+		body.Stmts[0].(*minic.VarDeclStmt).Init.(*minic.BinaryExpr).Line = 99999
+		return 1
+	})
+	if k := kinds(rep); k[FindingLocInvented] == 0 {
+		t.Fatalf("invented location not caught: %v", rep.Findings)
+	}
+}
+
+// reHome merges the first declaration's initialiser into the second
+// declaration and deletes the first — the canonical statement-merging
+// rewrite that re-attributes an expression to another line. declare
+// controls whether the pass declares the remap.
+func reHome(t *testing.T, declare bool) PassReport {
+	t.Helper()
+	m := mustModule(t, twoDeclSrc)
+	return m.RunPass("merge-decls", func(f *minic.File, rm *minic.RemapSet) int {
+		body := mainBody(t, f)
+		a := body.Stmts[0].(*minic.VarDeclStmt)
+		b := body.Stmts[1].(*minic.VarDeclStmt)
+		b.Init = a.Init
+		body.Stmts = body.Stmts[1:]
+		if declare {
+			rm.Declare(a.Pos(), b.Pos())
+		}
+		return 1
+	})
+}
+
+// TestCatchesUndeclaredReattribution: the merge without a declared remap
+// is a bug; with the declared remap it is policy.
+func TestCatchesUndeclaredReattribution(t *testing.T) {
+	rep := reHome(t, false)
+	k := kinds(rep)
+	if k[FindingLocReattributed] == 0 {
+		t.Fatalf("undeclared re-attribution not caught: %v", rep.Findings)
+	}
+	found := false
+	for _, f := range rep.Findings {
+		if f.Kind == FindingLocReattributed && strings.Contains(f.Detail, "without a declared remap") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("finding lacks remap hint: %v", rep.Findings)
+	}
+}
+
+func TestDeclaredRemapIsAccepted(t *testing.T) {
+	rep := reHome(t, true)
+	if !rep.Clean() {
+		t.Fatalf("declared remap still flagged: %v", rep.Findings)
+	}
+}
+
+// TestCatchesDuplicatedStatementLocation: cloning a statement duplicates
+// its location, detaching "one line, one statement".
+func TestCatchesDuplicatedStatementLocation(t *testing.T) {
+	m := mustModule(t, twoDeclSrc)
+	rep := m.RunPass("evil-clone", func(f *minic.File, rm *minic.RemapSet) int {
+		body := mainBody(t, f)
+		a := body.Stmts[0].(*minic.VarDeclStmt)
+		b := body.Stmts[1].(*minic.VarDeclStmt)
+		b.Line = a.Line
+		return 1
+	})
+	if k := kinds(rep); k[FindingLocReattributed] == 0 {
+		t.Fatalf("duplicated statement location not caught: %v", rep.Findings)
+	}
+}
+
+// TestCatchesVariableWidener: a pass that renames an (unreferenced)
+// local changes the variable set the debug tables would emit — the new
+// name is a widening even though the slot count is unchanged.
+func TestCatchesVariableWidener(t *testing.T) {
+	m := mustModule(t, `
+func int main() {
+	int a = 1;
+	int b = 2;
+	return a;
+}`)
+	rep := m.RunPass("evil-rename", func(f *minic.File, rm *minic.RemapSet) int {
+		body := mainBody(t, f)
+		body.Stmts[1].(*minic.VarDeclStmt).Name = "zz"
+		return 1
+	})
+	k := kinds(rep)
+	if k[FindingVarWidened] == 0 {
+		t.Fatalf("variable widening not caught: %v", rep.Findings)
+	}
+	found := false
+	for _, f := range rep.Findings {
+		if f.Kind == FindingVarWidened && strings.Contains(f.Detail, `"zz"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("widening finding does not name the variable: %v", rep.Findings)
+	}
+}
+
+// TestCatchesCheckBreakage: renaming a *referenced* variable leaves the
+// module untypeable; debugify must degrade to a check-failed finding
+// rather than crash or stay silent.
+func TestCatchesCheckBreakage(t *testing.T) {
+	m := mustModule(t, twoDeclSrc)
+	rep := m.RunPass("evil-break", func(f *minic.File, rm *minic.RemapSet) int {
+		body := mainBody(t, f)
+		body.Stmts[1].(*minic.VarDeclStmt).Name = "zz"
+		return 1
+	})
+	if k := kinds(rep); k[FindingCheckFailed] == 0 {
+		t.Fatalf("check breakage not caught: %v", rep.Findings)
+	}
+	// A later pass on the broken module must not re-report or panic.
+	rep2 := m.RunPass("noop", func(f *minic.File, rm *minic.RemapSet) int { return 0 })
+	if k := kinds(rep2); k[FindingCheckFailed] != 0 {
+		t.Fatalf("check-failed re-reported on subsequent pass: %v", rep2.Findings)
+	}
+}
+
+// TestOrigLineRoundTrip: findings anchor back to original source lines.
+func TestOrigLineRoundTrip(t *testing.T) {
+	m := mustModule(t, twoDeclSrc)
+	body := mainBody(t, m.file)
+	a := body.Stmts[0].(*minic.VarDeclStmt)
+	if got := m.OrigLine(a.Pos()); got != 3 {
+		t.Fatalf("OrigLine(%d) = %d, want 3 (first decl of twoDeclSrc)", a.Pos(), got)
+	}
+}
+
+// TestFindingKindStrings pins the stable slugs reports and CI grep for.
+func TestFindingKindStrings(t *testing.T) {
+	want := map[FindingKind]string{
+		FindingLocMissing:      "loc-missing",
+		FindingLocInvented:     "loc-invented",
+		FindingLocReattributed: "loc-reattributed",
+		FindingVarWidened:      "var-widened",
+		FindingCheckFailed:     "check-failed",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}

@@ -9,12 +9,67 @@ import "fmt"
 // exercises the property the D2X design depends on: optimisation changes
 // *code*, not the line attribution, because folding happens within a
 // statement and pruning keeps surviving statements' lines intact.
+//
+// The optimiser is organised as a declared sequence of passes (Passes).
+// Each pass is one rewrite family run as its own traversal, so tooling —
+// the debugify preservation analysis in particular — can run passes one
+// at a time and verify the debug-info invariants after each. Optimize
+// itself iterates the declared order to a fixpoint.
 
-// Optimize rewrites the file in place, folding constants and pruning dead
-// branches. It must run after Parse and before Check (it does not maintain
-// resolution annotations). It returns the number of rewrites applied.
-func Optimize(f *File) int {
-	o := &optimizer{}
+// Pass is one optimiser rewrite family. Passes run independently: each
+// Run is a full traversal applying only that family's rewrites.
+type Pass struct {
+	Name string // stable slug, e.g. "fold-constants"
+	Desc string
+	cfg  passConfig
+}
+
+// passConfig selects which rewrite families a traversal applies.
+type passConfig struct {
+	fold             bool // literal constant folding (binary, unary, cast)
+	simplify         bool // algebraic identities and short-circuiting
+	pruneBranches    bool // drop if/while arms with constant conditions
+	pruneUnreachable bool // drop statements after an unconditional return
+}
+
+// Passes returns the optimiser's passes in their declared execution
+// order. Optimize runs exactly this sequence (repeated to a fixpoint);
+// TestOptimizeRunsDeclaredOrder asserts the two never drift apart.
+func Passes() []Pass {
+	return []Pass{
+		{Name: "fold-constants", Desc: "evaluate literal-operand expressions at compile time",
+			cfg: passConfig{fold: true}},
+		{Name: "simplify-algebraic", Desc: "apply integer identities (x+0, x*1, x*0) and boolean short-circuits",
+			cfg: passConfig{simplify: true}},
+		{Name: "prune-branches", Desc: "drop if/while arms whose condition is a constant",
+			cfg: passConfig{pruneBranches: true}},
+		{Name: "prune-unreachable", Desc: "drop statements after an unconditional return",
+			cfg: passConfig{pruneUnreachable: true}},
+	}
+}
+
+// PassByName returns the declared pass with the given name.
+func PassByName(name string) (Pass, bool) {
+	for _, p := range Passes() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Pass{}, false
+}
+
+// Run applies the pass to the file in place and returns the number of
+// rewrites performed.
+func (p Pass) Run(f *File) int { return p.RunTraced(f, nil) }
+
+// RunTraced is Run with a RemapSet attached: any intentional line
+// re-attribution the pass performs is declared into rm, the escape
+// hatch the debugify analysis consults before flagging a moved
+// location. The current passes rewrite strictly in place and declare
+// nothing; a pass that merges or re-homes statements must declare each
+// (from, to) line pair here or fail verification.
+func (p Pass) RunTraced(f *File, rm *RemapSet) int {
+	o := &optimizer{cfg: p.cfg, remaps: rm}
 	for _, fd := range f.Funcs {
 		fd.Body = o.block(fd.Body)
 	}
@@ -26,8 +81,82 @@ func Optimize(f *File) int {
 	return o.count
 }
 
+// RemapSet records the line re-attributions a pass declares as
+// intentional: "the location formerly on `from` now belongs to `to`".
+// Debug-info preservation tooling treats undeclared re-attributions as
+// bugs (the D2X tables would silently detach from the code they
+// describe) and declared ones as policy.
+type RemapSet struct {
+	m map[[2]int]bool
+}
+
+// Declare records one intentional re-attribution from one line to
+// another.
+func (r *RemapSet) Declare(from, to int) {
+	if r == nil {
+		return
+	}
+	if r.m == nil {
+		r.m = make(map[[2]int]bool)
+	}
+	r.m[[2]int{from, to}] = true
+}
+
+// Declared reports whether the (from, to) re-attribution was declared.
+func (r *RemapSet) Declared(from, to int) bool {
+	return r != nil && r.m[[2]int{from, to}]
+}
+
+// Len returns the number of declared remaps.
+func (r *RemapSet) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.m)
+}
+
+// maxOptimizeRounds bounds the Optimize fixpoint loop. Every rewrite
+// strictly shrinks the tree, so the bound is never reached in practice;
+// it exists so a buggy future pass cannot hang the compiler.
+const maxOptimizeRounds = 20
+
+// Optimize rewrites the file in place, folding constants and pruning dead
+// branches. It must run after Parse and before Check (it does not maintain
+// resolution annotations). It returns the number of rewrites applied.
+//
+// Optimize runs the declared pass sequence (Passes) in order, repeating
+// the whole sequence until a full round applies no rewrite, so a
+// simplification in a late pass still feeds folding opportunities in an
+// earlier one.
+func Optimize(f *File) int {
+	n, _ := OptimizeTraced(f)
+	return n
+}
+
+// OptimizeTraced is Optimize returning also the names of the passes it
+// ran, in execution order — the witness the pass-order unit test checks
+// against the declared order.
+func OptimizeTraced(f *File) (int, []string) {
+	total := 0
+	var trace []string
+	for round := 0; round < maxOptimizeRounds; round++ {
+		roundN := 0
+		for _, p := range Passes() {
+			roundN += p.Run(f)
+			trace = append(trace, p.Name)
+		}
+		total += roundN
+		if roundN == 0 {
+			break
+		}
+	}
+	return total, trace
+}
+
 type optimizer struct {
-	count int
+	count  int
+	cfg    passConfig
+	remaps *RemapSet
 }
 
 func (o *optimizer) block(b *BlockStmt) *BlockStmt {
@@ -40,7 +169,7 @@ func (o *optimizer) block(b *BlockStmt) *BlockStmt {
 		out = append(out, s)
 		// Statements after an unconditional return are unreachable:
 		// count one rewrite per statement actually dropped.
-		if _, isRet := s.(*ReturnStmt); isRet {
+		if _, isRet := s.(*ReturnStmt); isRet && o.cfg.pruneUnreachable {
 			o.count += len(b.Stmts) - i - 1
 			break
 		}
@@ -71,7 +200,7 @@ func (o *optimizer) stmt(s Stmt) Stmt {
 		if st.Else != nil {
 			st.Else = o.stmt(st.Else)
 		}
-		if lit, ok := st.Cond.(*BoolLit); ok {
+		if lit, ok := st.Cond.(*BoolLit); ok && o.cfg.pruneBranches {
 			o.count++
 			if lit.Value {
 				return st.Then
@@ -84,7 +213,7 @@ func (o *optimizer) stmt(s Stmt) Stmt {
 	case *WhileStmt:
 		st.Cond = o.expr(st.Cond)
 		st.Body = o.block(st.Body)
-		if lit, ok := st.Cond.(*BoolLit); ok && !lit.Value {
+		if lit, ok := st.Cond.(*BoolLit); ok && !lit.Value && o.cfg.pruneBranches {
 			o.count++
 			return nil
 		}
@@ -116,19 +245,25 @@ func (o *optimizer) expr(e Expr) Expr {
 	case *BinaryExpr:
 		x.X = o.expr(x.X)
 		x.Y = o.expr(x.Y)
-		if folded := foldBinary(x); folded != nil {
-			o.count++
-			return folded
+		if o.cfg.fold {
+			if folded := foldBinary(x); folded != nil {
+				o.count++
+				return folded
+			}
 		}
-		if simplified := simplifyAlgebraic(x); simplified != nil {
-			o.count++
-			return simplified
+		if o.cfg.simplify {
+			if simplified := simplifyAlgebraic(x); simplified != nil {
+				o.count++
+				return simplified
+			}
 		}
 	case *UnaryExpr:
 		x.X = o.expr(x.X)
-		if folded := foldUnary(x); folded != nil {
-			o.count++
-			return folded
+		if o.cfg.fold {
+			if folded := foldUnary(x); folded != nil {
+				o.count++
+				return folded
+			}
 		}
 	case *IndexExpr:
 		x.X = o.expr(x.X)
@@ -145,9 +280,11 @@ func (o *optimizer) expr(e Expr) Expr {
 		}
 	case *CastExpr:
 		x.X = o.expr(x.X)
-		if folded := foldCast(x); folded != nil {
-			o.count++
-			return folded
+		if o.cfg.fold {
+			if folded := foldCast(x); folded != nil {
+				o.count++
+				return folded
+			}
 		}
 	}
 	return e

@@ -139,6 +139,110 @@ func int main() {
 	}
 }
 
+// TestOptimizeRunsDeclaredOrder pins the contract debugify depends on:
+// the declared pass order (Passes) is exactly what Optimize executes —
+// whole rounds of the declared sequence, nothing reordered, skipped, or
+// injected.
+func TestOptimizeRunsDeclaredOrder(t *testing.T) {
+	declared := Passes()
+	var names []string
+	seen := map[string]bool{}
+	for _, p := range declared {
+		if p.Name == "" {
+			t.Fatal("declared pass with empty name")
+		}
+		if seen[p.Name] {
+			t.Fatalf("pass %q declared twice", p.Name)
+		}
+		seen[p.Name] = true
+		names = append(names, p.Name)
+	}
+
+	f, err := Parse("order.c", `
+func int main() {
+	int a = 2 + 3;
+	if (1 > 2) {
+		a = 0;
+	}
+	int b = a * 1;
+	return a + b;
+	int dead = 9;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, trace := OptimizeTraced(f)
+	if n == 0 {
+		t.Fatal("optimizer applied no rewrites to a clearly optimisable program")
+	}
+	if len(trace) == 0 || len(trace)%len(declared) != 0 {
+		t.Fatalf("trace length %d is not a whole number of declared rounds (%d passes)",
+			len(trace), len(declared))
+	}
+	for i, got := range trace {
+		if want := names[i%len(names)]; got != want {
+			t.Fatalf("pass %d: Optimize ran %q, declared order says %q (trace %v)",
+				i, got, want, trace)
+		}
+	}
+	if len(trace) < 2*len(declared) {
+		t.Fatalf("expected at least two rounds (work round + clean round), got trace %v", trace)
+	}
+}
+
+// TestPassByName resolves every declared pass and rejects unknown names.
+func TestPassByName(t *testing.T) {
+	for _, p := range Passes() {
+		got, ok := PassByName(p.Name)
+		if !ok || got.Name != p.Name {
+			t.Fatalf("PassByName(%q) = (%v, %v)", p.Name, got.Name, ok)
+		}
+	}
+	if _, ok := PassByName("no-such-pass"); ok {
+		t.Fatal("PassByName accepted an unknown pass")
+	}
+}
+
+// TestPassesAreIndependent checks each pass only performs its own
+// rewrite family: fold-constants alone must not prune branches, and
+// prune-branches alone must not fold.
+func TestPassesAreIndependent(t *testing.T) {
+	src := `
+func int main() {
+	int a = 2 + 3;
+	if (false) {
+		a = 7;
+	}
+	return a;
+}`
+	fold := func(t *testing.T, name string) string {
+		f, err := Parse("ind.c", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, ok := PassByName(name)
+		if !ok {
+			t.Fatalf("no pass %q", name)
+		}
+		p.Run(f)
+		return Print(f)
+	}
+	foldOut := fold(t, "fold-constants")
+	if !strings.Contains(foldOut, "= 5;") {
+		t.Errorf("fold-constants did not fold 2+3:\n%s", foldOut)
+	}
+	if !strings.Contains(foldOut, "a = 7;") {
+		t.Errorf("fold-constants pruned a branch:\n%s", foldOut)
+	}
+	pruneOut := fold(t, "prune-branches")
+	if strings.Contains(pruneOut, "a = 7;") {
+		t.Errorf("prune-branches left the constant-false branch:\n%s", pruneOut)
+	}
+	if !strings.Contains(pruneOut, "2 + 3") {
+		t.Errorf("prune-branches folded constants:\n%s", pruneOut)
+	}
+}
+
 func TestCompileOptimizedRuns(t *testing.T) {
 	prog, folds, err := CompileOptimized("opt.c", `
 func int main() {

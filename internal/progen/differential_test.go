@@ -1,0 +1,170 @@
+package progen
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDifferentialCleanOnSmallCorpus runs the full session-level oracle
+// over a handful of programs of both kinds. The cheap output-equivalence
+// half is covered for a larger corpus in progen_test.go; this is the
+// expensive end-to-end property.
+func TestDifferentialCleanOnSmallCorpus(t *testing.T) {
+	for i := 0; i < 6; i++ {
+		spec := Generate(3, i)
+		p, err := Render(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name(), err)
+		}
+		res, err := RunDifferential(p)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name(), err)
+		}
+		if res.Stops == 0 {
+			t.Errorf("%s: no stops observed", spec.Name())
+		}
+		for _, d := range res.Divergences {
+			t.Errorf("%s: %s\nref:     %q\nsubject: %q", spec.Name(), d, d.Ref, d.Subject)
+		}
+	}
+}
+
+// mkTrace builds a synthetic session trace for the alignment unit tests.
+func mkTrace(breakLines []int, stops ...stopInfo) *sessionTrace {
+	tr := &sessionTrace{perDSL: map[int]int{}, breakLines: map[int]bool{}}
+	for _, l := range breakLines {
+		tr.breakLines[l] = true
+	}
+	tr.stops = stops
+	return tr
+}
+
+func kinds(divs []Divergence) []string {
+	out := make([]string, len(divs))
+	for i, d := range divs {
+		out[i] = d.Kind
+	}
+	return out
+}
+
+func TestAlignStopsAcceptsPrunedLines(t *testing.T) {
+	// Reference stops on 10, 20, 10, 30; subject pruned line 20 entirely
+	// (no breakpoint there), so its trace 10, 10, 30 aligns cleanly.
+	ref := mkTrace([]int{10, 20, 30},
+		stopInfo{genLine: 10, xbt: "a", xvars: "x"},
+		stopInfo{genLine: 20, xbt: "b", xvars: "y"},
+		stopInfo{genLine: 10, xbt: "a2", xvars: "x2"},
+		stopInfo{genLine: 30, xbt: "c", xvars: "z"},
+	)
+	sub := mkTrace([]int{10, 30},
+		stopInfo{genLine: 10, xbt: "a", xvars: "x"},
+		stopInfo{genLine: 10, xbt: "a2", xvars: "x2"},
+		stopInfo{genLine: 30, xbt: "c", xvars: "z"},
+	)
+	if divs := alignStops(ref, sub); len(divs) != 0 {
+		t.Fatalf("expected clean alignment, got %v", kinds(divs))
+	}
+}
+
+func TestAlignStopsCatchesMissedStop(t *testing.T) {
+	// Subject still claims line 20 is breakable but never stops there.
+	ref := mkTrace([]int{10, 20},
+		stopInfo{genLine: 10}, stopInfo{genLine: 20}, stopInfo{genLine: 10},
+	)
+	sub := mkTrace([]int{10, 20},
+		stopInfo{genLine: 10}, stopInfo{genLine: 10},
+	)
+	divs := alignStops(ref, sub)
+	if len(divs) != 1 || divs[0].Kind != DivMissed || divs[0].GenLine != 20 {
+		t.Fatalf("expected one missed-stop at 20, got %v", divs)
+	}
+}
+
+func TestAlignStopsCatchesMissedTail(t *testing.T) {
+	// The reference trace continues past the subject's end on a line the
+	// subject can still break on.
+	ref := mkTrace([]int{10, 20},
+		stopInfo{genLine: 10}, stopInfo{genLine: 20},
+	)
+	sub := mkTrace([]int{10, 20},
+		stopInfo{genLine: 10},
+	)
+	divs := alignStops(ref, sub)
+	if len(divs) != 1 || divs[0].Kind != DivMissed {
+		t.Fatalf("expected missed-stop for the tail, got %v", divs)
+	}
+}
+
+func TestAlignStopsCatchesExtraStop(t *testing.T) {
+	ref := mkTrace([]int{10},
+		stopInfo{genLine: 10},
+	)
+	sub := mkTrace([]int{10, 40},
+		stopInfo{genLine: 10}, stopInfo{genLine: 40},
+	)
+	divs := alignStops(ref, sub)
+	if len(divs) != 1 || divs[0].Kind != DivExtra || divs[0].GenLine != 40 {
+		t.Fatalf("expected one extra-stop at 40, got %v", divs)
+	}
+}
+
+func TestAlignStopsCatchesViewMismatches(t *testing.T) {
+	ref := mkTrace([]int{10},
+		stopInfo{genLine: 10, xbt: "frame A", xvars: "v0 = 1"},
+	)
+	sub := mkTrace([]int{10},
+		stopInfo{genLine: 10, xbt: "frame B", xvars: "v0 = 2"},
+	)
+	divs := alignStops(ref, sub)
+	got := strings.Join(kinds(divs), ",")
+	if got != DivBacktrace+","+DivVariables {
+		t.Fatalf("expected xbt and xvars mismatches, got %v", divs)
+	}
+	if divs[0].Ref != "frame A" || divs[0].Subject != "frame B" {
+		t.Fatalf("mismatch should carry both sides: %+v", divs[0])
+	}
+}
+
+func TestAlignStopsDedupesRepeats(t *testing.T) {
+	// The same missed line across many loop iterations reports once.
+	ref := mkTrace([]int{10, 20},
+		stopInfo{genLine: 20}, stopInfo{genLine: 10},
+		stopInfo{genLine: 20}, stopInfo{genLine: 10},
+	)
+	sub := mkTrace([]int{10, 20},
+		stopInfo{genLine: 10}, stopInfo{genLine: 10},
+	)
+	divs := alignStops(ref, sub)
+	if len(divs) != 1 || divs[0].Kind != DivMissed {
+		t.Fatalf("expected a single deduped missed-stop, got %v", divs)
+	}
+}
+
+func TestCompareExpansions(t *testing.T) {
+	lines := []int{1, 2}
+	ref := mkTrace([]int{100, 101})
+	ref.perDSL = map[int]int{1: 2, 2: 1}
+	sub := mkTrace([]int{100, 102}) // 102 is not breakable in the reference
+	sub.perDSL = map[int]int{1: 3, 2: 1}
+
+	divs := compareExpansions(lines, ref, sub)
+	var sawWidened, sawMinted bool
+	for _, d := range divs {
+		switch {
+		case d.Kind == DivExpansion && d.GenLine == 0:
+			sawWidened = true
+		case d.Kind == DivExpansion && d.GenLine == 102:
+			sawMinted = true
+		}
+	}
+	if !sawWidened || !sawMinted {
+		t.Fatalf("expected widened-expansion and minted-line findings, got %v", divs)
+	}
+
+	// Shrinking is fine.
+	sub2 := mkTrace([]int{100})
+	sub2.perDSL = map[int]int{1: 1, 2: 0}
+	if divs := compareExpansions(lines, ref, sub2); len(divs) != 0 {
+		t.Fatalf("shrinking expansions must be clean, got %v", divs)
+	}
+}

@@ -1,0 +1,50 @@
+package progen
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFixturesReplayClean replays every committed fixture through both
+// build modes and the full differential oracle. Fixtures are either
+// seed specs pinning the optimiser behaviours the fuzzer exercises, or
+// minimised reproducers of past divergences — in both cases a
+// divergence here is a regression.
+func TestFixturesReplayClean(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "fuzz")
+	matches, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatalf("no fixtures under %s", dir)
+	}
+	for _, path := range matches {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec, err := ParseSpec(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := Render(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := RunDifferential(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stops == 0 {
+				t.Errorf("fixture produced no stops — it no longer exercises the debugger")
+			}
+			for _, d := range res.Divergences {
+				t.Errorf("divergence: %s\nref:     %q\nsubject: %q", d, d.Ref, d.Subject)
+			}
+		})
+	}
+}

@@ -1,0 +1,199 @@
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Generate produces the index-th spec of the corpus identified by seed.
+// The mapping (seed, index) -> Spec is a pure function: the same pair
+// always yields the same spec, on any machine, so a CI failure replays
+// locally from just the two numbers.
+//
+// Every fourth program is a graphit-kind program compiled by the real
+// GraphIt pipeline; the rest are staged minic programs whose shapes are
+// biased toward what the optimiser rewrites: constant subtrees to fold,
+// algebraic identities to simplify, constant branches to prune, dead
+// tails to drop.
+func Generate(seed int64, index int) *Spec {
+	r := rand.New(rand.NewSource(seed*1_000_003 + int64(index)))
+	s := &Spec{Seed: seed, Index: index}
+	if index%4 == 3 {
+		s.Kind = KindGraphit
+		s.Graphit = genGraphit(r)
+		return s
+	}
+	s.Kind = KindMinic
+	nFuncs := 1 + r.Intn(3)
+	for i := 0; i < nFuncs; i++ {
+		s.Funcs = append(s.Funcs, genFunc(r, s.Funcs, i))
+	}
+	return s
+}
+
+// genFunc generates one function that may call any of the earlier ones.
+func genFunc(r *rand.Rand, earlier []FuncSpec, index int) FuncSpec {
+	f := FuncSpec{
+		Name:   fmt.Sprintf("f%d", index),
+		Params: 1 + r.Intn(2),
+		Locals: 2 + r.Intn(3),
+	}
+	if r.Intn(2) == 0 {
+		f.RTV = true
+	}
+	if r.Intn(2) == 0 {
+		f.Static = 1 + r.Intn(16)
+	}
+	if r.Intn(3) == 0 {
+		f.DeadTail = 1 + r.Intn(3)
+	}
+	g := &funcGen{r: r, f: &f, earlier: earlier}
+	n := 2 + r.Intn(4)
+	for i := 0; i < n; i++ {
+		f.Body = append(f.Body, g.stmt(2))
+	}
+	return f
+}
+
+// funcGen holds the per-function generation state.
+type funcGen struct {
+	r       *rand.Rand
+	f       *FuncSpec
+	earlier []FuncSpec
+}
+
+// stmt generates one statement; depth bounds the nesting.
+func (g *funcGen) stmt(depth int) StmtSpec {
+	r := g.r
+	choices := 4 // set, print, expand, call
+	if depth > 0 {
+		choices += 3 // if, while, for
+	}
+	switch c := r.Intn(choices); {
+	case c == 0 && len(g.earlier) > 0:
+		callee := g.earlier[r.Intn(len(g.earlier))]
+		st := StmtSpec{Op: OpCall, Target: r.Intn(g.f.Locals), Callee: callee.Name}
+		for i := 0; i < callee.Params; i++ {
+			st.Args = append(st.Args, g.value(1))
+		}
+		return st
+	case c <= 1:
+		return StmtSpec{Op: OpSet, Target: r.Intn(g.f.Locals), Expr: g.value(3)}
+	case c == 2:
+		return StmtSpec{Op: OpPrint, Expr: g.value(2)}
+	case c == 3:
+		return StmtSpec{Op: OpExpand, Target: r.Intn(g.f.Locals), Width: 2 + r.Intn(4)}
+	case c == 4:
+		st := StmtSpec{Op: OpIf, Cond: g.cond(depth)}
+		st.Body = g.block(depth - 1)
+		if r.Intn(2) == 0 {
+			st.Else = g.block(depth - 1)
+		}
+		return st
+	case c == 5:
+		return StmtSpec{Op: OpWhile, Bound: 1 + r.Intn(4), Body: g.block(depth - 1)}
+	default:
+		return StmtSpec{Op: OpFor, Bound: 1 + r.Intn(4), Body: g.block(depth - 1)}
+	}
+}
+
+func (g *funcGen) block(depth int) []StmtSpec {
+	n := 1 + g.r.Intn(3)
+	out := make([]StmtSpec, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, g.stmt(depth))
+	}
+	return out
+}
+
+// value generates a well-typed int expression. The distribution leans
+// into optimiser fodder: literal-only subtrees (folded), x+0 / x*1 /
+// x*0 identities (simplified), and plain variable arithmetic (left
+// alone).
+func (g *funcGen) value(depth int) *ExprSpec {
+	r := g.r
+	if depth <= 0 || r.Intn(3) == 0 {
+		return g.leaf()
+	}
+	switch r.Intn(8) {
+	case 0: // foldable: literal op literal
+		op := []string{ExAdd, ExSub, ExMul, ExDiv, ExMod}[r.Intn(5)]
+		return &ExprSpec{Op: op,
+			X: &ExprSpec{Op: ExLit, Val: int64(r.Intn(20))},
+			Y: &ExprSpec{Op: ExLit, Val: int64(1 + r.Intn(9))}}
+	case 1: // identity: x+0, x*1, x-0, x/1
+		op := []string{ExAdd, ExMul, ExSub, ExDiv}[r.Intn(4)]
+		id := int64(0)
+		if op == ExMul || op == ExDiv {
+			id = 1
+		}
+		return &ExprSpec{Op: op, X: g.value(depth - 1), Y: &ExprSpec{Op: ExLit, Val: id}}
+	case 2: // annihilator: x*0 (side-effect-free x only: leaf)
+		return &ExprSpec{Op: ExMul, X: g.leaf(), Y: &ExprSpec{Op: ExLit, Val: 0}}
+	case 3, 4: // guarded division/modulo by a nonzero literal
+		op := ExDiv
+		if r.Intn(2) == 0 {
+			op = ExMod
+		}
+		return &ExprSpec{Op: op, X: g.value(depth - 1),
+			Y: &ExprSpec{Op: ExLit, Val: int64(1 + r.Intn(7))}}
+	default:
+		op := []string{ExAdd, ExSub, ExMul}[r.Intn(3)]
+		return &ExprSpec{Op: op, X: g.value(depth - 1), Y: g.value(depth - 1)}
+	}
+}
+
+func (g *funcGen) leaf() *ExprSpec {
+	r := g.r
+	switch r.Intn(3) {
+	case 0:
+		return &ExprSpec{Op: ExLit, Val: int64(r.Intn(32))}
+	case 1:
+		return &ExprSpec{Op: ExVar, Var: r.Intn(g.f.Locals)}
+	default:
+		return &ExprSpec{Op: ExArg, Var: r.Intn(g.f.Params)}
+	}
+}
+
+// cond generates a bool expression. A fifth of conditions compare two
+// literals — statically decidable, so fold-constants turns them into
+// BoolLits and prune-branches drops an arm.
+func (g *funcGen) cond(depth int) *ExprSpec {
+	r := g.r
+	cmp := []string{ExLt, ExLe, ExGt, ExGe, ExEq, ExNe}[r.Intn(6)]
+	var c *ExprSpec
+	if r.Intn(5) == 0 {
+		c = &ExprSpec{Op: cmp,
+			X: &ExprSpec{Op: ExLit, Val: int64(r.Intn(10))},
+			Y: &ExprSpec{Op: ExLit, Val: int64(r.Intn(10))}}
+	} else {
+		c = &ExprSpec{Op: cmp, X: g.value(1), Y: g.value(1)}
+	}
+	if depth > 1 && r.Intn(4) == 0 {
+		join := ExAnd
+		if r.Intn(2) == 0 {
+			join = ExOr
+		}
+		return &ExprSpec{Op: join, X: c, Y: g.cond(1)}
+	}
+	return c
+}
+
+// genGraphit composes a graphit-kind spec from the canonical construct
+// pool.
+func genGraphit(r *rand.Rand) *GraphitSpec {
+	graphs := []string{
+		"uniform:n=32,m=128,seed=3",
+		"powerlaw:n=64,m=512,seed=11",
+		"uniform:n=64,m=256,seed=9",
+		"powerlaw:n=48,m=300,seed=5",
+	}
+	return &GraphitSpec{
+		Graph:    graphs[r.Intn(len(graphs))],
+		Iters:    2 + r.Intn(6),
+		Applies:  1 + r.Intn(2),
+		Filter:   r.Intn(2) == 0,
+		Push:     r.Intn(2) == 0,
+		Parallel: r.Intn(2) == 0,
+	}
+}

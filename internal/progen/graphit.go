@@ -1,0 +1,82 @@
+package progen
+
+import (
+	"fmt"
+	"strings"
+
+	"d2x/internal/graphit"
+)
+
+// renderGraphit composes a .gt program and schedule from the spec and
+// compiles them through the real GraphIt pipeline with D2X enabled. The
+// shapes are assembled from the canonical constructs of the example
+// programs — edge applies with labelled sites, a rank-update vertex
+// step, an optional filter — parameterised by the spec.
+func renderGraphit(spec *Spec) (*Program, error) {
+	g := spec.Graphit
+	if g == nil {
+		return nil, fmt.Errorf("progen: graphit spec %s has no graphit block", spec.Name())
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "element Vertex end\n")
+	fmt.Fprintf(&b, "element Edge end\n")
+	fmt.Fprintf(&b, "const edges : edgeset{Edge}(Vertex, Vertex) = load(%q)\n", g.Graph)
+	fmt.Fprintf(&b, "const rank : vector{Vertex}(float) = 1.0 / num_vertices\n")
+	fmt.Fprintf(&b, "const nrank : vector{Vertex}(float) = 0.0\n")
+	fmt.Fprintf(&b, "const damp : float = 0.85\n")
+	fmt.Fprintf(&b, "\n")
+	for i := 0; i < g.Applies; i++ {
+		fmt.Fprintf(&b, "func update%d(src: Vertex, dst: Vertex)\n", i)
+		if i%2 == 0 {
+			fmt.Fprintf(&b, "\tnrank[dst] += rank[src] / out_degree[src]\n")
+		} else {
+			fmt.Fprintf(&b, "\tnrank[dst] += rank[src]\n")
+		}
+		fmt.Fprintf(&b, "end\n\n")
+	}
+	fmt.Fprintf(&b, "func vstep(v: Vertex)\n")
+	fmt.Fprintf(&b, "\trank[v] = 0.15 + damp * nrank[v]\n")
+	fmt.Fprintf(&b, "\tnrank[v] = 0.0\n")
+	fmt.Fprintf(&b, "end\n\n")
+	if g.Filter {
+		fmt.Fprintf(&b, "func hot(v: Vertex) -> output: bool\n")
+		fmt.Fprintf(&b, "\toutput = rank[v] > 0.1\n")
+		fmt.Fprintf(&b, "end\n\n")
+	}
+	fmt.Fprintf(&b, "func main()\n")
+	fmt.Fprintf(&b, "\tfor i in 0:%d\n", g.Iters)
+	for i := 0; i < g.Applies; i++ {
+		fmt.Fprintf(&b, "\t\t#s%d# edges.apply(update%d)\n", i+1, i)
+	}
+	fmt.Fprintf(&b, "\t\tvertices.apply(vstep)\n")
+	fmt.Fprintf(&b, "\tend\n")
+	if g.Filter {
+		fmt.Fprintf(&b, "\tvar hotset : vertexset{Vertex} = vertices.filter(hot)\n")
+		fmt.Fprintf(&b, "\tprint hotset.size()\n")
+	}
+	fmt.Fprintf(&b, "\tprint rank[0]\n")
+	fmt.Fprintf(&b, "end\n")
+
+	dir := "pull"
+	if g.Push {
+		dir = "push"
+	}
+	var sched strings.Builder
+	for i := 0; i < g.Applies; i++ {
+		fmt.Fprintf(&sched, "s%d: direction=%s, parallel=%v\n", i+1, dir, g.Parallel)
+	}
+
+	art, err := graphit.CompileToC("fuzz.gt", b.String(), "fuzz.sched", sched.String(),
+		graphit.CompileOptions{D2X: true})
+	if err != nil {
+		return nil, fmt.Errorf("progen: graphit compile of %s: %w", spec.Name(), err)
+	}
+	return &Program{
+		Spec:      spec,
+		DSLFile:   "fuzz.gt",
+		DSLSource: art.GTSource,
+		GenFile:   "fuzz.c",
+		GenSource: art.Source,
+		art:       art,
+	}, nil
+}

@@ -1,0 +1,264 @@
+package progen
+
+import "encoding/json"
+
+// Minimize shrinks a divergent spec by structural deletion. pred reports
+// whether a candidate still reproduces the divergence; candidates that
+// no longer render, build, or diverge simply return false and are
+// skipped. The result is 1-minimal with respect to the edit set: no
+// single remaining edit keeps the divergence alive.
+//
+// The minimiser is greedy, largest cuts first — drop whole functions,
+// then whole statements, then hoist loop/branch bodies, then clear the
+// metadata flags, then shrink expressions to their subtrees — restarting
+// after every accepted cut, so a late cut can re-enable an earlier one.
+func Minimize(spec *Spec, pred func(*Spec) bool) *Spec {
+	cur := cloneSpec(spec)
+	// A spec has a bounded edit count, and every accepted edit strictly
+	// shrinks it, so the loop terminates; the cap is a belt against an
+	// edit that failed to shrink.
+	for round := 0; round < 500; round++ {
+		improved := false
+		for _, cand := range variants(cur) {
+			if pred(cand) {
+				cur = cand
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur
+}
+
+func cloneSpec(s *Spec) *Spec {
+	data, err := json.Marshal(s)
+	if err != nil {
+		panic("progen: spec not serialisable: " + err.Error())
+	}
+	var out Spec
+	if err := json.Unmarshal(data, &out); err != nil {
+		panic("progen: spec not round-trippable: " + err.Error())
+	}
+	return &out
+}
+
+// variants enumerates the one-edit reductions of s, largest first. Each
+// returned spec is an independent clone.
+func variants(s *Spec) []*Spec {
+	if s.Kind == KindGraphit {
+		return graphitVariants(s)
+	}
+	var out []*Spec
+	// Drop a whole function. Calls into the dropped function stop
+	// compiling; pred filters those out.
+	if len(s.Funcs) > 1 {
+		for i := range s.Funcs {
+			c := cloneSpec(s)
+			c.Funcs = append(c.Funcs[:i], c.Funcs[i+1:]...)
+			out = append(out, c)
+		}
+	}
+	// Delete a statement / hoist a body, anywhere in any function.
+	for fi := range s.Funcs {
+		for _, edit := range blockEdits(s.Funcs[fi].Body, nil) {
+			c := cloneSpec(s)
+			c.Funcs[fi].Body = applyBlockEdit(c.Funcs[fi].Body, edit)
+			if len(c.Funcs[fi].Body) == 0 {
+				continue // a function must keep at least one statement
+			}
+			out = append(out, c)
+		}
+	}
+	// Clear per-function metadata knobs.
+	for fi := range s.Funcs {
+		f := &s.Funcs[fi]
+		for _, clr := range []struct {
+			on    bool
+			apply func(*FuncSpec)
+		}{
+			{f.DeadTail > 0, func(g *FuncSpec) { g.DeadTail = 0 }},
+			{f.RTV, func(g *FuncSpec) { g.RTV = false }},
+			{f.Static > 0, func(g *FuncSpec) { g.Static = 0 }},
+		} {
+			if !clr.on {
+				continue
+			}
+			c := cloneSpec(s)
+			clr.apply(&c.Funcs[fi])
+			out = append(out, c)
+		}
+	}
+	// Shrink one expression to a subtree or a literal.
+	nExpr := countExprs(s)
+	for k := 0; k < nExpr; k++ {
+		for _, mode := range []int{exprToX, exprToY, exprToLit} {
+			c := cloneSpec(s)
+			if editExpr(c, k, mode) {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// blockEdit addresses one edit inside a statement block: path indexes
+// into nested Body/Else slices, and the final op is delete or hoist.
+type blockEdit struct {
+	path  []int // statement indices, outermost first
+	hoist bool  // replace the statement with its Body (+Else); else delete
+}
+
+// blockEdits enumerates the edits available in a block (recursively).
+func blockEdits(block []StmtSpec, prefix []int) []blockEdit {
+	var out []blockEdit
+	for i := range block {
+		path := append(append([]int{}, prefix...), i)
+		out = append(out, blockEdit{path: path})
+		st := &block[i]
+		if len(st.Body) > 0 {
+			// Hoist covers Else too; statements inside an Else become
+			// directly editable once a hoist lands them in the parent.
+			out = append(out, blockEdit{path: path, hoist: true})
+			out = append(out, blockEdits(st.Body, path)...)
+		}
+	}
+	return out
+}
+
+// applyBlockEdit performs one edit on a (cloned) block and returns the
+// new block.
+func applyBlockEdit(block []StmtSpec, e blockEdit) []StmtSpec {
+	i := e.path[0]
+	if len(e.path) > 1 {
+		block[i].Body = applyBlockEdit(block[i].Body, blockEdit{path: e.path[1:], hoist: e.hoist})
+		return block
+	}
+	if e.hoist {
+		repl := append(append([]StmtSpec{}, block[i].Body...), block[i].Else...)
+		return append(block[:i], append(repl, block[i+1:]...)...)
+	}
+	return append(block[:i], block[i+1:]...)
+}
+
+// Expression edit modes.
+const (
+	exprToX = iota
+	exprToY
+	exprToLit
+)
+
+// countExprs numbers every expression node in the spec, in a fixed
+// traversal order shared with editExpr.
+func countExprs(s *Spec) int {
+	n := 0
+	walkSpecExprs(s, func(slot **ExprSpec) bool { n++; return true })
+	return n
+}
+
+// editExpr applies mode to the k-th expression node. Returns false when
+// the edit is a no-op (leaf node asked for a subtree, or already a small
+// literal).
+func editExpr(s *Spec, k, mode int) bool {
+	idx, changed := 0, false
+	walkSpecExprs(s, func(slot **ExprSpec) bool {
+		if idx != k {
+			idx++
+			return true
+		}
+		idx++
+		e := *slot
+		switch mode {
+		case exprToX:
+			if e.X != nil {
+				*slot = e.X
+				changed = true
+			}
+		case exprToY:
+			if e.Y != nil {
+				*slot = e.Y
+				changed = true
+			}
+		case exprToLit:
+			if e.Op != ExLit || e.Val > 1 {
+				*slot = &ExprSpec{Op: ExLit, Val: 1}
+				changed = true
+			}
+		}
+		return false
+	})
+	return changed
+}
+
+// walkSpecExprs visits every expression slot in the spec, pre-order.
+// The visitor returns false to stop the walk.
+func walkSpecExprs(s *Spec, visit func(**ExprSpec) bool) {
+	var walkExpr func(**ExprSpec) bool
+	walkExpr = func(slot **ExprSpec) bool {
+		if *slot == nil {
+			return true
+		}
+		if !visit(slot) {
+			return false
+		}
+		if !walkExpr(&(*slot).X) {
+			return false
+		}
+		return walkExpr(&(*slot).Y)
+	}
+	var walkBlock func([]StmtSpec) bool
+	walkBlock = func(block []StmtSpec) bool {
+		for i := range block {
+			st := &block[i]
+			if !walkExpr(&st.Expr) || !walkExpr(&st.Cond) {
+				return false
+			}
+			for j := range st.Args {
+				if !walkExpr(&st.Args[j]) {
+					return false
+				}
+			}
+			if !walkBlock(st.Body) || !walkBlock(st.Else) {
+				return false
+			}
+		}
+		return true
+	}
+	for fi := range s.Funcs {
+		if !walkBlock(s.Funcs[fi].Body) {
+			return
+		}
+	}
+}
+
+// graphitVariants reduces a graphit-kind spec along its handful of axes.
+func graphitVariants(s *Spec) []*Spec {
+	g := s.Graphit
+	var out []*Spec
+	add := func(apply func(*GraphitSpec)) {
+		c := cloneSpec(s)
+		apply(c.Graphit)
+		out = append(out, c)
+	}
+	if g.Applies > 1 {
+		add(func(g *GraphitSpec) { g.Applies-- })
+	}
+	if g.Iters > 1 {
+		add(func(g *GraphitSpec) { g.Iters = 1 })
+	}
+	if g.Filter {
+		add(func(g *GraphitSpec) { g.Filter = false })
+	}
+	if g.Parallel {
+		add(func(g *GraphitSpec) { g.Parallel = false })
+	}
+	if g.Push {
+		add(func(g *GraphitSpec) { g.Push = false })
+	}
+	if g.Graph != "uniform:n=32,m=128,seed=3" {
+		add(func(g *GraphitSpec) { g.Graph = "uniform:n=32,m=128,seed=3" })
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package progen
+
+import (
+	"strings"
+	"testing"
+)
+
+// specHasPrint reports whether any statement anywhere in the spec is a
+// print — the stand-in "divergence" the minimiser must preserve.
+func specHasPrint(s *Spec) bool {
+	var scan func([]StmtSpec) bool
+	scan = func(block []StmtSpec) bool {
+		for i := range block {
+			if block[i].Op == OpPrint {
+				return true
+			}
+			if scan(block[i].Body) || scan(block[i].Else) {
+				return true
+			}
+		}
+		return false
+	}
+	for i := range s.Funcs {
+		if scan(s.Funcs[i].Body) {
+			return true
+		}
+	}
+	return false
+}
+
+func countStmts(s *Spec) int {
+	n := 0
+	var scan func([]StmtSpec)
+	scan = func(block []StmtSpec) {
+		for i := range block {
+			n++
+			scan(block[i].Body)
+			scan(block[i].Else)
+		}
+	}
+	for i := range s.Funcs {
+		scan(s.Funcs[i].Body)
+	}
+	return n
+}
+
+// TestMinimizeShrinksToPredicate: from a sizeable generated spec, keep
+// only what a structural predicate needs. The result must satisfy the
+// predicate, be 1-minimal, and leave the input untouched.
+func TestMinimizeShrinksToPredicate(t *testing.T) {
+	var spec *Spec
+	for i := 0; ; i++ {
+		spec = Generate(11, i)
+		if spec.Kind == KindMinic && specHasPrint(spec) && countStmts(spec) >= 6 {
+			break
+		}
+		if i > 50 {
+			t.Fatal("no suitable seed spec in the first 50 indices")
+		}
+	}
+	before, _ := spec.Marshal()
+
+	min := Minimize(spec, func(c *Spec) bool {
+		// A real predicate re-renders and re-runs the oracle; rendering
+		// here keeps candidates honest (a candidate that cannot render
+		// must be rejected the same way).
+		if _, err := Render(c); err != nil {
+			return false
+		}
+		return specHasPrint(c)
+	})
+
+	if !specHasPrint(min) {
+		t.Fatal("minimised spec lost the predicate")
+	}
+	if len(min.Funcs) != 1 {
+		t.Errorf("expected a single surviving function, got %d", len(min.Funcs))
+	}
+	if got := countStmts(min); got != 1 {
+		t.Errorf("expected exactly the one print statement to survive, got %d statements:\n%s",
+			got, mustJSON(min))
+	}
+	after, _ := spec.Marshal()
+	if string(before) != string(after) {
+		t.Error("Minimize mutated its input spec")
+	}
+}
+
+// TestMinimizeSimplifiesExpressions: an expression-level predicate keeps
+// only the subtree it needs.
+func TestMinimizeSimplifiesExpressions(t *testing.T) {
+	spec := &Spec{Kind: KindMinic, Seed: 0, Index: 0, Funcs: []FuncSpec{{
+		Name: "f0", Params: 1, Locals: 2,
+		Body: []StmtSpec{
+			{Op: OpSet, Target: 0, Expr: &ExprSpec{
+				Op: ExAdd,
+				X:  &ExprSpec{Op: ExMul, X: &ExprSpec{Op: ExArg}, Y: &ExprSpec{Op: ExLit, Val: 3}},
+				Y:  &ExprSpec{Op: ExMod, X: &ExprSpec{Op: ExVar, Var: 1}, Y: &ExprSpec{Op: ExLit, Val: 5}},
+			}},
+			{Op: OpSet, Target: 1, Expr: &ExprSpec{Op: ExLit, Val: 9}},
+		},
+	}}}
+
+	hasMod := func(s *Spec) bool {
+		found := false
+		walkSpecExprs(s, func(slot **ExprSpec) bool {
+			if (*slot).Op == ExMod {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+	min := Minimize(spec, func(c *Spec) bool {
+		if _, err := Render(c); err != nil {
+			return false
+		}
+		return hasMod(c)
+	})
+	if !hasMod(min) {
+		t.Fatal("minimised spec lost the mod expression")
+	}
+	if countStmts(min) != 1 {
+		t.Errorf("expected 1 statement, got %d", countStmts(min))
+	}
+	// The add wrapper and the mul subtree are noise; the survivor should
+	// be the bare mod (its operands reduced to leaves or literals).
+	e := min.Funcs[0].Body[0].Expr
+	if e == nil || e.Op != ExMod {
+		t.Errorf("expected the expression to reduce to the mod node, got %s", mustJSON(min))
+	}
+}
+
+// TestMinimizeGraphit: graphit specs reduce along their axes.
+func TestMinimizeGraphit(t *testing.T) {
+	spec := &Spec{Kind: KindGraphit, Seed: 0, Index: 0, Graphit: &GraphitSpec{
+		Graph: "powerlaw:n=64,m=512,seed=11", Iters: 6, Applies: 2,
+		Filter: true, Push: true, Parallel: true,
+	}}
+	min := Minimize(spec, func(c *Spec) bool {
+		return c.Graphit != nil && c.Graphit.Filter
+	})
+	g := min.Graphit
+	if !g.Filter {
+		t.Fatal("minimised spec lost the filter")
+	}
+	if g.Iters != 1 || g.Applies != 1 || g.Push || g.Parallel {
+		t.Errorf("expected everything but the filter reduced, got %s", mustJSON(min))
+	}
+	if g.Graph != "uniform:n=32,m=128,seed=3" {
+		t.Errorf("expected the smallest graph, got %s", g.Graph)
+	}
+}
+
+func mustJSON(s *Spec) string {
+	data, err := s.Marshal()
+	if err != nil {
+		return err.Error()
+	}
+	return strings.TrimSpace(string(data))
+}

@@ -1,0 +1,93 @@
+package progen
+
+import (
+	"testing"
+)
+
+// TestGenerateIsDeterministic pins the (seed, index) -> Spec mapping:
+// two independent generations must agree byte-for-byte, and the render
+// must be a pure function of the spec.
+func TestGenerateIsDeterministic(t *testing.T) {
+	for i := 0; i < 12; i++ {
+		a := Generate(1, i)
+		b := Generate(1, i)
+		aj, err := a.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bj, _ := b.Marshal()
+		if string(aj) != string(bj) {
+			t.Fatalf("index %d: generation not deterministic:\n%s\nvs\n%s", i, aj, bj)
+		}
+		pa, err := Render(a)
+		if err != nil {
+			t.Fatalf("index %d: %v", i, err)
+		}
+		pb, _ := Render(b)
+		if pa.GenSource != pb.GenSource || pa.DSLSource != pb.DSLSource {
+			t.Fatalf("index %d: render not deterministic", i)
+		}
+	}
+}
+
+// TestSpecRoundTripsThroughJSON: the fixture wire format loses nothing.
+func TestSpecRoundTripsThroughJSON(t *testing.T) {
+	for i := 0; i < 8; i++ {
+		s := Generate(7, i)
+		data, err := s.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseSpec(data)
+		if err != nil {
+			t.Fatalf("index %d: %v\n%s", i, err, data)
+		}
+		orig, _ := Render(s)
+		redone, err := Render(back)
+		if err != nil {
+			t.Fatalf("index %d: render of round-tripped spec: %v", i, err)
+		}
+		if orig.GenSource != redone.GenSource {
+			t.Fatalf("index %d: round-tripped spec renders differently", i)
+		}
+	}
+}
+
+// TestCorpusBuildsAndRunsEquivalently is the cheap half of the
+// differential property: every corpus program must link in both build
+// modes and produce identical program output (the session-level oracle
+// in differential.go checks the debugger views on top).
+func TestCorpusBuildsAndRunsEquivalently(t *testing.T) {
+	sawKind := map[string]bool{}
+	for i := 0; i < 16; i++ {
+		spec := Generate(2, i)
+		sawKind[spec.Kind] = true
+		p, err := Render(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name(), err)
+		}
+		ref, err := p.Build(false)
+		if err != nil {
+			t.Fatalf("%s: reference link: %v", spec.Name(), err)
+		}
+		opt, err := p.Build(true)
+		if err != nil {
+			t.Fatalf("%s: optimised link: %v", spec.Name(), err)
+		}
+		refOut, _, err := ref.Run()
+		if err != nil {
+			t.Fatalf("%s: reference run: %v", spec.Name(), err)
+		}
+		optOut, _, err := opt.Run()
+		if err != nil {
+			t.Fatalf("%s: optimised run: %v", spec.Name(), err)
+		}
+		if refOut != optOut {
+			t.Errorf("%s: output diverged:\nref: %q\nopt: %q\ngen:\n%s",
+				spec.Name(), refOut, optOut, p.GenSource)
+		}
+	}
+	if !sawKind[KindMinic] || !sawKind[KindGraphit] {
+		t.Errorf("corpus lacks kind coverage: %v", sawKind)
+	}
+}

@@ -1,0 +1,321 @@
+package progen
+
+import (
+	"fmt"
+	"strings"
+
+	"d2x/internal/d2x"
+	"d2x/internal/d2x/d2xc"
+	"d2x/internal/graphit"
+)
+
+// Program is a rendered spec, ready to link in either build mode. The
+// render itself is deterministic: the same spec always produces the
+// same DSL text, generated code, and D2X context.
+type Program struct {
+	Spec      *Spec
+	DSLFile   string // the first-stage source file name (fuzz.dsl / fuzz.gt)
+	DSLSource string
+	GenFile   string // the generated-code file name
+	GenSource string // generated mini-C, before the D2X tables are appended
+
+	ctx *d2xc.Context     // minic kind: the context the render produced
+	art *graphit.Artifact // graphit kind: the compiled artifact
+}
+
+// Render plays the DSL compiler for the spec: it emits the generated
+// program through the d2x-c API, recording per-line source-location
+// stacks, erased statics, and rtv handlers exactly as the case-study
+// pipelines do.
+func Render(spec *Spec) (*Program, error) {
+	switch spec.Kind {
+	case KindMinic:
+		return renderMinic(spec)
+	case KindGraphit:
+		return renderGraphit(spec)
+	}
+	return nil, fmt.Errorf("progen: unknown spec kind %q", spec.Kind)
+}
+
+// Build links the rendered program. optimize selects the build mode the
+// differential oracle compares: the same artifact through
+// minic.Optimize or straight to the compiler. Build may be called any
+// number of times; each call produces an independent d2x.Build.
+func (p *Program) Build(optimize bool) (*d2x.Build, error) {
+	if p.art != nil {
+		return p.art.LinkOptimizing(optimize)
+	}
+	dslFile, dslSource := p.DSLFile, p.DSLSource
+	return d2x.Link(p.GenFile, p.GenSource, p.ctx, d2x.LinkOptions{
+		Optimize: optimize,
+		FileResolver: func(path string) (string, error) {
+			if path == dslFile {
+				return dslSource, nil
+			}
+			return "", fmt.Errorf("no file %s", path)
+		},
+	})
+}
+
+// ---- minic kind ----
+
+// renderer carries the state of one minic-kind render.
+type renderer struct {
+	e        *d2xc.Emitter
+	ctx      *d2xc.Context
+	dsl      []string // DSL source lines, 1-based via len()
+	hostLine int      // outer "staging host" frame line for the current function
+	hostFn   string
+	counters int // unique loop-counter / scratch suffix
+	fn       *FuncSpec
+}
+
+// dslLine appends one line of DSL pseudo-source and returns its 1-based
+// line number.
+func (r *renderer) dslLine(indent int, format string, args ...any) int {
+	r.dsl = append(r.dsl, strings.Repeat("  ", indent)+fmt.Sprintf(format, args...))
+	return len(r.dsl)
+}
+
+// loc attributes the next generated line to a DSL line: the innermost
+// frame is the DSL statement, the outer frame the staging host that
+// invoked the DSL function — the two-deep extended stack of the paper's
+// BuildIt examples.
+func (r *renderer) loc(dslLine int) {
+	r.ctx.PushSourceLoc("fuzz.dsl", dslLine, r.fn.Name)
+	r.ctx.PushSourceLoc("staging.go", r.hostLine, r.hostFn)
+}
+
+func renderMinic(spec *Spec) (*Program, error) {
+	ctx := d2xc.NewContext()
+	r := &renderer{e: d2xc.NewEmitter(ctx), ctx: ctx}
+	for i := range spec.Funcs {
+		if err := r.emitFunc(&spec.Funcs[i], i); err != nil {
+			return nil, fmt.Errorf("progen: rendering %s of %s: %w", spec.Funcs[i].Name, spec.Name(), err)
+		}
+	}
+	r.emitMain(spec)
+	return &Program{
+		Spec:      spec,
+		DSLFile:   "fuzz.dsl",
+		DSLSource: strings.Join(r.dsl, "\n") + "\n",
+		GenFile:   "fuzz_gen.c",
+		GenSource: r.e.String(),
+		ctx:       ctx,
+	}, nil
+}
+
+func (r *renderer) emitFunc(f *FuncSpec, index int) error {
+	r.fn = f
+	r.hostLine = 100 + index
+	r.hostFn = "stage_" + f.Name
+
+	params := make([]string, f.Params)
+	dslParams := make([]string, f.Params)
+	for i := range params {
+		params[i] = fmt.Sprintf("int arg%d", i)
+		dslParams[i] = fmt.Sprintf("arg%d", i)
+	}
+	r.dslLine(0, "func %s(%s)", f.Name, strings.Join(dslParams, ", "))
+	r.e.Emitln("func int %s(%s) {", f.Name, strings.Join(params, ", "))
+	if err := r.e.BeginSection(); err != nil {
+		return err
+	}
+	r.ctx.PushScope()
+	if f.Static > 0 {
+		r.ctx.CreateVar("stage")
+		if err := r.ctx.UpdateVar("stage", fmt.Sprint(f.Static)); err != nil {
+			return err
+		}
+	}
+	if f.RTV {
+		r.ctx.CreateVar("v0_view")
+		if err := r.ctx.UpdateVarHandler("v0_view", d2xc.RTVHandler{
+			FuncName: "__d2x_rtv_" + f.Name,
+		}); err != nil {
+			return err
+		}
+	}
+	r.e.Indent()
+	for i := 0; i < f.Locals; i++ {
+		line := r.dslLine(1, "v%d = %d", i, i)
+		r.loc(line)
+		r.e.Emitln("int v%d = %d;", i, i)
+	}
+	for i := range f.Body {
+		// Thread the erased static through the records, the way a staged
+		// loop updates its staging-time state between emitted statements.
+		if f.Static > 0 && i > 0 {
+			if err := r.ctx.UpdateVar("stage", fmt.Sprint(f.Static-i)); err != nil {
+				return err
+			}
+		}
+		r.emitStmt(&f.Body[i], 1)
+	}
+	line := r.dslLine(1, "return v0")
+	r.loc(line)
+	r.e.Emitln("return v0;")
+	for i := 0; i < f.DeadTail; i++ {
+		// Unreachable statements after the return: the DSL "emitted" them,
+		// prune-unreachable drops them in the optimised build.
+		line := r.dslLine(1, "dead v%d", i)
+		r.loc(line)
+		r.e.Emitln("int dz%d = %d + %d;", i, i, i+1)
+	}
+	r.e.Dedent()
+	if err := r.ctx.PopScope(); err != nil {
+		return err
+	}
+	if err := r.e.EndSection(); err != nil {
+		return err
+	}
+	r.e.Emitln("}")
+
+	if f.RTV {
+		// The runtime value handler: generated code that runs only at
+		// debug time, reaching the paused frame through the D2X runtime.
+		r.e.Emitln("func string __d2x_rtv_%s(string key) {", f.Name)
+		r.e.Emitln("\tint* addr = d2x_find_stack_var(\"v0\");")
+		r.e.Emitln("\treturn \"v0=\" + to_str(*addr);")
+		r.e.Emitln("}")
+	}
+	return nil
+}
+
+// emitStmt renders one statement spec at the given DSL indent level.
+// The generated code's nesting tracks the emitter's Indent.
+func (r *renderer) emitStmt(st *StmtSpec, indent int) {
+	switch st.Op {
+	case OpSet:
+		line := r.dslLine(indent, "v%d = %s", st.Target, dslExpr(st.Expr))
+		r.loc(line)
+		r.e.Emitln("v%d = %s;", st.Target, genExpr(st.Expr))
+	case OpPrint:
+		line := r.dslLine(indent, "print %s", dslExpr(st.Expr))
+		r.loc(line)
+		r.e.Emitln("printf(\"%%d\\n\", %s);", genExpr(st.Expr))
+	case OpExpand:
+		// Macro-heavy shape: one DSL line expanding to Width generated
+		// statements, every one attributed to the same DSL location.
+		line := r.dslLine(indent, "v%d = expand(%d)", st.Target, st.Width)
+		for j := 0; j < st.Width; j++ {
+			r.loc(line)
+			r.e.Emitln("v%d = v%d + %d;", st.Target, st.Target, j+1)
+		}
+	case OpCall:
+		args := make([]string, len(st.Args))
+		dargs := make([]string, len(st.Args))
+		for i, a := range st.Args {
+			args[i] = genExpr(a)
+			dargs[i] = dslExpr(a)
+		}
+		line := r.dslLine(indent, "v%d = %s(%s)", st.Target, st.Callee, strings.Join(dargs, ", "))
+		r.loc(line)
+		r.e.Emitln("v%d = %s(%s);", st.Target, st.Callee, strings.Join(args, ", "))
+	case OpIf:
+		line := r.dslLine(indent, "if %s", dslExpr(st.Cond))
+		r.loc(line)
+		r.e.Emitln("if (%s) {", genExpr(st.Cond))
+		r.e.Indent()
+		for i := range st.Body {
+			r.emitStmt(&st.Body[i], indent+1)
+		}
+		r.e.Dedent()
+		if len(st.Else) > 0 {
+			r.dslLine(indent, "else")
+			r.e.Emitln("} else {")
+			r.e.Indent()
+			for i := range st.Else {
+				r.emitStmt(&st.Else[i], indent+1)
+			}
+			r.e.Dedent()
+		}
+		r.e.Emitln("}")
+	case OpWhile:
+		c := r.counters
+		r.counters++
+		line := r.dslLine(indent, "loop %d times", st.Bound)
+		r.loc(line)
+		r.e.Emitln("int w%d = 0;", c)
+		r.loc(line)
+		r.e.Emitln("while (w%d < %d) {", c, st.Bound)
+		r.e.Indent()
+		for i := range st.Body {
+			r.emitStmt(&st.Body[i], indent+1)
+		}
+		r.loc(line)
+		r.e.Emitln("w%d = w%d + 1;", c, c)
+		r.e.Dedent()
+		r.e.Emitln("}")
+	case OpFor:
+		c := r.counters
+		r.counters++
+		line := r.dslLine(indent, "for %d times", st.Bound)
+		r.loc(line)
+		r.e.Emitln("for (int c%d = 0; c%d < %d; c%d++) {", c, c, st.Bound, c)
+		r.e.Indent()
+		for i := range st.Body {
+			r.emitStmt(&st.Body[i], indent+1)
+		}
+		r.e.Dedent()
+		r.e.Emitln("}")
+	}
+}
+
+func (r *renderer) emitMain(spec *Spec) {
+	last := &spec.Funcs[len(spec.Funcs)-1]
+	args := make([]string, last.Params)
+	for i := range args {
+		args[i] = fmt.Sprint(3 + 2*i)
+	}
+	r.e.Emitln("func int main() {")
+	r.e.Emitln("\tint r = %s(%s);", last.Name, strings.Join(args, ", "))
+	r.e.Emitln("\tprintf(\"%%d\\n\", r);")
+	r.e.Emitln("\treturn 0;")
+	r.e.Emitln("}")
+}
+
+// genExpr renders an expression spec as mini-C text. Division and
+// modulo keep the generator's invariant — a literal, nonzero divisor —
+// by construction here too, so even a hand-edited fixture cannot trap.
+func genExpr(e *ExprSpec) string {
+	return renderExpr(e, false)
+}
+
+// dslExpr renders the DSL view of the expression (same structure,
+// surface syntax without parens noise).
+func dslExpr(e *ExprSpec) string {
+	return renderExpr(e, true)
+}
+
+var exprOps = map[string]string{
+	ExAdd: "+", ExSub: "-", ExMul: "*", ExDiv: "/", ExMod: "%",
+	ExLt: "<", ExLe: "<=", ExGt: ">", ExGe: ">=", ExEq: "==", ExNe: "!=",
+	ExAnd: "&&", ExOr: "||",
+}
+
+func renderExpr(e *ExprSpec, dsl bool) string {
+	if e == nil {
+		return "0"
+	}
+	switch e.Op {
+	case ExLit:
+		return fmt.Sprint(e.Val)
+	case ExVar:
+		return fmt.Sprintf("v%d", e.Var)
+	case ExArg:
+		return fmt.Sprintf("arg%d", e.Var)
+	case ExDiv, ExMod:
+		y := e.Y
+		if y == nil || y.Op != ExLit || y.Val == 0 {
+			y = &ExprSpec{Op: ExLit, Val: 3}
+		}
+		return fmt.Sprintf("(%s %s %s)", renderExpr(e.X, dsl), exprOps[e.Op], renderExpr(y, dsl))
+	default:
+		op, ok := exprOps[e.Op]
+		if !ok {
+			return "0"
+		}
+		return fmt.Sprintf("(%s %s %s)", renderExpr(e.X, dsl), op, renderExpr(e.Y, dsl))
+	}
+}

@@ -1,0 +1,161 @@
+// Package progen is a deterministic, seeded generator of random DSL
+// programs for differential testing of the D2X pipeline. A Spec is a
+// small, JSON-serialisable description of a staged program; Render
+// plays the DSL compiler — emitting mini-C through the d2x-c API with
+// full contextual metadata (source-location stacks, erased statics,
+// rtv handlers, macro-style one-to-many line expansions) — and Build
+// links the result with the optimiser on or off. cmd/d2xfuzz drives
+// corpora of Specs through the differential oracle; divergences are
+// minimised (Minimize) and committed as fixtures under examples/fuzz.
+//
+// Specs serialise so that a failing program is a small reviewable JSON
+// artifact that replays bit-for-bit, and so the minimiser can shrink a
+// divergence by structural deletion rather than by re-generation.
+package progen
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Spec describes one generated program. Exactly one of the two kinds is
+// populated: KindMinic uses Funcs, KindGraphit uses Graphit.
+type Spec struct {
+	Kind  string `json:"kind"`
+	Seed  int64  `json:"seed"`  // provenance: the corpus seed
+	Index int    `json:"index"` // provenance: position in the corpus
+
+	Funcs   []FuncSpec   `json:"funcs,omitempty"`
+	Graphit *GraphitSpec `json:"graphit,omitempty"`
+}
+
+// Spec kinds.
+const (
+	KindMinic   = "minic"
+	KindGraphit = "graphit"
+)
+
+// FuncSpec is one staged function of a minic-kind program. Functions
+// may call only lower-indexed functions (the call graph is a DAG, so
+// generated programs always terminate); main calls the last function
+// and prints its result.
+type FuncSpec struct {
+	Name   string `json:"name"`
+	Params int    `json:"params"` // number of int parameters (arg0..argN-1)
+	Locals int    `json:"locals"` // always-live int locals v0..vN-1; v0 is the result
+	// RTV installs a runtime value handler exposing v0 through the D2X
+	// tables. Handlers are deliberately restricted to top-level locals:
+	// a handler reading a branch-local the optimiser may legitimately
+	// prune would diverge by design, not by bug.
+	RTV bool `json:"rtv,omitempty"`
+	// Static, when positive, threads an erased static ("stage") through
+	// the function's D2X records, updated between top-level statements —
+	// the staging-time state of the paper's power example.
+	Static int `json:"static,omitempty"`
+	// DeadTail emits that many unreachable statements after the return —
+	// food for the prune-unreachable pass.
+	DeadTail int        `json:"deadTail,omitempty"`
+	Body     []StmtSpec `json:"body"`
+}
+
+// Statement ops.
+const (
+	OpSet    = "set"    // v[Target] = Expr
+	OpIf     = "if"     // if (Cond) { Body } else { Else }
+	OpWhile  = "while"  // bounded counter loop around Body (Bound iterations)
+	OpFor    = "for"    // C-style counted loop around Body (Bound iterations)
+	OpCall   = "call"   // v[Target] = Callee(Args...)
+	OpPrint  = "print"  // printf("%d\n", Expr)
+	OpExpand = "expand" // macro-style: Width generated statements on ONE dsl line
+)
+
+// StmtSpec is one statement of a FuncSpec body. Fields are used
+// per-op; unused fields stay zero and are omitted from JSON.
+type StmtSpec struct {
+	Op     string      `json:"op"`
+	Target int         `json:"target,omitempty"`
+	Expr   *ExprSpec   `json:"expr,omitempty"`
+	Cond   *ExprSpec   `json:"cond,omitempty"`
+	Bound  int         `json:"bound,omitempty"`
+	Callee string      `json:"callee,omitempty"`
+	Args   []*ExprSpec `json:"args,omitempty"`
+	Body   []StmtSpec  `json:"body,omitempty"`
+	Else   []StmtSpec  `json:"else,omitempty"`
+	Width  int         `json:"width,omitempty"`
+}
+
+// Expression ops. Arithmetic ops yield int; comparisons and logical ops
+// yield bool. The generator keeps trees well-typed by construction:
+// conditions are comparisons (possibly conjoined), value expressions
+// are arithmetic.
+const (
+	ExLit = "lit"
+	ExVar = "var" // local v[Var]
+	ExArg = "arg" // parameter arg[Var]
+	ExAdd = "add"
+	ExSub = "sub"
+	ExMul = "mul"
+	ExDiv = "div" // render guards the divisor: literal 0 becomes 1
+	ExMod = "mod" // same guard
+	ExLt  = "lt"
+	ExLe  = "le"
+	ExGt  = "gt"
+	ExGe  = "ge"
+	ExEq  = "eq"
+	ExNe  = "ne"
+	ExAnd = "and"
+	ExOr  = "or"
+)
+
+// ExprSpec is one expression node.
+type ExprSpec struct {
+	Op  string    `json:"op"`
+	Val int64     `json:"val,omitempty"`
+	Var int       `json:"var,omitempty"`
+	X   *ExprSpec `json:"x,omitempty"`
+	Y   *ExprSpec `json:"y,omitempty"`
+}
+
+// GraphitSpec is a graphit-kind program: a PageRank-shaped computation
+// composed from the canonical constructs (edge applies with labelled
+// sites, a vertex step, optional filter), compiled by the real GraphIt
+// pipeline and scheduled per the flags.
+type GraphitSpec struct {
+	Graph    string `json:"graph"` // load() spec, e.g. "uniform:n=32,m=128,seed=3"
+	Iters    int    `json:"iters"` // main-loop trip count
+	Applies  int    `json:"apply"` // edge-apply statements inside the loop (>=1)
+	Filter   bool   `json:"filter,omitempty"`
+	Push     bool   `json:"push,omitempty"`     // schedule: push (true) or pull
+	Parallel bool   `json:"parallel,omitempty"` // schedule: parallel drivers
+}
+
+// Marshal renders the spec as indented JSON, the fixture wire format.
+func (s *Spec) Marshal() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// ParseSpec decodes a fixture produced by Marshal.
+func ParseSpec(data []byte) (*Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("progen: parsing spec: %w", err)
+	}
+	switch s.Kind {
+	case KindMinic:
+		if len(s.Funcs) == 0 {
+			return nil, fmt.Errorf("progen: minic spec with no functions")
+		}
+	case KindGraphit:
+		if s.Graphit == nil {
+			return nil, fmt.Errorf("progen: graphit spec with no graphit block")
+		}
+	default:
+		return nil, fmt.Errorf("progen: unknown spec kind %q", s.Kind)
+	}
+	return &s, nil
+}
+
+// Name is a stable human-readable identifier for logs and fixtures.
+func (s *Spec) Name() string {
+	return fmt.Sprintf("%s-seed%d-%d", s.Kind, s.Seed, s.Index)
+}
