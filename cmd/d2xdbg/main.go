@@ -10,13 +10,28 @@
 // frame, print, info, call, eval, ...) plus the D2X commands: xbt, xlist,
 // xframe, xvars, xbreak, xdel — and the observability commands stats
 // (metrics snapshot as JSON) and trace (event trace as JSONL). With -x,
-// commands come from a script file and the session is non-interactive.
+// commands come from a script file and the session is non-interactive; the
+// script stops at its first failing command.
+//
+// Exit status:
+//
+//	0  clean exit: "quit" or end of input in the REPL, or a -x script
+//	   whose every command succeeded
+//	1  error: unreadable input or script file, compile or link failure,
+//	   a failing -x script command, or a command-stream read error
+//	   (including an over-long line)
+//	2  usage error
+//
+// Note that in the interactive REPL a failing command prints its error
+// and the loop continues — only the -x script mode treats a command
+// failure as fatal.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -25,24 +40,37 @@ import (
 )
 
 func main() {
-	schedule := flag.String("schedule", "", "schedule file")
-	script := flag.String("x", "", "execute commands from this file and exit")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: d2xdbg [flags] input.gt")
-		flag.PrintDefaults()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// maxCommandLine bounds one REPL or script line. No debugger command is
+// anywhere near this long; an unbounded line would otherwise grow the
+// scanner buffer without limit.
+const maxCommandLine = 1 << 20
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("d2xdbg", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	schedule := fs.String("schedule", "", "schedule file")
+	script := fs.String("x", "", "execute commands from this file and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	gtFile := flag.Arg(0)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: d2xdbg [flags] input.gt")
+		fs.PrintDefaults()
+		return 2
+	}
+	gtFile := fs.Arg(0)
 	gtSrc, err := os.ReadFile(gtFile)
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 	schedSrc := ""
 	if *schedule != "" {
 		b, err := os.ReadFile(*schedule)
 		if err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
 		schedSrc = string(b)
 	}
@@ -50,60 +78,74 @@ func main() {
 	art, err := graphit.CompileToC(gtFile, string(gtSrc), *schedule, schedSrc,
 		graphit.CompileOptions{D2X: true})
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 	build, err := art.Link()
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
-	d, err := build.NewSession(os.Stdout)
+	d, err := build.NewSession(stdout)
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
+	defer d.Close()
 
 	if *script != "" {
 		b, err := os.ReadFile(*script)
 		if err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
 		if err := d.ExecuteScript(string(b)); err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
-		return
+		return 0
 	}
 
-	fmt.Printf("d2xdbg: debugging %s (generated code: %d lines)\n",
+	fmt.Fprintf(stdout, "d2xdbg: debugging %s (generated code: %d lines)\n",
 		gtFile, len(strings.Split(build.Source, "\n")))
-	fmt.Println(`Type "help" for commands, "quit" to exit.`)
-	repl(d)
+	fmt.Fprintln(stdout, `Type "help" for commands, "quit" to exit.`)
+	if err := repl(d, stdin, stdout); err != nil {
+		return fail(stderr, err)
+	}
+	return 0
 }
 
-func repl(d *debugger.Debugger) {
-	sc := bufio.NewScanner(os.Stdin)
+// repl runs the interactive loop until "quit" or end of input. A failing
+// command prints its error and the loop continues; a failure to *read*
+// the command stream (I/O error, over-long line) is returned and fatal.
+func repl(d *debugger.Debugger, stdin io.Reader, stdout io.Writer) error {
+	sc := bufio.NewScanner(stdin)
+	sc.Buffer(make([]byte, 0, 4096), maxCommandLine)
 	for {
-		fmt.Print("(d2xdbg) ")
+		fmt.Fprint(stdout, "(d2xdbg) ")
 		if !sc.Scan() {
-			fmt.Println()
-			return
+			fmt.Fprintln(stdout)
+			if err := sc.Err(); err != nil {
+				if err == bufio.ErrTooLong {
+					return fmt.Errorf("command line longer than %d bytes", maxCommandLine)
+				}
+				return fmt.Errorf("reading commands: %w", err)
+			}
+			return nil // clean EOF
 		}
 		line := strings.TrimSpace(sc.Text())
 		switch line {
 		case "quit", "q", "exit":
-			return
+			return nil
 		case "help":
-			printHelp()
+			printHelp(stdout)
 			continue
 		case "":
 			continue
 		}
 		if err := d.Execute(line); err != nil {
-			fmt.Println(err)
+			fmt.Fprintln(stdout, err)
 		}
 	}
 }
 
-func printHelp() {
-	fmt.Print(`Standard commands:
+func printHelp(w io.Writer) {
+	fmt.Fprint(w, `Standard commands:
   break LOC | delete [N] | clear LOC    breakpoints (LOC: file:line or func)
   run | continue | step | next | finish execution
   bt | frame [N] | up | down            stack navigation
@@ -123,7 +165,7 @@ Observability:
 `)
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "d2xdbg:", err)
-	os.Exit(1)
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "d2xdbg:", err)
+	return 1
 }

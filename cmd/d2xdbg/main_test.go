@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"d2x/internal/graphit"
+)
+
+// writeGT writes a known-good GraphIt program to a temp file.
+func writeGT(t *testing.T) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "two_apply.gt")
+	if err := os.WriteFile(p, []byte(graphit.TwoApplySrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func writeScript(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "script")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// errReader fails after its prefix is consumed, simulating an I/O error
+// in the middle of an interactive session.
+type errReader struct {
+	prefix io.Reader
+	err    error
+	done   bool
+}
+
+func (r *errReader) Read(p []byte) (int, error) {
+	if !r.done {
+		n, err := r.prefix.Read(p)
+		if err == io.EOF {
+			r.done = true
+			return n, nil
+		}
+		return n, err
+	}
+	return 0, r.err
+}
+
+type strErr string
+
+func (e strErr) Error() string { return string(e) }
+
+func TestExitCodes(t *testing.T) {
+	gt := writeGT(t)
+	cases := []struct {
+		name     string
+		args     []string
+		stdin    io.Reader
+		want     int
+		inStderr string
+		inStdout string
+	}{
+		{
+			name: "no input file", args: nil, want: 2, inStderr: "usage",
+		},
+		{
+			name: "too many args", args: []string{gt, gt}, want: 2, inStderr: "usage",
+		},
+		{
+			name: "bad flag", args: []string{"-definitely-not-a-flag", gt}, want: 2,
+		},
+		{
+			name: "missing gt file", args: []string{filepath.Join(t.TempDir(), "nope.gt")},
+			want: 1, inStderr: "no such file",
+		},
+		{
+			name: "bad gt source",
+			args: []string{writeScript(t, "this is not graphit")},
+			want: 1, inStderr: "d2xdbg:",
+		},
+		{
+			name: "missing schedule file",
+			args: []string{"-schedule", filepath.Join(t.TempDir(), "nope.sched"), gt},
+			want: 1, inStderr: "no such file",
+		},
+		{
+			name: "missing script file",
+			args: []string{"-x", filepath.Join(t.TempDir(), "nope"), gt},
+			want: 1, inStderr: "no such file",
+		},
+		{
+			name: "script with bad command",
+			args: []string{"-x", writeScript(t, "break main\nfrobnicate\nrun\n"), gt},
+			want: 1, inStderr: "frobnicate",
+		},
+		{
+			name: "script command error stops script",
+			args: []string{"-x", writeScript(t, "break nosuchfunction\n"), gt},
+			want: 1, inStderr: "nosuchfunction",
+		},
+		{
+			name: "good script", args: []string{"-x", writeScript(t, "break main\nrun\nbt\n"), gt},
+			want: 0,
+		},
+		{
+			name: "repl clean EOF", args: []string{gt},
+			stdin: strings.NewReader(""), want: 0, inStdout: "(d2xdbg)",
+		},
+		{
+			name: "repl quit", args: []string{gt},
+			stdin: strings.NewReader("quit\n"), want: 0,
+		},
+		{
+			name: "repl bad command does not exit", args: []string{gt},
+			stdin: strings.NewReader("frobnicate\nquit\n"), want: 0,
+			inStdout: "frobnicate",
+		},
+		{
+			name: "repl read error", args: []string{gt},
+			stdin: &errReader{prefix: strings.NewReader("break main\n"), err: strErr("disk on fire")},
+			want:  1, inStderr: "disk on fire",
+		},
+		{
+			name: "repl oversized line", args: []string{gt},
+			stdin: strings.NewReader(strings.Repeat("x", maxCommandLine+10) + "\n"),
+			want:  1, inStderr: "longer than",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			stdin := tc.stdin
+			if stdin == nil {
+				stdin = strings.NewReader("")
+			}
+			got := run(tc.args, stdin, &stdout, &stderr)
+			if got != tc.want {
+				t.Errorf("exit = %d, want %d (stderr: %q)", got, tc.want, stderr.String())
+			}
+			if tc.inStderr != "" && !strings.Contains(stderr.String(), tc.inStderr) {
+				t.Errorf("stderr %q does not contain %q", stderr.String(), tc.inStderr)
+			}
+			if tc.inStdout != "" && !strings.Contains(stdout.String(), tc.inStdout) {
+				t.Errorf("stdout %q does not contain %q", stdout.String(), tc.inStdout)
+			}
+		})
+	}
+}

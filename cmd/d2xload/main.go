@@ -1,0 +1,63 @@
+// Command d2xload is the load harness for d2xserve: it holds N
+// concurrent debug sessions open against a server (an external one via
+// -addr, or an in-process one by default) and reports throughput and
+// exact command-latency quantiles.
+//
+// Usage:
+//
+//	d2xload [-addr host:port] [-clients 1000] [-commands 20] [-example power] [-json out.json]
+//
+// d2xload exits 0 when every client completed its script, 1 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"d2x/internal/d2x/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("d2xload", flag.ContinueOnError)
+	addr := fs.String("addr", "", "server address (empty: run an in-process server)")
+	clients := fs.Int("clients", 1000, "concurrent debug sessions")
+	commands := fs.Int("commands", 20, "steady-state commands per client")
+	example := fs.String("example", "power", "example build every session launches")
+	jsonOut := fs.String("json", "", "write the result as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	res, err := serve.RunLoad(serve.LoadConfig{
+		Addr: *addr, Clients: *clients,
+		CommandsPerClient: *commands, Example: *example,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "d2xload: %v\n", err)
+		return 1
+	}
+	fmt.Printf("d2xload: %d clients, %d commands in %.0f ms: %.0f cmd/s, p50 %.3f ms, p99 %.3f ms, max %.3f ms, %d client errors\n",
+		res.Clients, res.Commands, res.ElapsedMS, res.CommandsPerSec,
+		res.P50MS, res.P99MS, res.MaxMS, res.Errors)
+	if *jsonOut != "" {
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "d2xload: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(*jsonOut, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "d2xload: %v\n", err)
+			return 1
+		}
+	}
+	if res.Errors > 0 {
+		return 1
+	}
+	return 0
+}

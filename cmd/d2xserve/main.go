@@ -1,0 +1,64 @@
+// Command d2xserve is the D2X debug service: it serves the wire protocol
+// of internal/d2x/wire over TCP, multiplexing many concurrent debug
+// sessions over the shared example builds.
+//
+// Usage:
+//
+//	d2xserve [-addr host:port]
+//
+// The protocol is newline-delimited JSON, so a session can be driven by
+// hand:
+//
+//	$ d2xserve -addr 127.0.0.1:4711 &
+//	$ nc 127.0.0.1 4711
+//	{"seq":1,"type":"request","command":"launch","arguments":{"example":"power"}}
+//	{"seq":2,"type":"request","command":"break","arguments":{"spec":"main"}}
+//	{"seq":3,"type":"request","command":"run"}
+//	{"seq":4,"type":"request","command":"xbt"}
+//
+// d2xserve exits 0 on a clean shutdown (SIGINT/SIGTERM) and 1 on a
+// listen or serve error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"d2x/internal/d2x/serve"
+	"d2x/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("d2xserve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:4711", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	obs.SetEnabled(true)
+
+	srv := serve.New()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "d2xserve: shutting down")
+		srv.Close()
+	}()
+
+	err := srv.ListenAndServe(*addr, func(a net.Addr) {
+		fmt.Printf("d2xserve: listening on %s\n", a)
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "d2xserve: %v\n", err)
+		return 1
+	}
+	return 0
+}

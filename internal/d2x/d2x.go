@@ -196,11 +196,20 @@ func (b *Build) Verify() *d2xverify.Report {
 // evicts the session's D2X state from the shared runtime (via a close
 // hook, so the debugger itself stays D2X-free).
 func (b *Build) NewSession(out io.Writer) (*debugger.Debugger, error) {
-	proc, err := debugger.NewProcess(b.Program, b.DebugBlob, out)
+	return b.NewSessionSplit(out, out)
+}
+
+// NewSessionSplit is NewSession with the two output streams separated:
+// debuggee program output goes to progOut, the debugger transcript to
+// transcript. A terminal interleaves them (NewSession); a debug server
+// routes program output into asynchronous events and the transcript into
+// command responses, so it needs them apart.
+func (b *Build) NewSessionSplit(progOut, transcript io.Writer) (*debugger.Debugger, error) {
+	proc, err := debugger.NewProcess(b.Program, b.DebugBlob, progOut)
 	if err != nil {
 		return nil, err
 	}
-	d := debugger.New(proc, out)
+	d := debugger.New(proc, transcript)
 	if b.Runtime != nil {
 		if err := macros.Install(d); err != nil {
 			return nil, err

@@ -312,7 +312,12 @@ func (r *Runtime) Register(nats *minic.Natives) {
 func (r *Runtime) command(name string, hasRIP, hasRSP bool, h cmdFunc) minic.NativeHandler {
 	m := cmdObs[name]
 	return func(call *minic.NativeCall) (minic.Value, error) {
-		st := r.svc.State(call.VM)
+		// Checkout pins the session state for the whole command: a
+		// concurrent AttachDebugInfo/Invalidate defers its Reset until
+		// the Checkin below, so the command never sees its breakpoints
+		// or frame selection torn down mid-flight.
+		st := r.svc.Checkout(call.VM)
+		defer r.svc.Checkin(call.VM, st)
 		var rip int64
 		if hasRIP && len(call.Args) >= 1 {
 			rip = call.Args[0].I

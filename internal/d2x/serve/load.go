@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"d2x/internal/d2x/wire"
+)
+
+// LoadConfig configures a load run against a debug server.
+type LoadConfig struct {
+	// Addr is the server to drive. Empty starts an in-process server on a
+	// loopback port for the duration of the run.
+	Addr string
+	// Clients is how many concurrent connections to hold open, each with
+	// its own live debug session.
+	Clients int
+	// CommandsPerClient is the steady-state command count per client:
+	// alternating xbt/xvars round trips against a session stopped at a
+	// breakpoint, the paper's interactive hot path.
+	CommandsPerClient int
+	// Example is the build every session launches (default "power").
+	Example string
+}
+
+// LoadResult is the outcome of one load run. Latencies are exact
+// quantiles over every measured steady-state command, not histogram
+// buckets.
+type LoadResult struct {
+	Clients        int     `json:"clients"`
+	Commands       int64   `json:"commands"`
+	Errors         int64   `json:"errors"`
+	ElapsedMS      float64 `json:"elapsed_ms"`
+	CommandsPerSec float64 `json:"commands_per_sec"`
+	P50MS          float64 `json:"p50_ms"`
+	P99MS          float64 `json:"p99_ms"`
+	MaxMS          float64 `json:"max_ms"`
+}
+
+// RunLoad drives cfg.Clients concurrent debug sessions and reports
+// throughput and command-latency quantiles. Every client runs the same
+// script: launch, set a breakpoint on the staged function, run to it,
+// then issue the steady-state commands; setup commands are not measured.
+func RunLoad(cfg LoadConfig) (*LoadResult, error) {
+	if cfg.Clients <= 0 {
+		return nil, fmt.Errorf("serve: load needs a positive client count")
+	}
+	if cfg.CommandsPerClient <= 0 {
+		cfg.CommandsPerClient = 20
+	}
+	if cfg.Example == "" {
+		cfg.Example = "power"
+	}
+
+	addr := cfg.Addr
+	if addr == "" {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		srv := New()
+		done := make(chan struct{})
+		go func() { defer close(done); srv.Serve(ln) }()
+		defer func() { srv.Close(); <-done }()
+		addr = ln.Addr().String()
+		// Build the example before the clients stampede: the first launch
+		// pays the build under the catalogue lock either way, but paying
+		// it here keeps it out of every client's setup window.
+		if _, err := srv.build(cfg.Example); err != nil {
+			return nil, err
+		}
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		latNS    []int64
+		errCount atomic.Int64
+	)
+	start := time.Now()
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lats, err := loadClient(addr, cfg)
+			if err != nil {
+				errCount.Add(1)
+				return
+			}
+			mu.Lock()
+			latNS = append(latNS, lats...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &LoadResult{
+		Clients:   cfg.Clients,
+		Commands:  int64(len(latNS)),
+		Errors:    errCount.Load(),
+		ElapsedMS: float64(elapsed.Nanoseconds()) / 1e6,
+	}
+	if len(latNS) == 0 {
+		return res, fmt.Errorf("serve: load run measured no commands (%d client errors)", res.Errors)
+	}
+	res.CommandsPerSec = float64(len(latNS)) / elapsed.Seconds()
+	sort.Slice(latNS, func(a, b int) bool { return latNS[a] < latNS[b] })
+	res.P50MS = float64(latNS[len(latNS)/2]) / 1e6
+	res.P99MS = float64(latNS[len(latNS)*99/100]) / 1e6
+	res.MaxMS = float64(latNS[len(latNS)-1]) / 1e6
+	return res, nil
+}
+
+// loadClient runs one scripted session and returns its measured
+// steady-state command latencies.
+func loadClient(addr string, cfg LoadConfig) ([]int64, error) {
+	c, err := wire.DialTimeout(addr, 30*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	if _, err := c.Do(wire.CmdLaunch, &wire.Args{Example: cfg.Example}); err != nil {
+		return nil, err
+	}
+	// Stop inside the staged function so the D2X commands have a frame
+	// with DSL context to resolve.
+	if _, err := c.Do(wire.CmdBreak, &wire.Args{Spec: breakSpecFor(cfg.Example)}); err != nil {
+		return nil, err
+	}
+	if _, err := c.Do(wire.CmdRun, nil); err != nil {
+		return nil, err
+	}
+	c.Events()
+
+	lats := make([]int64, 0, cfg.CommandsPerClient)
+	for i := 0; i < cfg.CommandsPerClient; i++ {
+		cmd, args := wire.CmdXBT, (*wire.Args)(nil)
+		if i%2 == 1 {
+			cmd = wire.CmdXVars
+		}
+		t0 := time.Now()
+		if _, err := c.Do(cmd, args); err != nil {
+			return nil, err
+		}
+		lats = append(lats, time.Since(t0).Nanoseconds())
+	}
+	_, err = c.Do(wire.CmdDisconnect, nil)
+	return lats, err
+}
+
+// breakSpecFor names the staged function of each example build — the
+// breakpoint the load script stops at.
+func breakSpecFor(example string) string {
+	switch example {
+	case "power":
+		return "power_15"
+	case "quickstart":
+		return "sum_squares"
+	case "einsum":
+		return "m_v_mul"
+	}
+	return "main"
+}

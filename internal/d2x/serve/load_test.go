@@ -1,0 +1,34 @@
+package serve
+
+import "testing"
+
+// TestRunLoadSmoke exercises the harness end to end at a small scale;
+// the 1k-client run lives behind the BENCH_pr7.json gate (see
+// loadgate_test.go at the repo root) and in the nightly workflow.
+func TestRunLoadSmoke(t *testing.T) {
+	res, err := RunLoad(LoadConfig{Clients: 16, CommandsPerClient: 4})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d of %d clients failed", res.Errors, res.Clients)
+	}
+	if want := int64(16 * 4); res.Commands != want {
+		t.Fatalf("measured %d commands, want %d", res.Commands, want)
+	}
+	if res.P99MS <= 0 || res.P50MS <= 0 || res.P99MS < res.P50MS {
+		t.Fatalf("implausible quantiles: p50 %.3f ms, p99 %.3f ms", res.P50MS, res.P99MS)
+	}
+	if res.CommandsPerSec <= 0 {
+		t.Fatalf("implausible throughput %.1f cmd/s", res.CommandsPerSec)
+	}
+}
+
+func TestRunLoadRejectsBadConfig(t *testing.T) {
+	if _, err := RunLoad(LoadConfig{Clients: 0}); err == nil {
+		t.Fatal("expected an error for zero clients")
+	}
+	if _, err := RunLoad(LoadConfig{Clients: 2, Example: "nope"}); err == nil {
+		t.Fatal("expected an error for an unknown example")
+	}
+}

@@ -1,0 +1,287 @@
+package serve
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"d2x/internal/d2x/wire"
+)
+
+// startServer runs a Server on a loopback listener and tears it down with
+// the test.
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := New()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("Serve returned %v", err)
+		}
+	})
+	return srv, ln.Addr().String()
+}
+
+func dial(t *testing.T, addr string) *wire.Client {
+	t.Helper()
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func mustDo(t *testing.T, c *wire.Client, cmd string, args *wire.Args) *wire.Frame {
+	t.Helper()
+	resp, err := c.Do(cmd, args)
+	if err != nil {
+		t.Fatalf("%s: %v", cmd, err)
+	}
+	return resp
+}
+
+func TestFullDebugSessionOverTCP(t *testing.T) {
+	_, addr := startServer(t)
+	c := dial(t, addr)
+
+	resp := mustDo(t, c, wire.CmdLaunch, &wire.Args{Example: "power"})
+	if resp.Body == nil || resp.Body.Session == 0 {
+		t.Fatalf("launch response has no session id: %+v", resp.Body)
+	}
+
+	out := mustDo(t, c, wire.CmdBreak, &wire.Args{Spec: "main"})
+	if !strings.Contains(out.Body.Output, "Breakpoint") {
+		t.Fatalf("break transcript: %q", out.Body.Output)
+	}
+
+	mustDo(t, c, wire.CmdRun, nil)
+	stopped := findEvent(c.Events(), wire.EventStopped)
+	if stopped == nil || stopped.Body.Reason != "breakpoint" {
+		t.Fatalf("run did not stop at breakpoint: %+v", stopped)
+	}
+
+	// The D2X commands work across the wire: the backtrace shows the DSL
+	// frame context after stepping into the staged function.
+	mustDo(t, c, wire.CmdBreak, &wire.Args{Spec: "power_15"})
+	mustDo(t, c, wire.CmdContinue, nil)
+	if st := findEvent(c.Events(), wire.EventStopped); st == nil || st.Body.Reason != "breakpoint" {
+		t.Fatalf("continue did not stop at power_15 breakpoint: %+v", st)
+	}
+	// xbt shows the contextual (staging-time) stack: frames point into the
+	// Go code that staged the power pipeline, not the generated function.
+	xbt := mustDo(t, c, wire.CmdXBT, nil)
+	if !strings.Contains(xbt.Body.Output, "examplebuilds.go") {
+		t.Fatalf("xbt transcript: %q", xbt.Body.Output)
+	}
+
+	// Run to completion: program output must arrive as an output event,
+	// not inside the response transcript, and the stop event says exited.
+	mustDo(t, c, wire.CmdContinue, nil)
+	ev := c.Events()
+	outEv := findEvent(ev, wire.EventOutput)
+	if outEv == nil || !strings.Contains(outEv.Body.Output, "14348907") {
+		t.Fatalf("no program-output event with power(3,15): %+v", ev)
+	}
+	st := findEvent(ev, wire.EventStopped)
+	if st == nil || !st.Body.Exited {
+		t.Fatalf("final stop event not exited: %+v", st)
+	}
+}
+
+func findEvent(evs []*wire.Frame, name string) *wire.Frame {
+	for _, e := range evs {
+		if e.Event == name {
+			return e
+		}
+	}
+	return nil
+}
+
+func TestServerErrors(t *testing.T) {
+	_, addr := startServer(t)
+
+	cases := []struct {
+		name string
+		run  func(c *wire.Client) error
+		want string
+	}{
+		{"command before launch", func(c *wire.Client) error {
+			_, err := c.Do(wire.CmdRun, nil)
+			return err
+		}, "no session"},
+		{"unknown example", func(c *wire.Client) error {
+			_, err := c.Do(wire.CmdLaunch, &wire.Args{Example: "nope"})
+			return err
+		}, "unknown pipeline"},
+		{"launch without example", func(c *wire.Client) error {
+			_, err := c.Do(wire.CmdLaunch, nil)
+			return err
+		}, "needs an example name"},
+		{"double launch", func(c *wire.Client) error {
+			if _, err := c.Do(wire.CmdLaunch, &wire.Args{Example: "quickstart"}); err != nil {
+				return err
+			}
+			_, err := c.Do(wire.CmdLaunch, &wire.Args{Example: "quickstart"})
+			return err
+		}, "already launched"},
+		{"break without spec", func(c *wire.Client) error {
+			if _, err := c.Do(wire.CmdLaunch, &wire.Args{Example: "quickstart"}); err != nil {
+				return err
+			}
+			_, err := c.Do(wire.CmdBreak, nil)
+			return err
+		}, "needs a spec"},
+		{"unknown command", func(c *wire.Client) error {
+			_, err := c.Do("make-coffee", nil)
+			return err
+		}, "unknown command"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := dial(t, addr)
+			err := tc.run(c)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("got %v, want error mentioning %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestStatsAndDisconnect(t *testing.T) {
+	_, addr := startServer(t)
+	c := dial(t, addr)
+
+	resp := mustDo(t, c, wire.CmdStats, nil)
+	if !strings.Contains(resp.Body.Output, "counters") {
+		t.Fatalf("stats response is not an obs snapshot: %q", resp.Body.Output)
+	}
+
+	if _, err := c.Do(wire.CmdDisconnect, nil); err != nil {
+		t.Fatalf("disconnect: %v", err)
+	}
+	// The server closes its side after the response; the next round trip
+	// fails at transport level.
+	if _, err := c.Do(wire.CmdStats, nil); err == nil {
+		t.Fatal("request after disconnect should fail")
+	}
+}
+
+func TestMalformedInputDoesNotKillServer(t *testing.T) {
+	_, addr := startServer(t)
+
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	raw.Write([]byte("this is not json\n"))
+	raw.Close()
+
+	// The server must still serve a well-behaved client afterwards.
+	c := dial(t, addr)
+	mustDo(t, c, wire.CmdLaunch, &wire.Args{Example: "quickstart"})
+}
+
+func TestConcurrentSessionsShareOneBuild(t *testing.T) {
+	srv, addr := startServer(t)
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := wire.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			script := func() error {
+				if _, err := c.Do(wire.CmdLaunch, &wire.Args{Example: "power"}); err != nil {
+					return err
+				}
+				if _, err := c.Do(wire.CmdBreak, &wire.Args{Spec: "power_15"}); err != nil {
+					return err
+				}
+				if _, err := c.Do(wire.CmdRun, nil); err != nil {
+					return err
+				}
+				xbt, err := c.Do(wire.CmdXBT, nil)
+				if err != nil {
+					return err
+				}
+				if !strings.Contains(xbt.Body.Output, "examplebuilds.go") {
+					return errEmptyBacktrace
+				}
+				_, err = c.Do(wire.CmdContinue, nil)
+				return err
+			}
+			errs <- script()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Errorf("client: %v", err)
+		}
+	}
+
+	srv.buildMu.Lock()
+	n := len(srv.builds)
+	srv.buildMu.Unlock()
+	if n != 1 {
+		t.Fatalf("%d builds constructed for one example name, want 1 shared build", n)
+	}
+}
+
+type strErr string
+
+func (e strErr) Error() string { return string(e) }
+
+const errEmptyBacktrace = strErr("xbt output missing staging frames")
+
+func TestOutQueueShedsOldestEventsOnly(t *testing.T) {
+	q := newOutQueue()
+	for i := 0; i < maxQueuedEvents+10; i++ {
+		q.push(wire.Event(int64(i+1), wire.EventOutput, &wire.Body{}), true)
+	}
+	q.push(wire.Response(9999, wire.Request(1, wire.CmdRun, nil), nil), false)
+
+	var events []*wire.Frame
+	var resp *wire.Frame
+	for i := 0; i < maxQueuedEvents+1; i++ { // cap events + 1 response
+		f, ok := q.pop()
+		if !ok {
+			t.Fatal("queue closed early")
+		}
+		if f.Type == wire.TypeResponse {
+			resp = f
+		} else {
+			events = append(events, f)
+		}
+	}
+	if len(events) != maxQueuedEvents {
+		t.Fatalf("queue held %d events, want cap %d", len(events), maxQueuedEvents)
+	}
+	if resp == nil {
+		t.Fatal("response frame was shed")
+	}
+	// Oldest shed first: first surviving event is seq 11.
+	if events[0].Seq != 11 {
+		t.Fatalf("first surviving event seq = %d, want 11", events[0].Seq)
+	}
+	// Every surviving event carries the cumulative shed count.
+	if events[0].Body.Dropped != 10 {
+		t.Fatalf("Dropped = %d, want 10", events[0].Body.Dropped)
+	}
+}

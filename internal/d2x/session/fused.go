@@ -124,15 +124,15 @@ func (s *Service) Fused(vm *minic.VM, info *dwarfish.Info) (*Fused, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.mu.Lock()
+		s.decodeMu.Lock()
 		if f := s.fused.Load(); f != nil && f.info == info {
-			s.mu.Unlock()
+			s.decodeMu.Unlock()
 			return f, nil
 		}
 		if s.tables.Load() != t {
 			// Invalidate ran between our Tables call and the lock; the
 			// decode we hold describes a dead build. Start over.
-			s.mu.Unlock()
+			s.decodeMu.Unlock()
 			continue
 		}
 		start := obs.Now()
@@ -140,7 +140,7 @@ func (s *Service) Fused(vm *minic.VM, info *dwarfish.Info) (*Fused, error) {
 		s.m.fusedLat.Since(start)
 		s.m.fusedBuilds.Inc()
 		s.fused.Store(f)
-		s.mu.Unlock()
+		s.decodeMu.Unlock()
 		obs.Emit(obs.Event{Kind: "decode", Name: "fused-index", Detail: "fused rip index published"})
 		return f, nil
 	}

@@ -16,11 +16,19 @@
 //     atomic counter increment.
 //   - State: the ambient command state one session accumulates (selected
 //     extended frame, DSL breakpoints, active-command frame). Each state
-//     is touched only by its own session's command stream; the Service
-//     lock guards only the map holding them.
+//     is touched only by its own session's command stream; the registry
+//     holding them is sharded by VM identity, so sessions on different
+//     shards never contend even on the map.
+//   - Checkout/Checkin: a command pins its session's state for its
+//     duration. The pin is a refcount, so eviction and build
+//     invalidation can never reset or tear a state another goroutine is
+//     mid-command on — Invalidate defers the reset until the last
+//     in-flight command checks the state back in.
 //   - Release: evicts a session's state when its debugger closes, so a
 //     long-lived build serving many sessions does not accumulate state
-//     for VMs that are gone.
+//     for VMs that are gone. The session's fuel-budget preference is
+//     remembered (bounded, FIFO) so a re-attach to the same VM gets it
+//     back.
 //
 // Every event the service sees — decodes, cache hits and misses, state
 // creation and eviction, the live-session high-water mark — is exported
@@ -31,6 +39,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"d2x/internal/d2x/d2xenc"
 	"d2x/internal/minic"
@@ -50,7 +59,7 @@ type XBreakpoint struct {
 // State is the command state of one debug session, keyed by the session's
 // debuggee VM. A debug session executes commands one at a time from its
 // paused debugger, so the fields need no lock of their own — only the
-// Service map that stores states is shared between sessions.
+// sharded registry that stores states is shared between sessions.
 type State struct {
 	// ID identifies this session in trace events and diagnostics,
 	// assigned once at creation and stable across Reset.
@@ -86,6 +95,14 @@ type State struct {
 	// commands or builds; keeping the capacity across Reset is what makes
 	// repeat commands allocation-free.
 	ScratchLines []int
+
+	// refs counts in-flight commands pinning this state (Checkout has
+	// run, Checkin has not). resetPending records an Invalidate that
+	// arrived while refs was non-zero; the reset is applied by the
+	// Checkin that drops refs to zero. Both are guarded by the owning
+	// shard's lock — they are registry bookkeeping, not command state.
+	refs         int32
+	resetPending bool
 }
 
 // Reset clears everything that refers to the build the session was
@@ -113,6 +130,7 @@ type metrics struct {
 	tablesMiss   *obs.Counter
 	stateCreates *obs.Counter
 	stateEvicts  *obs.Counter
+	fuelRestores *obs.Counter
 	live         *obs.Gauge
 	decodeLat    *obs.Histogram
 	fusedHit     *obs.Counter
@@ -129,6 +147,7 @@ func newMetrics() metrics {
 		tablesMiss:   obs.GetCounter("session.tables.miss"),
 		stateCreates: obs.GetCounter("session.state.creates"),
 		stateEvicts:  obs.GetCounter("session.state.evicts"),
+		fuelRestores: obs.GetCounter("session.state.fuel_restores"),
 		live:         obs.GetGauge("session.live"),
 		decodeLat:    obs.GetHistogram("session.tables.decode"),
 		fusedHit:     obs.GetCounter("session.fused.hit"),
@@ -136,6 +155,28 @@ func newMetrics() metrics {
 		fusedBuilds:  obs.GetCounter("session.fused.builds"),
 		fusedLat:     obs.GetHistogram("session.fused.build"),
 	}
+}
+
+// ShardCount is the number of independent locks the state registry is
+// split across. A power of two; 32 shards keep lock contention invisible
+// even with a thousand concurrent sessions (the d2xserve load harness is
+// the regression test for that claim).
+const ShardCount = 32
+
+// maxFuelMemory bounds, per shard, how many evicted sessions' fuel-budget
+// preferences are remembered. FIFO eviction: the memory exists so a
+// debugger re-attaching to the same VM keeps its override, not as an
+// unbounded registry of every VM that ever existed.
+const maxFuelMemory = 128
+
+// shard is one slice of the state registry: a lock, the states of the
+// VMs that hash here, and the remembered fuel budgets of evicted ones.
+type shard struct {
+	mu     sync.Mutex
+	states map[*minic.VM]*State
+
+	fuel      map[*minic.VM]int64
+	fuelOrder []*minic.VM // insertion order, for FIFO bounding
 }
 
 // Service shares one build's decoded D2X tables across its debug
@@ -151,9 +192,13 @@ type Service struct {
 	// under the same atomic-pointer discipline as tables.
 	fused atomic.Pointer[Fused]
 
-	mu      sync.Mutex // guards decode, states, decodes, nextSessID
-	decodes int
-	states  map[*minic.VM]*State
+	// decodeMu serialises the slow paths that publish shared data: the
+	// table decode, the fused-index build, and Invalidate. It is never
+	// taken on a hit path and never nests with a shard lock.
+	decodeMu sync.Mutex
+	decodes  int
+
+	shards [ShardCount]shard
 
 	nextSessID atomic.Int64
 	m          metrics
@@ -161,7 +206,20 @@ type Service struct {
 
 // New returns an empty service.
 func New() *Service {
-	return &Service{states: map[*minic.VM]*State{}, m: newMetrics()}
+	s := &Service{m: newMetrics()}
+	for i := range s.shards {
+		s.shards[i].states = map[*minic.VM]*State{}
+	}
+	return s
+}
+
+// shardFor picks the shard owning a VM's state. VMs have no dense ID, so
+// the key is the VM's identity (its address), spread with a Fibonacci
+// hash — heap addresses share low bits (alignment) and high bits (arena),
+// and the multiply mixes both into the top bits we index by.
+func (s *Service) shardFor(vm *minic.VM) *shard {
+	h := uint64(uintptr(unsafe.Pointer(vm))) * 0x9E3779B97F4A7C15
+	return &s.shards[h>>(64-5)] // top 5 bits: ShardCount == 32
 }
 
 // Tables returns the build's decoded D2X tables, decoding them out of
@@ -174,8 +232,8 @@ func (s *Service) Tables(vm *minic.VM) (*d2xenc.Tables, error) {
 		return t, nil
 	}
 	s.m.tablesMiss.Inc()
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.decodeMu.Lock()
+	defer s.decodeMu.Unlock()
 	if t := s.tables.Load(); t != nil {
 		// Another session decoded while we waited for the lock.
 		return t, nil
@@ -195,15 +253,19 @@ func (s *Service) Tables(vm *minic.VM) (*d2xenc.Tables, error) {
 	return t, nil
 }
 
-// State returns the command state of vm's session, creating it on first
-// use.
-func (s *Service) State(vm *minic.VM) *State {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.states[vm]
+// getOrCreate returns vm's state, creating it on first use. Caller holds
+// sh.mu.
+func (s *Service) getOrCreate(sh *shard, vm *minic.VM) *State {
+	st := sh.states[vm]
 	if st == nil {
 		st = &State{ID: s.nextSessID.Add(1), NextID: 1}
-		s.states[vm] = st
+		if fuel, ok := sh.fuel[vm]; ok {
+			// The VM had a session before (evicted); its fuel-budget
+			// preference survives re-attach.
+			st.FuelBudget = fuel
+			s.m.fuelRestores.Inc()
+		}
+		sh.states[vm] = st
 		s.m.stateCreates.Inc()
 		// Delta, not Set: the gauge is process-wide and several builds'
 		// services may feed it concurrently.
@@ -213,24 +275,86 @@ func (s *Service) State(vm *minic.VM) *State {
 	return st
 }
 
+// State returns the command state of vm's session, creating it on first
+// use. The returned state is not pinned: callers that mutate it from a
+// command stream racing Release/Invalidate must use Checkout/Checkin
+// instead.
+func (s *Service) State(vm *minic.VM) *State {
+	sh := s.shardFor(vm)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return s.getOrCreate(sh, vm)
+}
+
+// Checkout returns the command state of vm's session, creating it on
+// first use, and pins it for the duration of one command: until the
+// matching Checkin, Invalidate defers the state's Reset, so an in-flight
+// command can never observe its breakpoints or frame selection being
+// torn down under it. Checkout/Checkin pairs are cheap — one shard lock
+// each, no allocation — and nest (a command that re-enters the service
+// through a nested native call simply holds two pins).
+func (s *Service) Checkout(vm *minic.VM) *State {
+	sh := s.shardFor(vm)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st := s.getOrCreate(sh, vm)
+	st.refs++
+	return st
+}
+
+// Checkin unpins a state obtained from Checkout. If the build was
+// invalidated while the command was in flight, the last Checkin applies
+// the deferred Reset.
+func (s *Service) Checkin(vm *minic.VM, st *State) {
+	sh := s.shardFor(vm)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st.refs--
+	if st.refs == 0 && st.resetPending {
+		st.resetPending = false
+		st.Reset()
+		obs.Emit(obs.Event{Kind: "session", Name: "invalidate", Session: st.ID})
+	}
+}
+
 // Lookup returns the command state of vm's session without creating one.
 func (s *Service) Lookup(vm *minic.VM) (*State, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, ok := s.states[vm]
+	sh := s.shardFor(vm)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.states[vm]
 	return st, ok
 }
 
 // Release evicts the command state of vm's session. Idempotent; the
 // shared tables stay, since they belong to the build, not the session.
+// A command in flight on the evicted state (Checkout without Checkin
+// yet) keeps its pinned state object — eviction only removes the map
+// entry, it never resets a live state. The session's fuel-budget
+// override is remembered so a later session on the same VM inherits it.
 func (s *Service) Release(vm *minic.VM) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, ok := s.states[vm]
+	sh := s.shardFor(vm)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.states[vm]
 	if !ok {
 		return
 	}
-	delete(s.states, vm)
+	delete(sh.states, vm)
+	if st.FuelBudget != 0 {
+		if sh.fuel == nil {
+			sh.fuel = map[*minic.VM]int64{}
+		}
+		if _, exists := sh.fuel[vm]; !exists {
+			for len(sh.fuelOrder) >= maxFuelMemory {
+				oldest := sh.fuelOrder[0]
+				sh.fuelOrder = sh.fuelOrder[1:]
+				delete(sh.fuel, oldest)
+			}
+			sh.fuelOrder = append(sh.fuelOrder, vm)
+		}
+		sh.fuel[vm] = st.FuelBudget
+	}
 	s.m.stateEvicts.Inc()
 	s.m.live.Add(-1)
 	obs.Emit(obs.Event{Kind: "session", Name: "evict", Session: st.ID})
@@ -241,35 +365,52 @@ func (s *Service) Release(vm *minic.VM) {
 // owners hold pointers). Called when the build's debug info is replaced
 // mid-flight: the old tables describe a binary that no longer exists,
 // and stale frame selections or breakpoints must not survive into the
-// new one. The cumulative decode counters are deliberately kept — they
+// new one. States pinned by an in-flight command are not reset in place
+// — that command's view stays intact, and the reset is applied by its
+// Checkin — so invalidation can never tear state another goroutine is
+// reading. The cumulative decode counters are deliberately kept — they
 // measure work done, not current contents.
 func (s *Service) Invalidate() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.decodeMu.Lock()
 	s.tables.Store(nil)
 	// The fused index is derived from the tables; it dies with them.
 	// (Its info-identity check would also reject it, but only when the
 	// debug info object itself was replaced — drop it unconditionally.)
 	s.fused.Store(nil)
-	for _, st := range s.states {
-		st.Reset()
-		obs.Emit(obs.Event{Kind: "session", Name: "invalidate", Session: st.ID})
+	s.decodeMu.Unlock()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, st := range sh.states {
+			if st.refs > 0 {
+				st.resetPending = true
+				continue
+			}
+			st.Reset()
+			obs.Emit(obs.Event{Kind: "session", Name: "invalidate", Session: st.ID})
+		}
+		sh.mu.Unlock()
 	}
 }
 
 // Sessions reports how many sessions currently hold state.
 func (s *Service) Sessions() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.states)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.states)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Decodes reports how many times the tables were decoded from a debuggee:
 // 1 after any session ran a table-backed command, no matter how many
 // sessions there are (more only if Invalidate forced a re-decode).
 func (s *Service) Decodes() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.decodeMu.Lock()
+	defer s.decodeMu.Unlock()
 	return s.decodes
 }
 
@@ -277,11 +418,14 @@ func (s *Service) Decodes() int {
 // ordered by ID (per-session creation order; IDs may repeat across
 // sessions).
 func (s *Service) AllBreakpoints() []*XBreakpoint {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var out []*XBreakpoint
-	for _, st := range s.states {
-		out = append(out, st.XBPs...)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, st := range sh.states {
+			out = append(out, st.XBPs...)
+		}
+		sh.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out

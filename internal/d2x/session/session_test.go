@@ -1,10 +1,13 @@
 package session
 
 import (
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
 
+	"d2x/internal/d2x/d2xc"
+	"d2x/internal/d2x/d2xenc"
 	"d2x/internal/minic"
 	"d2x/internal/obs"
 )
@@ -164,6 +167,289 @@ func TestInvalidateDropsSharedTables(t *testing.T) {
 		t.Error("tables survived Invalidate")
 	}
 }
+
+// tablesVM compiles a program that carries one small D2X table section
+// and runs it so the table constructors have executed — the minimal
+// debuggee Service.Tables can decode from.
+func tablesVM(t *testing.T) *minic.VM {
+	t.Helper()
+	ctx := d2xc.NewContext()
+	if err := ctx.BeginSectionAt(5); err != nil {
+		t.Fatal(err)
+	}
+	ctx.PushSourceLoc("a.dsl", 1, "f")
+	ctx.SetVar("sched", "push")
+	ctx.Nextl() // line 5
+	ctx.PushSourceLoc("a.dsl", 2, "f")
+	ctx.Nextl() // line 6
+	if err := ctx.EndSection(); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := d2xenc.EmitTables(ctx, &b); err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString("func int main() { return 0; }\n")
+	prog, err := minic.Compile("tables.c", b.String(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := minic.NewVM(prog, nil)
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return vm
+}
+
+// TestCheckoutPinsStateAcrossInvalidate is the deterministic half of the
+// eviction/invalidate race fix: while a command holds a state via
+// Checkout, Invalidate must not reset it in place; the reset lands at
+// Checkin, after the command's view is no longer live.
+func TestCheckoutPinsStateAcrossInvalidate(t *testing.T) {
+	s := New()
+	vm := &minic.VM{}
+	st := s.Checkout(vm)
+	st.SelXFrame = 3
+	st.XBPs = append(st.XBPs, &XBreakpoint{ID: 1, File: "a.dsl", Line: 4})
+	st.NextID = 2
+	st.FuelBudget = 99
+
+	s.Invalidate()
+
+	// The in-flight command's view is intact.
+	if st.SelXFrame != 3 || len(st.XBPs) != 1 || st.NextID != 2 {
+		t.Fatalf("Invalidate reset a checked-out state: %+v", st)
+	}
+
+	s.Checkin(vm, st)
+
+	// The deferred reset applied once the last pin dropped.
+	if st.SelXFrame != 0 || len(st.XBPs) != 0 || st.NextID != 1 {
+		t.Fatalf("deferred reset not applied at Checkin: %+v", st)
+	}
+	if st.FuelBudget != 99 {
+		t.Errorf("fuel budget lost across deferred reset: %d", st.FuelBudget)
+	}
+
+	// A nested pin (refcount 2) defers until the outer Checkin.
+	st = s.Checkout(vm)
+	inner := s.Checkout(vm)
+	if inner != st {
+		t.Fatal("nested Checkout returned a different state")
+	}
+	st.NextID = 7
+	s.Invalidate()
+	s.Checkin(vm, inner)
+	if st.NextID != 7 {
+		t.Fatal("reset applied while an outer pin was still held")
+	}
+	s.Checkin(vm, st)
+	if st.NextID != 1 {
+		t.Fatal("reset not applied after the outer Checkin")
+	}
+}
+
+// TestInvalidateRaceWithInFlightCommand provokes the old interleaving —
+// Invalidate calling Reset() on a state another goroutine is mid-command
+// on — under the race detector. With the pre-refcount registry this was
+// a write/write race on State fields; with Checkout/Checkin the reset is
+// deferred and the test is race-clean.
+func TestInvalidateRaceWithInFlightCommand(t *testing.T) {
+	s := New()
+	vm := &minic.VM{}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := s.Checkout(vm)
+			// Touch exactly the fields Reset tears down, the way a
+			// command body does.
+			st.SelXFrame++
+			st.LastRIP = int64(st.SelXFrame)
+			st.HaveRIP = true
+			st.XBPs = append(st.XBPs[:0], &XBreakpoint{ID: st.NextID})
+			st.NextID++
+			s.Checkin(vm, st)
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		s.Invalidate()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestFuelBudgetSurvivesEviction is the regression test for the
+// fuel-budget loss: a session sets an override, its debugger closes
+// (Release evicts the state), and a new session attaches to the same VM
+// — the override must survive the state re-creation.
+func TestFuelBudgetSurvivesEviction(t *testing.T) {
+	s := New()
+	vm := &minic.VM{}
+	st := s.State(vm)
+	st.FuelBudget = 4242
+	s.Release(vm)
+
+	st2 := s.State(vm)
+	if st2 == st {
+		t.Fatal("Release did not evict the state object")
+	}
+	if st2.FuelBudget != 4242 {
+		t.Errorf("fuel budget lost across eviction: got %d, want 4242", st2.FuelBudget)
+	}
+
+	// The default (no override) stays the default across eviction.
+	vm2 := &minic.VM{}
+	s.State(vm2)
+	s.Release(vm2)
+	if got := s.State(vm2).FuelBudget; got != 0 {
+		t.Errorf("zero fuel budget turned into an override: %d", got)
+	}
+}
+
+// TestReleaseDoesNotDisturbCheckedOutState: eviction while a command is
+// in flight removes the registry entry (new sessions get fresh state)
+// but never resets the pinned object the in-flight command holds.
+func TestReleaseDoesNotDisturbCheckedOutState(t *testing.T) {
+	s := New()
+	vm := &minic.VM{}
+	st := s.Checkout(vm)
+	st.XBPs = append(st.XBPs, &XBreakpoint{ID: 1})
+	st.FuelBudget = 7
+
+	s.Release(vm)
+	if len(st.XBPs) != 1 {
+		t.Fatal("Release tore down a checked-out state")
+	}
+	st2 := s.State(vm)
+	if st2 == st {
+		t.Fatal("evicted state was handed to a new session")
+	}
+	if st2.FuelBudget != 7 {
+		t.Errorf("fuel budget not inherited by the new session: %d", st2.FuelBudget)
+	}
+	s.Checkin(vm, st) // must not panic or resurrect the mapping
+	if got, ok := s.Lookup(vm); !ok || got != st2 {
+		t.Error("Checkin of an evicted state disturbed the registry")
+	}
+}
+
+// TestShardSpread: the pointer hash must actually spread states across
+// shards — a degenerate hash would put every session behind one lock and
+// silently reintroduce the global-mutex bottleneck.
+func TestShardSpread(t *testing.T) {
+	s := New()
+	vms := make([]*minic.VM, 1024)
+	for i := range vms {
+		vms[i] = &minic.VM{}
+		s.State(vms[i])
+	}
+	if n := s.Sessions(); n != len(vms) {
+		t.Fatalf("Sessions = %d, want %d", n, len(vms))
+	}
+	occupied := 0
+	most := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n := len(sh.states)
+		sh.mu.Unlock()
+		if n > 0 {
+			occupied++
+		}
+		if n > most {
+			most = n
+		}
+	}
+	if occupied < ShardCount/2 {
+		t.Errorf("1024 sessions landed on only %d/%d shards", occupied, ShardCount)
+	}
+	if most > len(vms)/4 {
+		t.Errorf("one shard holds %d of %d sessions; hash is degenerate", most, len(vms))
+	}
+}
+
+// TestInvalidateConcurrentTablesLookup: 8 goroutines hammer the
+// shared-decode and state paths while Invalidate repeatedly drops the
+// published tables. Every decode any goroutine observes must be complete
+// and equal to the reference decode — a torn publish would differ (and
+// trip the race detector).
+func TestInvalidateConcurrentTablesLookup(t *testing.T) {
+	s := New()
+	vm := tablesVM(t)
+
+	ref, err := s.Tables(vm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Records) == 0 {
+		t.Fatal("fixture decoded no records")
+	}
+
+	const goroutines = 8
+	const iters = 400
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				tb, err := s.Tables(vm)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(tb.Records, ref.Records) {
+					errs <- errTornDecode
+					return
+				}
+				st := s.Checkout(vm)
+				st.LastRIP = int64(i)
+				st.HaveRIP = true
+				s.Checkin(vm, st)
+				if _, ok := s.Lookup(vm); !ok {
+					errs <- errLostState
+					return
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < iters; i++ {
+			s.Invalidate()
+		}
+		close(done)
+	}()
+	wg.Wait()
+	<-done
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// The decode counter must reflect real re-decodes (every miss after
+	// an Invalidate), never a cached failure.
+	if s.Decodes() < 1 {
+		t.Errorf("Decodes = %d, want >= 1", s.Decodes())
+	}
+}
+
+var (
+	errTornDecode = &decodeErr{"observed a torn or stale table decode"}
+	errLostState  = &decodeErr{"Lookup lost a live session state"}
+)
+
+type decodeErr struct{ msg string }
+
+func (e *decodeErr) Error() string { return e.msg }
 
 func TestStateConcurrent(t *testing.T) {
 	s := New()

@@ -1,0 +1,245 @@
+// Package wire defines the d2xserve wire protocol: a DAP-flavored
+// request/response/event scheme carried as newline-delimited JSON frames
+// over any byte stream (TCP in production, net.Pipe in tests).
+//
+// The protocol follows Hanson's machine-independent debugger split: a
+// thin client sends small typed requests ("xbt", "continue"), the server
+// — which owns the builds, the debuggers, and the shared D2X table
+// service — executes them against one debug session per connection and
+// replies with the command transcript. Execution commands additionally
+// produce asynchronous "stopped" events, and debuggee output streams out
+// as "output" events; both ride a bounded per-connection queue on the
+// server, so a slow client sheds events instead of stalling the session
+// (responses are never shed).
+//
+// Framing is one JSON object per line, terminated by '\n'. Blank lines
+// are ignored, so a human can drive a server from nc(1). A frame is at
+// most MaxFrameBytes long, bounding what either side must buffer.
+//
+// This package is deliberately a pure protocol layer: frame types,
+// encode/decode, and a small blocking client. It must not import the
+// debugger, the VM, or any other piece of the debug stack — an
+// architecture lint (d2xverify arch/import-graph) enforces that, so a
+// client links the protocol without linking the service.
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Frame type discriminators.
+const (
+	TypeRequest  = "request"
+	TypeResponse = "response"
+	TypeEvent    = "event"
+)
+
+// Request commands. Launch binds the connection's one debug session to a
+// named build; the rest map one-to-one onto debugger and D2X commands.
+const (
+	CmdLaunch     = "launch"
+	CmdBreak      = "break"
+	CmdRun        = "run"
+	CmdContinue   = "continue"
+	CmdStep       = "step"
+	CmdNext       = "next"
+	CmdFinish     = "finish"
+	CmdXBT        = "xbt"
+	CmdXFrame     = "xframe"
+	CmdXList      = "xlist"
+	CmdXVars      = "xvars"
+	CmdXBreak     = "xbreak"
+	CmdXDel       = "xdel"
+	CmdStats      = "stats"
+	CmdDisconnect = "disconnect"
+)
+
+// Event names.
+const (
+	// EventStopped reports that an execution request halted the debuggee
+	// (breakpoint, step, fault, exit); Body.Reason says why.
+	EventStopped = "stopped"
+	// EventOutput carries debuggee program output produced while an
+	// execution request was running.
+	EventOutput = "output"
+)
+
+// Commands returns the canonical request command set, in documentation
+// order. The server rejects anything not in this list.
+func Commands() []string {
+	return []string{
+		CmdLaunch, CmdBreak, CmdRun, CmdContinue, CmdStep, CmdNext,
+		CmdFinish, CmdXBT, CmdXFrame, CmdXList, CmdXVars, CmdXBreak,
+		CmdXDel, CmdStats, CmdDisconnect,
+	}
+}
+
+// KnownCommand reports whether cmd is part of the protocol.
+func KnownCommand(cmd string) bool {
+	for _, c := range Commands() {
+		if c == cmd {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxFrameBytes bounds one encoded frame (a stats snapshot is the
+// largest legitimate frame; 4 MiB leaves two orders of magnitude slack).
+const MaxFrameBytes = 4 << 20
+
+// Args carries a request's arguments. One flat struct instead of
+// per-command payload types: the protocol has three argument shapes
+// (a build name, a location/id spec, a variable name) and a flat struct
+// keeps the frame self-describing in a transcript.
+type Args struct {
+	// Example names the build to launch (an examplebuilds pipeline name
+	// on the stock server). Launch only.
+	Example string `json:"example,omitempty"`
+	// Spec is a location or id argument: "file:line" for break/xbreak,
+	// a breakpoint id for xdel, a frame number for xframe.
+	Spec string `json:"spec,omitempty"`
+	// Name is the extended-variable name for xvars ("" lists them).
+	Name string `json:"name,omitempty"`
+}
+
+// Body carries a response's or event's payload.
+type Body struct {
+	// Output is the command's debugger transcript (responses), or the
+	// debuggee output chunk (output events).
+	Output string `json:"output,omitempty"`
+	// Reason is the stop reason on stopped events: "breakpoint",
+	// "step", "watchpoint", "fault", "exited", "none".
+	Reason string `json:"reason,omitempty"`
+	// Exited reports on stopped events that the debuggee is done.
+	Exited bool `json:"exited,omitempty"`
+	// Session is the server-side debug session ID (launch responses).
+	Session int64 `json:"session,omitempty"`
+	// Dropped is the cumulative count of events this connection has shed
+	// under backpressure, attached to every event so a client can detect
+	// gaps without another round trip.
+	Dropped int64 `json:"dropped,omitempty"`
+}
+
+// Frame is one protocol message. Type selects which fields are
+// meaningful: requests carry Command/Arguments, responses carry
+// RequestSeq/Success/Message/Body, events carry Event/Body.
+type Frame struct {
+	Seq  int64  `json:"seq"`
+	Type string `json:"type"`
+
+	// Request fields.
+	Command   string `json:"command,omitempty"`
+	Arguments *Args  `json:"arguments,omitempty"`
+
+	// Response fields.
+	RequestSeq int64  `json:"request_seq,omitempty"`
+	Success    bool   `json:"success,omitempty"`
+	Message    string `json:"message,omitempty"` // error text when !Success
+
+	// Event fields.
+	Event string `json:"event,omitempty"`
+
+	Body *Body `json:"body,omitempty"`
+}
+
+// Request builds a request frame.
+func Request(seq int64, command string, args *Args) *Frame {
+	return &Frame{Seq: seq, Type: TypeRequest, Command: command, Arguments: args}
+}
+
+// Response builds a successful response to req.
+func Response(seq int64, req *Frame, body *Body) *Frame {
+	return &Frame{Seq: seq, Type: TypeResponse, Command: req.Command,
+		RequestSeq: req.Seq, Success: true, Body: body}
+}
+
+// ErrorResponse builds a failed response to req.
+func ErrorResponse(seq int64, req *Frame, err error) *Frame {
+	return &Frame{Seq: seq, Type: TypeResponse, Command: req.Command,
+		RequestSeq: req.Seq, Success: false, Message: err.Error()}
+}
+
+// Event builds an event frame.
+func Event(seq int64, name string, body *Body) *Frame {
+	return &Frame{Seq: seq, Type: TypeEvent, Event: name, Body: body}
+}
+
+// Encoder writes frames as newline-delimited JSON. It does no locking:
+// callers that interleave writers (the server's response path and event
+// queue) serialise around it.
+type Encoder struct {
+	w io.Writer
+}
+
+// NewEncoder returns an encoder writing to w.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+
+// Encode writes one frame and its newline terminator.
+func (e *Encoder) Encode(f *Frame) error {
+	b, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("wire: encode: %w", err)
+	}
+	if len(b)+1 > MaxFrameBytes {
+		return fmt.Errorf("wire: frame of %d bytes exceeds the %d-byte limit", len(b)+1, MaxFrameBytes)
+	}
+	b = append(b, '\n')
+	_, err = e.w.Write(b)
+	return err
+}
+
+// Decoder reads newline-delimited frames. Blank lines are skipped; a
+// line over MaxFrameBytes or one that is not a JSON frame is an error.
+type Decoder struct {
+	sc *bufio.Scanner
+}
+
+// NewDecoder returns a decoder reading from r.
+func NewDecoder(r io.Reader) *Decoder {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), MaxFrameBytes)
+	return &Decoder{sc: sc}
+}
+
+// Decode reads the next frame. It returns io.EOF at a clean end of
+// stream and a descriptive error on oversized or malformed input.
+func (d *Decoder) Decode() (*Frame, error) {
+	for d.sc.Scan() {
+		line := d.sc.Bytes()
+		if len(trimSpace(line)) == 0 {
+			continue
+		}
+		f := &Frame{}
+		if err := json.Unmarshal(line, f); err != nil {
+			return nil, fmt.Errorf("wire: malformed frame: %w", err)
+		}
+		if f.Type == "" {
+			return nil, fmt.Errorf("wire: frame missing type")
+		}
+		return f, nil
+	}
+	if err := d.sc.Err(); err != nil {
+		if err == bufio.ErrTooLong {
+			return nil, fmt.Errorf("wire: frame exceeds the %d-byte limit", MaxFrameBytes)
+		}
+		return nil, err
+	}
+	return nil, io.EOF
+}
+
+// trimSpace is bytes.TrimSpace for the ASCII whitespace JSON framing can
+// produce, avoiding the bytes import for one call.
+func trimSpace(b []byte) []byte {
+	lo, hi := 0, len(b)
+	for lo < hi && (b[lo] == ' ' || b[lo] == '\t' || b[lo] == '\r' || b[lo] == '\n') {
+		lo++
+	}
+	for hi > lo && (b[hi-1] == ' ' || b[hi-1] == '\t' || b[hi-1] == '\r' || b[hi-1] == '\n') {
+		hi--
+	}
+	return b[lo:hi]
+}

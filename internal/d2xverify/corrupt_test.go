@@ -499,6 +499,47 @@ func TestForbiddenDebuggerImportFires(t *testing.T) {
 	}
 }
 
+// TestForbiddenWireImportFires: the wire protocol layer must stay a pure
+// framing package — importing any piece of the debug stack is flagged.
+func TestForbiddenWireImportFires(t *testing.T) {
+	root := t.TempDir()
+	dir := filepath.Join(root, "internal", "d2x", "wire")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := "package wire\n\nimport _ \"d2x/internal/debugger\"\n"
+	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep := d2xverify.VerifyRepo(root)
+	d := findings(t, rep, "arch/import-graph")[0]
+	wantAnchor(t, d, "internal/d2x/wire/bad.go", 3)
+	if !strings.Contains(d.Message, "d2x/internal/debugger") {
+		t.Fatalf("unexpected message: %s", d)
+	}
+}
+
+// TestImportRuleSkipsMissingDir: a constrained directory absent from the
+// tree under check (fixture roots, partial checkouts) is not an error —
+// the rule constrains files, and there are none.
+func TestImportRuleSkipsMissingDir(t *testing.T) {
+	root := t.TempDir()
+	dir := filepath.Join(root, "internal", "debugger")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := "package debugger\n\nimport _ \"d2x/internal/dwarfish\"\n"
+	if err := os.WriteFile(filepath.Join(dir, "ok.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// No internal/d2x/wire in this root; the wire rule must be skipped,
+	// not fail the whole check.
+	rep := d2xverify.VerifyRepo(root)
+	if got := rep.ByCheck("arch/import-graph"); len(got) != 0 {
+		t.Fatalf("import-graph produced findings on a tree missing a constrained dir:\n%s", rep)
+	}
+}
+
 // TestImportRuleDoesNotOvermatch: d2x/internal/d2xverify shares the
 // "d2x/internal/d2x" string prefix but is a different package and must
 // not be caught by that rule entry (it has its own).

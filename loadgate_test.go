@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"d2x/internal/d2x/serve"
+)
+
+// loadJSONFile is the committed machine-readable load-test record for the
+// debug service: the 1k-client run's throughput and latency quantiles.
+const loadJSONFile = "BENCH_pr7.json"
+
+// loadGatePct is the allowed p99 regression before the gate fails. p99
+// under a 1k-goroutine stampede on shared CI hardware is noisy, so the
+// gate is deliberately loose — it exists to catch order-of-magnitude
+// regressions (a lock back on the command path, an accidental O(n)
+// registry scan), not 10% drift.
+const loadGatePct = 150
+
+type loadReport struct {
+	PR   string `json:"pr"`
+	Go   string `json:"go"`
+	OS   string `json:"os"`
+	Arch string `json:"arch"`
+	serve.LoadResult
+}
+
+// TestEmitLoadJSON runs the d2xserve load harness and writes
+// BENCH_pr7.json. Gated behind an env var so ordinary `go test ./...`
+// stays fast:
+//
+//	D2X_LOAD_JSON=1 go test -run TestEmitLoadJSON .
+//
+// D2X_LOAD_CLIENTS overrides the client count (CI smoke runs use 100;
+// the committed baseline and the nightly run use the full 1000). With
+// D2X_LOAD_GATE=1 the test fails if the measured p99 exceeds the
+// committed baseline by more than loadGatePct percent; the baseline is
+// read before the file is rewritten. Smoke runs gate against the full
+// run's baseline, which only makes the gate stricter — p99 at a tenth of
+// the concurrency should be far below it.
+func TestEmitLoadJSON(t *testing.T) {
+	if os.Getenv("D2X_LOAD_JSON") == "" {
+		t.Skipf("set D2X_LOAD_JSON=1 to emit %s", loadJSONFile)
+	}
+
+	clients := 1000
+	if s := os.Getenv("D2X_LOAD_CLIENTS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad D2X_LOAD_CLIENTS %q", s)
+		}
+		clients = n
+	}
+
+	var baseline loadReport
+	haveBaseline := false
+	if b, err := os.ReadFile(loadJSONFile); err == nil {
+		if json.Unmarshal(b, &baseline) == nil && baseline.P99MS > 0 {
+			haveBaseline = true
+		}
+	}
+
+	res, err := serve.RunLoad(serve.LoadConfig{Clients: clients, CommandsPerClient: 20})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if res.Errors > 0 {
+		t.Fatalf("%d of %d load clients failed", res.Errors, res.Clients)
+	}
+	t.Logf("%d clients: %.0f cmd/s, p50 %.3f ms, p99 %.3f ms, max %.3f ms",
+		res.Clients, res.CommandsPerSec, res.P50MS, res.P99MS, res.MaxMS)
+
+	rep := loadReport{
+		PR: "pr7", Go: runtime.Version(),
+		OS: runtime.GOOS, Arch: runtime.GOARCH,
+		LoadResult: *res,
+	}
+	// Only a full-scale run may rewrite the committed baseline: a smoke
+	// run's numbers describe a different experiment.
+	if clients >= 1000 {
+		data, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(loadJSONFile, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", loadJSONFile)
+	}
+
+	if os.Getenv("D2X_LOAD_GATE") == "" {
+		return
+	}
+	if !haveBaseline {
+		t.Logf("no committed baseline in %s yet; gate is a no-op", loadJSONFile)
+		return
+	}
+	limit := baseline.P99MS * (100 + loadGatePct) / 100
+	if res.P99MS > limit {
+		t.Errorf("command p99 regressed more than %d%%: baseline %.3f ms, now %.3f ms (limit %.3f ms)",
+			loadGatePct, baseline.P99MS, res.P99MS, limit)
+	} else {
+		t.Logf("gate ok: p99 %.3f ms vs baseline %.3f ms (limit %.3f ms)",
+			res.P99MS, baseline.P99MS, limit)
+	}
+}
