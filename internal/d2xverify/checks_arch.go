@@ -7,16 +7,14 @@ package d2xverify
 //     stock call/eval, so the debugger must not link any d2x package).
 //  2. The delta markers that drive the Tables 3/4 accounting are
 //     well-formed, since internal/loc's counter trusts them blindly.
+//
+// Since PR 8 the detection cores live in internal/d2xvet (the repo's
+// analysis-pass suite), where the same rules run under cmd/d2xvet with
+// the rest of the static checks; this file adapts the structured
+// findings back onto the Reporter so Build.Verify() output is unchanged.
 
 import (
-	"go/parser"
-	"go/token"
-	"os"
-	"path/filepath"
-	"sort"
-	"strconv"
-	"strings"
-
+	"d2x/internal/d2xvet"
 	"d2x/internal/srcloc"
 )
 
@@ -38,189 +36,47 @@ func repoChecks() []RepoCheck {
 // ImportRule forbids a package subtree from importing certain import
 // paths. A path is forbidden when it equals a prefix exactly or lives
 // under it.
-type ImportRule struct {
-	Dir       string // repo-relative directory whose files are constrained
-	Forbidden []string
-	Why       string
-}
+type ImportRule = d2xvet.ImportRule
 
 // DefaultImportRules returns the repository's architecture constraints.
-// The debugger must stay ignorant of D2X (it serves `xbt` through stock
-// call/eval only) and of every DSL layer above it.
-func DefaultImportRules() []ImportRule {
-	return []ImportRule{
-		{
-			Dir: "internal/debugger",
-			Forbidden: []string{
-				"d2x/internal/d2x",
-				"d2x/internal/d2xverify",
-				"d2x/internal/buildit",
-				"d2x/internal/graphit",
-				"d2x/internal/einsum",
-			},
-			Why: "the debugger must work through stock call/eval with no D2X knowledge",
-		},
-		{
-			Dir: "internal/d2x/wire",
-			Forbidden: []string{
-				"d2x/internal/d2x/d2xc",
-				"d2x/internal/d2x/d2xenc",
-				"d2x/internal/d2x/d2xr",
-				"d2x/internal/d2x/macros",
-				"d2x/internal/d2x/serve",
-				"d2x/internal/d2x/session",
-				"d2x/internal/d2xverify",
-				"d2x/internal/debugger",
-				"d2x/internal/minic",
-				"d2x/internal/dwarfish",
-				"d2x/internal/buildit",
-				"d2x/internal/graphit",
-				"d2x/internal/einsum",
-				"d2x/internal/obs",
-			},
-			Why: "the wire protocol is a pure framing layer: a client must link it without linking the debug stack",
-		},
-	}
-}
+func DefaultImportRules() []ImportRule { return d2xvet.DefaultImportRules() }
 
-func forbiddenBy(imp string, prefixes []string) string {
-	for _, p := range prefixes {
-		if imp == p || strings.HasPrefix(imp, p+"/") {
-			return p
+// reportFindings adapts d2xvet's structured arch findings to the
+// Reporter, preserving the exact message and hint text.
+func reportFindings(r *Reporter, findings []d2xvet.ArchFinding) {
+	for _, f := range findings {
+		loc := srcloc.Loc{File: f.File, Line: f.Line}
+		if f.Warning {
+			r.Warnf(loc, f.Hint, "%s", f.Message)
+		} else {
+			r.Errorf(loc, f.Hint, "%s", f.Message)
 		}
 	}
-	return ""
 }
 
 // checkImportGraph parses the import clauses (only) of every Go file in
 // each constrained directory and flags forbidden imports at the line of
 // the import spec.
 func checkImportGraph(root string, r *Reporter) error {
-	for _, rule := range DefaultImportRules() {
-		dir := filepath.Join(root, rule.Dir)
-		entries, err := os.ReadDir(dir)
-		if os.IsNotExist(err) {
-			// Constrained directories need not exist in every tree the
-			// check runs over (fixture roots in tests, partial checkouts);
-			// a rule constrains files, so no files means nothing to flag.
-			continue
-		}
-		if err != nil {
-			return err
-		}
-		for _, e := range entries {
-			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-				continue
-			}
-			path := filepath.Join(dir, e.Name())
-			fset := token.NewFileSet()
-			f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
-			if err != nil {
-				return err
-			}
-			for _, spec := range f.Imports {
-				imp, err := strconv.Unquote(spec.Path.Value)
-				if err != nil {
-					continue
-				}
-				if p := forbiddenBy(imp, rule.Forbidden); p != "" {
-					rel := filepath.ToSlash(filepath.Join(rule.Dir, e.Name()))
-					r.Errorf(srcloc.Loc{File: rel, Line: fset.Position(spec.Pos()).Line},
-						rule.Why,
-						"%s imports %q, forbidden under %q", rel, imp, p)
-				}
-			}
-		}
+	findings, err := d2xvet.ImportGraphFindings(root, DefaultImportRules())
+	if err != nil {
+		return err
 	}
+	reportFindings(r, findings)
 	return nil
 }
 
 // markerComponentDirs are the directories internal/loc counts for the
-// Tables 3/4 deltas — the only places marker well-formedness changes a
-// published number.
-func markerComponentDirs() []string {
-	return []string{
-		"internal/graphit",
-		"internal/buildit",
-		"internal/d2x/d2xc",
-		"internal/d2x/d2xenc",
-		"internal/d2x/d2xr",
-		"internal/d2x/session",
-		"internal/d2x/macros",
-	}
-}
-
-const (
-	markBegin   = "D2X:BEGIN"
-	markEnd     = "D2X:END"
-	markRemoved = "D2X:REMOVED"
-)
+// Tables 3/4 deltas.
+func markerComponentDirs() []string { return d2xvet.MarkerComponentDirs() }
 
 // LintMarkerSource lints the delta markers of one Go source file,
-// mirroring internal/loc's CountSource semantics exactly: any line
-// containing the BEGIN substring opens a hunk and any line containing
-// the END substring closes one, so a marker substring in an unexpected
-// place silently skews the published delta. Exported so fixture tests
-// (and DSLs with their own counted components) can lint in-memory
-// sources; the arch/markers repo check applies it to every counted
-// component file.
+// mirroring internal/loc's CountSource semantics exactly. Exported so
+// fixture tests (and DSLs with their own counted components) can lint
+// in-memory sources; the arch/markers repo check applies it to every
+// counted component file.
 func LintMarkerSource(file, src string, r *Reporter) {
-	open := 0
-	openLine := 0
-	for i, raw := range strings.Split(src, "\n") {
-		line := strings.TrimSpace(raw)
-		loc := srcloc.Loc{File: file, Line: i + 1}
-		hasBegin := strings.Contains(line, markBegin)
-		hasEnd := !hasBegin && strings.Contains(line, markEnd)
-		switch {
-		case hasBegin:
-			if !strings.HasPrefix(line, "// "+markBegin) {
-				r.Errorf(loc, "put the marker on its own `// D2X:BEGIN <label>` comment line",
-					"marker %q embedded in a non-marker line; the LoC counter will misclassify it", markBegin)
-			} else if strings.TrimSpace(strings.TrimPrefix(line, "// "+markBegin)) == "" {
-				r.Warnf(loc, "label the hunk, e.g. `// D2X:BEGIN frontier-var`",
-					"unlabelled %s hunk", markBegin)
-			}
-			if open > 0 {
-				r.Errorf(loc, "close the previous hunk first; hunks cannot nest",
-					"%s inside the hunk opened at line %d", markBegin, openLine)
-			} else {
-				openLine = i + 1
-			}
-			open++
-		case hasEnd:
-			if !strings.HasPrefix(line, "// "+markEnd) {
-				r.Errorf(loc, "put the marker on its own `// D2X:END <label>` comment line",
-					"marker %q embedded in a non-marker line; the LoC counter will misclassify it", markEnd)
-			}
-			if open == 0 {
-				r.Errorf(loc, "remove the stray marker or add the missing D2X:BEGIN",
-					"%s without a matching %s", markEnd, markBegin)
-			} else {
-				open--
-			}
-		case strings.Contains(line, markRemoved):
-			// `// D2X:REMOVED n` records deleted lines (DESIGN.md §5); the
-			// count must be a positive integer for the −n column to add up.
-			rest := ""
-			if idx := strings.Index(line, markRemoved); idx >= 0 {
-				rest = strings.TrimSpace(line[idx+len(markRemoved):])
-			}
-			count := rest
-			if sp := strings.IndexAny(rest, " \t"); sp >= 0 {
-				count = rest[:sp]
-			}
-			if n, err := strconv.Atoi(count); err != nil || n <= 0 {
-				r.Errorf(loc, "write `// D2X:REMOVED <n>` with the number of deleted lines",
-					"%s marker without a positive line count (got %q)", markRemoved, rest)
-			}
-		}
-	}
-	if open > 0 {
-		r.Errorf(srcloc.Loc{File: file, Line: openLine},
-			"add the missing `// D2X:END` before the end of the file",
-			"hunk opened at line %d is never closed", openLine)
-	}
+	reportFindings(r, d2xvet.MarkerSourceFindings(file, src))
 }
 
 // LintMarkers runs the marker lint over one in-memory source and
@@ -236,12 +92,7 @@ func LintMarkers(file, src string) []Diagnostic {
 // lint reports no errors, and -1 otherwise. Tests use it to assert
 // agreement with internal/loc's MarkedHunks count.
 func BalancedHunks(file, src string) int {
-	for _, d := range LintMarkers(file, src) {
-		if d.Severity == SevError {
-			return -1
-		}
-	}
-	return strings.Count(src, markBegin)
+	return d2xvet.BalancedMarkerHunks(file, src)
 }
 
 // checkMarkers runs the marker lint over every file the LoC accounting
@@ -249,29 +100,10 @@ func BalancedHunks(file, src string) int {
 // excluding d2x_*.go files (those are attributed whole, so markers
 // inside them never reach the counter).
 func checkMarkers(root string, r *Reporter) error {
-	for _, dir := range markerComponentDirs() {
-		full := filepath.Join(root, dir)
-		entries, err := os.ReadDir(full)
-		if err != nil {
-			continue // component not built yet; loc reports this separately
-		}
-		var names []string
-		for _, e := range entries {
-			n := e.Name()
-			if e.IsDir() || !strings.HasSuffix(n, ".go") ||
-				strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, "d2x_") {
-				continue
-			}
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		for _, n := range names {
-			data, err := os.ReadFile(filepath.Join(full, n))
-			if err != nil {
-				return err
-			}
-			LintMarkerSource(filepath.ToSlash(filepath.Join(dir, n)), string(data), r)
-		}
+	findings, err := d2xvet.MarkerFindings(root)
+	if err != nil {
+		return err
 	}
+	reportFindings(r, findings)
 	return nil
 }

@@ -1,0 +1,295 @@
+package d2xvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Annotation markers. Markers attach to a function through its doc
+// comment (directive comments ride along in the AST doc group) or, for
+// function literals, through a comment on the line directly above the
+// literal; //d2x:immutable attaches to a type declaration.
+const (
+	markNoAlloc   = "//d2x:noalloc"
+	markHotPath   = "//d2x:hotpath"
+	markImmutable = "//d2x:immutable"
+	markCtor      = "//d2x:ctor"
+)
+
+// Facts is the annotation database scanned over every loaded package
+// before the passes run, so a pass analyzing one package can resolve
+// markers on functions and types defined in another.
+type Facts struct {
+	noalloc   map[string]string   // funcKey -> noalloc mode ("strict"/"amortized")
+	hotpath   map[string]bool     // funcKey -> annotated //d2x:hotpath
+	immutable map[string]bool     // typeKey -> annotated //d2x:immutable
+	ctor      map[string][]string // funcKey -> type names it may construct
+	lits      map[string][]string // "file:line" of a FuncLit -> markers
+}
+
+// NewFacts scans annotation markers from every package.
+func NewFacts(pkgs []*Package) *Facts {
+	f := &Facts{
+		noalloc:   map[string]string{},
+		hotpath:   map[string]bool{},
+		immutable: map[string]bool{},
+		ctor:      map[string][]string{},
+		lits:      map[string][]string{},
+	}
+	for _, pkg := range pkgs {
+		f.scan(pkg)
+	}
+	return f
+}
+
+// NoAlloc reports whether the function with the given key is annotated
+// //d2x:noalloc (either mode).
+func (f *Facts) NoAlloc(key string) bool { return f.noalloc[key] != "" }
+
+// NoAllocAmortized reports whether the function is annotated
+// "//d2x:noalloc amortized": appends into reused (pooled) buffers are
+// permitted because their growth amortizes to zero in steady state.
+func (f *Facts) NoAllocAmortized(key string) bool { return f.noalloc[key] == "amortized" }
+
+// HotPath reports whether the function is annotated //d2x:hotpath (the
+// weaker marker: sampled-obs discipline without the allocation contract).
+func (f *Facts) HotPath(key string) bool { return f.hotpath[key] }
+
+// Immutable reports whether the type with the given key (pkgpath.Name)
+// is annotated //d2x:immutable.
+func (f *Facts) Immutable(key string) bool { return f.immutable[key] }
+
+// CtorTypes returns the type names the function is declared a
+// constructor of via //d2x:ctor.
+func (f *Facts) CtorTypes(key string) []string { return f.ctor[key] }
+
+// LitMarkers returns the markers attached to the function literal
+// starting at pos (via a comment on the line above it).
+func (f *Facts) LitMarkers(pos token.Position) []string {
+	return f.lits[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)]
+}
+
+func litHas(markers []string, want string) bool {
+	for _, m := range markers {
+		if m == want || strings.HasPrefix(m, want+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// markersIn extracts the //d2x: markers of one comment group.
+func markersIn(g *ast.CommentGroup) []string {
+	if g == nil {
+		return nil
+	}
+	var out []string
+	for _, c := range g.List {
+		text := strings.TrimSpace(c.Text)
+		if strings.HasPrefix(text, "//d2x:") {
+			out = append(out, text)
+		}
+	}
+	return out
+}
+
+func (f *Facts) scan(pkg *Package) {
+	path := pkg.Types.Path()
+	for _, file := range pkg.Files {
+		// Comment groups by end line, for attaching line-above markers
+		// to function literals.
+		endLine := map[int][]string{}
+		for _, g := range file.Comments {
+			if ms := markersIn(g); ms != nil {
+				line := pkg.Fset.Position(g.End()).Line
+				endLine[line] = append(endLine[line], ms...)
+			}
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				key := declKey(path, d)
+				for _, m := range markersIn(d.Doc) {
+					f.applyFuncMarker(key, m)
+				}
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				declMarks := markersIn(d.Doc)
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					marks := append(markersIn(ts.Doc), declMarks...)
+					if litHas(marks, markImmutable) {
+						f.immutable[path+"."+ts.Name.Name] = true
+					}
+				}
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			pos := pkg.Fset.Position(lit.Pos())
+			if ms := endLine[pos.Line-1]; ms != nil {
+				f.lits[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] = ms
+			}
+			return true
+		})
+	}
+}
+
+func (f *Facts) applyFuncMarker(key, marker string) {
+	switch {
+	case marker == markNoAlloc || strings.HasPrefix(marker, markNoAlloc+" "):
+		mode := "strict"
+		rest := strings.Fields(strings.TrimPrefix(marker, markNoAlloc))
+		if len(rest) > 0 && rest[0] == "amortized" {
+			mode = "amortized"
+		}
+		f.noalloc[key] = mode
+	case marker == markHotPath || strings.HasPrefix(marker, markHotPath+" "):
+		f.hotpath[key] = true
+	case strings.HasPrefix(marker, markCtor+" "):
+		name := strings.TrimSpace(strings.TrimPrefix(marker, markCtor+" "))
+		if name != "" {
+			f.ctor[key] = append(f.ctor[key], name)
+		}
+	}
+}
+
+// declKey builds the funcKey of a declaration: pkgpath.Name for plain
+// functions, pkgpath.RecvType.Name for methods (pointer and generic
+// receivers normalized to the base type name).
+func declKey(pkgPath string, d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return pkgPath + "." + d.Name.Name
+	}
+	return pkgPath + "." + recvTypeName(d.Recv.List[0].Type) + "." + d.Name.Name
+}
+
+func recvTypeName(expr ast.Expr) string {
+	for {
+		switch e := expr.(type) {
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.IndexListExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.Ident:
+			return e.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// FuncKey normalizes a types.Func to the annotation key: methods become
+// pkgpath.RecvType.Name with the pointer stripped, functions
+// pkgpath.Name. Returns "" for objects without a package (builtins).
+func FuncKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil {
+			return n.Obj().Pkg().Path() + "." + n.Obj().Name() + "." + fn.Name()
+		}
+		return "" // receiver is an unnamed or universe type: no key
+	}
+	if fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// TypeKey normalizes a named type to the annotation key pkgpath.Name.
+func TypeKey(n *types.Named) string {
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// allocFreePrefixes and allocFree list standard-library calls the
+// noalloc pass assumes never allocate on the paths this repo uses them:
+// the atomic and bit-twiddling packages wholesale, plus specific
+// lock/pool/formatting entries. Anything outside the list called from a
+// //d2x:noalloc function must itself be annotated or excused inline.
+var allocFreePrefixes = []string{
+	"sync/atomic.",
+	"math/bits.",
+}
+
+var allocFree = map[string]bool{
+	"sync.Mutex.Lock":      true,
+	"sync.Mutex.Unlock":    true,
+	"sync.Mutex.TryLock":   true,
+	"sync.RWMutex.Lock":    true,
+	"sync.RWMutex.Unlock":  true,
+	"sync.RWMutex.RLock":   true,
+	"sync.RWMutex.RUnlock": true,
+	"sync.Pool.Get":        true, // amortized: allocates only to warm the pool
+	"sync.Pool.Put":        true,
+	"sync.WaitGroup.Add":   true,
+	"sync.WaitGroup.Done":  true,
+	"sync.Once.Do":         true,
+
+	"time.Since": true,
+	"time.Now":   true,
+
+	"strconv.AppendInt":  true, // appends into the caller's buffer
+	"strconv.AppendUint": true,
+	"strconv.Atoi":       true,
+
+	"sort.Ints":       true,
+	"sort.Search":     true,
+	"sort.SearchInts": true,
+
+	"strings.HasPrefix":  true,
+	"strings.HasSuffix":  true,
+	"strings.Index":      true,
+	"strings.IndexByte":  true,
+	"strings.IndexAny":   true,
+	"strings.LastIndex":  true,
+	"strings.Contains":   true,
+	"strings.TrimSpace":  true,
+	"strings.TrimRight":  true,
+	"strings.TrimLeft":   true,
+	"strings.TrimPrefix": true,
+	"strings.EqualFold":  true,
+	"strings.Compare":    true,
+	"strings.Count":      true,
+
+	"errors.Is": true,
+
+	"len": true,
+	"cap": true,
+}
+
+// assumedAllocFree reports whether a fully-resolved callee key is on the
+// built-in alloc-free allowlist.
+func assumedAllocFree(key string) bool {
+	if allocFree[key] {
+		return true
+	}
+	for _, p := range allocFreePrefixes {
+		if strings.HasPrefix(key, p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,301 @@
+package d2xvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicFieldAnalyzer enforces the repository's atomic-publication
+// discipline: values that embed sync/atomic types (or sync locks) must
+// never be copied, fields of atomic type must be touched only through
+// their methods (Load/Store/Add/...), and struct types annotated
+// //d2x:immutable must have no field writes outside functions annotated
+// //d2x:ctor for that type. A copied atomic.Pointer silently forks the
+// publication channel; a direct field read tears; a post-construction
+// write to an immutable table races every reader that skipped the lock
+// on the strength of the annotation.
+var AtomicFieldAnalyzer = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "atomics are never copied or accessed non-atomically; //d2x:immutable types are written only by their //d2x:ctor functions",
+	Run:  runAtomicField,
+}
+
+// isSyncType reports whether t is a sync/atomic value type or a sync
+// lock type (by-value copies of either are bugs).
+func isSyncType(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	switch n.Obj().Pkg().Path() {
+	case "sync/atomic":
+		return true // every sync/atomic type is copy-hostile
+	case "sync":
+		switch n.Obj().Name() {
+		case "Mutex", "RWMutex", "WaitGroup", "Cond", "Pool", "Once", "Map":
+			return true
+		}
+	}
+	return false
+}
+
+// isAtomicType reports whether t is a sync/atomic type specifically
+// (subject to the access-through-methods rule).
+func isAtomicType(t types.Type) bool {
+	n := namedOf(t)
+	return n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// hasSyncValue reports whether a value of type t contains a sync/atomic
+// or lock value (directly, or through struct fields and arrays — not
+// through pointers, slices or maps, which share rather than copy).
+func hasSyncValue(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	if isSyncType(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if hasSyncValue(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return hasSyncValue(u.Elem(), seen)
+	}
+	return false
+}
+
+func runAtomicField(p *Pass) error {
+	for _, file := range p.Files {
+		p.atomicFieldFile(file)
+	}
+	return nil
+}
+
+func (p *Pass) atomicFieldFile(file *ast.File) {
+	inspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			p.checkSyncCopyAssign(n)
+			for _, lhs := range n.Lhs {
+				p.checkImmutableWrite(lhs, stack)
+			}
+		case *ast.IncDecStmt:
+			p.checkImmutableWrite(n.X, stack)
+		case *ast.CallExpr:
+			p.checkSyncCopyCall(n)
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				// In `for _, v := range xs`, v's type lives in Defs, not
+				// in the expression type map.
+				var vt types.Type
+				if id, ok := ast.Unparen(n.Value).(*ast.Ident); ok && id.Name != "_" {
+					if obj := p.Info.ObjectOf(id); obj != nil {
+						vt = obj.Type()
+					}
+				} else if tv, ok := p.Info.Types[n.Value]; ok {
+					vt = tv.Type
+				}
+				if vt != nil && hasSyncValue(vt, nil) {
+					p.Reportf(n.Value.Pos(), "range copies a value containing %s", syncTypeName(vt))
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				p.checkSyncCopyExpr(r, "return copies")
+			}
+		case *ast.SelectorExpr:
+			p.checkAtomicAccess(n, stack)
+		}
+		return true
+	})
+}
+
+// syncTypeName names the first embedded sync value for the diagnostic.
+func syncTypeName(t types.Type) string {
+	var find func(t types.Type, seen map[types.Type]bool) string
+	find = func(t types.Type, seen map[types.Type]bool) string {
+		if seen[t] {
+			return ""
+		}
+		seen[t] = true
+		if isSyncType(t) {
+			return types.TypeString(t, types.RelativeTo(nil))
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if s := find(u.Field(i).Type(), seen); s != "" {
+					return s
+				}
+			}
+		case *types.Array:
+			return find(u.Elem(), seen)
+		}
+		return ""
+	}
+	return find(t, map[types.Type]bool{})
+}
+
+// copySource reports whether the expression reads an existing value (as
+// opposed to creating one): composite literals and calls construct
+// fresh values, which is initialization, not copying.
+func copySource(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit, *ast.CallExpr, *ast.FuncLit, *ast.BasicLit:
+		return false
+	case *ast.UnaryExpr:
+		return e.Op != token.AND
+	}
+	return true
+}
+
+func (p *Pass) checkSyncCopyExpr(e ast.Expr, what string) {
+	if !copySource(e) {
+		return
+	}
+	tv, ok := p.Info.Types[e]
+	if !ok || !tv.IsValue() {
+		return
+	}
+	if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+		return
+	}
+	if hasSyncValue(tv.Type, nil) {
+		p.Reportf(e.Pos(), "%s a value containing %s; share it by pointer", what, syncTypeName(tv.Type))
+	}
+}
+
+func (p *Pass) checkSyncCopyAssign(n *ast.AssignStmt) {
+	for i, rhs := range n.Rhs {
+		// `_ = x` discards the value; nothing is copied.
+		if len(n.Lhs) == len(n.Rhs) {
+			if id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+		}
+		p.checkSyncCopyExpr(rhs, "assignment copies")
+	}
+}
+
+func (p *Pass) checkSyncCopyCall(n *ast.CallExpr) {
+	if tv, ok := p.Info.Types[n.Fun]; ok && tv.IsType() {
+		return // conversions don't copy lock semantics in ways vet-style checks track
+	}
+	for _, arg := range n.Args {
+		p.checkSyncCopyExpr(arg, "call copies")
+	}
+}
+
+// checkAtomicAccess flags selector reads/writes of atomic-typed fields
+// that bypass the atomic API. Using the field as a method receiver
+// (x.ptr.Load()) or taking its address (&x.ptr) is the API; anything
+// else tears.
+func (p *Pass) checkAtomicAccess(sel *ast.SelectorExpr, stack []ast.Node) {
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	if !isAtomicType(s.Obj().Type()) {
+		return
+	}
+	if len(stack) > 0 {
+		switch parent := stack[len(stack)-1].(type) {
+		case *ast.SelectorExpr:
+			// x.field.Method(...): the method-call path.
+			if psel, ok := p.Info.Selections[parent]; ok && psel.Kind() == types.MethodVal {
+				return
+			}
+		case *ast.UnaryExpr:
+			if parent.Op == token.AND {
+				return // &x.field: passing the atomic by pointer
+			}
+		}
+	}
+	p.Reportf(sel.Pos(), "field %s of atomic type %s accessed without its atomic API",
+		exprString(sel), types.TypeString(s.Obj().Type(), types.RelativeTo(nil)))
+}
+
+// checkImmutableWrite flags assignments through fields of
+// //d2x:immutable types from functions not annotated as constructors of
+// that type.
+func (p *Pass) checkImmutableWrite(lhs ast.Expr, stack []ast.Node) {
+	// Strip element/deref layers: t.index[k] = v and *t.p = v both
+	// mutate state reachable from the field.
+	for {
+		switch e := ast.Unparen(lhs).(type) {
+		case *ast.IndexExpr:
+			lhs = e.X
+			continue
+		case *ast.StarExpr:
+			lhs = e.X
+			continue
+		}
+		break
+	}
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	recv := namedOf(s.Recv())
+	if recv == nil || !p.Facts.Immutable(TypeKey(recv)) {
+		return
+	}
+	if fnKey, fnName := p.enclosingFunc(stack); fnKey != "" {
+		for _, t := range p.Facts.CtorTypes(fnKey) {
+			if t == recv.Obj().Name() && samePkgPrefix(fnKey, TypeKey(recv)) {
+				return
+			}
+		}
+		p.Reportf(sel.Pos(), "write to field %s of //d2x:immutable type %s outside its //d2x:ctor functions (%s is not a constructor)",
+			exprString(sel), recv.Obj().Name(), fnName)
+		return
+	}
+	p.Reportf(sel.Pos(), "write to field %s of //d2x:immutable type %s outside its //d2x:ctor functions",
+		exprString(sel), recv.Obj().Name())
+}
+
+// enclosingFunc finds the innermost enclosing function declaration's key
+// and name. Function literals inside a ctor inherit the ctor's key (a
+// build loop closure is still the constructor).
+func (p *Pass) enclosingFunc(stack []ast.Node) (key, name string) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if d, ok := stack[i].(*ast.FuncDecl); ok {
+			return declKey(p.Pkg.Path(), d), d.Name.Name
+		}
+	}
+	return "", ""
+}
+
+// samePkgPrefix reports whether two annotation keys share a package
+// path (the portion before the first '.' after the last '/').
+func samePkgPrefix(funcKey, typeKey string) bool {
+	pkgOf := func(k string) string {
+		slash := 0
+		for i, c := range k {
+			if c == '/' {
+				slash = i
+			}
+		}
+		for i := slash; i < len(k); i++ {
+			if k[i] == '.' {
+				return k[:i]
+			}
+		}
+		return k
+	}
+	return pkgOf(funcKey) == pkgOf(typeKey)
+}

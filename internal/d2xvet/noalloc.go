@@ -1,0 +1,455 @@
+package d2xvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoAllocAnalyzer turns the AllocsPerRun budgets of the PR 5 command
+// path into compile-time diagnostics: a function annotated //d2x:noalloc
+// must contain no allocating operation — make/new, map and slice
+// literals, &composite, map writes, closures, string conversions and
+// concatenation, interface boxing — and may call only functions that are
+// themselves //d2x:noalloc or on the built-in alloc-free allowlist.
+//
+// Two escape hatches keep the rule honest rather than noisy:
+//
+//   - "//d2x:noalloc amortized" additionally permits append: the
+//     pooled-rendering path appends into reused buffers whose growth
+//     amortizes to zero in steady state. Plain //d2x:noalloc flags
+//     append, so adding one to a strict function fails the pass.
+//   - Error paths are excused: allocations inside an `if x != nil`
+//     block and in return statements whose final error result is
+//     non-nil happen only when the steady state is already over.
+//
+// Everything else needs an inline //d2xvet:ignore noalloc <reason>.
+// Dynamic calls (func values, interface methods) are not resolved; the
+// hot paths this repo annotates are concrete.
+var NoAllocAnalyzer = &Analyzer{
+	Name: "noalloc",
+	Doc:  "//d2x:noalloc functions contain no allocating operations and call only alloc-free callees",
+	Run:  runNoAlloc,
+}
+
+func runNoAlloc(p *Pass) error {
+	p.eachFunc(func(fi funcInfo) {
+		noalloc, amortized, _ := p.markers(fi)
+		if !noalloc {
+			return
+		}
+		w := &noallocWalker{p: p, fi: fi, amortized: amortized}
+		w.block(fi.body, false)
+	})
+	return nil
+}
+
+type noallocWalker struct {
+	p         *Pass
+	fi        funcInfo
+	amortized bool
+}
+
+// block walks one statement list with the current error-path excuse.
+func (w *noallocWalker) block(b *ast.BlockStmt, excused bool) {
+	for _, s := range b.List {
+		w.stmt(s, excused)
+	}
+}
+
+func (w *noallocWalker) stmt(s ast.Stmt, excused bool) {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, excused)
+		}
+		w.expr(s.Cond, excused)
+		// `if x != nil { ... }` bodies are error paths: the steady
+		// state never enters them.
+		w.block(s.Body, excused || isNonNilCheck(s.Cond))
+		if s.Else != nil {
+			w.stmt(s.Else, excused || isNilCheck(s.Cond))
+		}
+	case *ast.BlockStmt:
+		w.block(s, excused)
+	case *ast.ReturnStmt:
+		excused = excused || errorReturn(w.p.Info, s)
+		for _, r := range s.Results {
+			w.expr(r, excused)
+		}
+	case *ast.AssignStmt:
+		for _, lhs := range s.Lhs {
+			w.mapWrite(lhs, excused)
+			w.expr(lhs, excused)
+		}
+		if !excused && len(s.Lhs) == len(s.Rhs) {
+			for i, rhs := range s.Rhs {
+				w.checkConcatAssign(s, s.Lhs[i], rhs)
+			}
+		}
+		for _, rhs := range s.Rhs {
+			w.expr(rhs, excused)
+		}
+	case *ast.ExprStmt:
+		w.expr(s.X, excused)
+	case *ast.DeferStmt:
+		w.expr(s.Call, excused)
+	case *ast.GoStmt:
+		if !excused {
+			w.p.Reportf(s.Pos(), "go statement in //d2x:noalloc function %s allocates a goroutine stack", w.fi.name)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, excused)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, excused)
+		}
+		if s.Post != nil {
+			w.stmt(s.Post, excused)
+		}
+		w.block(s.Body, excused)
+	case *ast.RangeStmt:
+		w.expr(s.X, excused)
+		w.block(s.Body, excused)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, excused)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, excused)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					w.expr(e, excused)
+				}
+				for _, bs := range cc.Body {
+					w.stmt(bs, excused)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, bs := range cc.Body {
+					w.stmt(bs, excused)
+				}
+			}
+		}
+	case *ast.SelectStmt:
+		if !excused {
+			w.p.Reportf(s.Pos(), "select in //d2x:noalloc function %s (channel operations are not allocation-free-path material)", w.fi.name)
+		}
+	case *ast.SendStmt:
+		w.expr(s.Chan, excused)
+		w.expr(s.Value, excused)
+	case *ast.IncDecStmt:
+		w.expr(s.X, excused)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, excused)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, excused)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	}
+}
+
+// mapWrite flags `m[k] = v` on a map (growth allocates and rehashes).
+func (w *noallocWalker) mapWrite(lhs ast.Expr, excused bool) {
+	if excused {
+		return
+	}
+	idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return
+	}
+	if tv, ok := w.p.Info.Types[idx.X]; ok {
+		if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+			w.p.Reportf(lhs.Pos(), "map write in //d2x:noalloc function %s may grow the map", w.fi.name)
+		}
+	}
+}
+
+// checkConcatAssign flags s += "x" style string growth.
+func (w *noallocWalker) checkConcatAssign(s *ast.AssignStmt, lhs, rhs ast.Expr) {
+	if s.Tok != token.ADD_ASSIGN {
+		return
+	}
+	if tv, ok := w.p.Info.Types[lhs]; ok && isString(tv.Type) {
+		w.p.Reportf(rhs.Pos(), "string concatenation in //d2x:noalloc function %s", w.fi.name)
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func (w *noallocWalker) expr(e ast.Expr, excused bool) {
+	if e == nil {
+		return
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.FuncLit:
+		if !excused {
+			w.p.Reportf(e.Pos(), "function literal in //d2x:noalloc function %s allocates its closure", w.fi.name)
+		}
+		// Do not descend: the literal runs outside this steady state
+		// unless called here, and called-literals are rare enough to
+		// annotate directly.
+	case *ast.CompositeLit:
+		w.compositeLit(e, excused)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			if cl, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+				if !excused {
+					w.p.Reportf(e.Pos(), "&composite literal in //d2x:noalloc function %s heap-allocates", w.fi.name)
+				}
+				for _, el := range cl.Elts {
+					w.expr(el, excused)
+				}
+				return
+			}
+		}
+		w.expr(e.X, excused)
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD && !excused {
+			if tv, ok := w.p.Info.Types[e]; ok && isString(tv.Type) {
+				w.p.Reportf(e.Pos(), "string concatenation in //d2x:noalloc function %s", w.fi.name)
+			}
+		}
+		w.expr(e.X, excused)
+		w.expr(e.Y, excused)
+	case *ast.CallExpr:
+		w.call(e, excused)
+	case *ast.StarExpr:
+		w.expr(e.X, excused)
+	case *ast.SelectorExpr:
+		w.expr(e.X, excused)
+	case *ast.IndexExpr:
+		w.expr(e.X, excused)
+		w.expr(e.Index, excused)
+	case *ast.IndexListExpr:
+		w.expr(e.X, excused)
+	case *ast.SliceExpr:
+		w.expr(e.X, excused)
+		w.expr(e.Low, excused)
+		w.expr(e.High, excused)
+		w.expr(e.Max, excused)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X, excused)
+	case *ast.KeyValueExpr:
+		w.expr(e.Key, excused)
+		w.expr(e.Value, excused)
+	}
+}
+
+func (w *noallocWalker) compositeLit(e *ast.CompositeLit, excused bool) {
+	for _, el := range e.Elts {
+		w.expr(el, excused)
+	}
+	if excused {
+		return
+	}
+	tv, ok := w.p.Info.Types[e]
+	if !ok {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		w.p.Reportf(e.Pos(), "%s literal in //d2x:noalloc function %s allocates",
+			kindName(tv.Type), w.fi.name)
+	}
+	// Struct and array value literals live on the stack unless they
+	// escape; escape is the compiler's call, so the pass accepts them
+	// and the &lit case above catches the guaranteed heap form.
+}
+
+func kindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "composite"
+}
+
+func (w *noallocWalker) call(call *ast.CallExpr, excused bool) {
+	for _, arg := range call.Args {
+		w.expr(arg, excused)
+	}
+	if tv, ok := w.p.Info.Types[call.Fun]; ok && tv.IsType() {
+		w.conversion(call, tv.Type, excused)
+		return
+	}
+	if b := builtinName(w.p.Info, call); b != "" {
+		w.builtin(call, b, excused)
+		return
+	}
+	w.expr(call.Fun, excused)
+	if excused {
+		return
+	}
+	w.boxedArgs(call)
+	fn := staticCallee(w.p.Info, call)
+	if fn == nil {
+		return // dynamic call: unresolvable, accepted by design
+	}
+	key := FuncKey(fn)
+	if key == "" || assumedAllocFree(key) || w.p.Facts.NoAlloc(key) {
+		return
+	}
+	w.p.Reportf(call.Pos(), "call to %s from //d2x:noalloc function %s: callee is neither //d2x:noalloc nor on the alloc-free allowlist", key, w.fi.name)
+}
+
+// conversion flags string<->[]byte/[]rune conversions, which copy.
+func (w *noallocWalker) conversion(call *ast.CallExpr, to types.Type, excused bool) {
+	if excused || len(call.Args) != 1 {
+		return
+	}
+	fromTV, ok := w.p.Info.Types[call.Args[0]]
+	if !ok {
+		return
+	}
+	from := fromTV.Type
+	if (isString(to) && isByteOrRuneSlice(from)) || (isByteOrRuneSlice(to) && isString(from)) {
+		w.p.Reportf(call.Pos(), "conversion %s in //d2x:noalloc function %s copies its operand",
+			types.TypeString(to, types.RelativeTo(nil)), w.fi.name)
+	}
+	// Conversion to an interface type boxes.
+	if types.IsInterface(to) && !types.IsInterface(from) && !isNilExpr(call.Args[0]) {
+		w.p.Reportf(call.Pos(), "conversion to interface %s in //d2x:noalloc function %s boxes its operand",
+			types.TypeString(to, types.RelativeTo(nil)), w.fi.name)
+	}
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func (w *noallocWalker) builtin(call *ast.CallExpr, name string, excused bool) {
+	if excused {
+		return
+	}
+	switch name {
+	case "make":
+		w.p.Reportf(call.Pos(), "make in //d2x:noalloc function %s allocates", w.fi.name)
+	case "new":
+		w.p.Reportf(call.Pos(), "new in //d2x:noalloc function %s allocates", w.fi.name)
+	case "append":
+		if !w.amortized {
+			w.p.Reportf(call.Pos(), "append in //d2x:noalloc function %s may grow its backing array (use \"//d2x:noalloc amortized\" for pooled buffers)", w.fi.name)
+		}
+	case "print", "println":
+		w.p.Reportf(call.Pos(), "%s in //d2x:noalloc function %s", name, w.fi.name)
+	}
+}
+
+// boxedArgs flags concrete values passed to interface parameters —
+// fmt-style boxing, the classic invisible allocation.
+func (w *noallocWalker) boxedArgs(call *ast.CallExpr) {
+	tv, ok := w.p.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= params.Len()-1 {
+			if params.Len() == 0 {
+				break
+			}
+			st, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				break // variadic ...T passed as slice
+			}
+			pt = st.Elem()
+		} else if i < params.Len() {
+			pt = params.At(i).Type()
+		} else {
+			break
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		atv, ok := w.p.Info.Types[arg]
+		if !ok || types.IsInterface(atv.Type) || isNilExpr(arg) {
+			continue
+		}
+		if _, isPtr := atv.Type.Underlying().(*types.Pointer); isPtr {
+			continue // pointers box without allocating the pointee
+		}
+		w.p.Reportf(arg.Pos(), "argument boxes %s into interface %s in //d2x:noalloc function %s",
+			types.TypeString(atv.Type, types.RelativeTo(nil)), types.TypeString(pt, types.RelativeTo(nil)), w.fi.name)
+	}
+}
+
+func isNilExpr(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// isNonNilCheck matches `x != nil` (and `x > 0`-style guards are not
+// error paths, so only the nil comparison counts).
+func isNonNilCheck(cond ast.Expr) bool {
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || b.Op != token.NEQ {
+		return false
+	}
+	return isNilExpr(b.X) || isNilExpr(b.Y)
+}
+
+// isNilCheck matches `x == nil` (whose else-branch is the error path).
+func isNilCheck(cond ast.Expr) bool {
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || b.Op != token.EQL {
+		return false
+	}
+	return isNilExpr(b.X) || isNilExpr(b.Y)
+}
+
+// errorReturn reports whether a return statement's final result is a
+// non-nil expression of error type: the error path, excused from the
+// allocation contract.
+func errorReturn(info *types.Info, r *ast.ReturnStmt) bool {
+	if len(r.Results) == 0 {
+		return false
+	}
+	last := r.Results[len(r.Results)-1]
+	if isNilExpr(last) {
+		return false
+	}
+	tv, ok := info.Types[last]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return types.Implements(tv.Type, errorInterface()) ||
+		(types.IsInterface(tv.Type) && tv.Type.String() == "error")
+}
+
+var errIface *types.Interface
+
+func errorInterface() *types.Interface {
+	if errIface == nil {
+		errIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	}
+	return errIface
+}

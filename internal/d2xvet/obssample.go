@@ -1,0 +1,137 @@
+package d2xvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ObsSampleAnalyzer enforces the PR 4 observability budget on hot
+// paths. In a function annotated //d2x:noalloc or //d2x:hotpath:
+//
+//   - the wall-clock obs variants (Histogram.Observe, Histogram.Since,
+//     obs.WallNanos) are forbidden — the monotonic *NS variants cost one
+//     RDTSC-class read instead of a VDSO wall read;
+//   - histogram observations (ObserveNS/SinceNS) must sit under a
+//     sampling branch, the stageTick idiom: either the branch condition
+//     itself takes a modulo (`tick.Add(1)%stageSampleEvery == 0`) or it
+//     tests a sentinel set on the sampled branch (`if t0 != 0 { ... }`).
+//     Counters (Inc/Add) are single atomic adds and stay unsampled.
+//
+// An unsampled histogram on a hot path is how the ~0.3–1% overhead
+// budget quietly becomes 5%: the histogram's atomic CAS loop lands on
+// every command instead of one in eight.
+var ObsSampleAnalyzer = &Analyzer{
+	Name: "obssample",
+	Doc:  "hot-path functions use sampled, monotonic obs variants",
+	Run:  runObsSample,
+}
+
+func runObsSample(p *Pass) error {
+	p.eachFunc(func(fi funcInfo) {
+		noalloc, _, hotpath := p.markers(fi)
+		if !noalloc && !hotpath {
+			return
+		}
+		p.obsSampleFunc(fi)
+	})
+	return nil
+}
+
+// obsCall classifies a call as an obs-package histogram/clock call.
+// Matching is by package-path suffix so fixtures exercising the rule
+// against the real obs package and future forks both resolve.
+func obsCall(info *types.Info, call *ast.CallExpr) (typeName, method string, ok bool) {
+	fn := staticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil || !isObsPkg(fn.Pkg().Path()) {
+		return "", "", false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		if n, isNamed := t.(*types.Named); isNamed {
+			return n.Obj().Name(), fn.Name(), true
+		}
+	}
+	return "", fn.Name(), true
+}
+
+func (p *Pass) obsSampleFunc(fi funcInfo) {
+	inspectStack(fi.body, func(n ast.Node, stack []ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit && n != ast.Node(fi.lit) {
+			return false // nested literal: separately annotated or cold
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		typeName, method, isObs := obsCall(p.Info, call)
+		if !isObs {
+			return true
+		}
+		switch {
+		case typeName == "Histogram" && (method == "Observe" || method == "Since"):
+			p.Reportf(call.Pos(), "wall-clock obs call %s in hot-path function %s; use the monotonic %sNS variant",
+				method, fi.name, method)
+		case typeName == "" && method == "WallNanos":
+			p.Reportf(call.Pos(), "wall-clock obs call WallNanos in hot-path function %s; use the monotonic NowNanos",
+				fi.name)
+		case typeName == "Histogram" && (method == "ObserveNS" || method == "SinceNS"):
+			if !underSamplingBranch(stack, fi.body) {
+				p.Reportf(call.Pos(), "unsampled histogram observation %s.%s in hot-path function %s; gate it on a 1-in-N tick (see the stageTick idiom)",
+					typeName, method, fi.name)
+			}
+		}
+		return true
+	})
+}
+
+// underSamplingBranch reports whether any enclosing if (within the
+// function body) looks like a sampling gate: its condition contains a
+// modulo operation or a comparison against zero (the `t0 != 0` sentinel
+// form, where t0 was captured under the modulo branch).
+func underSamplingBranch(stack []ast.Node, body *ast.BlockStmt) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i] == ast.Node(body) {
+			break
+		}
+		ifs, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		if condSamples(ifs.Cond) {
+			return true
+		}
+	}
+	return false
+}
+
+func condSamples(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		if b.Op == token.REM {
+			found = true
+			return false
+		}
+		if b.Op == token.NEQ || b.Op == token.EQL {
+			if isZeroLit(b.X) || isZeroLit(b.Y) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isZeroLit(e ast.Expr) bool {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && lit.Value == "0"
+}

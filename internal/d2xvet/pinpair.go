@@ -1,0 +1,253 @@
+package d2xvet
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// PinPairAnalyzer enforces the registry pin protocol: every call to a
+// Checkout method must be matched by a Checkin on every path out of the
+// enclosing function — including early error returns, which is where
+// leaked pins actually happen (a pinned State's refcount never drains,
+// so Invalidate's deferred Reset and Release's eviction are blocked
+// forever). The deferred form
+//
+//	st := svc.Checkout(vm)
+//	defer svc.Checkin(vm, st)
+//
+// is the only one that also survives panics, and is the repo idiom; an
+// undeferred Checkin on all paths is accepted but panic-unsafe.
+//
+// The matcher is name-based (any method named Checkout/Checkin), so the
+// fixtures stay self-contained and future registries inherit the rule.
+// Checkins inside `go` statements or nested function literals do not
+// count: they are asynchronous with the paths being analyzed.
+var PinPairAnalyzer = &Analyzer{
+	Name: "pinpair",
+	Doc:  "every registry Checkout is matched by a Checkin on all paths out of the function",
+	Run:  runPinPair,
+}
+
+func runPinPair(p *Pass) error {
+	p.eachFunc(func(fi funcInfo) {
+		p.pinPairFunc(fi)
+	})
+	return nil
+}
+
+// isPinCall reports whether the expression is a call to a method with
+// the given name (Checkout/Checkin) via a selector.
+func isPinCall(e ast.Expr, name string) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == name
+}
+
+// stmtChecksIn reports whether the statement performs a Checkin on the
+// analyzed path: a direct call statement or a defer (deferred Checkin
+// covers every subsequent exit).
+func stmtChecksIn(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		return isPinCall(s.X, "Checkin")
+	case *ast.DeferStmt:
+		if isPinCall(s.Call, "Checkin") {
+			return true
+		}
+		// defer func() { ...; svc.Checkin(...) }()
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			found := false
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if e, ok := n.(ast.Expr); ok && isPinCall(e, "Checkin") {
+					found = true
+					return false
+				}
+				return true
+			})
+			return found
+		}
+	}
+	return false
+}
+
+// pinPairFunc locates each Checkout statement in the function and
+// verifies all paths from it to function exit perform a Checkin.
+func (p *Pass) pinPairFunc(fi funcInfo) {
+	// Walk only this function's own statement tree; nested FuncLits get
+	// their own eachFunc visit.
+	var walkBlock func(stmts []ast.Stmt)
+	walkBlock = func(stmts []ast.Stmt) {
+		for i, s := range stmts {
+			if pos, ok := checkoutStmt(s); ok {
+				a := pinAnalysis{}
+				ok, done, fellThrough := a.allPaths(stmts[i+1:], false)
+				if !ok || (fellThrough && !done) {
+					p.Reportf(pos, "Checkout is not matched by a Checkin on every path out of %s; pin the state with `defer Checkin` immediately after", fi.name)
+				}
+				// Keep scanning: a second Checkout in the same block is
+				// analyzed on its own suffix.
+			}
+			for _, sub := range subBlocks(s) {
+				walkBlock(sub)
+			}
+		}
+	}
+	walkBlock(fi.body.List)
+}
+
+// checkoutStmt reports whether the statement performs a Checkout, and
+// where.
+func checkoutStmt(s ast.Stmt) (token.Pos, bool) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			if isPinCall(rhs, "Checkout") {
+				return rhs.Pos(), true
+			}
+		}
+	case *ast.ExprStmt:
+		if isPinCall(s.X, "Checkout") {
+			return s.X.Pos(), true
+		}
+	}
+	return token.NoPos, false
+}
+
+// subBlocks returns the nested statement lists of a statement, for
+// finding Checkouts in inner scopes. Function literals are excluded
+// (they are separate functions).
+func subBlocks(s ast.Stmt) [][]ast.Stmt {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return [][]ast.Stmt{s.List}
+	case *ast.IfStmt:
+		out := [][]ast.Stmt{s.Body.List}
+		if s.Else != nil {
+			out = append(out, subBlocks(s.Else)...)
+		}
+		return out
+	case *ast.ForStmt:
+		return [][]ast.Stmt{s.Body.List}
+	case *ast.RangeStmt:
+		return [][]ast.Stmt{s.Body.List}
+	case *ast.SwitchStmt:
+		return clauseBlocks(s.Body)
+	case *ast.TypeSwitchStmt:
+		return clauseBlocks(s.Body)
+	case *ast.SelectStmt:
+		return clauseBlocks(s.Body)
+	case *ast.LabeledStmt:
+		return subBlocks(s.Stmt)
+	}
+	return nil
+}
+
+func clauseBlocks(body *ast.BlockStmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	for _, c := range body.List {
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			out = append(out, c.Body)
+		case *ast.CommClause:
+			out = append(out, c.Body)
+		}
+	}
+	return out
+}
+
+// pinAnalysis is the path walker. allPaths reports, for the statement
+// suffix after a Checkout: ok — every terminating path (return) saw a
+// Checkin first; done — a fall-through path has a Checkin behind it;
+// fellThrough — control can reach the end of the suffix.
+type pinAnalysis struct {
+	gaveUp bool // goto or other construct we refuse to reason about
+}
+
+func (a *pinAnalysis) allPaths(stmts []ast.Stmt, done bool) (ok, doneAfter, fellThrough bool) {
+	ok = true
+	for _, s := range stmts {
+		if a.gaveUp {
+			return true, true, false
+		}
+		switch s := s.(type) {
+		case *ast.ReturnStmt:
+			return ok && done, done, false
+		case *ast.BranchStmt:
+			if s.Tok == token.GOTO {
+				a.gaveUp = true
+				return true, true, false
+			}
+			// break/continue leave the suffix without returning from
+			// the function; the Checkin obligation transfers to the
+			// enclosing loop's suffix, which this walker is already
+			// analyzing (the loop body is part of the suffix). Treat as
+			// path end that is fine as-is.
+			return ok, done, false
+		case *ast.BlockStmt:
+			ok2, done2, fell := a.allPaths(s.List, done)
+			ok = ok && ok2
+			if !fell {
+				return ok, done2, false
+			}
+			done = done2
+		case *ast.IfStmt:
+			okT, doneT, fellT := a.allPaths(s.Body.List, done)
+			okE, doneE, fellE := true, done, true
+			if s.Else != nil {
+				okE, doneE, fellE = a.allPaths([]ast.Stmt{s.Else}, done)
+			}
+			ok = ok && okT && okE
+			switch {
+			case fellT && fellE:
+				done = doneT && doneE
+			case fellT:
+				done = doneT
+			case fellE:
+				done = doneE
+			default:
+				return ok, done, false
+			}
+		case *ast.ForStmt, *ast.RangeStmt:
+			// The body may run zero times: returns inside must satisfy
+			// the obligation, but a Checkin inside does not count for
+			// the fall-through path.
+			var body *ast.BlockStmt
+			if f, isFor := s.(*ast.ForStmt); isFor {
+				body = f.Body
+			} else {
+				body = s.(*ast.RangeStmt).Body
+			}
+			ok2, _, _ := a.allPaths(body.List, done)
+			ok = ok && ok2
+			// An infinite `for {}` with no break never falls through,
+			// but detecting that is not needed for the repo's shapes.
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			var blocks [][]ast.Stmt
+			switch s := s.(type) {
+			case *ast.SwitchStmt:
+				blocks = clauseBlocks(s.Body)
+			case *ast.TypeSwitchStmt:
+				blocks = clauseBlocks(s.Body)
+			case *ast.SelectStmt:
+				blocks = clauseBlocks(s.Body)
+			}
+			for _, b := range blocks {
+				ok2, _, _ := a.allPaths(b, done)
+				ok = ok && ok2
+			}
+			// Conservative: a Checkin inside a clause does not count
+			// toward the fall-through path (a missing case skips it).
+		case *ast.GoStmt:
+			// Asynchronous: a Checkin inside does not discharge this
+			// path (and is itself a separate protocol).
+		default:
+			if stmtChecksIn(s) {
+				done = true
+			}
+		}
+	}
+	return ok, done, true
+}

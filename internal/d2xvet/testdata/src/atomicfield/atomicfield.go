@@ -1,0 +1,70 @@
+// Fixture for the atomicfield pass: copies of atomic-bearing values,
+// non-atomic field access, and post-construction writes to
+// //d2x:immutable types.
+package atomicfield
+
+import "sync/atomic"
+
+type holder struct {
+	ptr atomic.Pointer[int]
+	n   atomic.Int64
+}
+
+func copies(h *holder) {
+	c := *h // want "assignment copies a value containing sync/atomic"
+	_ = c
+}
+
+func passes(h holder) int64 { return h.n.Load() }
+
+func callCopies(h *holder) {
+	_ = passes(*h) // want "call copies a value containing sync/atomic"
+}
+
+func returns(h *holder) holder {
+	return *h // want "return copies a value containing sync/atomic"
+}
+
+func ranges(hs []holder) {
+	for _, h := range hs { // want "range copies a value containing sync/atomic"
+		_ = h
+	}
+}
+
+func tears(h *holder) {
+	x := h.n // want "assignment copies a value containing sync/atomic" "field h.n of atomic type sync/atomic.Int64 accessed without its atomic API"
+	_ = x
+}
+
+// The atomic API: method calls and address-taking are clean.
+func atomically(h *holder) int64 {
+	p := &h.ptr
+	p.Store(nil)
+	return h.n.Load()
+}
+
+func sharesByPointer(h *holder) *holder { return h }
+
+//d2x:immutable
+type tables struct {
+	index map[int]int
+	n     int
+}
+
+//d2x:ctor tables
+func newTables(n int) *tables {
+	t := &tables{index: map[int]int{}}
+	t.n = n
+	t.index[n] = 1
+	return t
+}
+
+func mutates(t *tables) {
+	t.n = 7 // want "write to field t.n of //d2x:immutable type tables outside its //d2x:ctor functions"
+}
+
+func mutatesDeep(t *tables) {
+	t.index[3] = 4 // want "write to field t.index of //d2x:immutable type tables outside its //d2x:ctor functions"
+}
+
+func reads(t *tables) int { return t.n }

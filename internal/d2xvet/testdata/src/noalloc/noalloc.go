@@ -1,0 +1,119 @@
+// Fixture for the noalloc pass: flagged and clean variants of every
+// allocation shape the pass detects, plus the error-path excuses and
+// the //d2xvet:ignore escape hatch.
+package noalloc
+
+import "errors"
+
+//d2x:noalloc
+func strictAppend(dst []int) []int {
+	dst = append(dst, 1) // want "append in //d2x:noalloc function strictAppend"
+	return dst
+}
+
+// //d2x:noalloc amortized permits append: pooled buffers grow to steady
+// state and then stop allocating.
+//
+//d2x:noalloc amortized
+func amortizedAppend(dst []byte) []byte {
+	return append(dst, 'x')
+}
+
+//d2x:noalloc
+func makes() []int {
+	return make([]int, 4) // want "make in //d2x:noalloc function makes allocates"
+}
+
+//d2x:noalloc
+func news() *int {
+	return new(int) // want "new in //d2x:noalloc function news allocates"
+}
+
+//d2x:noalloc
+func sliceLit() []int {
+	return []int{1, 2} // want "slice literal in //d2x:noalloc function sliceLit allocates"
+}
+
+//d2x:noalloc
+func heapLit() *point {
+	return &point{1, 2} // want "&composite literal in //d2x:noalloc function heapLit heap-allocates"
+}
+
+type point struct{ x, y int }
+
+// Value composite literals are stack material and stay clean.
+//
+//d2x:noalloc
+func valueLit() point {
+	return point{1, 2}
+}
+
+//d2x:noalloc
+func boxes(v int) {
+	sink(v) // want "argument boxes int into interface any in //d2x:noalloc function boxes"
+}
+
+//d2x:noalloc
+func sink(v any) { _ = v }
+
+//d2x:noalloc
+func callsCold() {
+	cold() // want "callee is neither //d2x:noalloc nor on the alloc-free allowlist"
+}
+
+func cold() {}
+
+//d2x:noalloc
+func callsHot() {
+	hot()
+}
+
+//d2x:noalloc
+func hot() {}
+
+//d2x:noalloc
+func concat(a, b string) string {
+	return a + b // want "string concatenation in //d2x:noalloc function concat"
+}
+
+//d2x:noalloc
+func converts(b []byte) string {
+	return string(b) // want "conversion string in //d2x:noalloc function converts copies its operand"
+}
+
+//d2x:noalloc
+func closes(n int) func() int {
+	return func() int { return n } // want "function literal in //d2x:noalloc function closes allocates its closure"
+}
+
+//d2x:noalloc
+func mapWrite(m map[int]int) {
+	m[1] = 2 // want "map write in //d2x:noalloc function mapWrite may grow the map"
+}
+
+// The error path is excused: a return whose final error result is
+// non-nil only runs when the steady state is already over.
+//
+//d2x:noalloc
+func errPath(x *int) (int, error) {
+	if x == nil {
+		return 0, errors.New("nil input")
+	}
+	return *x, nil
+}
+
+// Allocations under an `if x != nil` guard are the error path too.
+//
+//d2x:noalloc
+func errGuard(err error) {
+	if err != nil {
+		cold()
+	}
+}
+
+// A reasoned //d2xvet:ignore suppresses a finding.
+//
+//d2x:noalloc
+func warmup() []int {
+	return make([]int, 8) //d2xvet:ignore noalloc pool warm-up; steady state measured at zero allocs
+}

@@ -1,0 +1,26 @@
+// Package obs mirrors the API shapes of the repository's observability
+// layer for the obssample fixture (the pass matches obs packages by
+// path suffix, so this stand-in exercises the same rules without
+// annotating the real package from testdata).
+package obs
+
+// Histogram mirrors the real log2 histogram's observation API.
+type Histogram struct{ n int64 }
+
+// Observe records a wall-clock duration (the expensive variant).
+func (h *Histogram) Observe(ns int64) { h.n += ns }
+
+// ObserveNS records a monotonic duration.
+func (h *Histogram) ObserveNS(ns int64) { h.n += ns }
+
+// Since records wall-clock elapsed time.
+func (h *Histogram) Since(start int64) { h.n += start }
+
+// SinceNS records monotonic elapsed time.
+func (h *Histogram) SinceNS(start int64) { h.n += start }
+
+// NowNanos is the cheap monotonic clock read.
+func NowNanos() int64 { return 0 }
+
+// WallNanos is the expensive wall clock read.
+func WallNanos() int64 { return 0 }

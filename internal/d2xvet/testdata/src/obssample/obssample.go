@@ -1,0 +1,62 @@
+// Fixture for the obssample pass: wall-clock and unsampled histogram
+// observations in hot-path functions, against the sampled idioms.
+package obssample
+
+import "d2x/internal/d2xvet/testdata/src/obssample/obs"
+
+var lat obs.Histogram
+
+var tick int64
+
+const sampleEvery = 8
+
+//d2x:hotpath
+func wallClock(start int64) {
+	lat.Since(start) // want "wall-clock obs call Since in hot-path function wallClock"
+}
+
+//d2x:hotpath
+func wallObserve(ns int64) {
+	lat.Observe(ns) // want "wall-clock obs call Observe in hot-path function wallObserve"
+}
+
+//d2x:hotpath
+func wallRead() int64 {
+	return obs.WallNanos() // want "wall-clock obs call WallNanos in hot-path function wallRead"
+}
+
+//d2x:hotpath
+func unsampled(start int64) {
+	lat.SinceNS(start) // want "unsampled histogram observation Histogram.SinceNS in hot-path function unsampled"
+}
+
+//d2x:noalloc
+func unsampledNoalloc(start int64) {
+	lat.ObserveNS(start) // want "unsampled histogram observation Histogram.ObserveNS in hot-path function unsampledNoalloc"
+}
+
+// Clean: the stageTick modulo idiom.
+//
+//d2x:hotpath
+func sampled(start int64) {
+	tick++
+	if tick%sampleEvery == 0 {
+		lat.SinceNS(start)
+	}
+}
+
+// Clean: the sentinel form — t0 is only non-zero when the sampled
+// branch captured it.
+//
+//d2x:hotpath
+func sentinel(t0 int64) {
+	if t0 != 0 {
+		lat.ObserveNS(obs.NowNanos() - t0)
+	}
+}
+
+// Clean: cold functions may use the wall-clock variants.
+func cold(start int64) {
+	lat.Since(start)
+	_ = obs.WallNanos()
+}

@@ -1,0 +1,92 @@
+// Fixture for the pinpair pass: Checkout/Checkin pairing across
+// straight-line, branching, error-return, loop and goroutine shapes.
+package pinpair
+
+type state struct{ n int }
+
+type registry struct{}
+
+func (r *registry) Checkout(id int) *state { return &state{} }
+
+func (r *registry) Checkin(id int, s *state) {}
+
+func use(s *state) {}
+
+// The repo idiom: pin with defer immediately after Checkout.
+func deferred(r *registry) {
+	s := r.Checkout(1)
+	defer r.Checkin(1, s)
+	use(s)
+}
+
+// Deferred closure form.
+func deferredClosure(r *registry) {
+	s := r.Checkout(1)
+	defer func() {
+		use(s)
+		r.Checkin(1, s)
+	}()
+}
+
+// Undeferred but paired on every path: accepted (panic-unsafe, but the
+// pass checks paths, not panics).
+func allPaths(r *registry, cond bool) {
+	s := r.Checkout(1)
+	if cond {
+		use(s)
+		r.Checkin(1, s)
+		return
+	}
+	r.Checkin(1, s)
+}
+
+// The classic leak: an early error return skips the Checkin.
+func leaksOnError(r *registry, err error) error {
+	s := r.Checkout(1) // want "Checkout is not matched by a Checkin on every path out of leaksOnError"
+	if err != nil {
+		return err
+	}
+	r.Checkin(1, s)
+	return nil
+}
+
+// No Checkin at all.
+func leaksEntirely(r *registry) {
+	_ = r.Checkout(1) // want "Checkout is not matched by a Checkin on every path out of leaksEntirely"
+}
+
+// A Checkin only inside a loop body does not cover the zero-iteration
+// path.
+func leaksOnEmptyLoop(r *registry, xs []int) {
+	s := r.Checkout(1) // want "Checkout is not matched by a Checkin on every path out of leaksOnEmptyLoop"
+	for range xs {
+		r.Checkin(1, s)
+	}
+}
+
+// A Checkin in a spawned goroutine is asynchronous and does not
+// discharge the calling path.
+func leaksAsync(r *registry) {
+	s := r.Checkout(1) // want "Checkout is not matched by a Checkin on every path out of leaksAsync"
+	go func() {
+		r.Checkin(1, s)
+	}()
+}
+
+// Checkout in an inner block is still tracked.
+func innerBlock(r *registry, cond bool) {
+	if cond {
+		s := r.Checkout(2) // want "Checkout is not matched by a Checkin on every path out of innerBlock"
+		use(s)
+	}
+}
+
+// Both branches pair up: clean even when the Checkin differs per branch.
+func branchesPaired(r *registry, cond bool) {
+	s := r.Checkout(1)
+	if cond {
+		r.Checkin(1, s)
+	} else {
+		r.Checkin(1, s)
+	}
+}

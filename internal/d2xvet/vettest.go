@@ -1,0 +1,140 @@
+package d2xvet
+
+// Fixture-test harness, analysistest-style: a fixture directory under
+// testdata/src/<pass> holds compilable Go files whose flagged lines
+// carry `// want "regexp"` comments. The harness loads the fixture
+// through the real loader, runs the pass, and diffs findings against
+// expectations in both directions, so fixtures prove both that the bad
+// shape is flagged and that the clean variant stays silent.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// wantMarker introduces an expectation comment. Multiple quoted
+// regexps on one line expect multiple findings there.
+const wantMarker = "// want "
+
+type expectation struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// fixtureExpectations scans the .go files of dir for want comments.
+func fixtureExpectations(dir string) ([]*expectation, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			idx := strings.Index(line, wantMarker)
+			if idx < 0 {
+				continue
+			}
+			rest := strings.TrimSpace(line[idx+len(wantMarker):])
+			for rest != "" {
+				if rest[0] != '"' {
+					return nil, fmt.Errorf("%s:%d: malformed want comment (expected quoted regexp): %s", e.Name(), i+1, rest)
+				}
+				// Find the end of the Go-quoted string.
+				end := 1
+				for end < len(rest) {
+					if rest[end] == '\\' {
+						end += 2
+						continue
+					}
+					if rest[end] == '"' {
+						break
+					}
+					end++
+				}
+				if end >= len(rest) {
+					return nil, fmt.Errorf("%s:%d: unterminated want regexp", e.Name(), i+1)
+				}
+				quoted := rest[:end+1]
+				rest = strings.TrimSpace(rest[end+1:])
+				raw, err := strconv.Unquote(quoted)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want regexp %s: %v", e.Name(), i+1, quoted, err)
+				}
+				re, err := regexp.Compile(raw)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", e.Name(), i+1, raw, err)
+				}
+				out = append(out, &expectation{file: e.Name(), line: i + 1, re: re, raw: raw})
+			}
+		}
+	}
+	return out, nil
+}
+
+// FixtureMismatches loads the fixture package at dir (inside the module
+// rooted at moduleRoot), runs the analyzers over it, and returns one
+// message per mismatch: an unexpected finding, or a want comment no
+// finding matched. An empty slice means the fixture passed.
+func FixtureMismatches(moduleRoot, dir string, analyzers []*Analyzer) ([]string, error) {
+	l, err := NewLoader(moduleRoot)
+	if err != nil {
+		return nil, err
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := l.LoadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	facts := NewFacts(pkgs)
+	diags, err := RunPackages(l.Root, pkgs, analyzers, facts)
+	if err != nil {
+		return nil, err
+	}
+	want, err := fixtureExpectations(abs)
+	if err != nil {
+		return nil, err
+	}
+	var mismatches []string
+	for _, d := range diags {
+		base := filepath.Base(d.Pos.Filename)
+		matched := false
+		for _, w := range want {
+			if w.hit || w.file != base || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			mismatches = append(mismatches, fmt.Sprintf("unexpected finding at %s:%d: [%s] %s", base, d.Pos.Line, d.Pass, d.Message))
+		}
+	}
+	for _, w := range want {
+		if !w.hit {
+			mismatches = append(mismatches, fmt.Sprintf("no finding matched want %q at %s:%d", w.raw, w.file, w.line))
+		}
+	}
+	sort.Strings(mismatches)
+	return mismatches, nil
+}

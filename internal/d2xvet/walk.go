@@ -1,0 +1,160 @@
+package d2xvet
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// funcInfo is one analyzable function body: a declaration or a literal,
+// with its annotation key (literals have none; their markers resolve by
+// position through Facts.LitMarkers).
+type funcInfo struct {
+	key  string // "" for function literals
+	name string // display name for diagnostics
+	decl *ast.FuncDecl
+	lit  *ast.FuncLit
+	body *ast.BlockStmt
+}
+
+// eachFunc yields every function declaration and literal of the pass's
+// files (skipping bodyless declarations).
+func (p *Pass) eachFunc(fn func(fi funcInfo)) {
+	path := p.Pkg.Path()
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			d, ok := decl.(*ast.FuncDecl)
+			if !ok || d.Body == nil {
+				continue
+			}
+			fn(funcInfo{key: declKey(path, d), name: d.Name.Name, decl: d, body: d.Body})
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				fn(funcInfo{name: "func literal", lit: lit, body: lit.Body})
+			}
+			return true
+		})
+	}
+}
+
+// markers returns the function's annotation markers: declaration doc
+// markers via Facts, literal markers via the line-above comment.
+func (p *Pass) markers(fi funcInfo) (noalloc, amortized, hotpath bool) {
+	if fi.decl != nil {
+		return p.Facts.NoAlloc(fi.key), p.Facts.NoAllocAmortized(fi.key), p.Facts.HotPath(fi.key)
+	}
+	ms := p.Facts.LitMarkers(p.Fset.Position(fi.lit.Pos()))
+	return litHas(ms, markNoAlloc), litHasWord(ms, markNoAlloc, "amortized"), litHas(ms, markHotPath)
+}
+
+// inspectStack walks root keeping the parent chain; fn sees each node
+// with its ancestors, outermost first. Return false to skip children.
+func inspectStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// staticCallee resolves a call to its statically-known *types.Func
+// (package function or concrete method). Returns nil for conversions,
+// builtins, func-value and interface-method calls it cannot pin down.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return nil // conversion
+	}
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// builtinName returns the name of a builtin being called ("append",
+// "make", ...), or "".
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if _, ok := info.Uses[id].(*types.Builtin); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// exprString renders the identifier/selector spine of an expression
+// ("r.svc", "sh.mu"); non-spine parts render as "?".
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[?]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "()"
+	default:
+		return "?"
+	}
+}
+
+// litHasWord reports whether any marker is `want <word>` (plus optional
+// trailing text), e.g. "//d2x:noalloc amortized".
+func litHasWord(markers []string, want, word string) bool {
+	for _, m := range markers {
+		if rest, ok := strings.CutPrefix(m, want+" "); ok {
+			fields := strings.Fields(rest)
+			if len(fields) > 0 && fields[0] == word {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// namedOf unwraps pointers and aliases to the named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Alias:
+			t = types.Unalias(tt)
+		case *types.Named:
+			return tt
+		default:
+			return nil
+		}
+	}
+}
+
+// isObsPkg reports whether a package path is the repo's obs package (or
+// a fixture-local equivalent named obs).
+func isObsPkg(path string) bool {
+	return path == "obs" || strings.HasSuffix(path, "/obs")
+}
