@@ -311,6 +311,7 @@ func (r *Runtime) Register(nats *minic.Natives) {
 // creates) is a perfectly valid $rsp.
 func (r *Runtime) command(name string, hasRIP, hasRSP bool, h cmdFunc) minic.NativeHandler {
 	m := cmdObs[name]
+	//d2x:hotpath
 	return func(call *minic.NativeCall) (minic.Value, error) {
 		// Checkout pins the session state for the whole command: a
 		// concurrent AttachDebugInfo/Invalidate defers its Reset until
@@ -355,6 +356,8 @@ func (r *Runtime) command(name string, hasRIP, hasRSP bool, h cmdFunc) minic.Nat
 
 // tablesFor returns the build's decoded D2X tables, shared across all
 // sessions (the first session to ask pays the one decode).
+//
+//d2x:noalloc
 func (r *Runtime) tablesFor(vm *minic.VM) (*d2xenc.Tables, error) {
 	return r.svc.Tables(vm)
 }
@@ -366,6 +369,8 @@ func (r *Runtime) tablesFor(vm *minic.VM) (*d2xenc.Tables, error) {
 // binary search. The stage-1/stage-2 miss counters keep their exact
 // meaning (a fused miss is by construction a stage-1 miss; a resolved
 // rip with a nil record is a stage-2 miss).
+//
+//d2x:noalloc
 func (r *Runtime) recordAt(vm *minic.VM, rip int64) (*d2xc.Record, int, error) {
 	if r.info == nil {
 		return nil, 0, fmt.Errorf("d2x: no debug info attached")
@@ -448,6 +453,8 @@ func (r *Runtime) RecordAtReference(vm *minic.VM, rip int64) (*d2xc.Record, int,
 
 // appendNoContext renders the no-DSL-context notice shared by the
 // frame-walking commands.
+//
+//d2x:noalloc amortized
 func appendNoContext(b []byte, what string, genLine int) []byte {
 	b = append(b, "No D2X "...)
 	b = append(b, what...)
@@ -460,11 +467,15 @@ func appendNoContext(b []byte, what string, genLine int) []byte {
 // errors are ignored, as the fmt.Fprintf-based renderer ignored them:
 // command output goes to the session's capture buffer, which cannot
 // fail, and a failing sink must not abort the user's command.
+//
+//d2x:noalloc
 func flush(vm *minic.VM, b []byte) {
-	_, _ = vm.Output.Write(b)
+	_, _ = vm.Output.Write(b) //d2xvet:ignore noalloc the session capture sink appends into its reused buffer
 }
 
 // xbt prints the extended stack for the current execution frame.
+//
+//d2x:noalloc amortized
 func (r *Runtime) xbt(vm *minic.VM, rip int64) error {
 	rec, genLine, err := r.recordAt(vm, rip)
 	if err != nil {
@@ -485,6 +496,8 @@ func (r *Runtime) xbt(vm *minic.VM, rip int64) error {
 }
 
 // xframe displays or changes the selected extended frame.
+//
+//d2x:noalloc amortized
 func (r *Runtime) xframe(st *session.State, vm *minic.VM, rip int64, arg string) error {
 	rec, genLine, err := r.recordAt(vm, rip)
 	if err != nil {
@@ -524,6 +537,8 @@ func (r *Runtime) xframe(st *session.State, vm *minic.VM, rip int64, arg string)
 }
 
 // xlist lists DSL source around the selected extended frame.
+//
+//d2x:hotpath
 func (r *Runtime) xlist(st *session.State, vm *minic.VM, rip int64) error {
 	rec, genLine, err := r.recordAt(vm, rip)
 	if err != nil {
@@ -562,6 +577,8 @@ func (r *Runtime) xlist(st *session.State, vm *minic.VM, rip int64) error {
 }
 
 // xvars lists the extended variables at the current line, or evaluates one.
+//
+//d2x:hotpath
 func (r *Runtime) xvars(st *session.State, vm *minic.VM, rip int64, name string) error {
 	rec, genLine, err := r.recordAt(vm, rip)
 	if err != nil {
@@ -660,6 +677,8 @@ const (
 // evalVar resolves a variable entry to its display string, invoking the
 // generated rtv_handler for handler-valued variables under the guard
 // the effect summary calls for.
+//
+//d2x:hotpath
 func (r *Runtime) evalVar(st *session.State, vm *minic.VM, v d2xc.VarEntry) (string, error) {
 	switch v.Kind {
 	case d2xc.VarConst:
@@ -704,6 +723,8 @@ func (r *Runtime) evalVar(st *session.State, vm *minic.VM, v d2xc.VarEntry) (str
 // all matching generated lines and returns the debugger commands that
 // install the low-level breakpoints (executed by the debugger's eval).
 // An empty spec lists the current DSL breakpoints and returns no commands.
+//
+//d2x:noalloc amortized
 func (r *Runtime) xbreak(st *session.State, vm *minic.VM, rip int64, spec string) (string, error) {
 	tables, err := r.tablesFor(vm)
 	if err != nil {
@@ -803,6 +824,8 @@ func (r *Runtime) xbreak(st *session.State, vm *minic.VM, rip int64, spec string
 
 // appendBreakCmds renders one debugger command per generated line
 // ("break gen.c:N" or "clear gen.c:N"), newline-separated.
+//
+//d2x:noalloc amortized
 func appendBreakCmds(b []byte, verb, gen string, lines []int) []byte {
 	for i, gl := range lines {
 		if i > 0 {
@@ -818,6 +841,8 @@ func appendBreakCmds(b []byte, verb, gen string, lines []int) []byte {
 
 // dedupeSortedLines sorts line numbers ascending and removes duplicates,
 // in place.
+//
+//d2x:noalloc
 func dedupeSortedLines(lines []int) []int {
 	if len(lines) < 2 {
 		return lines
@@ -835,6 +860,8 @@ func dedupeSortedLines(lines []int) []int {
 
 // xdel removes a DSL-level breakpoint by ID and returns the debugger
 // commands that clear the generated-code breakpoints.
+//
+//d2x:noalloc amortized
 func (r *Runtime) xdel(st *session.State, vm *minic.VM, spec string) (string, error) {
 	spec = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(spec), "#"))
 	id, err := strconv.Atoi(spec)
@@ -894,6 +921,7 @@ func (r *Runtime) findStackVar(vm *minic.VM, name string) (minic.Value, error) {
 	return minic.PtrVal(frame.Slots[v.Slot]), nil
 }
 
+//d2x:noalloc
 func (r *Runtime) genFileName() string {
 	if r.info != nil {
 		return r.info.File
@@ -927,8 +955,9 @@ func (r *Runtime) sourceFile(path string) ([]string, error) {
 	return lines, nil
 }
 
+//d2x:noalloc
 func (r *Runtime) sourceLine(path string, n int) (string, bool) {
-	lines, err := r.sourceFile(path)
+	lines, err := r.sourceFile(path) //d2xvet:ignore noalloc cache-miss file reads happen once per file, off the steady state
 	if err != nil || n < 1 || n > len(lines) {
 		return "", false
 	}

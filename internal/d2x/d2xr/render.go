@@ -25,12 +25,14 @@ var renderPool = sync.Pool{
 	New: func() any { return &renderBuf{b: make([]byte, 0, 512)} },
 }
 
+//d2x:noalloc
 func getRender() *renderBuf {
 	rb := renderPool.Get().(*renderBuf)
 	rb.b = rb.b[:0]
 	return rb
 }
 
+//d2x:noalloc
 func putRender(rb *renderBuf) {
 	if cap(rb.b) > renderBufMaxRetain {
 		return
@@ -41,6 +43,8 @@ func putRender(rb *renderBuf) {
 // appendXFrame renders one extended-stack frame line, the exact bytes
 // the fmt-based reference renderer produces: "#i in F at file:line"
 // (the function part omitted when empty).
+//
+//d2x:noalloc amortized
 func appendXFrame(b []byte, i int, loc srcloc.Loc) []byte {
 	b = append(b, '#')
 	b = strconv.AppendInt(b, int64(i), 10)
@@ -59,6 +63,8 @@ func appendXFrame(b []byte, i int, loc srcloc.Loc) []byte {
 
 // appendIntPadded renders n left-justified in a field of the given
 // width, space-padded on the right — fmt's %-4d for the xlist gutter.
+//
+//d2x:noalloc amortized
 func appendIntPadded(b []byte, n int64, width int) []byte {
 	start := len(b)
 	b = strconv.AppendInt(b, n, 10)

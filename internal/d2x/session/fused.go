@@ -29,6 +29,8 @@ type fusedEntry struct {
 // single binary search instead of a line-table walk plus a table
 // lookup. Like d2xenc.Tables, a Fused never changes after construction
 // and is shared read-only by every session of the build.
+//
+//d2x:immutable
 type Fused struct {
 	// info is the debug info the index was built from. Consumers pass
 	// their Info on lookup and the service compares identities, so an
@@ -52,6 +54,8 @@ func (fu *Fused) Info() *dwarfish.Info { return fu.info }
 // would fail stage 1 (unknown function, or no line entry at or before
 // the PC); rec is nil when stage 1 resolves but the generated line
 // carries no D2X record, mirroring RecordForLine's miss.
+//
+//d2x:noalloc
 func (fu *Fused) Resolve(rip int64) (genLine int, rec *d2xc.Record, ok bool) {
 	a := dwarfish.DecodeAddr(rip)
 	if a.FuncIndex < 0 || a.FuncIndex >= len(fu.funcs) {
@@ -80,6 +84,8 @@ func (fu *Fused) Resolve(rip int64) (genLine int, rec *d2xc.Record, ok bool) {
 // buildFused joins the debug info's line ranges with the decoded D2X
 // tables. Adjacent ranges with the same resolution are coalesced, so
 // the arrays stay small and the binary search short.
+//
+//d2x:ctor Fused
 func buildFused(info *dwarfish.Info, t *d2xenc.Tables) *Fused {
 	fu := &Fused{info: info, genFile: info.File}
 	info.VisitLineRanges(func(f *dwarfish.FuncInfo, lo, hi, line int) {
@@ -113,7 +119,21 @@ func buildFused(info *dwarfish.Info, t *d2xenc.Tables) *Fused {
 // returned: the index remembers the *dwarfish.Info it came from and the
 // identity check rejects it, and Invalidate drops the published index
 // outright when AttachDebugInfo swaps the build.
+//
+//d2x:noalloc
 func (s *Service) Fused(vm *minic.VM, info *dwarfish.Info) (*Fused, error) {
+	if f := s.fused.Load(); f != nil && f.info == info {
+		s.m.fusedHit.Inc()
+		return f, nil
+	}
+	return s.buildFusedIndex(vm, info) //d2xvet:ignore noalloc miss path builds the index once per (build, info), off the steady state
+}
+
+// buildFusedIndex is the Fused miss path: build the index from the
+// shared tables under decodeMu and publish it. Split from Fused so the
+// hit path above stays within the //d2x:noalloc contract. The loop
+// restarts when Invalidate races the build.
+func (s *Service) buildFusedIndex(vm *minic.VM, info *dwarfish.Info) (*Fused, error) {
 	for {
 		if f := s.fused.Load(); f != nil && f.info == info {
 			s.m.fusedHit.Inc()

@@ -111,6 +111,8 @@ type State struct {
 // expansions belong to the old build's line numbering). The session's
 // identity and its fuel-budget preference survive. Called when
 // AttachDebugInfo replaces the build mid-flight.
+//
+//d2x:noalloc
 func (st *State) Reset() {
 	st.SelXFrame = 0
 	st.LastRIP = 0
@@ -217,6 +219,8 @@ func New() *Service {
 // the key is the VM's identity (its address), spread with a Fibonacci
 // hash — heap addresses share low bits (alignment) and high bits (arena),
 // and the multiply mixes both into the top bits we index by.
+//
+//d2x:noalloc
 func (s *Service) shardFor(vm *minic.VM) *shard {
 	h := uint64(uintptr(unsafe.Pointer(vm))) * 0x9E3779B97F4A7C15
 	return &s.shards[h>>(64-5)] // top 5 bits: ShardCount == 32
@@ -226,11 +230,20 @@ func (s *Service) shardFor(vm *minic.VM) *shard {
 // vm's memory on first use. Every session shares the same immutable
 // decode. Failures are not cached: a VM that has not yet run the table
 // constructors must not poison sessions that ask later.
+//
+//d2x:noalloc
 func (s *Service) Tables(vm *minic.VM) (*d2xenc.Tables, error) {
 	if t := s.tables.Load(); t != nil {
 		s.m.tablesHit.Inc()
 		return t, nil
 	}
+	return s.decodeTables(vm) //d2xvet:ignore noalloc miss path decodes once per build, off the steady state
+}
+
+// decodeTables is the Tables miss path: decode vm's memory under
+// decodeMu and publish the result. Split from Tables so the hit path
+// above stays within the //d2x:noalloc contract.
+func (s *Service) decodeTables(vm *minic.VM) (*d2xenc.Tables, error) {
 	s.m.tablesMiss.Inc()
 	s.decodeMu.Lock()
 	defer s.decodeMu.Unlock()
@@ -293,11 +306,13 @@ func (s *Service) State(vm *minic.VM) *State {
 // torn down under it. Checkout/Checkin pairs are cheap — one shard lock
 // each, no allocation — and nest (a command that re-enters the service
 // through a nested native call simply holds two pins).
+//
+//d2x:noalloc
 func (s *Service) Checkout(vm *minic.VM) *State {
 	sh := s.shardFor(vm)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	st := s.getOrCreate(sh, vm)
+	st := s.getOrCreate(sh, vm) //d2xvet:ignore noalloc state creation happens once per attach; every later Checkout is a map hit
 	st.refs++
 	return st
 }
@@ -305,6 +320,8 @@ func (s *Service) Checkout(vm *minic.VM) *State {
 // Checkin unpins a state obtained from Checkout. If the build was
 // invalidated while the command was in flight, the last Checkin applies
 // the deferred Reset.
+//
+//d2x:noalloc
 func (s *Service) Checkin(vm *minic.VM, st *State) {
 	sh := s.shardFor(vm)
 	sh.mu.Lock()
@@ -318,6 +335,8 @@ func (s *Service) Checkin(vm *minic.VM, st *State) {
 }
 
 // Lookup returns the command state of vm's session without creating one.
+//
+//d2x:noalloc
 func (s *Service) Lookup(vm *minic.VM) (*State, bool) {
 	sh := s.shardFor(vm)
 	sh.mu.Lock()

@@ -248,8 +248,9 @@ var allocFree = map[string]bool{
 	"sync.WaitGroup.Done":  true,
 	"sync.Once.Do":         true,
 
-	"time.Since": true,
-	"time.Now":   true,
+	"time.Since":         true,
+	"time.Now":           true,
+	"time.Time.UnixNano": true,
 
 	"strconv.AppendInt":  true, // appends into the caller's buffer
 	"strconv.AppendUint": true,

@@ -28,6 +28,13 @@ var ObsSampleAnalyzer = &Analyzer{
 }
 
 func runObsSample(p *Pass) error {
+	// The obs package is the metric implementation, not an
+	// instrumentation site: SinceNS delegating to ObserveNS is the cost
+	// the sampled idiom pays once per sampled hit, so the discipline
+	// binds callers of obs, never its own internals.
+	if isObsPkg(p.Pkg.Path()) {
+		return nil
+	}
 	p.eachFunc(func(fi funcInfo) {
 		noalloc, _, hotpath := p.markers(fi)
 		if !noalloc && !hotpath {

@@ -203,11 +203,15 @@ type Addr struct {
 // EncodeAddr packs an Addr into a single int64 in the way the debugger's
 // $rip meta-variable exposes it to called functions. The paper passes the
 // raw x86 %rip the same way.
+//
+//d2x:noalloc
 func EncodeAddr(a Addr) int64 {
 	return int64(a.FuncIndex)<<32 | int64(uint32(a.PC))
 }
 
 // DecodeAddr unpacks an int64-encoded address.
+//
+//d2x:noalloc
 func DecodeAddr(v int64) Addr {
 	return Addr{FuncIndex: int(v >> 32), PC: int(uint32(v))}
 }
@@ -249,8 +253,10 @@ func (in *Info) SitesForLine(line int) []BreakpointSite {
 // the given source line — len(SitesForLine(line)) > 0 without touching
 // the site slice. It is the predicate the breakpoint-planning path uses
 // to filter candidate generated lines.
+//
+//d2x:noalloc
 func (in *Info) HasStmtOnLine(line int) bool {
-	in.ensureIndex()
+	in.ensureIndex() //d2xvet:ignore noalloc the index is built once per Info and memoized
 	return len(in.lineSites[line]) > 0
 }
 

@@ -14,9 +14,13 @@ type Counter struct {
 }
 
 // Inc adds 1.
+//
+//d2x:noalloc
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n (n may be 0; negative deltas are for Reset only).
+//
+//d2x:noalloc
 func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Value returns the current count.
@@ -33,16 +37,21 @@ type Gauge struct {
 }
 
 // Set stores the current value and raises the high-water mark.
+//
+//d2x:noalloc
 func (g *Gauge) Set(n int64) {
 	g.v.Store(n)
 	g.raise(n)
 }
 
 // Add adjusts the current value by delta and raises the high-water mark.
+//
+//d2x:noalloc
 func (g *Gauge) Add(delta int64) {
 	g.raise(g.v.Add(delta))
 }
 
+//d2x:noalloc
 func (g *Gauge) raise(n int64) {
 	for {
 		cur := g.max.Load()
@@ -86,6 +95,8 @@ type Histogram struct {
 func (h *Histogram) Observe(d time.Duration) { h.ObserveNS(int64(d)) }
 
 // ObserveNS records one duration given in nanoseconds.
+//
+//d2x:noalloc
 func (h *Histogram) ObserveNS(ns int64) {
 	if ns < 0 {
 		ns = 0
@@ -117,6 +128,8 @@ func (h *Histogram) Since(start time.Time) {
 
 // SinceNS observes the time elapsed from a NowNanos timestamp. A zero
 // start (observation disabled when the operation began) records nothing.
+//
+//d2x:noalloc
 func (h *Histogram) SinceNS(startNS int64) {
 	if startNS == 0 {
 		return
@@ -221,6 +234,8 @@ func (r *Registry) Histogram(name string) *Histogram {
 }
 
 // Ring returns the registry's trace ring.
+//
+//d2x:noalloc
 func (r *Registry) Ring() *Ring { return r.ring }
 
 // Reset zeroes every registered metric in place (handles stay valid)

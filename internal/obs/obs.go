@@ -48,6 +48,8 @@ func init() { enabled.Store(true) }
 func SetEnabled(on bool) { enabled.Store(on) }
 
 // Enabled reports whether timing and event capture are on.
+//
+//d2x:noalloc
 func Enabled() bool { return enabled.Load() }
 
 // Now returns the current time when observation is enabled, and the zero
@@ -73,6 +75,8 @@ var (
 // start when observation is enabled, and 0 otherwise. This is the hot
 // path clock: pair with Histogram.SinceNS, which records nothing for a
 // zero start. Use Now/Since on cold paths that want wall-clock times.
+//
+//d2x:noalloc
 func NowNanos() int64 {
 	if !enabled.Load() {
 		return 0
@@ -82,6 +86,8 @@ func NowNanos() int64 {
 
 // WallNanos converts a NowNanos timestamp to Unix nanoseconds, letting
 // event emitters derive a wall-clock stamp without a second clock read.
+//
+//d2x:noalloc
 func WallNanos(ns int64) int64 { return baseWall + ns }
 
 // Default is the process-wide registry. The debug service is one process
@@ -103,6 +109,8 @@ func GetHistogram(name string) *Histogram { return Default.Histogram(name) }
 
 // Emit records one trace event in the default registry's ring. The event
 // is dropped (cheaply: one atomic load) when observation is disabled.
+//
+//d2x:noalloc
 func Emit(e Event) {
 	if !enabled.Load() {
 		return

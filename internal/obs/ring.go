@@ -96,6 +96,8 @@ func (r *Ring) Written() int64 { return r.pos.Load() }
 // stay one-liners. Two writers contend on the same slot only when the
 // ring wraps a full capacity within the copy window, so the spin is
 // effectively uncontended.
+//
+//d2x:noalloc
 func (r *Ring) Add(e Event) {
 	seq := r.pos.Add(1) - 1
 	e.Seq = seq

@@ -74,6 +74,8 @@ func (s Stack) Push(l Loc) Stack {
 
 // Top returns the innermost frame and true, or a zero Loc and false when the
 // stack is empty.
+//
+//d2x:noalloc
 func (s Stack) Top() (Loc, bool) {
 	if len(s) == 0 {
 		return Loc{}, false
