@@ -10,8 +10,10 @@ import (
 // paths. In a function annotated //d2x:noalloc or //d2x:hotpath:
 //
 //   - the wall-clock obs variants (Histogram.Observe, Histogram.Since,
-//     obs.WallNanos) are forbidden — the monotonic *NS variants cost one
-//     RDTSC-class read instead of a VDSO wall read;
+//     obs.Now) are forbidden — the monotonic *NS variants cost one
+//     RDTSC-class read instead of a VDSO wall read. obs.WallNanos is
+//     fine: it is pure arithmetic over an already-taken monotonic
+//     stamp, the sanctioned way to derive a wall time on a hot path;
 //   - histogram observations (ObserveNS/SinceNS) must sit under a
 //     sampling branch, the stageTick idiom: either the branch condition
 //     itself takes a modulo (`tick.Add(1)%stageSampleEvery == 0`) or it
@@ -83,8 +85,8 @@ func (p *Pass) obsSampleFunc(fi funcInfo) {
 		case typeName == "Histogram" && (method == "Observe" || method == "Since"):
 			p.Reportf(call.Pos(), "wall-clock obs call %s in hot-path function %s; use the monotonic %sNS variant",
 				method, fi.name, method)
-		case typeName == "" && method == "WallNanos":
-			p.Reportf(call.Pos(), "wall-clock obs call WallNanos in hot-path function %s; use the monotonic NowNanos",
+		case typeName == "" && method == "Now":
+			p.Reportf(call.Pos(), "wall-clock read Now in hot-path function %s; use the monotonic NowNanos (derive wall stamps with WallNanos)",
 				fi.name)
 		case typeName == "Histogram" && (method == "ObserveNS" || method == "SinceNS"):
 			if !underSamplingBranch(stack, fi.body) {

@@ -22,5 +22,9 @@ func (h *Histogram) SinceNS(start int64) { h.n += start }
 // NowNanos is the cheap monotonic clock read.
 func NowNanos() int64 { return 0 }
 
-// WallNanos is the expensive wall clock read.
-func WallNanos() int64 { return 0 }
+// Now is the expensive wall clock read.
+func Now() int64 { return 0 }
+
+// WallNanos derives a wall stamp from a monotonic one — pure
+// arithmetic, no clock read.
+func WallNanos(ns int64) int64 { return ns }

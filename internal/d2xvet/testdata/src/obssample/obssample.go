@@ -22,7 +22,15 @@ func wallObserve(ns int64) {
 
 //d2x:hotpath
 func wallRead() int64 {
-	return obs.WallNanos() // want "wall-clock obs call WallNanos in hot-path function wallRead"
+	return obs.Now() // want "wall-clock read Now in hot-path function wallRead"
+}
+
+// Clean: WallNanos is arithmetic over a monotonic stamp, not a clock
+// read — the sanctioned way to wall-stamp an event on a hot path.
+//
+//d2x:hotpath
+func wallDerive(start int64) int64 {
+	return obs.WallNanos(start)
 }
 
 //d2x:hotpath
@@ -58,5 +66,5 @@ func sentinel(t0 int64) {
 // Clean: cold functions may use the wall-clock variants.
 func cold(start int64) {
 	lat.Since(start)
-	_ = obs.WallNanos()
+	_ = obs.Now()
 }
