@@ -131,6 +131,10 @@ var (
 	rtvLat        = obs.GetHistogram("d2xr.rtv.eval")
 	findStackVars = obs.GetCounter("d2xr.find_stack_var.calls")
 
+	// rtvTick drives 1-in-stageSampleEvery sampling of the rtv_handler
+	// latency histogram (see evalVar); guard counters remain exact.
+	rtvTick atomic.Int64
+
 	fileCacheHits   = obs.GetCounter("d2xr.filecache.hits")
 	fileCacheMisses = obs.GetCounter("d2xr.filecache.misses")
 	fileCacheEvicts = obs.GetCounter("d2xr.filecache.evictions")
@@ -692,9 +696,18 @@ func (r *Runtime) evalVar(st *session.State, vm *minic.VM, v d2xc.VarEntry) (str
 			rtvGuarded.Inc()
 			g.Stats = &gs
 		}
-		start := obs.NowNanos()
+		// The handler-eval histogram is sampled 1-in-stageSampleEvery,
+		// like the resolve stages in recordAt: a trivial handler is a
+		// handful of VM steps, and xvars evaluates every variable in
+		// scope per stop. Guard counters stay exact.
+		var t0 int64
+		if rtvTick.Add(1)%stageSampleEvery == 0 {
+			t0 = obs.NowNanos()
+		}
 		res, err := vm.CallFunctionGuarded(v.Val, []minic.Value{minic.StrVal(v.Key)}, g)
-		rtvLat.SinceNS(start)
+		if t0 != 0 {
+			rtvLat.ObserveNS(obs.NowNanos() - t0)
+		}
 		rtvFuelSpent.Add(gs.FuelUsed)
 		switch {
 		case err == nil:
