@@ -784,11 +784,11 @@ func (r *Runtime) xbreak(st *session.State, vm *minic.VM, rip int64, spec string
 			}
 		}
 		if file == "" {
-			files := tables.DSLFiles()
-			if len(files) == 0 {
+			first, ok := tables.FirstDSLFile()
+			if !ok {
 				return "", fmt.Errorf("d2x: program has no DSL source information")
 			}
-			file = files[0]
+			file = first
 		}
 	}
 
