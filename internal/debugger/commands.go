@@ -300,11 +300,26 @@ func (d *Debugger) cmdBreak(spec string) error {
 		return err
 	}
 	s := bp.Sites[0]
-	d.printf("Breakpoint %d at %s:%d (in %s)", bp.ID, d.proc.Info.File, s.Line, s.Func)
+	// Rendered append-style rather than with printf: an xbreak expansion
+	// runs one break per generated line, and each %d boxes its int.
+	b := d.getBuf()
+	b = append(b, "Breakpoint "...)
+	b = strconv.AppendInt(b, int64(bp.ID), 10)
+	b = append(b, " at "...)
+	b = append(b, d.proc.Info.File...)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, int64(s.Line), 10)
+	b = append(b, " (in "...)
+	b = append(b, s.Func...)
+	b = append(b, ')')
 	if len(bp.Sites) > 1 {
-		d.printf(" [%d locations]", len(bp.Sites))
+		b = append(b, " ["...)
+		b = strconv.AppendInt(b, int64(len(bp.Sites)), 10)
+		b = append(b, " locations]"...)
 	}
-	d.printf("\n")
+	b = append(b, '\n')
+	_, _ = d.out.Write(b)
+	d.putBuf(b)
 	return nil
 }
 
@@ -355,7 +370,14 @@ func (d *Debugger) cmdClear(spec string) error {
 		}
 		if hit {
 			deleted++
-			d.printf("Deleted breakpoint %d\n", bp.ID)
+			// Append-rendered like cmdBreak: xdel clears one breakpoint
+			// per generated line.
+			b := d.getBuf()
+			b = append(b, "Deleted breakpoint "...)
+			b = strconv.AppendInt(b, int64(bp.ID), 10)
+			b = append(b, '\n')
+			_, _ = d.out.Write(b)
+			d.putBuf(b)
 		} else {
 			kept = append(kept, bp)
 		}

@@ -19,8 +19,19 @@ type exprToken struct {
 	text string
 }
 
+// punctBytes lists the single-byte tokens; punctKinds holds their
+// pre-made kind strings, index-aligned, so lexing punctuation never
+// converts (and so never allocates) a one-byte string per token.
+const punctBytes = "()[].,*&-!+/%<>"
+
+var punctKinds = [...]string{"(", ")", "[", "]", ".", ",", "*", "&", "-", "!", "+", "/", "%", "<", ">"}
+
 func lexExpr(src string) ([]exprToken, error) {
-	var toks []exprToken
+	// A D2X command expression runs 10-20 tokens; starting at capacity
+	// 16 turns the append ladder into one allocation for almost every
+	// expression. Misses of the expr cache lex on the command path, so
+	// the constant matters there.
+	toks := make([]exprToken, 0, 16)
 	i := 0
 	for i < len(src) {
 		c := src[i]
@@ -60,32 +71,47 @@ func lexExpr(src string) ([]exprToken, error) {
 			toks = append(toks, exprToken{kind: kind, text: src[i:j]})
 			i = j
 		case c == '"':
+			// Escape-free strings — every string a D2X macro passes
+			// through — are sliced straight out of src; only an escape
+			// forces a rebuilt copy.
 			j := i + 1
-			var b strings.Builder
+			hasEscape := false
 			for j < len(src) && src[j] != '"' {
 				if src[j] == '\\' && j+1 < len(src) {
+					hasEscape = true
 					j++
-					switch src[j] {
-					case 'n':
-						b.WriteByte('\n')
-					case 't':
-						b.WriteByte('\t')
-					case '"':
-						b.WriteByte('"')
-					case '\\':
-						b.WriteByte('\\')
-					default:
-						b.WriteByte(src[j])
-					}
-				} else {
-					b.WriteByte(src[j])
 				}
 				j++
 			}
 			if j >= len(src) {
 				return nil, fmt.Errorf("unterminated string in expression")
 			}
-			toks = append(toks, exprToken{kind: "string", text: b.String()})
+			text := src[i+1 : j]
+			if hasEscape {
+				var b strings.Builder
+				b.Grow(j - i - 1)
+				for k := i + 1; k < j; k++ {
+					if src[k] == '\\' && k+1 < j {
+						k++
+						switch src[k] {
+						case 'n':
+							b.WriteByte('\n')
+						case 't':
+							b.WriteByte('\t')
+						case '"':
+							b.WriteByte('"')
+						case '\\':
+							b.WriteByte('\\')
+						default:
+							b.WriteByte(src[k])
+						}
+					} else {
+						b.WriteByte(src[k])
+					}
+				}
+				text = b.String()
+			}
+			toks = append(toks, exprToken{kind: "string", text: text})
 			i = j + 1
 		case c == '-' && i+1 < len(src) && src[i+1] == '>':
 			toks = append(toks, exprToken{kind: "->"})
@@ -108,11 +134,13 @@ func lexExpr(src string) ([]exprToken, error) {
 		case c == '|' && i+1 < len(src) && src[i+1] == '|':
 			toks = append(toks, exprToken{kind: "||"})
 			i += 2
-		case strings.ContainsRune("()[].,*&-!+/%<>", rune(c)):
-			toks = append(toks, exprToken{kind: string(c)})
-			i++
 		default:
-			return nil, fmt.Errorf("unexpected character %q in expression", string(c))
+			k := strings.IndexByte(punctBytes, c)
+			if k < 0 {
+				return nil, fmt.Errorf("unexpected character %q in expression", string(c))
+			}
+			toks = append(toks, exprToken{kind: punctKinds[k]})
+			i++
 		}
 	}
 	return toks, nil
