@@ -820,9 +820,12 @@ func (r *Runtime) xbreak(st *session.State, vm *minic.VM, rip int64, spec string
 		return "", nil
 	}
 	// The stored expansion must not alias the scratch slice, which the
-	// next command overwrites.
-	bp := &XBreakpoint{ID: st.NextID, File: file, Line: line,
-		GenLines: append([]int(nil), breakable...)}
+	// next command overwrites. GetBP recycles the object and GenLines
+	// storage of previously deleted breakpoints, so the set/delete round
+	// trip stops allocating once warm.
+	bp := st.GetBP()
+	bp.ID, bp.File, bp.Line = st.NextID, file, line
+	bp.GenLines = append(bp.GenLines[:0], breakable...)
 	st.NextID++
 	st.XBPs = append(st.XBPs, bp)
 	rb.b = append(rb.b, "Inserting "...)
@@ -901,6 +904,7 @@ func (r *Runtime) xdel(st *session.State, vm *minic.VM, spec string) (string, er
 		// `clear` on an already-cleared location is a command error.
 		st.ScratchLines = append(st.ScratchLines[:0], bp.GenLines...)
 		lines := dedupeSortedLines(st.ScratchLines)
+		st.PutBP(bp)
 		rb.b = appendBreakCmds(rb.b[:0], "clear ", r.genFileName(), lines)
 		return string(rb.b), nil
 	}

@@ -96,6 +96,13 @@ type State struct {
 	// repeat commands allocation-free.
 	ScratchLines []int
 
+	// bpFree recycles breakpoints deleted by xdel — object and GenLines
+	// capacity both — so a set/delete round trip stops allocating once
+	// warm. Owned by the session's single command stream, like
+	// ScratchLines. Entries survive Reset: their fields are fully
+	// rewritten on reuse, so stale build state cannot leak through them.
+	bpFree []*XBreakpoint
+
 	// refs counts in-flight commands pinning this state (Checkout has
 	// run, Checkin has not). resetPending records an Invalidate that
 	// arrived while refs was non-zero; the reset is applied by the
@@ -121,6 +128,29 @@ func (st *State) Reset() {
 	st.CurRSP = 0
 	st.XBPs = nil
 	st.NextID = 1
+}
+
+// GetBP pops a recycled breakpoint — GenLines emptied, capacity kept —
+// or allocates a fresh one. Callers overwrite every field.
+//
+//d2x:noalloc
+func (st *State) GetBP() *XBreakpoint {
+	if n := len(st.bpFree); n > 0 {
+		bp := st.bpFree[n-1]
+		st.bpFree[n-1] = nil
+		st.bpFree = st.bpFree[:n-1]
+		bp.GenLines = bp.GenLines[:0]
+		return bp
+	}
+	return &XBreakpoint{} //d2xvet:ignore noalloc freelist miss allocates once; every round trip after reuses it
+}
+
+// PutBP recycles a deleted breakpoint's storage for the next xbreak.
+// The breakpoint must already be unlinked from XBPs.
+//
+//d2x:noalloc amortized
+func (st *State) PutBP(bp *XBreakpoint) {
+	st.bpFree = append(st.bpFree, bp)
 }
 
 // metrics is the service's observability handle set, resolved once at
