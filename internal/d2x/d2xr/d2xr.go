@@ -835,7 +835,7 @@ func (r *Runtime) xbreak(st *session.State, vm *minic.VM, rip int64, spec string
 	rb.b = append(rb.b, '\n')
 	flush(vm, rb.b)
 	rb.b = appendBreakCmds(rb.b[:0], "break ", r.genFileName(), breakable)
-	return string(rb.b), nil
+	return string(rb.b), nil //d2xvet:ignore noalloc the returned command script must outlive the pooled buffer
 }
 
 // appendBreakCmds renders one debugger command per generated line
@@ -906,7 +906,7 @@ func (r *Runtime) xdel(st *session.State, vm *minic.VM, spec string) (string, er
 		lines := dedupeSortedLines(st.ScratchLines)
 		st.PutBP(bp)
 		rb.b = appendBreakCmds(rb.b[:0], "clear ", r.genFileName(), lines)
-		return string(rb.b), nil
+		return string(rb.b), nil //d2xvet:ignore noalloc the returned command script must outlive the pooled buffer
 	}
 	return "", fmt.Errorf("d2x: no DSL breakpoint #%d", id)
 }
