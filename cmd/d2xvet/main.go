@@ -124,6 +124,17 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 
 	facts := d2xvet.NewFacts(pkgs)
+	// Markers must resolve module-wide even when analyzing a subset of
+	// packages, or cross-package annotations look missing and noalloc
+	// reports false positives.
+	analyzed := map[string]bool{}
+	for _, dir := range dirs {
+		analyzed[dir] = true
+	}
+	if err := facts.ScanModule(loader, analyzed); err != nil {
+		fmt.Fprintf(stderr, "d2xvet: %v\n", err)
+		return 2
+	}
 	diags, err := d2xvet.RunPackages(loader.Root, pkgs, analyzers, facts)
 	if err != nil {
 		fmt.Fprintf(stderr, "d2xvet: %v\n", err)

@@ -5,6 +5,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
 	"strings"
 )
 
@@ -97,14 +98,52 @@ func markersIn(g *ast.CommentGroup) []string {
 }
 
 func (f *Facts) scan(pkg *Package) {
-	path := pkg.Types.Path()
-	for _, file := range pkg.Files {
+	f.scanFiles(pkg.Types.Path(), pkg.Fset, pkg.Files)
+}
+
+// ScanModule parses (without type-checking) every package directory of
+// the module and records its markers. Without this, analyzing a subset
+// of packages reports false positives: a //d2x:noalloc function calling
+// an annotated function in a package outside the subset would see the
+// callee as unannotated. Marker scanning is parse-only, so covering the
+// whole module costs little even for single-package runs. Directories
+// in skipDirs (already loaded as analysis units, whose markers NewFacts
+// scanned) are not re-parsed.
+func (f *Facts) ScanModule(l *Loader, skipDirs map[string]bool) error {
+	dirs, err := GoDirs(l.Root)
+	if err != nil {
+		return err
+	}
+	for _, dir := range dirs {
+		if skipDirs[dir] {
+			continue
+		}
+		rel, err := filepath.Rel(l.Root, dir)
+		if err != nil {
+			return err
+		}
+		path := l.Module
+		if rel != "." {
+			path = l.Module + "/" + filepath.ToSlash(rel)
+		}
+		primary, external, err := l.parseDir(dir, true)
+		if err != nil {
+			return err
+		}
+		f.scanFiles(path, l.fset, primary)
+		f.scanFiles(path+"_test", l.fset, external)
+	}
+	return nil
+}
+
+func (f *Facts) scanFiles(path string, fset *token.FileSet, files []*ast.File) {
+	for _, file := range files {
 		// Comment groups by end line, for attaching line-above markers
 		// to function literals.
 		endLine := map[int][]string{}
 		for _, g := range file.Comments {
 			if ms := markersIn(g); ms != nil {
-				line := pkg.Fset.Position(g.End()).Line
+				line := fset.Position(g.End()).Line
 				endLine[line] = append(endLine[line], ms...)
 			}
 		}
@@ -137,7 +176,7 @@ func (f *Facts) scan(pkg *Package) {
 			if !ok {
 				return true
 			}
-			pos := pkg.Fset.Position(lit.Pos())
+			pos := fset.Position(lit.Pos())
 			if ms := endLine[pos.Line-1]; ms != nil {
 				f.lits[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] = ms
 			}
