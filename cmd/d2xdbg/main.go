@@ -150,8 +150,14 @@ func printHelp(w io.Writer) {
   run | continue | step | next | finish execution
   bt | frame [N] | up | down            stack navigation
   list [N] | print EXPR | set X = Y     inspection
-  info breakpoints|locals|args|threads|registers|functions
+  info breakpoints|locals|args|threads|registers|functions|record
   thread N | call F(ARGS) | eval "FMT", ARGS
+Process record (time travel):
+  record                 start recording execution at this stop
+  record stop            stop recording and delete the history
+  record goto N          jump to recorded position N
+  reverse-step (rs)      run backwards to the previous source line
+  reverse-continue (rc)  run backwards to the last breakpoint hit
 D2X commands (DSL-level):
   xbt            extended (DSL) stack for the current frame
   xlist          DSL source around the selected extended frame
@@ -159,6 +165,7 @@ D2X commands (DSL-level):
   xvars [NAME]   extended variables; NAME evaluates one (rtv_handlers run)
   xbreak [LOC]   DSL-level breakpoint (file:line in the DSL input)
   xdel ID        delete a DSL-level breakpoint
+  reverse-xbt    reverse-step, then show the extended stack there
 Observability:
   stats          debug-service metrics snapshot (JSON)
   trace [N]      structured event trace as JSONL (last N events)

@@ -28,6 +28,7 @@ import (
 	"d2x/internal/dwarfish"
 	"d2x/internal/minic"
 	"d2x/internal/minic/effects"
+	"d2x/internal/minic/journal"
 )
 
 // Build is a linked, debuggable artifact: the compiled generated program
@@ -217,6 +218,24 @@ func (b *Build) NewSessionSplit(progOut, transcript io.Writer) (*debugger.Debugg
 		vm := proc.VM
 		rt := b.Runtime
 		d.OnClose(func() { rt.Release(vm) })
+		// Recording in a D2X session parks the journal handle on the
+		// per-VM session state instead of the debugger: Release moves it
+		// into the runtime's bounded re-attach memory (like the fuel
+		// budget), so a debugger re-attaching to the same VM resumes its
+		// history, and build invalidation stops it with the rest of the
+		// session state.
+		d.SetRecorderFactory(func(vm *minic.VM) (debugger.Recorder, error) {
+			st := rt.StateFor(vm)
+			if j, ok := st.Journal.(*journal.Journal); ok && j.Active() {
+				return debugger.NewJournalRecorder(j), nil
+			}
+			j, err := journal.Attach(vm, journal.Options{})
+			if err != nil {
+				return nil, err
+			}
+			st.Journal = j
+			return debugger.NewJournalRecorder(j), nil
+		})
 	}
 	if b.ExtraMacros != "" {
 		if err := d.LoadMacros(b.ExtraMacros); err != nil {

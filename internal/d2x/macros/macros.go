@@ -2,7 +2,9 @@
 // DSL-independent command definitions that let users type `xbt` instead of
 // `call d2x_runtime::command_xbt($rip, $rsp)`. They are written once per
 // debugger; Table 3 accounts them at 40 lines. The definitions use only
-// the debugger's stock call/eval features.
+// the debugger's stock features: call/eval plus the process-record
+// reverse commands (stock since GDB 7.0), which reverse-xbt composes
+// into DSL-level time travel.
 package macros
 
 import "d2x/internal/debugger"
@@ -27,6 +29,10 @@ define xbreak
 end
 define xdel
   eval "%s", d2x_runtime::command_xdel("$arg0")
+end
+define reverse-xbt
+  reverse-step
+  call d2x_runtime::command_xbt($rip, $rsp)
 end
 `
 

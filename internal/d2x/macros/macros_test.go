@@ -22,7 +22,7 @@ func TestInstallDefinesAllTable2Macros(t *testing.T) {
 	if err := Install(d); err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range []string{"xbt", "xframe", "xlist", "xvars", "xbreak", "xdel"} {
+	for _, name := range []string{"xbt", "xframe", "xlist", "xvars", "xbreak", "xdel", "reverse-xbt"} {
 		if _, ok := d.Macros()[name]; !ok {
 			t.Errorf("macro %s not installed", name)
 		}
@@ -30,16 +30,26 @@ func TestInstallDefinesAllTable2Macros(t *testing.T) {
 }
 
 func TestMacroBodiesUseOnlyStockCommands(t *testing.T) {
-	// The helper macros may only use call and eval — the two stock
-	// debugger features the paper's design depends on (§4.2). Anything
-	// else would mean the debugger needed modification.
+	// The helper macros may only use stock debugger features — anything
+	// else would mean the debugger needed modification (§4.2). That is
+	// call and eval for the forward commands, plus the process-record
+	// reverse commands (stock in GDB since 7.0) that reverse-xbt
+	// composes with an xbt call.
+	stock := []string{"call ", "eval ", "reverse-step", "reverse-continue"}
 	for _, line := range strings.Split(GDBInit, "\n") {
 		line = strings.TrimSpace(line)
 		if line == "" || strings.HasPrefix(line, "#") ||
 			strings.HasPrefix(line, "define") || line == "end" {
 			continue
 		}
-		if !strings.HasPrefix(line, "call ") && !strings.HasPrefix(line, "eval ") {
+		ok := false
+		for _, p := range stock {
+			if strings.HasPrefix(line, p) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
 			t.Errorf("macro body line uses a non-stock mechanism: %q", line)
 		}
 	}

@@ -1,0 +1,85 @@
+package d2x
+
+import (
+	"strings"
+	"testing"
+
+	"d2x/internal/minic/journal"
+)
+
+// TestReverseXBT is the DSL-level time-travel composition: reverse-step
+// back one generated line, then answer xbt there. The extended backtrace
+// after the rewind must be byte-identical to the one the forward run
+// produced at the same stop — replay goes through the same fused index.
+func TestReverseXBT(t *testing.T) {
+	b := buildPower(t, true)
+	d, out := session(t, b)
+	exec(t, d, "break power_gen.c:4", "run", "record")
+	out.Reset()
+	exec(t, d, "xbt")
+	forward := out.String()
+	if !strings.Contains(forward, "#0 in power at power.dsl:6") {
+		t.Fatalf("setup: xbt at the recording start:\n%s", forward)
+	}
+
+	exec(t, d, "next") // forward one generated line, onto power_gen.c:5
+	out.Reset()
+	exec(t, d, "reverse-xbt")
+	tr := out.String()
+	if !strings.HasSuffix(tr, forward) {
+		t.Errorf("reverse-xbt backtrace diverged from the forward one\n--- forward ---\n%s\n--- reverse ---\n%s", forward, tr)
+	}
+}
+
+// TestXVarsByteIdenticalAfterReplay rewinds a recording to its start and
+// re-asks xvars: erased first-stage variables and handler-backed views
+// must come back byte-identical, including the rtv handler re-reading
+// the restored stack.
+func TestXVarsByteIdenticalAfterReplay(t *testing.T) {
+	b := buildPower(t, true)
+	d, out := session(t, b)
+	exec(t, d, "break power_gen.c:4", "run", "record")
+	out.Reset()
+	exec(t, d, "xvars")
+	forward := out.String()
+	if !strings.Contains(forward, "exponent") {
+		t.Fatalf("setup: xvars at the recording start:\n%s", forward)
+	}
+
+	exec(t, d, "next", "next", "record goto 0")
+	out.Reset()
+	exec(t, d, "xvars")
+	if got := out.String(); got != forward {
+		t.Errorf("xvars after replay diverged\n--- forward ---\n%s\n--- replay ---\n%s", forward, got)
+	}
+}
+
+// TestRecordingParksOnSessionState: in a D2X session the journal handle
+// lives on the per-VM session state, not inside the debugger — that is
+// what lets Release park it and a re-attach resume it.
+func TestRecordingParksOnSessionState(t *testing.T) {
+	b := buildPower(t, true)
+	d, _ := session(t, b)
+	exec(t, d, "break power_gen.c:4", "run", "record")
+
+	st := b.Runtime.StateFor(d.Process().VM)
+	j, ok := st.Journal.(*journal.Journal)
+	if !ok || !j.Active() {
+		t.Fatalf("session state holds %T, want an active journal", st.Journal)
+	}
+	rec := d.ActiveRecorder()
+	if rec == nil {
+		t.Fatal("debugger lost its recorder")
+	}
+	exec(t, d, "next")
+	if rec.Step() != j.Step() || j.Step() == 0 {
+		t.Fatalf("recorder and parked journal disagree: %d vs %d", rec.Step(), j.Step())
+	}
+
+	// `record` again on the same VM must reuse the parked journal, not
+	// attach a second one over it.
+	exec(t, d, "record stop")
+	if j.Active() {
+		t.Fatal("record stop left the parked journal recording")
+	}
+}

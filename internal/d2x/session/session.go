@@ -26,9 +26,9 @@
 //     in-flight command checks the state back in.
 //   - Release: evicts a session's state when its debugger closes, so a
 //     long-lived build serving many sessions does not accumulate state
-//     for VMs that are gone. The session's fuel-budget preference is
-//     remembered (bounded, FIFO) so a re-attach to the same VM gets it
-//     back.
+//     for VMs that are gone. The session's fuel-budget preference and
+//     its live execution recording are remembered (bounded, FIFO) so a
+//     re-attach to the same VM gets them back.
 //
 // Every event the service sees — decodes, cache hits and misses, state
 // creation and eviction, the live-session high-water mark — is exported
@@ -88,6 +88,16 @@ type State struct {
 	// unguarded and ignore it.
 	FuelBudget int64
 
+	// Journal is the execution-journal handle of this session's process
+	// record (a *journal.Journal, stored as any so this package does not
+	// depend on the recorder). It is owned by the session's single command
+	// stream like the fields above; the registry only moves it around.
+	// Like FuelBudget it survives Release into a bounded per-shard memory,
+	// so a debugger re-attaching to the same VM resumes its recording.
+	// Unlike FuelBudget it does NOT survive Reset: the history describes
+	// the old build's instruction stream, so invalidation stops it.
+	Journal any
+
 	// ScratchLines is the reusable generated-line scratch of the xbreak
 	// and xdel command paths (candidate collection, dedupe, sort). It is
 	// touched only by this session's single command stream and is always
@@ -128,6 +138,12 @@ func (st *State) Reset() {
 	st.CurRSP = 0
 	st.XBPs = nil
 	st.NextID = 1
+	if j, ok := st.Journal.(interface{ Stop() }); ok {
+		// Recorded history indexes the old build's instruction stream;
+		// replaying it into the new build would restore garbage.
+		j.Stop()
+	}
+	st.Journal = nil
 }
 
 // GetBP pops a recycled breakpoint — GenLines emptied, capacity kept —
@@ -163,6 +179,7 @@ type metrics struct {
 	stateCreates *obs.Counter
 	stateEvicts  *obs.Counter
 	fuelRestores *obs.Counter
+	jourRestores *obs.Counter
 	live         *obs.Gauge
 	decodeLat    *obs.Histogram
 	fusedHit     *obs.Counter
@@ -180,6 +197,7 @@ func newMetrics() metrics {
 		stateCreates: obs.GetCounter("session.state.creates"),
 		stateEvicts:  obs.GetCounter("session.state.evicts"),
 		fuelRestores: obs.GetCounter("session.state.fuel_restores"),
+		jourRestores: obs.GetCounter("session.state.journal_restores"),
 		live:         obs.GetGauge("session.live"),
 		decodeLat:    obs.GetHistogram("session.tables.decode"),
 		fusedHit:     obs.GetCounter("session.fused.hit"),
@@ -201,14 +219,25 @@ const ShardCount = 32
 // unbounded registry of every VM that ever existed.
 const maxFuelMemory = 128
 
+// maxJournalMemory bounds, per shard, how many evicted sessions' live
+// recordings are parked for re-attach. Much smaller than maxFuelMemory:
+// a fuel budget is one int64, a journal holds snapshots and an
+// instruction log. A recording that falls off the FIFO is stopped, so
+// its history is freed rather than leaked.
+const maxJournalMemory = 16
+
 // shard is one slice of the state registry: a lock, the states of the
-// VMs that hash here, and the remembered fuel budgets of evicted ones.
+// VMs that hash here, and the remembered fuel budgets and parked
+// recordings of evicted ones.
 type shard struct {
 	mu     sync.Mutex
 	states map[*minic.VM]*State
 
 	fuel      map[*minic.VM]int64
 	fuelOrder []*minic.VM // insertion order, for FIFO bounding
+
+	jour      map[*minic.VM]any
+	jourOrder []*minic.VM // insertion order, for FIFO bounding
 }
 
 // Service shares one build's decoded D2X tables across its debug
@@ -308,6 +337,20 @@ func (s *Service) getOrCreate(sh *shard, vm *minic.VM) *State {
 			st.FuelBudget = fuel
 			s.m.fuelRestores.Inc()
 		}
+		if j, ok := sh.jour[vm]; ok {
+			// A parked recording moves back onto the live state — removed
+			// from the memory (unlike fuel, the handle must have exactly
+			// one owner, or a later eviction would stop a live recording).
+			st.Journal = j
+			delete(sh.jour, vm)
+			for i, v := range sh.jourOrder {
+				if v == vm {
+					sh.jourOrder = append(sh.jourOrder[:i], sh.jourOrder[i+1:]...)
+					break
+				}
+			}
+			s.m.jourRestores.Inc()
+		}
 		sh.states[vm] = st
 		s.m.stateCreates.Inc()
 		// Delta, not Set: the gauge is process-wide and several builds'
@@ -380,7 +423,9 @@ func (s *Service) Lookup(vm *minic.VM) (*State, bool) {
 // A command in flight on the evicted state (Checkout without Checkin
 // yet) keeps its pinned state object — eviction only removes the map
 // entry, it never resets a live state. The session's fuel-budget
-// override is remembered so a later session on the same VM inherits it.
+// override is remembered so a later session on the same VM inherits it,
+// and a live recording is parked the same way so re-attaching resumes
+// the journal instead of losing the history.
 func (s *Service) Release(vm *minic.VM) {
 	sh := s.shardFor(vm)
 	sh.mu.Lock()
@@ -403,6 +448,22 @@ func (s *Service) Release(vm *minic.VM) {
 			sh.fuelOrder = append(sh.fuelOrder, vm)
 		}
 		sh.fuel[vm] = st.FuelBudget
+	}
+	if st.Journal != nil {
+		if sh.jour == nil {
+			sh.jour = map[*minic.VM]any{}
+		}
+		for len(sh.jourOrder) >= maxJournalMemory {
+			oldest := sh.jourOrder[0]
+			sh.jourOrder = sh.jourOrder[1:]
+			if j, ok := sh.jour[oldest].(interface{ Stop() }); ok {
+				j.Stop()
+			}
+			delete(sh.jour, oldest)
+		}
+		sh.jourOrder = append(sh.jourOrder, vm)
+		sh.jour[vm] = st.Journal
+		st.Journal = nil
 	}
 	s.m.stateEvicts.Inc()
 	s.m.live.Add(-1)
@@ -438,6 +499,15 @@ func (s *Service) Invalidate() {
 			st.Reset()
 			obs.Emit(obs.Event{Kind: "session", Name: "invalidate", Session: st.ID})
 		}
+		// Parked recordings die with the build too: their history indexes
+		// the old instruction stream.
+		for vm, j := range sh.jour {
+			if jj, ok := j.(interface{ Stop() }); ok {
+				jj.Stop()
+			}
+			delete(sh.jour, vm)
+		}
+		sh.jourOrder = sh.jourOrder[:0]
 		sh.mu.Unlock()
 	}
 }

@@ -69,6 +69,9 @@ var canonicalCmd = map[string]string{
 	"thread": "thread", "t": "thread",
 	"info": "info", "echo": "echo",
 	"stats": "stats", "trace": "trace",
+	"record":       "record",
+	"reverse-step": "reverse-step", "rs": "reverse-step",
+	"reverse-continue": "reverse-continue", "rc": "reverse-continue",
 }
 
 // Execute runs one debugger command line, writing its transcript output to
@@ -191,6 +194,22 @@ func (d *Debugger) run(cmd, rest string) error {
 		return d.cmdStats()
 	case "trace":
 		return d.cmdTrace(rest)
+	case "record":
+		return d.cmdRecord(rest)
+	case "reverse-step", "rs":
+		stop, err := d.ReverseStep()
+		if err != nil {
+			return err
+		}
+		d.reportStop(stop)
+		return nil
+	case "reverse-continue", "rc":
+		stop, err := d.ReverseContinue()
+		if err != nil {
+			return err
+		}
+		d.reportStop(stop)
+		return nil
 	}
 
 	if m, ok := d.macros[cmd]; ok {
@@ -497,7 +516,15 @@ func (d *Debugger) cmdSet(rest string) error {
 	if eq < 0 {
 		return fmt.Errorf("set requires an assignment")
 	}
-	return d.SetVariable(strings.TrimSpace(rest[:eq]), strings.TrimSpace(rest[eq+1:]))
+	if err := d.SetVariable(strings.TrimSpace(rest[:eq]), strings.TrimSpace(rest[eq+1:])); err != nil {
+		return err
+	}
+	// A debugger-applied mutation is not part of the instruction history;
+	// checkpointing here keeps replays that cross this stop faithful.
+	if rec := d.ActiveRecorder(); rec != nil {
+		rec.Checkpoint()
+	}
+	return nil
 }
 
 // cmdEval implements GDB's eval: format the string (arguments may call
@@ -694,6 +721,10 @@ func (d *Debugger) cmdInfo(rest string) error {
 		for _, w := range d.watchpoints {
 			d.printf("%-4d watch %s\n", w.ID, w.Expr)
 		}
+		return nil
+
+	case "record":
+		d.infoRecord()
 		return nil
 
 	case "display":

@@ -157,6 +157,12 @@ type Debugger struct {
 	strFree [][]string
 	bufFree [][]byte
 
+	// recorder is the live process-record target (nil when recording is
+	// off); recorderFactory, when set, overrides how `record` builds one
+	// (the D2X session layer parks the journal handle on per-VM state).
+	recorder        Recorder
+	recorderFactory func(*minic.VM) (Recorder, error)
+
 	closed     bool
 	closeHooks []func()
 }

@@ -1,0 +1,27 @@
+package examplebuilds
+
+import (
+	"testing"
+
+	"d2x/internal/progen"
+)
+
+// TestReplayByteIdenticalExamples runs the time-travel differential
+// oracle over every example pipeline: a recorded session rewound with
+// `record goto` must regenerate its forward transcripts byte for byte
+// (stop banners, program output, bt, xbt) on real DSL-compiled builds,
+// not just the generated corpus.
+func TestReplayByteIdenticalExamples(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			b, err := Build(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := progen.CheckReplay(b, 20); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,335 @@
+// Package journal records minic VM execution so it can run backwards.
+//
+// The design is the classic deterministic-replay one (rr, GDB process
+// record): because the VM is single-goroutine, round-robin scheduled and
+// input-free, execution is a pure function of a state snapshot, so the
+// journal only needs periodic full snapshots plus a per-instruction
+// position log. Restoring to step N restores the nearest snapshot at or
+// before N and re-executes the gap with program output suppressed;
+// re-execution is byte-identical to the original run, which the replay
+// differential tests pin.
+//
+// The per-instruction log is the hot path: one fixed-size record per
+// scheduled instruction, appended into pooled 16K-record chunks so
+// steady-state recording allocates nothing (chunk growth amortizes to
+// zero, and truncated or stopped journals return their chunks to a
+// shared pool — the same ring/pool discipline internal/obs uses for its
+// histograms). The
+// package deliberately depends only on internal/minic — it is VM
+// machinery, usable by the stock debugger with no D2X knowledge.
+//
+// Two fidelity caveats, both shared with GDB's recorder: the journal
+// sees scheduled instructions only, so synthetic calls the debugger
+// injects at a stop (`call`, rtv_handlers) are not part of history; and
+// debugger-applied mutations (`set var`) at a past stop are not replayed
+// — callers should force a Checkpoint after mutating, which the
+// debugger's `set` command does.
+package journal
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"d2x/internal/minic"
+)
+
+// chunkShift sizes the record chunks: 1<<14 records x 16 bytes = 256 KiB
+// per chunk.
+const (
+	chunkShift = 14
+	chunkSize  = 1 << chunkShift
+	chunkMask  = chunkSize - 1
+)
+
+// rec is one per-instruction delta: where execution stood just before
+// scheduled instruction i ran. 16 bytes, fixed size, no pointers.
+type rec struct {
+	thread int32
+	fnIdx  int32
+	pc     int32
+	depth  int32
+}
+
+type chunk [chunkSize]rec
+
+// chunkPool recycles record chunks across truncations, journals and
+// sessions. Chunks are pointer-free and every record slot is fully
+// rewritten before it is readable (reads stop at j.step), so reused
+// chunks need no zeroing — which is the point: new(chunk) pays a 256 KiB
+// memclr that recording at full speed cannot afford.
+var chunkPool = sync.Pool{New: func() any { return new(chunk) }}
+
+// Rec is the exported view of one recorded instruction.
+type Rec struct {
+	Thread    int // thread ID that ran the instruction
+	FuncIndex int // function containing it
+	PC        int // instruction index within the function
+	Depth     int // frame depth of the thread at that moment
+}
+
+// Options configures a journal.
+type Options struct {
+	// SnapshotEvery is the scheduled-instruction cadence between full
+	// snapshots. Larger values record faster and replay slower. 0 means
+	// DefaultSnapshotEvery.
+	SnapshotEvery int64
+}
+
+// DefaultSnapshotEvery is the snapshot cadence when Options leaves it 0.
+// A full snapshot is O(live heap) — on the Fig4 workload it costs about
+// as much as running a few tens of thousands of instructions — so the
+// spacing is what keeps recording inside its 15% overhead budget: at
+// half a million instructions between snapshots the cadence cost
+// amortizes below 5%, and the worst-case rewind replays the gap in well
+// under a second (the replay loop runs at full VM speed with output
+// discarded).
+const DefaultSnapshotEvery = 1 << 19
+
+// Stats is recording telemetry for `info record` and the overhead
+// experiments.
+type Stats struct {
+	Steps       int64 // recorded scheduled instructions (current history extent)
+	Snapshots   int   // live snapshots, including the base
+	Replays     int64 // RestoreTo invocations
+	ReplaySteps int64 // instructions re-executed across all replays
+	RecordBytes int64 // bytes held by the record chunks (free pool included)
+}
+
+type checkpoint struct {
+	step int64
+	snap *minic.Snapshot
+}
+
+// Journal records one VM. Not safe for concurrent use — like the VM it
+// records, it belongs to a single-goroutine debug session.
+type Journal struct {
+	vm *minic.VM
+
+	// The hot-path cursor. cur/pos shadow chunks[len(chunks)-1] and the
+	// offset of record step within it, so the per-instruction append is
+	// one pointer indexing instead of two bounds-checked slice lookups;
+	// untilSnap counts records down to the next cadence snapshot, so the
+	// hot path never divides by `every`. pos == chunkSize forces grow.
+	cur       *chunk
+	pos       int64
+	untilSnap int64
+
+	every  int64
+	chunks []*chunk
+	snaps  []checkpoint // ascending by step; snaps[0] is the base at step 0
+	step   int64        // recorded instructions; also the current position
+	active bool
+	stats  Stats
+}
+
+// Attach starts recording vm. The VM must be started: the base snapshot
+// is taken after module initialisers (__init*) have run, so table
+// constructors are part of the base state rather than of history, and
+// restoring to step 0 lands exactly where a debugger's first stop does.
+func Attach(vm *minic.VM, opts Options) (*Journal, error) {
+	if !vm.Started() {
+		return nil, fmt.Errorf("journal: VM not started")
+	}
+	every := opts.SnapshotEvery
+	if every <= 0 {
+		every = DefaultSnapshotEvery
+	}
+	j := &Journal{vm: vm, every: every, active: true, pos: chunkSize, untilSnap: every}
+	j.snaps = append(j.snaps, checkpoint{step: 0, snap: vm.TakeSnapshot()})
+	vm.SetStepHook(j.record)
+	return j, nil
+}
+
+// Step returns the current position: the number of recorded instructions
+// between the base snapshot and the VM's present state.
+func (j *Journal) Step() int64 { return j.step }
+
+// Active reports whether the journal is still recording.
+func (j *Journal) Active() bool { return j.active }
+
+// Stats returns a copy of the recording telemetry.
+func (j *Journal) Stats() Stats {
+	s := j.stats
+	s.Steps = j.step
+	s.Snapshots = len(j.snaps)
+	s.RecordBytes = int64(len(j.chunks)) * chunkSize * 16
+	return s
+}
+
+// Stop detaches the journal from the VM and releases its history. The
+// journal cannot be restarted; attach a new one.
+func (j *Journal) Stop() {
+	if !j.active {
+		return
+	}
+	j.active = false
+	j.vm.SetStepHook(nil)
+	for _, c := range j.chunks {
+		chunkPool.Put(c)
+	}
+	j.chunks, j.snaps, j.cur = nil, nil, nil
+}
+
+// record is the per-instruction hot path, installed as the VM step hook.
+// It runs once per scheduled instruction while recording is on.
+//
+//d2x:hotpath
+//d2x:noalloc
+func (j *Journal) record(t *minic.Thread) {
+	// The hook fires before the instruction at position j.step executes,
+	// so right now the VM state IS position j.step — the only moment a
+	// cadence snapshot for it can be taken. untilSnap hits 0 exactly at
+	// positive multiples of `every` (the checkpoint guard absorbs
+	// re-execution over a cadence point that already has its snapshot).
+	if j.untilSnap == 0 {
+		j.checkpoint() //d2xvet:ignore noalloc cadence snapshots are off the per-instruction path
+		j.untilSnap = j.every
+	}
+	j.untilSnap--
+	if j.pos == chunkSize {
+		j.grow() //d2xvet:ignore noalloc chunk growth is pooled and amortized over 16384 records
+	}
+	r := &j.cur[j.pos]
+	r.thread = int32(t.ID)
+	if f := t.Top(); f != nil {
+		r.fnIdx = int32(f.FuncIndex)
+		r.pc = int32(f.PC)
+		r.depth = int32(len(t.Frames))
+	} else {
+		r.fnIdx, r.pc, r.depth = -1, -1, 0
+	}
+	j.pos++
+	j.step++
+}
+
+// grow opens the chunk holding record j.step.
+func (j *Journal) grow() {
+	j.cur = chunkPool.Get().(*chunk)
+	j.chunks = append(j.chunks, j.cur)
+	j.pos = 0
+}
+
+// checkpoint takes a cadence snapshot at the current position unless one
+// is already recorded there (re-execution after a rewind crosses the
+// same cadence points again).
+func (j *Journal) checkpoint() {
+	if n := len(j.snaps); n > 0 && j.snaps[n-1].step >= j.step {
+		return
+	}
+	j.snaps = append(j.snaps, checkpoint{step: j.step, snap: j.vm.TakeSnapshot()})
+	j.stats.Snapshots = len(j.snaps)
+}
+
+// Checkpoint forces a full snapshot at the current position. The
+// debugger calls this after mutating the debuggee at a stop (`set var`),
+// so that replays crossing the stop see the mutated state exactly as the
+// forward run did.
+func (j *Journal) Checkpoint() {
+	if !j.active {
+		return
+	}
+	j.checkpoint()
+}
+
+// At returns the recorded position of instruction i (0-based), i.e. where
+// execution stood just before it ran. ok is false outside [0, Step()).
+func (j *Journal) At(i int64) (Rec, bool) {
+	if i < 0 || i >= j.step {
+		return Rec{}, false
+	}
+	r := &j.chunks[i>>chunkShift][i&chunkMask]
+	return Rec{Thread: int(r.thread), FuncIndex: int(r.fnIdx), PC: int(r.pc), Depth: int(r.depth)}, true
+}
+
+// RestoreTo rewinds (or fast-forwards within history) the VM to its
+// exact state after `target` recorded instructions: the nearest snapshot
+// at or before target is restored and the gap re-executed with program
+// output suppressed, so replay emits nothing the forward run already
+// printed. History beyond target is discarded — resuming forward from
+// there deterministically regenerates it (and its output), unless the
+// caller mutates the debuggee first, which is the point of rewinding.
+func (j *Journal) RestoreTo(target int64) error {
+	if !j.active {
+		return fmt.Errorf("journal: not recording")
+	}
+	if target < 0 || target > j.step {
+		return fmt.Errorf("journal: step %d outside recorded history [0, %d]", target, j.step)
+	}
+	// Nearest checkpoint at or before target (snaps is ascending and
+	// snaps[0].step == 0).
+	ci := 0
+	for i := len(j.snaps) - 1; i >= 0; i-- {
+		if j.snaps[i].step <= target {
+			ci = i
+			break
+		}
+	}
+	cp := j.snaps[ci]
+	j.snaps = j.snaps[:ci+1]
+
+	// Truncate the record log to target, recycling whole chunks, and
+	// point the append cursor at the first free slot (pos == chunkSize
+	// makes the next record pull a chunk back from the pool).
+	keep := int((target + chunkMask) >> chunkShift)
+	for len(j.chunks) > keep {
+		n := len(j.chunks) - 1
+		chunkPool.Put(j.chunks[n])
+		j.chunks = j.chunks[:n]
+	}
+	if keep > 0 {
+		j.cur = j.chunks[keep-1]
+		j.pos = target - int64(keep-1)<<chunkShift
+	} else {
+		j.cur = nil
+		j.pos = chunkSize
+	}
+	// Re-arm the cadence countdown: the next checkpoint check fires at
+	// the next positive multiple of `every` (immediately if target sits
+	// on one — the guard then skips, since its snapshot survived the
+	// truncation).
+	j.untilSnap = (j.every - target%j.every) % j.every
+	if target == 0 {
+		j.untilSnap = j.every
+	}
+
+	vm := j.vm
+	vm.SetStepHook(nil)
+	out := vm.Output
+	vm.Output = io.Discard
+	err := vm.RestoreSnapshot(cp.snap)
+	if err == nil {
+		for i := cp.step; i < target; i++ {
+			if vm.StepInstr() == nil {
+				err = fmt.Errorf("journal: replay stalled at step %d of %d", i, target)
+				break
+			}
+		}
+	}
+	vm.Output = out
+	vm.SetStepHook(j.record)
+	if err != nil {
+		return err
+	}
+	j.step = target
+	j.stats.Replays++
+	j.stats.ReplaySteps += target - cp.step
+	return nil
+}
+
+// SeekBack scans the record log backwards from position `from`
+// (exclusive) for the most recent instruction satisfying pred, returning
+// its step. ok is false when no recorded instruction matches. The scan
+// does not touch the VM; pair it with RestoreTo.
+func (j *Journal) SeekBack(from int64, pred func(Rec) bool) (int64, bool) {
+	if from > j.step {
+		from = j.step
+	}
+	for i := from - 1; i >= 0; i-- {
+		r := &j.chunks[i>>chunkShift][i&chunkMask]
+		if pred(Rec{Thread: int(r.thread), FuncIndex: int(r.fnIdx), PC: int(r.pc), Depth: int(r.depth)}) {
+			return i, true
+		}
+	}
+	return 0, false
+}

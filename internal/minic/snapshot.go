@@ -1,0 +1,253 @@
+package minic
+
+import "fmt"
+
+// Snapshot is a deep copy of a VM's execution state: threads, frames,
+// operand stacks, globals, and every heap object reachable from them,
+// plus the scheduler cursor and the ID counters. Restoring a snapshot
+// and re-running is deterministic (the VM is single-goroutine round-robin
+// with no external input), which is the property the execution journal's
+// reverse execution rests on. A snapshot shares only immutable program
+// metadata (FuncDecl, FuncCode, Type, StructDef) with the live VM.
+type Snapshot struct {
+	steps        int64
+	schedIdx     int
+	nextThreadID int
+	nextFrameID  int
+	started      bool
+	globals      []Cell
+	threads      []*Thread
+}
+
+// Steps returns the VM instruction counter at the time the snapshot was
+// taken.
+func (s *Snapshot) Steps() int64 { return s.steps }
+
+// TakeSnapshot deep-copies the VM's current execution state. It must not
+// be called from inside instruction execution; the journal calls it from
+// the step hook (before the instruction runs) or at a debugger stop.
+func (vm *VM) TakeSnapshot() *Snapshot {
+	dst := make([]Cell, len(vm.Globals))
+	return &Snapshot{
+		steps:        vm.Steps,
+		schedIdx:     vm.schedIdx,
+		nextThreadID: vm.nextThreadID,
+		nextFrameID:  vm.nextFrameID,
+		started:      vm.started,
+		globals:      dst,
+		threads:      copyVMState(vm.Globals, vm.threads, dst),
+	}
+}
+
+// RestoreSnapshot replaces the VM's execution state with a deep copy of
+// the snapshot (the snapshot itself stays intact and can be restored
+// again). Globals are overwritten in place so &vm.Globals[i] pointers
+// held by natives or the debugger stay valid. Program identity must
+// match: a snapshot only restores onto the VM it was taken from (or an
+// identical program).
+func (vm *VM) RestoreSnapshot(s *Snapshot) error {
+	if len(s.globals) != len(vm.Globals) {
+		return fmt.Errorf("minic: snapshot has %d globals, VM has %d", len(s.globals), len(vm.Globals))
+	}
+	threads := copyVMState(s.globals, s.threads, vm.Globals)
+	vm.threads = threads
+	vm.frameByID = make(map[int]*Frame, 2*len(threads))
+	for _, t := range threads {
+		for _, f := range t.Frames {
+			vm.frameByID[f.ID] = f
+		}
+	}
+	vm.Steps = s.steps
+	vm.schedIdx = s.schedIdx
+	vm.nextThreadID = s.nextThreadID
+	vm.nextFrameID = s.nextFrameID
+	vm.started = s.started
+	return nil
+}
+
+// stateCopier performs one aliasing-preserving deep copy of a VM object
+// graph. The copy runs in phases so that pointers into the interior of a
+// container (a VPtr to &ArrayObj.Cells[i], a struct field cell, a global)
+// are translated to the corresponding interior cell of the copied
+// container rather than to a detached duplicate:
+//
+//  1. register the root cells whose copies have fixed homes (globals);
+//  2. discover the reachable graph, allocating each container copy and
+//     mapping its interior cells the moment the container is first seen;
+//  3. give every remaining reachable cell (frame slots, parallel_for
+//     captures, cells kept alive only by pointers) a standalone copy;
+//  4. fill every mapped cell and every non-cell value (operand stacks,
+//     thread results) by translating through the completed maps.
+//
+// The VM guarantees that a frame slot or global cell is never the
+// interior of an array or struct (slots come from newFrame/parForFrame
+// backing cells, globals from vm.Globals), so root registration in phase
+// 1 cannot conflict with container discovery in phase 2.
+type stateCopier struct {
+	cells   map[*Cell]*Cell
+	arrs    map[*ArrayObj]*ArrayObj
+	structs map[*StructObj]*StructObj
+	seen    []*Cell // discovery order; queue tail is unprocessed
+	queued  map[*Cell]bool
+}
+
+// copyVMState deep-copies (globals, threads) into (dstGlobals, returned
+// threads). dstGlobals must have the same length as globals; its cells
+// are overwritten in place.
+func copyVMState(globals []Cell, threads []*Thread, dstGlobals []Cell) []*Thread {
+	c := &stateCopier{
+		cells:   make(map[*Cell]*Cell, len(globals)+64),
+		arrs:    map[*ArrayObj]*ArrayObj{},
+		structs: map[*StructObj]*StructObj{},
+		queued:  make(map[*Cell]bool, len(globals)+64),
+	}
+
+	// Phase 1: globals are roots with fixed destinations.
+	for i := range globals {
+		c.cells[&globals[i]] = &dstGlobals[i]
+		c.enqueue(&globals[i])
+	}
+
+	// Phase 2: discover everything reachable from threads.
+	for _, t := range threads {
+		for _, f := range t.Frames {
+			for _, slot := range f.Slots {
+				c.enqueue(slot)
+			}
+			for _, v := range f.stack {
+				c.discoverValue(v)
+			}
+		}
+		if t.par != nil {
+			for _, cap := range t.par.captured {
+				c.enqueue(cap)
+			}
+		}
+		c.discoverValue(t.Result)
+	}
+	for i := 0; i < len(c.seen); i++ {
+		c.discoverValue(c.seen[i].V)
+	}
+
+	// Phase 3: reachable cells not owned by a container or a global get
+	// standalone copies.
+	for _, old := range c.seen {
+		if c.cells[old] == nil {
+			c.cells[old] = &Cell{}
+		}
+	}
+
+	// Phase 4: fill.
+	for old, nc := range c.cells {
+		nc.V = c.translate(old.V)
+	}
+	tmap := make(map[*Thread]*Thread, len(threads))
+	out := make([]*Thread, len(threads))
+	for i, t := range threads {
+		tmap[t] = &Thread{}
+		out[i] = tmap[t]
+	}
+	for i, t := range threads {
+		nt := out[i]
+		nt.ID = t.ID
+		nt.State = t.State
+		nt.Fault = t.Fault
+		nt.Result = c.translate(t.Result)
+		nt.parent = tmap[t.parent] // nil maps to nil
+		nt.children = t.children
+		nt.synth = t.synth
+		if t.par != nil {
+			pr := &parRange{next: t.par.next, end: t.par.end, helper: t.par.helper}
+			pr.captured = make([]*Cell, len(t.par.captured))
+			for j, cap := range t.par.captured {
+				pr.captured[j] = c.cells[cap]
+			}
+			nt.par = pr
+		}
+		if len(t.Frames) > 0 {
+			nt.Frames = make([]*Frame, len(t.Frames))
+			for j, f := range t.Frames {
+				nf := &Frame{
+					ID:        f.ID,
+					FuncIndex: f.FuncIndex,
+					Fn:        f.Fn,
+					Code:      f.Code,
+					PC:        f.PC,
+				}
+				nf.Slots = make([]*Cell, len(f.Slots))
+				for k, slot := range f.Slots {
+					nf.Slots[k] = c.cells[slot]
+				}
+				if len(f.stack) > 0 {
+					nf.stack = make([]Value, len(f.stack))
+					for k, v := range f.stack {
+						nf.stack[k] = c.translate(v)
+					}
+				}
+				nt.Frames[j] = nf
+			}
+		}
+	}
+	return out
+}
+
+func (c *stateCopier) enqueue(cell *Cell) {
+	if cell == nil || c.queued[cell] {
+		return
+	}
+	c.queued[cell] = true
+	c.seen = append(c.seen, cell)
+}
+
+// discoverValue walks one value, allocating container copies (with their
+// interior cell mappings) on first sight and queueing every cell it can
+// reach. Recursion depth is bounded by static type nesting, not by data
+// size: container elements are iterated, and revisits cut off at the
+// identity maps.
+func (c *stateCopier) discoverValue(v Value) {
+	switch v.Kind {
+	case VArr:
+		if v.Arr == nil || c.arrs[v.Arr] != nil {
+			return
+		}
+		na := &ArrayObj{Elem: v.Arr.Elem, Cells: make([]Cell, len(v.Arr.Cells))}
+		c.arrs[v.Arr] = na
+		for i := range v.Arr.Cells {
+			c.cells[&v.Arr.Cells[i]] = &na.Cells[i]
+			c.enqueue(&v.Arr.Cells[i])
+		}
+	case VStruct:
+		if v.Struct == nil || c.structs[v.Struct] != nil {
+			return
+		}
+		ns := &StructObj{Def: v.Struct.Def, Fields: make([]Cell, len(v.Struct.Fields))}
+		c.structs[v.Struct] = ns
+		for i := range v.Struct.Fields {
+			c.cells[&v.Struct.Fields[i]] = &ns.Fields[i]
+			c.enqueue(&v.Struct.Fields[i])
+		}
+	case VPtr:
+		c.enqueue(v.Ptr)
+	}
+}
+
+// translate rewrites a value's object references through the completed
+// identity maps. Scalars (including strings, which are immutable) pass
+// through unchanged.
+func (c *stateCopier) translate(v Value) Value {
+	switch v.Kind {
+	case VArr:
+		if v.Arr != nil {
+			v.Arr = c.arrs[v.Arr]
+		}
+	case VStruct:
+		if v.Struct != nil {
+			v.Struct = c.structs[v.Struct]
+		}
+	case VPtr:
+		if v.Ptr != nil {
+			v.Ptr = c.cells[v.Ptr]
+		}
+	}
+	return v
+}

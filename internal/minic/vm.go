@@ -82,6 +82,8 @@ type Thread struct {
 }
 
 // Top returns the innermost frame, or nil for a finished thread.
+//
+//d2x:noalloc
 func (t *Thread) Top() *Frame {
 	if len(t.Frames) == 0 {
 		return nil
@@ -117,6 +119,15 @@ type VM struct {
 	frameByID    map[int]*Frame
 	schedIdx     int
 	started      bool
+
+	// onStep, when set, observes every scheduled instruction just before
+	// it executes (the execution journal records through it). It fires
+	// only for scheduled steps — synthetic calls (debugger `call`,
+	// rtv_handlers) run on their own pool and are invisible to it. The
+	// hook runs before schedIdx advances, so a snapshot taken inside it
+	// captures a state from which the same thread is deterministically
+	// re-selected on replay.
+	onStep func(*Thread)
 }
 
 // NewVM prepares a VM for the program with zero-initialised globals.
@@ -255,6 +266,15 @@ func (vm *VM) Start() error {
 	return nil
 }
 
+// Started reports whether Start has run (the main thread exists).
+func (vm *VM) Started() bool { return vm.started }
+
+// SetStepHook installs (or, with nil, removes) the per-instruction
+// observer. At most one hook is supported; installing a new one replaces
+// the old. The hook must not run or mutate the VM — taking a snapshot is
+// the intended use.
+func (vm *VM) SetStepHook(fn func(*Thread)) { vm.onStep = fn }
+
 // Done reports whether every thread has finished.
 func (vm *VM) Done() bool {
 	for _, t := range vm.threads {
@@ -301,6 +321,9 @@ func (vm *VM) StepInstr() *Thread {
 		if t.State != ThreadReady {
 			continue
 		}
+		if vm.onStep != nil {
+			vm.onStep(t)
+		}
 		vm.schedIdx = (idx + 1) % len(vm.threads)
 		spawned, err := vm.execInstr(t)
 		vm.Steps++
@@ -315,24 +338,47 @@ func (vm *VM) StepInstr() *Thread {
 }
 
 // RunToCompletion drives the scheduler until the program finishes or
-// faults. maxSteps of 0 means no limit.
+// faults. maxSteps of 0 means no limit; a positive budget is exact — the
+// error fires as soon as maxSteps instructions have executed with work
+// still pending, and a program that finishes in exactly maxSteps
+// succeeds. (The fuel guard in CallFunctionGuarded depends on budgets
+// being exact, and it used to be possible to slip one extra instruction
+// past the cap here.)
+//
+// The loop tracks a live-thread count instead of rescanning every thread
+// per instruction: Faulted() and Done() are O(threads), and journal
+// replay drives this loop for millions of steps over programs whose
+// parallel_for fan-out leaves hundreds of finished threads behind.
 func (vm *VM) RunToCompletion(maxSteps int64) error {
+	live := 0
+	for _, t := range vm.threads {
+		switch t.State {
+		case ThreadFaulted:
+			return fmt.Errorf("thread %d faulted: %w", t.ID, t.Fault)
+		case ThreadReady, ThreadWaiting:
+			live++
+		}
+	}
 	var steps int64
-	for {
-		if f := vm.Faulted(); f != nil {
-			return fmt.Errorf("thread %d faulted: %w", f.ID, f.Fault)
+	for live > 0 {
+		if maxSteps > 0 && steps >= maxSteps {
+			return fmt.Errorf("minic: step budget of %d exceeded", maxSteps)
 		}
-		if vm.Done() {
-			return nil
-		}
-		if vm.StepInstr() == nil {
+		known := len(vm.threads)
+		t := vm.StepInstr()
+		if t == nil {
 			return fmt.Errorf("minic: deadlock: no runnable threads")
 		}
 		steps++
-		if maxSteps > 0 && steps > maxSteps {
-			return fmt.Errorf("minic: step budget of %d exceeded", maxSteps)
+		live += len(vm.threads) - known // spawned threads are born Ready
+		switch t.State {
+		case ThreadFaulted:
+			return fmt.Errorf("thread %d faulted: %w", t.ID, t.Fault)
+		case ThreadDone:
+			live--
 		}
 	}
+	return nil
 }
 
 // Run compiles the whole lifecycle: Start plus RunToCompletion.

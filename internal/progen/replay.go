@@ -1,0 +1,92 @@
+package progen
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"d2x/internal/d2x"
+)
+
+// CheckReplay is the time-travel differential oracle: it drives one
+// recorded debug session forward, capturing the full transcript at every
+// stop, then rewinds to several recorded marks with `record goto` and
+// re-drives the identical command tail. Deterministic replay means the
+// re-driven transcripts — stop banners, program output interleaved by
+// `next`, stack traces, extended backtraces — must be byte-identical to
+// the forward leg; any drift (scheduler nondeterminism, a snapshot
+// missing state, frame IDs not restored) surfaces as a diff.
+//
+// The per-stop script is read-only on the debuggee (`next`, `bt`, and
+// `xbt` on D2X builds): debugger-side mutations like `set var` or
+// writing rtv handlers are deliberately out of scope, since those are
+// not part of the instruction history (the debugger forces a journal
+// checkpoint for `set var` instead; see internal/minic/journal).
+func CheckReplay(b *d2x.Build, maxSteps int) error {
+	var buf bytes.Buffer
+	d, err := b.NewSession(&buf)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
+	// Commands that error produce no transcript; fold the error text in
+	// so both legs must fail identically too.
+	exec := func(cmd string) string {
+		buf.Reset()
+		if err := d.Execute(cmd); err != nil {
+			return "command error: " + err.Error() + "\n"
+		}
+		return buf.String()
+	}
+	stopScript := func() string {
+		t := exec("next")
+		t += exec("bt")
+		if b.Runtime != nil {
+			t += exec("xbt")
+		}
+		return t
+	}
+
+	if out := exec("break main"); !strings.Contains(out, "Breakpoint 1") {
+		return fmt.Errorf("break main: %s", out)
+	}
+	if out := exec("run"); !strings.Contains(out, "Breakpoint 1,") {
+		return fmt.Errorf("run did not stop at main:\n%s", out)
+	}
+	if err := d.Execute("record"); err != nil {
+		return fmt.Errorf("record: %w", err)
+	}
+	rec := d.ActiveRecorder()
+	if rec == nil {
+		return fmt.Errorf("record left no active recorder")
+	}
+
+	var (
+		marks   []int64  // recorded position at each stop, pre-command
+		forward []string // transcript of the per-stop script there
+	)
+	for len(forward) < maxSteps {
+		marks = append(marks, rec.Step())
+		t := stopScript()
+		forward = append(forward, t)
+		if strings.Contains(t, "[Program exited]") {
+			break
+		}
+	}
+
+	// Rewind to the start, the middle and the last stop; each replay
+	// must regenerate the forward transcripts exactly.
+	for _, i := range []int{0, len(marks) / 2, len(marks) - 1} {
+		if err := d.Execute(fmt.Sprintf("record goto %d", marks[i])); err != nil {
+			return fmt.Errorf("record goto %d: %w", marks[i], err)
+		}
+		for k := i; k < len(forward); k++ {
+			if t := stopScript(); t != forward[k] {
+				return fmt.Errorf("replay from mark %d diverged at stop %d\n--- forward ---\n%s--- replay ---\n%s",
+					marks[i], k, forward[k], t)
+			}
+		}
+	}
+	return nil
+}

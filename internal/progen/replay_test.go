@@ -1,0 +1,27 @@
+package progen
+
+import "testing"
+
+// TestReplayByteIdenticalCorpus runs the time-travel oracle over a
+// 50-program generated corpus: for every program, a recorded session's
+// replay to each chosen mark must regenerate the forward transcripts
+// byte for byte. This is the breadth test behind the journal's
+// determinism claim; the depth tests (exact cadence boundaries, chunk
+// recycling, mutations) live in internal/minic/journal.
+func TestReplayByteIdenticalCorpus(t *testing.T) {
+	const programs = 50
+	for i := 0; i < programs; i++ {
+		spec := Generate(1, i)
+		p, err := Render(spec)
+		if err != nil {
+			t.Fatalf("program %d (%s): render: %v", i, spec.Name(), err)
+		}
+		b, err := p.Build(false)
+		if err != nil {
+			t.Fatalf("program %d (%s): build: %v", i, spec.Name(), err)
+		}
+		if err := CheckReplay(b, 20); err != nil {
+			t.Errorf("program %d (%s): %v", i, spec.Name(), err)
+		}
+	}
+}
