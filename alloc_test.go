@@ -32,16 +32,15 @@ const (
 	xframeAllocBudget = 4
 
 	// xbreakAllocBudget bounds one xbreak+xdel round trip. Measured:
-	// 8 allocs/op (down from 19 before the d2xvet noalloc findings were
-	// fixed: the *XBreakpoint and its GenLines now recycle through the
-	// session's freelist, the lexer slices escape-free strings out of
-	// the source and pre-sizes its token slice, and break/clear render
-	// append-style instead of boxing through printf). The remainder is
-	// semantic, not waste: the per-ID command lines and the two command
-	// scripts the round trip materialises, the macro substitutions that
-	// embed the ID, the live *Breakpoint with its site list, and the
-	// expression-cache miss the unique xdel line forces by construction.
-	xbreakAllocBudget = 10
+	// 4 allocs/op (down from 8: the break/clear scripts now come from
+	// the session's plan cache instead of being re-rendered, the xdel
+	// macro memoises its last substitution so a repeated delete line
+	// costs no new string, and the debugger recycles *Breakpoint
+	// objects through a freelist instead of allocating per install).
+	// The remainder is semantic, not waste: the per-ID command lines
+	// the macro substitutions materialise and the expression-cache miss
+	// the unique xdel line forces by construction.
+	xbreakAllocBudget = 6
 )
 
 func measureAllocs(t *testing.T, runs int, f func() error) float64 {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	d2xload [-addr host:port] [-clients 1000] [-commands 20] [-example power] [-json out.json]
+//	d2xload [-addr host:port] [-clients 1000] [-commands 20] [-batch 0] [-example power] [-json out.json]
 //
 // d2xload exits 0 when every client completed its script, 1 otherwise.
 package main
@@ -28,6 +28,7 @@ func run(args []string) int {
 	addr := fs.String("addr", "", "server address (empty: run an in-process server)")
 	clients := fs.Int("clients", 1000, "concurrent debug sessions")
 	commands := fs.Int("commands", 20, "steady-state commands per client")
+	batch := fs.Int("batch", 0, "sub-commands per batch request (0 or 1: standalone requests)")
 	example := fs.String("example", "power", "example build every session launches")
 	jsonOut := fs.String("json", "", "write the result as JSON to this file")
 	if err := fs.Parse(args); err != nil {
@@ -36,15 +37,19 @@ func run(args []string) int {
 
 	res, err := serve.RunLoad(serve.LoadConfig{
 		Addr: *addr, Clients: *clients,
-		CommandsPerClient: *commands, Example: *example,
+		CommandsPerClient: *commands, Example: *example, Batch: *batch,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "d2xload: %v\n", err)
 		return 1
 	}
-	fmt.Printf("d2xload: %d clients, %d commands in %.0f ms: %.0f cmd/s, p50 %.3f ms, p99 %.3f ms, max %.3f ms, %d client errors\n",
-		res.Clients, res.Commands, res.ElapsedMS, res.CommandsPerSec,
-		res.P50MS, res.P99MS, res.MaxMS, res.Errors)
+	mode := "sequential"
+	if res.Batch >= 2 {
+		mode = fmt.Sprintf("batch=%d", res.Batch)
+	}
+	fmt.Printf("d2xload: %d clients (%s), %d commands in %.0f ms: %.0f cmd/s (%.0f cmd/s/core), p50 %.3f ms, p99 %.3f ms, max %.3f ms, %d client errors\n",
+		res.Clients, mode, res.Commands, res.ElapsedMS, res.CommandsPerSec,
+		res.CommandsPerSecPerCore, res.P50MS, res.P99MS, res.MaxMS, res.Errors)
 	if *jsonOut != "" {
 		b, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {

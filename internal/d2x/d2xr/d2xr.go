@@ -89,17 +89,21 @@ func CommandNatives() []NativeSpec {
 // cmdMetrics is one D2X command's observability handle set: call and
 // error counts plus a latency histogram. Handles live in the package
 // (the obs registry is process-wide), resolved once at init, so the
-// command hot path touches only atomics.
+// command hot path touches only atomics. The counters are sharded:
+// every session increments the same six command names, and under the
+// saturation workload a single shared cache line serializes the cores
+// the registry sharding just decoupled. The session ID is the affinity
+// hint; sums stay exact.
 type cmdMetrics struct {
-	calls *obs.Counter
-	errs  *obs.Counter
+	calls *obs.ShardedCounter
+	errs  *obs.ShardedCounter
 	lat   *obs.Histogram
 }
 
 func newCmdMetrics(name string) *cmdMetrics {
 	return &cmdMetrics{
-		calls: obs.GetCounter("d2xr.cmd." + name + ".calls"),
-		errs:  obs.GetCounter("d2xr.cmd." + name + ".errors"),
+		calls: obs.GetShardedCounter("d2xr.cmd." + name + ".calls"),
+		errs:  obs.GetShardedCounter("d2xr.cmd." + name + ".errors"),
 		lat:   obs.GetHistogram("d2xr.cmd." + name),
 	}
 }
@@ -113,6 +117,11 @@ var (
 		"xlist": newCmdMetrics("xlist"), "xvars": newCmdMetrics("xvars"),
 		"xbreak": newCmdMetrics("xbreak"), "xdel": newCmdMetrics("xdel"),
 	}
+	// batchObs covers ExecBatch itself (one call, N sub-ops); the sub-ops
+	// also count under their own command's calls/errors, so per-command
+	// totals are protocol-independent.
+	batchObs   = newCmdMetrics("batch")
+	batchOps   = obs.GetShardedCounter("d2xr.cmd.batch.ops")
 	stage1Lat  = obs.GetHistogram("d2xr.stage1.rip_to_genline")
 	stage1Miss = obs.GetCounter("d2xr.stage1.misses")
 	stage2Lat  = obs.GetHistogram("d2xr.stage2.genline_to_dsl")
@@ -339,7 +348,7 @@ func (r *Runtime) command(name string, hasRIP, hasRSP bool, h cmdFunc) minic.Nat
 		}
 		start := obs.NowNanos()
 		v, err := h(st, call)
-		m.calls.Inc()
+		m.calls.Inc(uint64(st.ID))
 		ev := obs.Event{Kind: "cmd", Name: name, Session: st.ID, RIP: rip}
 		if start != 0 {
 			durNS := obs.NowNanos() - start
@@ -350,7 +359,7 @@ func (r *Runtime) command(name string, hasRIP, hasRSP bool, h cmdFunc) minic.Nat
 			ev.Time = obs.WallNanos(start + durNS)
 		}
 		if err != nil {
-			m.errs.Inc()
+			m.errs.Inc(uint64(st.ID))
 			ev.Err = err.Error()
 		}
 		obs.Emit(ev)
@@ -481,46 +490,72 @@ func flush(vm *minic.VM, b []byte) {
 //
 //d2x:noalloc amortized
 func (r *Runtime) xbt(vm *minic.VM, rip int64) error {
-	rec, genLine, err := r.recordAt(vm, rip)
+	rb := getRender()
+	defer putRender(rb)
+	b, err := r.appendXBT(vm, rip, rb.b)
+	rb.b = b
 	if err != nil {
 		return err
 	}
-	rb := getRender()
-	defer putRender(rb)
-	if rec == nil || len(rec.Stack) == 0 {
-		rb.b = appendNoContext(rb.b, "context", genLine)
-	} else {
-		for i, loc := range rec.Stack {
-			rb.b = appendXFrame(rb.b, i, loc)
-			rb.b = append(rb.b, '\n')
-		}
-	}
 	flush(vm, rb.b)
 	return nil
+}
+
+// appendXBT renders the extended stack for rip into b: the shared core
+// of xbt and ExecBatch. On error b is returned unchanged, so batch
+// error isolation keeps clean output spans.
+//
+//d2x:noalloc amortized
+func (r *Runtime) appendXBT(vm *minic.VM, rip int64, b []byte) ([]byte, error) {
+	rec, genLine, err := r.recordAt(vm, rip)
+	if err != nil {
+		return b, err
+	}
+	if rec == nil || len(rec.Stack) == 0 {
+		return appendNoContext(b, "context", genLine), nil
+	}
+	for i, loc := range rec.Stack {
+		b = appendXFrame(b, i, loc)
+		b = append(b, '\n')
+	}
+	return b, nil
 }
 
 // xframe displays or changes the selected extended frame.
 //
 //d2x:noalloc amortized
 func (r *Runtime) xframe(st *session.State, vm *minic.VM, rip int64, arg string) error {
-	rec, genLine, err := r.recordAt(vm, rip)
+	rb := getRender()
+	defer putRender(rb)
+	b, err := r.appendXFrameCmd(st, vm, rip, arg, rb.b)
+	rb.b = b
 	if err != nil {
 		return err
 	}
-	rb := getRender()
-	defer putRender(rb)
+	flush(vm, rb.b)
+	return nil
+}
+
+// appendXFrameCmd renders (and optionally changes) the selected extended
+// frame into b: the shared core of xframe and ExecBatch. On error b is
+// returned unchanged.
+//
+//d2x:noalloc amortized
+func (r *Runtime) appendXFrameCmd(st *session.State, vm *minic.VM, rip int64, arg string, b []byte) ([]byte, error) {
+	rec, genLine, err := r.recordAt(vm, rip)
+	if err != nil {
+		return b, err
+	}
 	if rec == nil || len(rec.Stack) == 0 {
-		rb.b = appendNoContext(rb.b, "context", genLine)
-		flush(vm, rb.b)
-		return nil
+		return appendNoContext(b, "context", genLine), nil
 	}
 	if arg = strings.TrimSpace(arg); arg != "" {
 		n, err := strconv.Atoi(arg)
 		if err != nil {
-			return fmt.Errorf("d2x: bad extended frame id %q", arg)
+			return b, fmt.Errorf("d2x: bad extended frame id %q", arg)
 		}
 		if n < 0 || n >= len(rec.Stack) {
-			return fmt.Errorf("d2x: no extended frame %d (stack has %d frames)", n, len(rec.Stack))
+			return b, fmt.Errorf("d2x: no extended frame %d (stack has %d frames)", n, len(rec.Stack))
 		}
 		st.SelXFrame = n
 	}
@@ -528,32 +563,44 @@ func (r *Runtime) xframe(st *session.State, vm *minic.VM, rip int64, arg string)
 		st.SelXFrame = 0
 	}
 	loc := rec.Stack[st.SelXFrame]
-	rb.b = appendXFrame(rb.b, st.SelXFrame, loc)
-	rb.b = append(rb.b, '\n')
+	b = appendXFrame(b, st.SelXFrame, loc)
+	b = append(b, '\n')
 	if text, ok := r.sourceLine(loc.File, loc.Line); ok {
-		rb.b = strconv.AppendInt(rb.b, int64(loc.Line), 10)
-		rb.b = append(rb.b, '\t')
-		rb.b = append(rb.b, text...)
-		rb.b = append(rb.b, '\n')
+		b = strconv.AppendInt(b, int64(loc.Line), 10)
+		b = append(b, '\t')
+		b = append(b, text...)
+		b = append(b, '\n')
 	}
-	flush(vm, rb.b)
-	return nil
+	return b, nil
 }
 
 // xlist lists DSL source around the selected extended frame.
 //
 //d2x:hotpath
 func (r *Runtime) xlist(st *session.State, vm *minic.VM, rip int64) error {
-	rec, genLine, err := r.recordAt(vm, rip)
+	rb := getRender()
+	defer putRender(rb)
+	b, err := r.appendXList(st, vm, rip, rb.b)
+	rb.b = b
 	if err != nil {
 		return err
 	}
-	rb := getRender()
-	defer putRender(rb)
+	flush(vm, rb.b)
+	return nil
+}
+
+// appendXList renders DSL source around the selected extended frame
+// into b: the shared core of xlist and ExecBatch. On error b is
+// returned unchanged.
+//
+//d2x:hotpath
+func (r *Runtime) appendXList(st *session.State, vm *minic.VM, rip int64, b []byte) ([]byte, error) {
+	rec, genLine, err := r.recordAt(vm, rip)
+	if err != nil {
+		return b, err
+	}
 	if rec == nil || len(rec.Stack) == 0 {
-		rb.b = appendNoContext(rb.b, "context", genLine)
-		flush(vm, rb.b)
-		return nil
+		return appendNoContext(b, "context", genLine), nil
 	}
 	if st.SelXFrame >= len(rec.Stack) {
 		st.SelXFrame = 0
@@ -561,7 +608,7 @@ func (r *Runtime) xlist(st *session.State, vm *minic.VM, rip int64) error {
 	loc := rec.Stack[st.SelXFrame]
 	lines, err := r.sourceFile(loc.File)
 	if err != nil {
-		return fmt.Errorf("d2x: cannot list %s: %w", loc.File, err)
+		return b, fmt.Errorf("d2x: cannot list %s: %w", loc.File, err)
 	}
 	lo := max(1, loc.Line-2)
 	hi := min(len(lines), loc.Line+2)
@@ -570,41 +617,52 @@ func (r *Runtime) xlist(st *session.State, vm *minic.VM, rip int64) error {
 		if n == loc.Line {
 			marker = '>'
 		}
-		rb.b = append(rb.b, marker)
-		rb.b = appendIntPadded(rb.b, int64(n), 4)
-		rb.b = append(rb.b, ' ')
-		rb.b = append(rb.b, strings.TrimRight(lines[n-1], " \t")...)
-		rb.b = append(rb.b, '\n')
+		b = append(b, marker)
+		b = appendIntPadded(b, int64(n), 4)
+		b = append(b, ' ')
+		b = append(b, strings.TrimRight(lines[n-1], " \t")...)
+		b = append(b, '\n')
 	}
-	flush(vm, rb.b)
-	return nil
+	return b, nil
 }
 
 // xvars lists the extended variables at the current line, or evaluates one.
 //
 //d2x:hotpath
 func (r *Runtime) xvars(st *session.State, vm *minic.VM, rip int64, name string) error {
-	rec, genLine, err := r.recordAt(vm, rip)
+	rb := getRender()
+	defer putRender(rb)
+	b, err := r.appendXVars(st, vm, rip, name, rb.b)
+	rb.b = b
 	if err != nil {
 		return err
 	}
-	rb := getRender()
-	defer putRender(rb)
+	flush(vm, rb.b)
+	return nil
+}
+
+// appendXVars renders the extended variables at the current line (or
+// one evaluated variable) into b: the shared core of xvars and
+// ExecBatch. On error b is returned unchanged.
+//
+//d2x:hotpath
+func (r *Runtime) appendXVars(st *session.State, vm *minic.VM, rip int64, name string, b []byte) ([]byte, error) {
+	rec, genLine, err := r.recordAt(vm, rip)
+	if err != nil {
+		return b, err
+	}
 	if rec == nil || len(rec.Vars) == 0 {
-		rb.b = appendNoContext(rb.b, "variables", genLine)
-		flush(vm, rb.b)
-		return nil
+		return appendNoContext(b, "variables", genLine), nil
 	}
 	name = strings.TrimSpace(name)
 	if name == "" {
 		for i, v := range rec.Vars {
-			rb.b = strconv.AppendInt(rb.b, int64(i+1), 10)
-			rb.b = append(rb.b, '.', ' ')
-			rb.b = append(rb.b, v.Key...)
-			rb.b = append(rb.b, '\n')
+			b = strconv.AppendInt(b, int64(i+1), 10)
+			b = append(b, '.', ' ')
+			b = append(b, v.Key...)
+			b = append(b, '\n')
 		}
-		flush(vm, rb.b)
-		return nil
+		return b, nil
 	}
 	for _, v := range rec.Vars {
 		if v.Key != name {
@@ -612,16 +670,15 @@ func (r *Runtime) xvars(st *session.State, vm *minic.VM, rip int64, name string)
 		}
 		val, err := r.evalVar(st, vm, v)
 		if err != nil {
-			return err
+			return b, err
 		}
-		rb.b = append(rb.b, v.Key...)
-		rb.b = append(rb.b, " = "...)
-		rb.b = append(rb.b, val...)
-		rb.b = append(rb.b, '\n')
-		flush(vm, rb.b)
-		return nil
+		b = append(b, v.Key...)
+		b = append(b, " = "...)
+		b = append(b, val...)
+		b = append(b, '\n')
+		return b, nil
 	}
-	return fmt.Errorf("d2x: no extended variable %q at this line", name)
+	return b, fmt.Errorf("d2x: no extended variable %q at this line", name)
 }
 
 // DefaultHandlerFuel is the instruction budget for guarded rtv_handler
@@ -739,41 +796,102 @@ func (r *Runtime) evalVar(st *session.State, vm *minic.VM, v d2xc.VarEntry) (str
 //
 //d2x:noalloc amortized
 func (r *Runtime) xbreak(st *session.State, vm *minic.VM, rip int64, spec string) (string, error) {
-	tables, err := r.tablesFor(vm)
+	rb := getRender()
+	defer putRender(rb)
+	b, script, err := r.appendXBreak(st, vm, rip, spec, rb.b)
+	rb.b = b
 	if err != nil {
 		return "", err
 	}
-	rb := getRender()
-	defer putRender(rb)
+	flush(vm, rb.b)
+	return script, nil
+}
+
+// appendXBreak is the shared core of xbreak, ResolveBreakSet and
+// ExecBatch: it appends the human-readable output to b and returns the
+// break script (interned on the session's BreakPlan, so the steady
+// state hands back the same string instead of rendering a new one).
+// On error b is returned unchanged.
+//
+//d2x:noalloc amortized
+func (r *Runtime) appendXBreak(st *session.State, vm *minic.VM, rip int64, spec string, b []byte) ([]byte, string, error) {
+	tables, err := r.tablesFor(vm)
+	if err != nil {
+		return b, "", err
+	}
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
-		if len(st.XBPs) == 0 {
-			rb.b = append(rb.b, "No DSL breakpoints.\n"...)
-			flush(vm, rb.b)
-			return "", nil
-		}
-		for _, bp := range st.XBPs {
-			rb.b = append(rb.b, '#')
-			rb.b = strconv.AppendInt(rb.b, int64(bp.ID), 10)
-			rb.b = append(rb.b, "  "...)
-			rb.b = append(rb.b, bp.File...)
-			rb.b = append(rb.b, ':')
-			rb.b = strconv.AppendInt(rb.b, int64(bp.Line), 10)
-			rb.b = append(rb.b, "  ("...)
-			rb.b = strconv.AppendInt(rb.b, int64(len(bp.GenLines)), 10)
-			rb.b = append(rb.b, " generated locations)\n"...)
-		}
-		flush(vm, rb.b)
-		return "", nil
+		return appendXBPList(st, b), "", nil
 	}
+	plan, err := r.breakPlanFor(st, vm, tables, rip, spec)
+	if err != nil {
+		return b, "", err
+	}
+	if len(plan.GenLines) == 0 {
+		b = append(b, "No generated code for "...)
+		b = append(b, plan.File...)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, int64(plan.Line), 10)
+		b = append(b, '\n')
+		return b, "", nil
+	}
+	// The stored expansion must not alias the cached plan, which outlives
+	// the breakpoint's trip through the session freelist. GetBP recycles
+	// the object and GenLines storage of previously deleted breakpoints,
+	// so the set/delete round trip stops allocating once warm.
+	bp := st.GetBP()
+	bp.ID, bp.File, bp.Line = st.NextID, plan.File, plan.Line
+	bp.GenLines = append(bp.GenLines[:0], plan.GenLines...)
+	bp.Plan = plan
+	st.NextID++
+	st.XBPs = append(st.XBPs, bp)
+	b = append(b, "Inserting "...)
+	b = strconv.AppendInt(b, int64(len(plan.GenLines)), 10)
+	b = append(b, " breakpoints with ID: #"...)
+	b = strconv.AppendInt(b, int64(bp.ID), 10)
+	b = append(b, '\n')
+	return b, plan.BreakScript, nil
+}
 
+// appendXBPList renders the session's DSL breakpoints (the empty-spec
+// form of xbreak).
+//
+//d2x:noalloc amortized
+func appendXBPList(st *session.State, b []byte) []byte {
+	if len(st.XBPs) == 0 {
+		return append(b, "No DSL breakpoints.\n"...)
+	}
+	for _, bp := range st.XBPs {
+		b = append(b, '#')
+		b = strconv.AppendInt(b, int64(bp.ID), 10)
+		b = append(b, "  "...)
+		b = append(b, bp.File...)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, int64(bp.Line), 10)
+		b = append(b, "  ("...)
+		b = strconv.AppendInt(b, int64(len(bp.GenLines)), 10)
+		b = append(b, " generated locations)\n"...)
+	}
+	return b
+}
+
+// breakPlanFor parses a breakpoint spec, resolves its DSL file (from
+// the current context when the spec names none), and returns this
+// session's cached expansion of the location, computing it on first
+// use. The parse is allocation-free; everything expensive — the table
+// walk, the statement filter, the break/clear script strings — is paid
+// once per location per session and amortizes to nothing across the
+// repeated commands and batch sets that dominate real traffic.
+//
+//d2x:noalloc
+func (r *Runtime) breakPlanFor(st *session.State, vm *minic.VM, tables *d2xenc.Tables, rip int64, spec string) (*session.BreakPlan, error) {
 	file, lineStr := "", spec
 	if i := strings.LastIndex(spec, ":"); i >= 0 {
 		file, lineStr = spec[:i], spec[i+1:]
 	}
 	line, err := strconv.Atoi(lineStr)
 	if err != nil {
-		return "", fmt.Errorf("d2x: bad source location %q", spec)
+		return nil, fmt.Errorf("d2x: bad source location %q", spec)
 	}
 	if file == "" {
 		// Default to the DSL file of the current context, then to the
@@ -786,15 +904,26 @@ func (r *Runtime) xbreak(st *session.State, vm *minic.VM, rip int64, spec string
 		if file == "" {
 			first, ok := tables.FirstDSLFile()
 			if !ok {
-				return "", fmt.Errorf("d2x: program has no DSL source information")
+				return nil, fmt.Errorf("d2x: program has no DSL source information")
 			}
 			file = first
 		}
 	}
+	if plan := st.PlanFor(file, line); plan != nil {
+		return plan, nil
+	}
+	return r.buildBreakPlan(st, tables, file, line), nil //d2xvet:ignore noalloc plan misses expand and intern the scripts once per location
+}
 
+// buildBreakPlan is breakPlanFor's cache-miss path: expand the DSL
+// location over the shared tables, filter to statement-bearing lines,
+// dedupe, render the break and clear scripts, and cache the result on
+// the session. Split out so the hit path above stays within its
+// //d2x:noalloc contract.
+func (r *Runtime) buildBreakPlan(st *session.State, tables *d2xenc.Tables, file string, line int) *session.BreakPlan {
 	// Collect candidates into the session's scratch slice: the expansion
 	// is filtered, deduped and sorted in place, and only the final
-	// result is copied out onto the breakpoint.
+	// result is copied out onto the plan.
 	st.ScratchLines = tables.AppendGenLinesForDSL(st.ScratchLines[:0], file, line)
 	// Keep only lines a breakpoint can bind to (brace-only or merged
 	// lines have D2X records but no statement site).
@@ -810,32 +939,20 @@ func (r *Runtime) xbreak(st *session.State, vm *minic.VM, rip int64, spec string
 	// `break` once, in line order, or the debugger ends up with stacked
 	// duplicate breakpoints xdel can only half-remove.
 	breakable := dedupeSortedLines(st.ScratchLines[:w])
-	if len(breakable) == 0 {
-		rb.b = append(rb.b, "No generated code for "...)
-		rb.b = append(rb.b, file...)
-		rb.b = append(rb.b, ':')
-		rb.b = strconv.AppendInt(rb.b, int64(line), 10)
-		rb.b = append(rb.b, '\n')
-		flush(vm, rb.b)
-		return "", nil
+	plan := &session.BreakPlan{File: file, Line: line}
+	if len(breakable) > 0 {
+		plan.GenLines = append([]int(nil), breakable...)
+		rb := getRender()
+		rb.b = appendBreakCmds(rb.b[:0], "break ", r.genFileName(), breakable)
+		plan.BreakScript = string(rb.b)
+		rb.b = appendBreakCmds(rb.b[:0], "clear ", r.genFileName(), breakable)
+		plan.ClearScript = string(rb.b)
+		putRender(rb)
 	}
-	// The stored expansion must not alias the scratch slice, which the
-	// next command overwrites. GetBP recycles the object and GenLines
-	// storage of previously deleted breakpoints, so the set/delete round
-	// trip stops allocating once warm.
-	bp := st.GetBP()
-	bp.ID, bp.File, bp.Line = st.NextID, file, line
-	bp.GenLines = append(bp.GenLines[:0], breakable...)
-	st.NextID++
-	st.XBPs = append(st.XBPs, bp)
-	rb.b = append(rb.b, "Inserting "...)
-	rb.b = strconv.AppendInt(rb.b, int64(len(breakable)), 10)
-	rb.b = append(rb.b, " breakpoints with ID: #"...)
-	rb.b = strconv.AppendInt(rb.b, int64(bp.ID), 10)
-	rb.b = append(rb.b, '\n')
-	flush(vm, rb.b)
-	rb.b = appendBreakCmds(rb.b[:0], "break ", r.genFileName(), breakable)
-	return string(rb.b), nil //d2xvet:ignore noalloc the returned command script must outlive the pooled buffer
+	// Empty expansions are cached too: repeating a miss ("No generated
+	// code for …") should be as cheap as repeating a hit.
+	st.AddPlan(plan)
+	return plan
 }
 
 // appendBreakCmds renders one debugger command per generated line
@@ -879,36 +996,62 @@ func dedupeSortedLines(lines []int) []int {
 //
 //d2x:noalloc amortized
 func (r *Runtime) xdel(st *session.State, vm *minic.VM, spec string) (string, error) {
+	rb := getRender()
+	defer putRender(rb)
+	b, script, err := r.appendXDel(st, spec, rb.b)
+	rb.b = b
+	if err != nil {
+		return "", err
+	}
+	flush(vm, rb.b)
+	return script, nil
+}
+
+// appendXDel is the shared core of xdel and ExecBatch: it appends the
+// human-readable output to b and returns the clear script. Breakpoints
+// installed from a cached plan hand back the plan's interned script;
+// the render fallback covers breakpoints that never had one. On error
+// b is returned unchanged.
+//
+//d2x:noalloc amortized
+func (r *Runtime) appendXDel(st *session.State, spec string, b []byte) ([]byte, string, error) {
 	spec = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(spec), "#"))
 	id, err := strconv.Atoi(spec)
 	if err != nil {
-		return "", fmt.Errorf("d2x: bad breakpoint id %q", spec)
+		return b, "", fmt.Errorf("d2x: bad breakpoint id %q", spec)
 	}
 	for i, bp := range st.XBPs {
 		if bp.ID != id {
 			continue
 		}
 		st.XBPs = append(st.XBPs[:i], st.XBPs[i+1:]...)
-		rb := getRender()
-		defer putRender(rb)
-		rb.b = append(rb.b, "Deleted DSL breakpoint #"...)
-		rb.b = strconv.AppendInt(rb.b, int64(id), 10)
-		rb.b = append(rb.b, " ("...)
-		rb.b = strconv.AppendInt(rb.b, int64(len(bp.GenLines)), 10)
-		rb.b = append(rb.b, " generated locations)\n"...)
-		flush(vm, rb.b)
-		// Defensive dedupe (in the session scratch, not a fresh copy):
-		// expansions made by current xbreak are already unique, but
-		// breakpoints that survived from an older build (or were
-		// installed by external tooling) may not be, and a duplicate
-		// `clear` on an already-cleared location is a command error.
-		st.ScratchLines = append(st.ScratchLines[:0], bp.GenLines...)
-		lines := dedupeSortedLines(st.ScratchLines)
+		b = append(b, "Deleted DSL breakpoint #"...)
+		b = strconv.AppendInt(b, int64(id), 10)
+		b = append(b, " ("...)
+		b = strconv.AppendInt(b, int64(len(bp.GenLines)), 10)
+		b = append(b, " generated locations)\n"...)
+		script := ""
+		if plan := bp.Plan; plan != nil {
+			// The breakpoint's GenLines are a verbatim copy of the plan's
+			// (appendXBreak installs them that way and nothing mutates
+			// either), so the interned clear script applies as-is.
+			script = plan.ClearScript
+		} else {
+			// No plan: the breakpoint predates the plan cache (installed
+			// directly by tooling or tests). Defensive dedupe in the
+			// session scratch — a duplicate `clear` on an already-cleared
+			// location is a command error.
+			st.ScratchLines = append(st.ScratchLines[:0], bp.GenLines...)
+			lines := dedupeSortedLines(st.ScratchLines)
+			rb := getRender()
+			rb.b = appendBreakCmds(rb.b[:0], "clear ", r.genFileName(), lines)
+			script = string(rb.b) //d2xvet:ignore noalloc the fallback script must outlive the pooled buffer
+			putRender(rb)
+		}
 		st.PutBP(bp)
-		rb.b = appendBreakCmds(rb.b[:0], "clear ", r.genFileName(), lines)
-		return string(rb.b), nil //d2xvet:ignore noalloc the returned command script must outlive the pooled buffer
+		return b, script, nil
 	}
-	return "", fmt.Errorf("d2x: no DSL breakpoint #%d", id)
+	return b, "", fmt.Errorf("d2x: no DSL breakpoint #%d", id)
 }
 
 // findStackVar is the D2X runtime API available to rtv_handlers: given a

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"net"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -25,20 +26,31 @@ type LoadConfig struct {
 	CommandsPerClient int
 	// Example is the build every session launches (default "power").
 	Example string
+	// Batch, when >= 2, groups the steady-state commands into batch
+	// requests of this many sub-commands: one wire round trip and one
+	// server-side session pin per batch instead of per command. 0 or 1
+	// issues them as standalone requests.
+	Batch int
 }
 
 // LoadResult is the outcome of one load run. Latencies are exact
 // quantiles over every measured steady-state command, not histogram
 // buckets.
 type LoadResult struct {
-	Clients        int     `json:"clients"`
-	Commands       int64   `json:"commands"`
-	Errors         int64   `json:"errors"`
-	ElapsedMS      float64 `json:"elapsed_ms"`
-	CommandsPerSec float64 `json:"commands_per_sec"`
-	P50MS          float64 `json:"p50_ms"`
-	P99MS          float64 `json:"p99_ms"`
-	MaxMS          float64 `json:"max_ms"`
+	Clients  int   `json:"clients"`
+	Batch    int   `json:"batch,omitempty"`
+	Commands int64 `json:"commands"`
+	Errors   int64 `json:"errors"`
+	// ElapsedMS is wall time for the whole run; CommandsPerSec counts
+	// debugger commands (batch sub-commands individually), and
+	// CommandsPerSecPerCore divides that by GOMAXPROCS so runs on
+	// different hosts and CI shapes compare on one axis.
+	ElapsedMS             float64 `json:"elapsed_ms"`
+	CommandsPerSec        float64 `json:"commands_per_sec"`
+	CommandsPerSecPerCore float64 `json:"commands_per_sec_per_core"`
+	P50MS                 float64 `json:"p50_ms"`
+	P99MS                 float64 `json:"p99_ms"`
+	MaxMS                 float64 `json:"max_ms"`
 }
 
 // RunLoad drives cfg.Clients concurrent debug sessions and reports
@@ -79,6 +91,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		latNS    []int64
+		cmdCount atomic.Int64
 		errCount atomic.Int64
 	)
 	start := time.Now()
@@ -86,11 +99,12 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			lats, err := loadClient(addr, cfg)
+			lats, cmds, err := loadClient(addr, cfg)
 			if err != nil {
 				errCount.Add(1)
 				return
 			}
+			cmdCount.Add(cmds)
 			mu.Lock()
 			latNS = append(latNS, lats...)
 			mu.Unlock()
@@ -101,14 +115,16 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 
 	res := &LoadResult{
 		Clients:   cfg.Clients,
-		Commands:  int64(len(latNS)),
+		Batch:     cfg.Batch,
+		Commands:  cmdCount.Load(),
 		Errors:    errCount.Load(),
 		ElapsedMS: float64(elapsed.Nanoseconds()) / 1e6,
 	}
 	if len(latNS) == 0 {
 		return res, fmt.Errorf("serve: load run measured no commands (%d client errors)", res.Errors)
 	}
-	res.CommandsPerSec = float64(len(latNS)) / elapsed.Seconds()
+	res.CommandsPerSec = float64(res.Commands) / elapsed.Seconds()
+	res.CommandsPerSecPerCore = res.CommandsPerSec / float64(runtime.GOMAXPROCS(0))
 	sort.Slice(latNS, func(a, b int) bool { return latNS[a] < latNS[b] })
 	res.P50MS = float64(latNS[len(latNS)/2]) / 1e6
 	res.P99MS = float64(latNS[len(latNS)*99/100]) / 1e6
@@ -117,41 +133,72 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 }
 
 // loadClient runs one scripted session and returns its measured
-// steady-state command latencies.
-func loadClient(addr string, cfg LoadConfig) ([]int64, error) {
+// round-trip latencies plus how many debugger commands they carried
+// (equal in sequential mode; Batch per round trip in batch mode).
+func loadClient(addr string, cfg LoadConfig) ([]int64, int64, error) {
 	c, err := wire.DialTimeout(addr, 30*time.Second)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer c.Close()
 
 	if _, err := c.Do(wire.CmdLaunch, &wire.Args{Example: cfg.Example}); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	// Stop inside the staged function so the D2X commands have a frame
 	// with DSL context to resolve.
 	if _, err := c.Do(wire.CmdBreak, &wire.Args{Spec: breakSpecFor(cfg.Example)}); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if _, err := c.Do(wire.CmdRun, nil); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	c.Events()
 
-	lats := make([]int64, 0, cfg.CommandsPerClient)
-	for i := 0; i < cfg.CommandsPerClient; i++ {
-		cmd, args := wire.CmdXBT, (*wire.Args)(nil)
+	subCmd := func(i int) (string, *wire.Args) {
 		if i%2 == 1 {
-			cmd = wire.CmdXVars
+			return wire.CmdXVars, nil
 		}
-		t0 := time.Now()
-		if _, err := c.Do(cmd, args); err != nil {
-			return nil, err
+		return wire.CmdXBT, nil
+	}
+
+	var cmds int64
+	lats := make([]int64, 0, cfg.CommandsPerClient)
+	if cfg.Batch >= 2 {
+		subs := make([]wire.SubRequest, 0, cfg.Batch)
+		for done := 0; done < cfg.CommandsPerClient; {
+			subs = subs[:0]
+			for len(subs) < cfg.Batch && done+len(subs) < cfg.CommandsPerClient {
+				cmd, args := subCmd(done + len(subs))
+				subs = append(subs, wire.SubRequest{Command: cmd, Arguments: args})
+			}
+			t0 := time.Now()
+			results, err := c.DoBatch(subs)
+			if err != nil {
+				return nil, 0, err
+			}
+			lats = append(lats, time.Since(t0).Nanoseconds())
+			for _, r := range results {
+				if !r.Success {
+					return nil, 0, fmt.Errorf("serve: batch sub-command failed: %s", r.Message)
+				}
+			}
+			done += len(subs)
+			cmds += int64(len(subs))
 		}
-		lats = append(lats, time.Since(t0).Nanoseconds())
+	} else {
+		for i := 0; i < cfg.CommandsPerClient; i++ {
+			cmd, args := subCmd(i)
+			t0 := time.Now()
+			if _, err := c.Do(cmd, args); err != nil {
+				return nil, 0, err
+			}
+			lats = append(lats, time.Since(t0).Nanoseconds())
+			cmds++
+		}
 	}
 	_, err = c.Do(wire.CmdDisconnect, nil)
-	return lats, err
+	return lats, cmds, err
 }
 
 // breakSpecFor names the staged function of each example build — the

@@ -24,9 +24,11 @@ import (
 	"sync/atomic"
 
 	"d2x/internal/d2x"
+	"d2x/internal/d2x/d2xr"
 	"d2x/internal/d2x/wire"
 	"d2x/internal/debugger"
 	"d2x/internal/examplebuilds"
+	"d2x/internal/minic"
 	"d2x/internal/obs"
 )
 
@@ -269,8 +271,15 @@ type conn struct {
 	c   net.Conn
 	q   *outQueue
 
-	dbg        *debugger.Debugger
-	sessionID  int64
+	dbg       *debugger.Debugger
+	sessionID int64
+	// rt and vm identify this session's D2X runtime and debuggee VM
+	// (nil for builds compiled without D2X). The batch handler pins the
+	// session state through them so a whole batch is atomic with respect
+	// to Invalidate and Release.
+	rt *d2xr.Runtime
+	vm *minic.VM
+
 	progOut    bytes.Buffer // debuggee output, drained into output events
 	transcript bytes.Buffer // debugger transcript, returned in responses
 	seq        int64        // server-side frame sequence
@@ -388,20 +397,36 @@ func (cn *conn) handle(req *wire.Frame) (disconnect bool) {
 	case wire.CmdStats:
 		cn.stats(req)
 		return false
+	case wire.CmdBatch:
+		cn.batch(req)
+		return false
 	}
 	if cn.dbg == nil {
 		cn.respondErr(req, fmt.Errorf("no session: send launch first"))
 		return false
 	}
-	line, err := commandLine(req)
+	body, err := cn.execOne(req.Command, req.Arguments)
 	if err != nil {
 		cn.respondErr(req, err)
 		return false
 	}
+	cn.respond(req, body)
+	return false
+}
+
+// execOne maps one command onto the session's debugger and executes it,
+// pushing any events it produces, and returns the response body. It is
+// the shared execution core of standalone requests and batch
+// sub-commands, which is what keeps the two protocols byte-identical.
+func (cn *conn) execOne(command string, args *wire.Args) (*wire.Body, error) {
+	line, err := commandLine(command, args)
+	if err != nil {
+		return nil, err
+	}
 	cn.progOut.Reset()
 	cn.transcript.Reset()
 	execErr := cn.dbg.Execute(line)
-	exec := isExecution(req.Command)
+	exec := isExecution(command)
 	// Debuggee output produced while the program was running streams out
 	// as an event. Output from a paused-state command (the D2X commands
 	// print through debuggee natives, so their text arrives on the
@@ -417,15 +442,60 @@ func (cn *conn) handle(req *wire.Frame) (disconnect bool) {
 		})
 	}
 	if execErr != nil {
-		cn.respondErr(req, execErr)
-		return false
+		return nil, execErr
 	}
 	out := cn.transcript.String()
 	if !exec && cn.progOut.Len() > 0 {
 		out += cn.progOut.String()
 	}
-	cn.respond(req, &wire.Body{Output: out})
-	return false
+	return &wire.Body{Output: out}, nil
+}
+
+// batch executes a batch request: N sub-commands, one response carrying
+// one SubResult each. A sub-command failure is isolated to its result;
+// the batch response itself fails only when the request as a whole is
+// unusable (no session, empty batch). The whole batch runs under one
+// session-state pin, so a concurrent build invalidation cannot tear
+// down breakpoints or frame selections between sub-commands.
+func (cn *conn) batch(req *wire.Frame) {
+	if cn.dbg == nil {
+		cn.respondErr(req, fmt.Errorf("no session: send launch first"))
+		return
+	}
+	var subs []wire.SubRequest
+	if req.Arguments != nil {
+		subs = req.Arguments.Batch
+	}
+	if len(subs) == 0 {
+		cn.respondErr(req, fmt.Errorf("batch needs at least one sub-command"))
+		return
+	}
+	if cn.rt != nil && cn.vm != nil {
+		pin := cn.rt.PinSession(cn.vm)
+		defer pin.Unpin()
+	}
+	results := make([]wire.SubResult, len(subs))
+	for i, sub := range subs {
+		switch sub.Command {
+		case wire.CmdLaunch, wire.CmdDisconnect, wire.CmdBatch, wire.CmdStats:
+			srvErrors.Inc()
+			results[i] = wire.SubResult{Message: fmt.Sprintf("command %q is not batchable", sub.Command)}
+			continue
+		}
+		if !wire.KnownCommand(sub.Command) {
+			srvErrors.Inc()
+			results[i] = wire.SubResult{Message: fmt.Sprintf("unknown command %q", sub.Command)}
+			continue
+		}
+		body, err := cn.execOne(sub.Command, sub.Arguments)
+		if err != nil {
+			srvErrors.Inc()
+			results[i] = wire.SubResult{Message: err.Error()}
+			continue
+		}
+		results[i] = wire.SubResult{Success: true, Output: body.Output}
+	}
+	cn.respond(req, &wire.Body{Results: results})
 }
 
 func (cn *conn) launch(req *wire.Frame) {
@@ -452,6 +522,8 @@ func (cn *conn) launch(req *wire.Frame) {
 		return
 	}
 	cn.dbg = d
+	cn.rt = b.Runtime
+	cn.vm = d.Process().VM
 	cn.sessionID = cn.srv.nextSess.Add(1)
 	srvSessions.Inc()
 	cn.respond(req, &wire.Body{Session: cn.sessionID})
@@ -469,10 +541,10 @@ func (cn *conn) stats(req *wire.Frame) {
 // commandLine maps a request to the debugger command it executes. Only
 // this fixed set is reachable — a wire client cannot run arbitrary
 // debugger commands (no call, no eval, no shell-adjacent anything).
-func commandLine(req *wire.Frame) (string, error) {
+func commandLine(command string, args *wire.Args) (string, error) {
 	spec, name := "", ""
-	if req.Arguments != nil {
-		spec, name = req.Arguments.Spec, req.Arguments.Name
+	if args != nil {
+		spec, name = args.Spec, args.Name
 	}
 	needSpec := func(cmd string) (string, error) {
 		if spec == "" {
@@ -480,7 +552,7 @@ func commandLine(req *wire.Frame) (string, error) {
 		}
 		return cmd + " " + spec, nil
 	}
-	switch req.Command {
+	switch command {
 	case wire.CmdBreak:
 		return needSpec("break")
 	case wire.CmdRun:
@@ -509,7 +581,7 @@ func commandLine(req *wire.Frame) (string, error) {
 		}
 		return "xvars", nil
 	}
-	return "", fmt.Errorf("command %q has no debugger mapping", req.Command)
+	return "", fmt.Errorf("command %q has no debugger mapping", command)
 }
 
 // isExecution reports whether the command resumes the debuggee (and so

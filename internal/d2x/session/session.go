@@ -54,7 +54,47 @@ type XBreakpoint struct {
 	File     string
 	Line     int
 	GenLines []int
+
+	// Plan is the cached expansion this breakpoint was installed from.
+	// GenLines is a copy, never an alias: the breakpoint is recycled
+	// through the session freelist while the plan stays cached.
+	Plan *BreakPlan
 }
+
+// BreakPlan is the build-derived expansion of one DSL breakpoint
+// location: the deduped sorted generated lines plus the interned break
+// and clear scripts the debugger executes to install and remove them.
+// A plan is computed once per (file, line) per session and cached on
+// the State (see PlanFor/AddPlan) — the lexer, macro, and string work
+// of resolving a spec is paid on the first xbreak only, which is what
+// takes the xbreak+xdel round trip below its allocation budget and
+// what ResolveBreakSet amortizes across a whole breakpoint set. Plans
+// are immutable once cached; Reset drops them with the rest of the
+// build-derived state.
+type BreakPlan struct {
+	File     string
+	Line     int
+	GenLines []int
+
+	// BreakScript and ClearScript are the newline-joined stock-debugger
+	// command strings ("break gen.c:N" / "clear gen.c:N", one per
+	// generated line) the macro layer evals.
+	BreakScript string
+	ClearScript string
+}
+
+// breakKey keys the per-session plan cache. A struct key, so lookups
+// allocate nothing.
+type breakKey struct {
+	file string
+	line int
+}
+
+// maxPlanCache bounds the per-session plan cache. When full it is
+// cleared wholesale (like the runtime's expression caches): a session
+// that resolves hundreds of distinct locations is a fuzzer, not a
+// debugging human, and re-resolving is merely the cold-path cost.
+const maxPlanCache = 256
 
 // State is the command state of one debug session, keyed by the session's
 // debuggee VM. A debug session executes commands one at a time from its
@@ -113,6 +153,12 @@ type State struct {
 	// rewritten on reuse, so stale build state cannot leak through them.
 	bpFree []*XBreakpoint
 
+	// plans caches the BreakPlan of every DSL location this session has
+	// resolved, keyed by (file, line). Owned by the session's single
+	// command stream; dropped by Reset because the generated-line
+	// expansions belong to the old build.
+	plans map[breakKey]*BreakPlan
+
 	// refs counts in-flight commands pinning this state (Checkout has
 	// run, Checkin has not). resetPending records an Invalidate that
 	// arrived while refs was non-zero; the reset is applied by the
@@ -138,6 +184,7 @@ func (st *State) Reset() {
 	st.CurRSP = 0
 	st.XBPs = nil
 	st.NextID = 1
+	st.plans = nil
 	if j, ok := st.Journal.(interface{ Stop() }); ok {
 		// Recorded history indexes the old build's instruction stream;
 		// replaying it into the new build would restore garbage.
@@ -166,7 +213,27 @@ func (st *State) GetBP() *XBreakpoint {
 //
 //d2x:noalloc amortized
 func (st *State) PutBP(bp *XBreakpoint) {
+	bp.Plan = nil
 	st.bpFree = append(st.bpFree, bp)
+}
+
+// PlanFor returns the cached expansion of a DSL location, or nil if
+// this session has not resolved it since the last Reset.
+//
+//d2x:noalloc
+func (st *State) PlanFor(file string, line int) *BreakPlan {
+	return st.plans[breakKey{file, line}]
+}
+
+// AddPlan caches a freshly computed expansion. The cache is bounded;
+// when full it is cleared wholesale rather than evicted piecemeal.
+func (st *State) AddPlan(p *BreakPlan) {
+	if st.plans == nil {
+		st.plans = make(map[breakKey]*BreakPlan, 8)
+	} else if len(st.plans) >= maxPlanCache {
+		clear(st.plans)
+	}
+	st.plans[breakKey{p.File, p.Line}] = p
 }
 
 // metrics is the service's observability handle set, resolved once at

@@ -121,8 +121,11 @@ func TestConcurrentSessionsShareTables(t *testing.T) {
 // ring's atomic-pointer slots.
 func TestObsMetricsUnderConcurrentSessions(t *testing.T) {
 	b := buildPower(t, true)
-	xbtCalls := obs.GetCounter("d2xr.cmd.xbt.calls")
-	xbreakCalls := obs.GetCounter("d2xr.cmd.xbreak.calls")
+	// The command call/error counters are sharded across cache-line-padded
+	// cells (sessions hash to cells by ID); Value() sums the cells, and the
+	// sums must stay exact under concurrency.
+	xbtCalls := obs.GetShardedCounter("d2xr.cmd.xbt.calls")
+	xbreakCalls := obs.GetShardedCounter("d2xr.cmd.xbreak.calls")
 	creates := obs.GetCounter("session.state.creates")
 	evicts := obs.GetCounter("session.state.evicts")
 	live := obs.GetGauge("session.live")

@@ -91,6 +91,25 @@ func (c *Client) Do(command string, args *Args) (*Frame, error) {
 	}
 }
 
+// DoBatch sends N sub-commands as one batch request and returns the
+// per-sub-command results in order. The error covers the batch itself
+// (transport failure, or the server rejecting the whole request);
+// individual sub-command failures land in their SubResult.
+func (c *Client) DoBatch(subs []SubRequest) ([]SubResult, error) {
+	f, err := c.Do(CmdBatch, &Args{Batch: subs})
+	if err != nil {
+		return nil, err
+	}
+	if f.Body == nil || len(f.Body.Results) != len(subs) {
+		got := 0
+		if f.Body != nil {
+			got = len(f.Body.Results)
+		}
+		return nil, fmt.Errorf("wire: batch of %d sub-commands got %d results", len(subs), got)
+	}
+	return f.Body.Results, nil
+}
+
 func (c *Client) buffer(f *Frame) {
 	if len(c.events) >= maxBufferedEvents {
 		copy(c.events, c.events[1:])

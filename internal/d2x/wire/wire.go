@@ -55,6 +55,11 @@ const (
 	CmdXDel       = "xdel"
 	CmdStats      = "stats"
 	CmdDisconnect = "disconnect"
+	// CmdBatch carries N sub-commands in one frame; the response carries
+	// one result per sub-command. One round trip instead of N, and the
+	// server executes the whole batch under a single session pin, so it
+	// is atomic with respect to build invalidation and session eviction.
+	CmdBatch = "batch"
 )
 
 // Event names.
@@ -73,7 +78,7 @@ func Commands() []string {
 	return []string{
 		CmdLaunch, CmdBreak, CmdRun, CmdContinue, CmdStep, CmdNext,
 		CmdFinish, CmdXBT, CmdXFrame, CmdXList, CmdXVars, CmdXBreak,
-		CmdXDel, CmdStats, CmdDisconnect,
+		CmdXDel, CmdStats, CmdDisconnect, CmdBatch,
 	}
 }
 
@@ -104,6 +109,28 @@ type Args struct {
 	Spec string `json:"spec,omitempty"`
 	// Name is the extended-variable name for xvars ("" lists them).
 	Name string `json:"name,omitempty"`
+	// Batch is the sub-command list of a batch request (batch only).
+	Batch []SubRequest `json:"batch,omitempty"`
+}
+
+// SubRequest is one sub-command of a batch request: the same command
+// and argument shapes as a standalone request, minus the framing.
+// Launch, disconnect, stats and nested batch are not allowed as
+// sub-commands.
+type SubRequest struct {
+	Command   string `json:"command"`
+	Arguments *Args  `json:"arguments,omitempty"`
+}
+
+// SubResult is one sub-command's outcome inside a batch response.
+// Failures are isolated per sub-command: a batch response is Success
+// as a whole whenever the batch itself executed, and each SubResult
+// reports its own command's fate exactly as a standalone response
+// would (Success + Output, or !Success + Message).
+type SubResult struct {
+	Success bool   `json:"success"`
+	Message string `json:"message,omitempty"` // error text when !Success
+	Output  string `json:"output,omitempty"`
 }
 
 // Body carries a response's or event's payload.
@@ -122,6 +149,9 @@ type Body struct {
 	// under backpressure, attached to every event so a client can detect
 	// gaps without another round trip.
 	Dropped int64 `json:"dropped,omitempty"`
+	// Results carries the per-sub-command outcomes of a batch response,
+	// in request order, one entry per SubRequest.
+	Results []SubResult `json:"results,omitempty"`
 }
 
 // Frame is one protocol message. Type selects which fields are

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"net"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -43,13 +44,13 @@ func TestFrameRoundTrip(t *testing.T) {
 		if (got.Body == nil) != (want.Body == nil) {
 			t.Fatalf("frame %d: body presence mismatch", i)
 		}
-		if want.Body != nil && *got.Body != *want.Body {
+		if want.Body != nil && !reflect.DeepEqual(*got.Body, *want.Body) {
 			t.Errorf("frame %d: body got %+v want %+v", i, *got.Body, *want.Body)
 		}
 		if (got.Arguments == nil) != (want.Arguments == nil) {
 			t.Fatalf("frame %d: arguments presence mismatch", i)
 		}
-		if want.Arguments != nil && *got.Arguments != *want.Arguments {
+		if want.Arguments != nil && !reflect.DeepEqual(*got.Arguments, *want.Arguments) {
 			t.Errorf("frame %d: arguments got %+v want %+v", i, *got.Arguments, *want.Arguments)
 		}
 	}

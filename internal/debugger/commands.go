@@ -344,7 +344,11 @@ func (d *Debugger) cmdBreak(spec string) error {
 
 func (d *Debugger) cmdDelete(rest string) error {
 	if rest == "" {
-		d.bps = nil
+		for i, bp := range d.bps {
+			d.putBP(bp)
+			d.bps[i] = nil
+		}
+		d.bps = d.bps[:0]
 		d.printf("Deleted all breakpoints.\n")
 		return nil
 	}
@@ -397,6 +401,7 @@ func (d *Debugger) cmdClear(spec string) error {
 			b = append(b, '\n')
 			_, _ = d.out.Write(b)
 			d.putBuf(b)
+			d.putBP(bp)
 		} else {
 			kept = append(kept, bp)
 		}

@@ -157,6 +157,12 @@ type Debugger struct {
 	strFree [][]string
 	bufFree [][]byte
 
+	// bpFree recycles Breakpoint objects through delete/set cycles. The
+	// D2X xbreak/xdel protocol churns low-level breakpoints on every DSL
+	// breakpoint operation (one per generated line), so without a
+	// freelist every cycle re-allocates the whole set.
+	bpFree []*Breakpoint
+
 	// recorder is the live process-record target (nil when recording is
 	// off); recorderFactory, when set, overrides how `record` builds one
 	// (the D2X session layer parks the journal handle on per-VM state).
@@ -233,10 +239,33 @@ func (d *Debugger) SetBreakpoint(spec string) (*Breakpoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	bp := &Breakpoint{ID: d.nextBP, Spec: spec, Cond: cond, Sites: sites, Enabled: true}
+	bp := d.getBP()
+	*bp = Breakpoint{ID: d.nextBP, Spec: spec, Cond: cond, Sites: sites, Enabled: true}
 	d.nextBP++
 	d.bps = append(d.bps, bp)
 	return bp, nil
+}
+
+// getBP pops a recycled Breakpoint (or allocates the first time).
+func (d *Debugger) getBP() *Breakpoint {
+	if n := len(d.bpFree); n > 0 {
+		bp := d.bpFree[n-1]
+		d.bpFree[n-1] = nil
+		d.bpFree = d.bpFree[:n-1]
+		return bp
+	}
+	return new(Breakpoint)
+}
+
+// putBP parks a deleted Breakpoint for reuse. The last stop may still
+// reference the breakpoint it stopped at (`info program` style displays
+// read it after deletion), so that one is left to the GC rather than
+// recycled into a live object with a different identity.
+func (d *Debugger) putBP(bp *Breakpoint) {
+	if bp == d.lastStop.Breakpoint {
+		return
+	}
+	d.bpFree = append(d.bpFree, bp)
 }
 
 func (d *Debugger) resolveSpec(spec string) ([]dwarfish.BreakpointSite, error) {
@@ -294,6 +323,7 @@ func (d *Debugger) DeleteBreakpoint(id int) error {
 	for i, bp := range d.bps {
 		if bp.ID == id {
 			d.bps = append(d.bps[:i], d.bps[i+1:]...)
+			d.putBP(bp)
 			return nil
 		}
 	}

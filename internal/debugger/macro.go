@@ -34,6 +34,14 @@ type macroLine struct {
 	segs   []macroSeg
 	static string // the line with every $argN replaced by ""
 	maxArg int    // highest referenced argument index; -1 for a pure literal
+
+	// lastSub memoizes the most recent argument substitution of this
+	// line. A command loop re-issuing the same invocation (xbreak on one
+	// spec, a scripted poll) renders identical bytes every time; reusing
+	// the previous string spares the per-call allocation. Macros are
+	// per-debugger and a debugger executes one command at a time, so the
+	// memo needs no lock.
+	lastSub string
 }
 
 // compile parses $arg0..$arg9 references out of every body line. The
@@ -153,7 +161,14 @@ func (d *Debugger) runMacro(m *Macro, args []string) error {
 					scratch = append(scratch, args[s.arg]...)
 				}
 			}
-			line = string(scratch)
+			// The == below compiles to a byte compare, no conversion
+			// allocation; only a changed substitution pays string().
+			if cl.lastSub == string(scratch) {
+				line = cl.lastSub
+			} else {
+				line = string(scratch)
+				cl.lastSub = line
+			}
 		}
 		if err := d.Execute(line); err != nil {
 			return fmt.Errorf("in macro %s: %w", m.Name, err)

@@ -28,6 +28,56 @@ func (c *Counter) Value() int64 { return c.v.Load() }
 
 func (c *Counter) reset() { c.v.Store(0) }
 
+// counterShards is the fixed cell count of a ShardedCounter: a power of
+// two so the hint folds with a mask, and enough cells that 8–16 hot
+// goroutines land on distinct cache lines with high probability.
+const counterShards = 16
+
+// counterCell is one shard, padded out to a 64-byte cache line so
+// neighbouring cells never false-share under concurrent increments.
+type counterCell struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// ShardedCounter is a Counter spread over cache-line-padded cells for
+// write paths hot enough that a single shared atomic serializes cores
+// (the per-command call counters under the saturation workload).
+// Callers pass a cheap affinity hint — any value stable per goroutine
+// or per session, e.g. the session ID — to pick a cell; correctness
+// does not depend on the hint (a constant hint degrades to a plain
+// Counter). Value sums the cells, so totals stay exact.
+type ShardedCounter struct {
+	cells [counterShards]counterCell
+}
+
+// Inc adds 1 to the cell selected by hint.
+//
+//d2x:noalloc
+func (c *ShardedCounter) Inc(hint uint64) { c.cells[hint&(counterShards-1)].v.Add(1) }
+
+// Add adds n to the cell selected by hint.
+//
+//d2x:noalloc
+func (c *ShardedCounter) Add(hint uint64, n int64) { c.cells[hint&(counterShards-1)].v.Add(n) }
+
+// Value returns the exact total across cells. Each cell is read with an
+// atomic load; a value read while writers run is a consistent-enough
+// cut, same as Counter under concurrent Inc.
+func (c *ShardedCounter) Value() int64 {
+	var total int64
+	for i := range c.cells {
+		total += c.cells[i].v.Load()
+	}
+	return total
+}
+
+func (c *ShardedCounter) reset() {
+	for i := range c.cells {
+		c.cells[i].v.Store(0)
+	}
+}
+
 // Gauge is a point-in-time value with a high-water mark, e.g. live
 // debug sessions. Set and Add maintain Max with a CAS loop that almost
 // always succeeds on the first try.
@@ -195,6 +245,7 @@ func (h *Histogram) reset() {
 // atomics only.
 type Registry struct {
 	counters sync.Map // string -> *Counter
+	sharded  sync.Map // string -> *ShardedCounter
 	gauges   sync.Map // string -> *Gauge
 	hists    sync.Map // string -> *Histogram
 	ring     *Ring
@@ -213,6 +264,18 @@ func (r *Registry) Counter(name string) *Counter {
 	}
 	v, _ := r.counters.LoadOrStore(name, &Counter{})
 	return v.(*Counter)
+}
+
+// ShardedCounter returns the named sharded counter, registering it on
+// first use. Sharded counters share the counter namespace in snapshots
+// (their summed value appears under Counters), so a name should not be
+// used for both a Counter and a ShardedCounter.
+func (r *Registry) ShardedCounter(name string) *ShardedCounter {
+	if v, ok := r.sharded.Load(name); ok {
+		return v.(*ShardedCounter)
+	}
+	v, _ := r.sharded.LoadOrStore(name, &ShardedCounter{})
+	return v.(*ShardedCounter)
 }
 
 // Gauge returns the named gauge, registering it on first use.
@@ -242,6 +305,7 @@ func (r *Registry) Ring() *Ring { return r.ring }
 // and clears the trace ring.
 func (r *Registry) Reset() {
 	r.counters.Range(func(_, v any) bool { v.(*Counter).reset(); return true })
+	r.sharded.Range(func(_, v any) bool { v.(*ShardedCounter).reset(); return true })
 	r.gauges.Range(func(_, v any) bool { v.(*Gauge).reset(); return true })
 	r.hists.Range(func(_, v any) bool { v.(*Histogram).reset(); return true })
 	r.ring.Reset()

@@ -99,6 +99,10 @@ var Default = NewRegistry(DefaultRingSize)
 // default registry.
 func GetCounter(name string) *Counter { return Default.Counter(name) }
 
+// GetShardedCounter returns (registering on first use) a named sharded
+// counter in the default registry.
+func GetShardedCounter(name string) *ShardedCounter { return Default.ShardedCounter(name) }
+
 // GetGauge returns (registering on first use) a named gauge in the
 // default registry.
 func GetGauge(name string) *Gauge { return Default.Gauge(name) }

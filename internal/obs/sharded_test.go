@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestShardedCounterExactSumUnderConcurrency: 8 goroutines hammer one
+// ShardedCounter — some with a stable per-goroutine affinity hint, some
+// with wandering hints, since correctness must not depend on the hint —
+// and Value() must report the exact total, no lost updates. Run under
+// -race (CI does) this doubles as the data-race proof for the padded
+// cells.
+func TestShardedCounterExactSumUnderConcurrency(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 20000
+	)
+	var c ShardedCounter
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			hint := uint64(g)
+			for i := 0; i < perG; i++ {
+				if i%2 == 0 {
+					c.Inc(hint)
+				} else {
+					c.Add(hint+uint64(i), 1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("Value() = %d, want exactly %d", got, goroutines*perG)
+	}
+
+	// Hints far past the cell count fold with the mask; negative deltas
+	// balance out across whichever cells they land on.
+	c.Add(1<<40, 7)
+	c.Add(3, -7)
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("after +7/-7: Value() = %d, want %d", got, goroutines*perG)
+	}
+}
+
+// TestShardedCounterRegistry: named sharded counters dedupe through the
+// registry, appear in snapshots under the counter namespace with their
+// summed value, and Reset zeroes them in place.
+func TestShardedCounterRegistry(t *testing.T) {
+	r := NewRegistry(0)
+	c := r.ShardedCounter("test.sharded")
+	if r.ShardedCounter("test.sharded") != c {
+		t.Fatal("second lookup returned a different counter")
+	}
+	c.Inc(1)
+	c.Inc(2)
+	c.Add(3, 3)
+	if got := r.Snapshot().Counters["test.sharded"]; got != 5 {
+		t.Fatalf("snapshot value = %d, want 5", got)
+	}
+	r.Reset()
+	if got := c.Value(); got != 0 {
+		t.Fatalf("value after Reset = %d, want 0", got)
+	}
+}

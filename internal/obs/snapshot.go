@@ -61,6 +61,10 @@ func (r *Registry) Snapshot() *Snap {
 		s.Counters[k.(string)] = v.(*Counter).Value()
 		return true
 	})
+	r.sharded.Range(func(k, v any) bool {
+		s.Counters[k.(string)] = v.(*ShardedCounter).Value()
+		return true
+	})
 	r.gauges.Range(func(k, v any) bool {
 		g := v.(*Gauge)
 		s.Gauges[k.(string)] = GaugeSnap{Value: g.Value(), Max: g.Max()}

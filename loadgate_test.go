@@ -36,12 +36,15 @@ type loadReport struct {
 //	D2X_LOAD_JSON=1 go test -run TestEmitLoadJSON .
 //
 // D2X_LOAD_CLIENTS overrides the client count (CI smoke runs use 100;
-// the committed baseline and the nightly run use the full 1000). With
-// D2X_LOAD_GATE=1 the test fails if the measured p99 exceeds the
-// committed baseline by more than loadGatePct percent; the baseline is
-// read before the file is rewritten. Smoke runs gate against the full
-// run's baseline, which only makes the gate stricter — p99 at a tenth of
-// the concurrency should be far below it.
+// the committed baseline and the nightly run use the full 1000).
+// D2X_LOAD_BATCH >= 2 groups each client's steady-state commands into
+// wire batch frames of that many sub-commands — the nightly run uses it
+// to capture both protocol modes side by side. With D2X_LOAD_GATE=1 the
+// test fails if the measured p99 exceeds the committed baseline by more
+// than loadGatePct percent; the baseline is read before the file is
+// rewritten. Smoke runs gate against the full run's baseline, which only
+// makes the gate stricter — p99 at a tenth of the concurrency should be
+// far below it.
 func TestEmitLoadJSON(t *testing.T) {
 	if os.Getenv("D2X_LOAD_JSON") == "" {
 		t.Skipf("set D2X_LOAD_JSON=1 to emit %s", loadJSONFile)
@@ -55,6 +58,14 @@ func TestEmitLoadJSON(t *testing.T) {
 		}
 		clients = n
 	}
+	batch := 0
+	if s := os.Getenv("D2X_LOAD_BATCH"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			t.Fatalf("bad D2X_LOAD_BATCH %q", s)
+		}
+		batch = n
+	}
 
 	var baseline loadReport
 	haveBaseline := false
@@ -64,24 +75,26 @@ func TestEmitLoadJSON(t *testing.T) {
 		}
 	}
 
-	res, err := serve.RunLoad(serve.LoadConfig{Clients: clients, CommandsPerClient: 20})
+	res, err := serve.RunLoad(serve.LoadConfig{Clients: clients, CommandsPerClient: 20, Batch: batch})
 	if err != nil {
 		t.Fatalf("RunLoad: %v", err)
 	}
 	if res.Errors > 0 {
 		t.Fatalf("%d of %d load clients failed", res.Errors, res.Clients)
 	}
-	t.Logf("%d clients: %.0f cmd/s, p50 %.3f ms, p99 %.3f ms, max %.3f ms",
-		res.Clients, res.CommandsPerSec, res.P50MS, res.P99MS, res.MaxMS)
+	t.Logf("%d clients (batch=%d): %.0f cmd/s (%.0f cmd/s/core), p50 %.3f ms, p99 %.3f ms, max %.3f ms",
+		res.Clients, res.Batch, res.CommandsPerSec, res.CommandsPerSecPerCore, res.P50MS, res.P99MS, res.MaxMS)
 
 	rep := loadReport{
 		PR: "pr7", Go: runtime.Version(),
 		OS: runtime.GOOS, Arch: runtime.GOARCH,
 		LoadResult: *res,
 	}
-	// Only a full-scale run may rewrite the committed baseline: a smoke
-	// run's numbers describe a different experiment.
-	if clients >= 1000 {
+	// Only a full-scale sequential run may rewrite the committed
+	// baseline: a smoke run's numbers describe a different experiment,
+	// and so do a batch run's (its quantiles are per round trip, which
+	// carries Batch sub-commands).
+	if clients >= 1000 && batch < 2 {
 		data, err := json.MarshalIndent(&rep, "", "  ")
 		if err != nil {
 			t.Fatal(err)
@@ -93,6 +106,10 @@ func TestEmitLoadJSON(t *testing.T) {
 	}
 
 	if os.Getenv("D2X_LOAD_GATE") == "" {
+		return
+	}
+	if batch >= 2 {
+		t.Logf("batch-mode quantiles are per round trip, not per command; p99 gate skipped")
 		return
 	}
 	if !haveBaseline {

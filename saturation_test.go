@@ -1,0 +1,311 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"d2x/internal/d2x"
+	"d2x/internal/d2x/d2xr"
+	"d2x/internal/debugger"
+	"d2x/internal/graphit"
+	"d2x/internal/minic"
+)
+
+// satJSONFile is the committed machine-readable saturation record: the
+// 8-goroutine mixed-workload run's throughput in both protocols, and the
+// batch-over-sequential speedup.
+const satJSONFile = "BENCH_pr10.json"
+
+// satGoroutines is the concurrency of the recorded experiment: enough to
+// contend on the shared tables and the sharded counters, small enough to
+// fit CI runners.
+const satGoroutines = 8
+
+// satGatePct is how far sequential commands/sec/core may fall below the
+// committed baseline before the gate fails. Throughput on shared CI
+// hardware swings with the neighbours, so the band is generous — the
+// gate exists to catch a serialized command path (a lock where the
+// sharded counters were, a re-decode per command), not scheduler noise.
+const satGatePct = 60
+
+// satMinSpeedup is the required batch-over-sequential advantage at
+// satGoroutines, per core. The typed batch path exists to shed the
+// string protocol's per-command overhead; if it cannot double the mixed
+// workload's throughput, it has quietly reabsorbed that overhead.
+const satMinSpeedup = 2.0
+
+// satCycleLen is the commands per workload cycle: six frame queries
+// (xbt/xvars alternating) plus one xbreak+xdel breakpoint churn pair.
+const satCycleLen = 8
+
+type satMode struct {
+	Mode                  string  `json:"mode"`
+	Goroutines            int     `json:"goroutines"`
+	Commands              int64   `json:"commands"`
+	ElapsedMS             float64 `json:"elapsed_ms"`
+	CommandsPerSec        float64 `json:"commands_per_sec"`
+	CommandsPerSecPerCore float64 `json:"commands_per_sec_per_core"`
+}
+
+type satReport struct {
+	PR         string  `json:"pr"`
+	Go         string  `json:"go"`
+	OS         string  `json:"os"`
+	Arch       string  `json:"arch"`
+	Cores      int     `json:"cores"`
+	Sequential satMode `json:"sequential"`
+	Batch      satMode `json:"batch"`
+	// Speedup is batch over sequential commands/sec/core.
+	Speedup float64 `json:"speedup"`
+}
+
+// satSession is one goroutine's paused debug session plus the typed
+// inputs ($rip/$rsp equivalents) its batch ops need.
+type satSession struct {
+	d        *debugger.Debugger
+	rt       *d2xr.Runtime
+	vm       *minic.VM
+	rip, rsp int64
+}
+
+func newSatSession(tb testing.TB, build *d2x.Build) *satSession {
+	tb.Helper()
+	d := pausedSession(tb, build)
+	// One primer command pays the session's share of the table decode
+	// outside the measurement and records the paused rip/rsp the typed
+	// ops reuse.
+	mustExec(tb, d, "xbt")
+	vm := d.Process().VM
+	st := build.Runtime.StateFor(vm)
+	return &satSession{d: d, rt: build.Runtime, vm: vm, rip: st.LastRIP, rsp: st.CurRSP}
+}
+
+// satSequential is one goroutine's share of the string-protocol run:
+// every command goes through the macro layer, expression evaluation, and
+// a native call, exactly as an interactive debugger would issue it.
+func satSequential(s *satSession, cycles int, xbreakCmd string) error {
+	id := 0
+	scratch := make([]byte, 0, 16)
+	for c := 0; c < cycles; c++ {
+		for _, cmd := range [...]string{"xbt", "xvars", "xbt", "xvars", "xbt", "xvars"} {
+			if err := s.d.Execute(cmd); err != nil {
+				return err
+			}
+		}
+		if err := s.d.Execute(xbreakCmd); err != nil {
+			return err
+		}
+		id++
+		scratch = append(scratch[:0], "xdel "...)
+		scratch = strconv.AppendInt(scratch, int64(id), 10)
+		if err := s.d.Execute(string(scratch)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// satBatch is the same workload through the typed batch layer: one
+// ExecBatch per cycle, with the break/clear scripts the batch returns
+// replayed on the debugger — the part of the work a typed caller still
+// owes, so the two modes leave identical session state.
+func satBatch(s *satSession, cycles int, spec string) error {
+	var res d2xr.BatchResults
+	ops := make([]d2xr.BatchOp, satCycleLen)
+	for i := 0; i < 6; i++ {
+		kind := d2xr.BatchXBT
+		if i%2 == 1 {
+			kind = d2xr.BatchXVars
+		}
+		ops[i] = d2xr.BatchOp{Kind: kind, RIP: s.rip, RSP: s.rsp}
+	}
+	ops[6] = d2xr.BatchOp{Kind: d2xr.BatchXBreak, RIP: s.rip, Arg: spec}
+	id := 0
+	scratch := make([]byte, 0, 16)
+	for c := 0; c < cycles; c++ {
+		id++
+		scratch = strconv.AppendInt(scratch[:0], int64(id), 10)
+		ops[7] = d2xr.BatchOp{Kind: d2xr.BatchXDel, Arg: string(scratch)}
+		s.rt.ExecBatch(s.vm, ops, &res)
+		for i := range res.Ops {
+			if err := res.Ops[i].Err; err != nil {
+				return fmt.Errorf("batch op %d: %w", i, err)
+			}
+			if sc := res.Ops[i].Script; sc != "" {
+				if err := satRunScript(s.d, sc); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func satRunScript(d *debugger.Debugger, script string) error {
+	for len(script) > 0 {
+		line := script
+		if nl := strings.IndexByte(script, '\n'); nl >= 0 {
+			line, script = script[:nl], script[nl+1:]
+		} else {
+			script = ""
+		}
+		if line == "" {
+			continue
+		}
+		if err := d.Execute(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runSaturation drives `goroutines` fresh sessions of one shared build
+// through `cycles` rounds of the mixed workload concurrently and
+// returns aggregate throughput.
+func runSaturation(tb testing.TB, build *d2x.Build, goroutines, cycles int, batch bool) satMode {
+	tb.Helper()
+	sessions := make([]*satSession, goroutines)
+	for i := range sessions {
+		sessions[i] = newSatSession(tb, build)
+	}
+	defer func() {
+		for _, s := range sessions {
+			s.d.Close()
+		}
+	}()
+	dslLine := lineOf(graphit.PageRankDeltaSrc, "new_rank[dst] +=")
+	spec := fmt.Sprintf("pagerankdelta.gt:%d", dslLine)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	start := time.Now()
+	for _, s := range sessions {
+		wg.Add(1)
+		go func(s *satSession) {
+			defer wg.Done()
+			var err error
+			if batch {
+				err = satBatch(s, cycles, spec)
+			} else {
+				err = satSequential(s, cycles, "xbreak "+spec)
+			}
+			if err != nil {
+				errs <- err
+			}
+		}(s)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		tb.Fatal(err)
+	}
+
+	mode := satMode{Mode: "sequential", Goroutines: goroutines}
+	if batch {
+		mode.Mode = "batch"
+	}
+	mode.Commands = int64(goroutines) * int64(cycles) * satCycleLen
+	mode.ElapsedMS = float64(elapsed.Nanoseconds()) / 1e6
+	mode.CommandsPerSec = float64(mode.Commands) / elapsed.Seconds()
+	mode.CommandsPerSecPerCore = mode.CommandsPerSec / float64(runtime.GOMAXPROCS(0))
+	return mode
+}
+
+// TestSaturationSmoke keeps the harness itself honest on every ordinary
+// `go test ./...`: both modes run a small slice of the workload on
+// shared tables without errors and agree on the command count.
+func TestSaturationSmoke(t *testing.T) {
+	build := pagerankBuild(t)
+	seq := runSaturation(t, build, 2, 5, false)
+	bat := runSaturation(t, build, 2, 5, true)
+	want := int64(2 * 5 * satCycleLen)
+	if seq.Commands != want || bat.Commands != want {
+		t.Fatalf("commands: sequential %d, batch %d, want %d", seq.Commands, bat.Commands, want)
+	}
+	if seq.CommandsPerSec <= 0 || bat.CommandsPerSec <= 0 {
+		t.Fatalf("throughput not measured: sequential %+v, batch %+v", seq, bat)
+	}
+}
+
+// TestEmitSaturationJSON runs the full saturation A/B and writes
+// BENCH_pr10.json. Gated behind an env var so ordinary `go test ./...`
+// stays fast:
+//
+//	D2X_SAT_JSON=1 go test -run TestEmitSaturationJSON .
+//
+// D2X_SAT_CYCLES overrides the per-goroutine cycle count. With
+// D2X_SAT_GATE=1 the test fails if (a) the batch path's per-core
+// throughput advantage falls below satMinSpeedup, or (b) sequential
+// commands/sec/core falls more than satGatePct percent below the
+// committed baseline (read before the file is rewritten).
+func TestEmitSaturationJSON(t *testing.T) {
+	if os.Getenv("D2X_SAT_JSON") == "" {
+		t.Skipf("set D2X_SAT_JSON=1 to emit %s", satJSONFile)
+	}
+	cycles := 4000
+	if s := os.Getenv("D2X_SAT_CYCLES"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad D2X_SAT_CYCLES %q", s)
+		}
+		cycles = n
+	}
+
+	var baseline satReport
+	haveBaseline := false
+	if b, err := os.ReadFile(satJSONFile); err == nil {
+		if json.Unmarshal(b, &baseline) == nil && baseline.Sequential.CommandsPerSecPerCore > 0 {
+			haveBaseline = true
+		}
+	}
+
+	build := pagerankBuild(t)
+	seq := runSaturation(t, build, satGoroutines, cycles, false)
+	bat := runSaturation(t, build, satGoroutines, cycles, true)
+	rep := satReport{
+		PR: "pr10", Go: runtime.Version(), OS: runtime.GOOS, Arch: runtime.GOARCH,
+		Cores: runtime.GOMAXPROCS(0), Sequential: seq, Batch: bat,
+		Speedup: bat.CommandsPerSecPerCore / seq.CommandsPerSecPerCore,
+	}
+	t.Logf("sequential: %d goroutines, %.0f cmd/s (%.0f cmd/s/core)",
+		seq.Goroutines, seq.CommandsPerSec, seq.CommandsPerSecPerCore)
+	t.Logf("batch:      %d goroutines, %.0f cmd/s (%.0f cmd/s/core), speedup %.2fx",
+		bat.Goroutines, bat.CommandsPerSec, bat.CommandsPerSecPerCore, rep.Speedup)
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(satJSONFile, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", satJSONFile)
+
+	if os.Getenv("D2X_SAT_GATE") == "" {
+		return
+	}
+	if rep.Speedup < satMinSpeedup {
+		t.Errorf("batch speedup %.2fx below the %.1fx floor: the typed path has reabsorbed protocol overhead",
+			rep.Speedup, satMinSpeedup)
+	}
+	if !haveBaseline {
+		t.Logf("no committed baseline in %s yet; throughput gate is a no-op", satJSONFile)
+		return
+	}
+	floor := baseline.Sequential.CommandsPerSecPerCore * (100 - satGatePct) / 100
+	if seq.CommandsPerSecPerCore < floor {
+		t.Errorf("sequential throughput regressed more than %d%%: baseline %.0f cmd/s/core, now %.0f (floor %.0f)",
+			satGatePct, baseline.Sequential.CommandsPerSecPerCore, seq.CommandsPerSecPerCore, floor)
+	} else {
+		t.Logf("gate ok: %.0f cmd/s/core vs baseline %.0f (floor %.0f)",
+			seq.CommandsPerSecPerCore, baseline.Sequential.CommandsPerSecPerCore, floor)
+	}
+}
